@@ -1,0 +1,144 @@
+// bench_ablation_classifier_knobs — design-choice sweeps behind the
+// reproduction's classifier model and lib·erate's own parameters:
+//
+//  1. classifier inspection-window size k: what the prepend probe reports
+//     and whether the lead-with-tiny-pieces split still wins;
+//  2. classifier matching mode (per-packet / in-order stream / full
+//     reassembly): which technique families survive — the mechanism behind
+//     the testbed vs T-Mobile vs GFC columns of Table 3;
+//  3. blinding granularity: characterization cost vs matching-field
+//     precision ("there is a trade-off between time and accuracy", §4.2).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/evaluation.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace liberate;
+using namespace liberate::core;
+
+std::unique_ptr<dpi::Environment> env_with(dpi::ClassifierConfig c) {
+  auto base = dpi::make_testbed();
+  dpi::MiddleboxConfig mc = base->dpi->config();
+  mc.classifier = std::move(c);
+  auto env = std::make_unique<dpi::Environment>();
+  env->signal = dpi::Environment::Signal::kDirect;
+  env->net.emplace<netsim::RouterHop>(netsim::ip_addr("10.9.2.1"));
+  env->dpi = &env->net.emplace<dpi::DpiMiddlebox>(mc);
+  env->net.emplace<netsim::RouterHop>(netsim::ip_addr("10.9.2.2"));
+  env->hops_before_middlebox = 1;
+  return env;
+}
+
+dpi::ClassifierConfig testbed_classifier() {
+  return dpi::make_testbed()->dpi->config().classifier;
+}
+
+}  // namespace
+
+int main() {
+  auto app = trace::amazon_video_trace(48 * 1024);
+
+  bench::print_header(
+      "1. inspection-window sweep (per-packet matcher, window = k payload "
+      "packets)");
+  std::printf("%8s %18s %18s %14s\n", "k", "probe-detected k",
+              "split evades?", "char. rounds");
+  bench::print_rule(64);
+  for (std::size_t k : {1u, 2u, 3u, 5u, 8u, 0u}) {
+    auto c = testbed_classifier();
+    c.packet_inspection_limit = k;
+    auto env = env_with(c);
+    ReplayRunner runner(*env);
+    CharacterizationOptions copts;
+    copts.probe_ttl = false;
+    auto report = characterize_classifier(runner, app, copts);
+    EvasionEvaluator evaluator(runner, report);
+    TcpSegmentSplit split(false);
+    auto outcome = evaluator.evaluate_one(split, app);
+    std::printf("%8s %18s %18s %14d\n",
+                k == 0 ? "inf" : std::to_string(k).c_str(),
+                report.packet_limit
+                    ? std::to_string(*report.packet_limit).c_str()
+                    : (report.inspects_all_packets ? "all" : "?"),
+                outcome.evaded ? "Y" : "x", report.replay_rounds);
+  }
+  std::printf(
+      "(splitting cuts every matching field across boundaries, so even an\n"
+      "unlimited per-packet matcher never sees an intact keyword)\n");
+
+  bench::print_header(
+      "2. matching-mode sweep: which technique families survive");
+  std::printf("%-26s %10s %10s %10s %12s\n", "classifier mode", "inert",
+              "split", "reorder", "rst-flush");
+  bench::print_rule(74);
+  struct Mode {
+    const char* name;
+    dpi::ClassifierConfig::Mode mode;
+    bool ooo;
+  };
+  for (const Mode& m :
+       {Mode{"per-packet (testbed)", dpi::ClassifierConfig::Mode::kPerPacket,
+             false},
+        Mode{"stream, in-order (TMUS)", dpi::ClassifierConfig::Mode::kStream,
+             false},
+        Mode{"stream, full reasm (GFC)", dpi::ClassifierConfig::Mode::kStream,
+             true}}) {
+    auto c = testbed_classifier();
+    c.mode = m.mode;
+    c.stream_handles_out_of_order = m.ooo;
+    c.packet_inspection_limit = m.ooo ? 0 : 5;
+    c.flush_flow_on_rst = true;
+    c.result_cache_after_rst = netsim::seconds(10);
+    auto env = env_with(c);
+    ReplayRunner runner(*env);
+    CharacterizationOptions copts;
+    copts.probe_ttl = true;
+    auto report = characterize_classifier(runner, app, copts);
+    EvasionEvaluator evaluator(runner, report);
+
+    InertInsertion inert(InertVariant::kLowTtl);
+    TcpSegmentSplit split(false);
+    TcpSegmentSplit reorder(true);
+    RstBeforeMatch rst;
+    std::printf("%-26s %10s %10s %10s %12s\n", m.name,
+                evaluator.evaluate_one(inert, app).evaded ? "Y" : "x",
+                evaluator.evaluate_one(split, app).evaded ? "Y" : "x",
+                evaluator.evaluate_one(reorder, app).evaded ? "Y" : "x",
+                evaluator.evaluate_one(rst, app).evaded ? "Y" : "x");
+  }
+  std::printf("(matches Table 3's testbed / T-Mobile / GFC columns: full\n"
+              "reassembly is the only mode that resists splitting)\n");
+
+  bench::print_header(
+      "3. blinding granularity: rounds vs field precision (§4.2 trade-off)");
+  std::printf("%14s %10s %18s %20s\n", "granularity", "rounds",
+              "field bytes found", "keyword covered?");
+  bench::print_rule(68);
+  for (std::size_t g : {1u, 2u, 4u, 8u, 16u}) {
+    auto env = env_with(testbed_classifier());
+    ReplayRunner runner(*env);
+    CharacterizationOptions copts;
+    copts.blinding_granularity = g;
+    copts.probe_ttl = false;
+    copts.max_prepend_packets = 0;  // isolate the blinding cost
+    auto report = characterize_classifier(runner, app, copts);
+    std::size_t field_bytes = 0;
+    bool covered = false;
+    for (const auto& f : report.fields) {
+      field_bytes += f.length;
+      if (to_string(BytesView(f.content)).find("cloudfront") !=
+          std::string::npos) {
+        covered = true;
+      }
+    }
+    std::printf("%14zu %10d %18zu %20s\n", g, report.replay_rounds,
+                field_bytes, covered ? "Y" : "x");
+  }
+  std::printf("(finer granularity tightens the reported fields at the cost "
+              "of replay rounds;\nany granularity suffices for evasion since "
+              "split points only need to land\ninside the field)\n");
+  return 0;
+}

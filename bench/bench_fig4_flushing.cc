@@ -1,0 +1,93 @@
+// bench_fig4_flushing — regenerates Figure 4: the minimum pause-before-match
+// delay that evades the GFC, as a function of (virtual) time of day.
+//
+// Paper finding: during busy hours short delays (~40 s) evade because the
+// censor's per-flow state is evicted under load; during quiet hours even
+// 240 s (the longest interval tested) fails. The shape comes from the
+// load-dependent idle-eviction model in dpi::gfc_eviction_threshold.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/evaluation.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace liberate;
+using namespace liberate::core;
+
+/// Smallest delay in `candidates` that evades at the environment's current
+/// virtual hour; -1 if none does.
+int min_successful_delay(dpi::Environment& env, ReplayRunner& runner,
+                         const CharacterizationReport& report,
+                         const trace::ApplicationTrace& app,
+                         const std::vector<int>& candidates) {
+  // One evaluator across the sweep: every attempt draws a fresh server port
+  // (two blocked flows on one port would trip the GFC's endpoint
+  // escalation and poison the remaining attempts).
+  EvasionEvaluator evaluator(runner, report);
+  PauseBeforeMatch pause;
+  for (int delay : candidates) {
+    evaluator.mutable_context().pause_seconds = delay;
+    auto outcome = evaluator.evaluate_one(pause, app);
+    if (outcome.evaded) return delay;
+  }
+  (void)env;
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> kDelays = {10, 20, 40, 60, 90, 120, 180, 240};
+  auto app = trace::economist_trace();
+
+  bench::print_header(
+      "Figure 4 — successful pause-before-match intervals over the day "
+      "(GFC)\nper hour: minimum delay (s) that evades, or '-' if even 240 s "
+      "fails");
+  std::printf("%5s  %14s  %22s  %s\n", "hour", "min delay (s)",
+              "eviction threshold (s)", "sparkline");
+  bench::print_rule(78);
+
+  int busy_hours_evadable = 0;
+  int quiet_hours_blocked = 0;
+  for (int hour = 0; hour < 24; hour += 2) {
+    // Fresh environment pinned to this virtual hour; one characterization
+    // reused for the delay sweep.
+    auto env = dpi::make_gfc();
+    env->loop.run_until(netsim::hours(static_cast<std::uint64_t>(hour)));
+    ReplayRunner runner(*env);
+    CharacterizationOptions copts;
+    copts.unique_port_per_round = true;
+    copts.probe_ttl = false;
+    auto report = characterize_classifier(runner, app, copts);
+
+    int delay = min_successful_delay(*env, runner, report, app, kDelays);
+    double threshold = netsim::to_seconds(dpi::gfc_eviction_threshold(
+        netsim::hours(static_cast<std::uint64_t>(hour))));
+
+    int bars = delay < 0 ? 24 : delay / 10;
+    std::string spark(static_cast<std::size_t>(std::min(bars, 24)), '#');
+    if (delay < 0) {
+      std::printf("%02d:00  %14s  %22.0f  %s (blocked all day part)\n", hour,
+                  "-", threshold, spark.c_str());
+    } else {
+      std::printf("%02d:00  %14d  %22.0f  %s\n", hour, delay, threshold,
+                  spark.c_str());
+    }
+    bool busy = hour >= 12 && hour <= 20;
+    if (busy && delay > 0 && delay <= 180) busy_hours_evadable += 1;
+    bool quiet = hour <= 8;
+    if (quiet && delay < 0) quiet_hours_blocked += 1;
+  }
+
+  bench::print_rule(78);
+  std::printf(
+      "shape check: busy hours (12:00-20:00) evadable with <=180 s in %d/5 "
+      "samples;\nquiet hours (00:00-08:00) with no successful delay in %d/5 "
+      "samples.\npaper: \"traditional busy hours permit shorter delays ... "
+      "during quiet hours\neven long delays do not work\" (Fig. 4).\n",
+      busy_hours_evadable, quiet_hours_blocked);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// bench_sec61_testbed — §6.1 "Testbed experiments": efficiency of classifier
+// analysis for HTTP and UDP (Skype) traffic, the identified matching fields,
+// and the classification-state timeouts.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/liberate.h"
+#include "trace/generators.h"
+#include "util/strings.h"
+
+using namespace liberate;
+using namespace liberate::core;
+
+namespace {
+
+void report_characterization(const char* label,
+                             const CharacterizationReport& r,
+                             int paper_rounds) {
+  std::printf("%-22s rounds=%3d (paper: <=%d)  bytes=%.0f KB  virtual=%0.1f "
+              "min\n",
+              label, r.replay_rounds, paper_rounds,
+              static_cast<double>(r.bytes_replayed) / 1024.0,
+              r.virtual_seconds / 60.0);
+  for (const auto& f : r.fields) {
+    std::printf("    field: msg %zu off %zu  \"%s\"\n", f.message_index,
+                f.offset, printable(BytesView(f.content), 48).c_str());
+  }
+  std::printf("    position-sensitive=%s packet-limit=%s inspects-all=%s "
+              "port-sensitive=%s hops=%d\n",
+              r.position_sensitive ? "yes" : "no",
+              r.packet_limit ? std::to_string(*r.packet_limit).c_str() : "-",
+              r.inspects_all_packets ? "yes" : "no",
+              r.port_sensitive ? "yes" : "no", r.middlebox_hops.value_or(-1));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("§6.1 Testbed — efficiency of classifier analysis");
+
+  // HTTP (Amazon Prime Video over CloudFront).
+  {
+    auto env = dpi::make_testbed();
+    ReplayRunner runner(*env);
+    auto report =
+        characterize_classifier(runner, trace::amazon_video_trace(32 * 1024));
+    report_characterization("HTTP (video)", report, 70);
+  }
+  // HTTP (Spotify).
+  {
+    auto env = dpi::make_testbed();
+    ReplayRunner runner(*env);
+    auto report =
+        characterize_classifier(runner, trace::spotify_trace(32 * 1024));
+    report_characterization("HTTP (music)", report, 70);
+  }
+  // UDP (Skype / STUN).
+  {
+    auto env = dpi::make_testbed();
+    ReplayRunner runner(*env);
+    CharacterizationOptions opts;
+    opts.probe_ttl = false;
+    auto report =
+        characterize_classifier(runner, trace::make_skype_trace({}), opts);
+    report_characterization("UDP (Skype)", report, 115);
+    std::printf(
+        "    paper: matching fields in the first six packets; classifier\n"
+        "    keyed on STUN attribute MS-SERVICE-QUALITY (0x8055) in the\n"
+        "    FIRST client packet; prepending one 1-byte packet changes the\n"
+        "    classification result.\n");
+  }
+
+  // Classification-state persistence: 120 s timeout, 10 s after a RST.
+  bench::print_header("§6.1 Testbed — classification state retention");
+  {
+    auto env = dpi::make_testbed();
+    ReplayRunner runner(*env);
+    auto app = trace::amazon_video_trace(16 * 1024);
+    auto baseline = runner.run(app);
+    bool classified_now = runner.differentiated(baseline);
+    // The replay round itself consumed a few seconds after the match, so
+    // probe comfortably inside and outside the 120 s window.
+    env->loop.run_for(netsim::seconds(100));
+    bool still_at_100 =
+        env->dpi->engine().active_class_now(baseline.flow, env->loop.now())
+            .has_value();
+    env->loop.run_for(netsim::seconds(30));
+    bool still_at_130 =
+        env->dpi->engine().active_class_now(baseline.flow, env->loop.now())
+            .has_value();
+    std::printf(
+        "result active right after classification: %s\n"
+        "result active ~+100 s: %s   ~+130 s: %s   (paper: 120 s timeout)\n",
+        classified_now ? "yes" : "no", still_at_100 ? "yes" : "no",
+        still_at_130 ? "yes" : "no");
+  }
+  {
+    // RST reduces the retention to 10 s.
+    auto env = dpi::make_testbed();
+    ReplayRunner runner(*env);
+    CharacterizationOptions copts;
+    copts.probe_ttl = true;
+    auto app = trace::amazon_video_trace(16 * 1024);
+    auto report = characterize_classifier(runner, app, copts);
+    EvasionEvaluator evaluator(runner, report);
+    RstAfterMatch rst;
+    auto outcome = evaluator.evaluate_one(rst, app);
+    std::printf(
+        "TTL-limited RST after match + 12 s pause evades: %s (paper: RST\n"
+        "collapses the 120 s timeout to 10 s)\n",
+        outcome.evaded ? "yes" : "no");
+  }
+  return 0;
+}

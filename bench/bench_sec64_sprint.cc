@@ -1,0 +1,67 @@
+// bench_sec64_sprint — §6.4 "Sprint": the negative result. Replays across
+// IPs/ports/applications, original and bit-inverted, find no pattern of
+// differential treatment: no DPI or header-space policy in evidence.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/detection.h"
+#include "trace/generators.h"
+
+using namespace liberate;
+using namespace liberate::core;
+
+int main() {
+  auto env = dpi::make_sprint();
+  ReplayRunner runner(*env);
+
+  bench::print_header(
+      "§6.4 Sprint — testing for DPI / header-space differentiation");
+  std::printf("%-28s %8s %12s %12s %9s\n", "replay", "port", "goodput Mbps",
+              "usage(KB)", "blocked");
+  bench::print_rule(76);
+
+  struct Probe {
+    const char* label;
+    trace::ApplicationTrace trace;
+  };
+  std::vector<Probe> probes;
+  probes.push_back({"video (original)", trace::amazon_video_trace(128 * 1024)});
+  probes.push_back(
+      {"video (bit-inverted)", trace::amazon_video_trace(128 * 1024).bit_inverted()});
+  probes.push_back({"music streaming", trace::spotify_trace(96 * 1024)});
+  probes.push_back({"video via TLS", trace::youtube_tls_trace(128 * 1024)});
+  probes.push_back({"plain web", trace::plain_web_trace()});
+  {
+    auto moved = trace::amazon_video_trace(128 * 1024);
+    moved.server_port = 8080;
+    probes.push_back({"video on port 8080", std::move(moved)});
+  }
+  probes.push_back({"gaming-like UDP", trace::make_generic_udp_trace()});
+
+  double min_tcp_goodput = 1e9, max_tcp_goodput = 0;
+  bool any_differentiated = false;
+  for (auto& p : probes) {
+    auto outcome = runner.run(p.trace);
+    any_differentiated |= runner.differentiated(outcome);
+    if (p.trace.transport == trace::Transport::kTcp &&
+        p.trace.total_bytes() > 64 * 1024 && outcome.goodput_mbps > 0) {
+      min_tcp_goodput = std::min(min_tcp_goodput, outcome.goodput_mbps);
+      max_tcp_goodput = std::max(max_tcp_goodput, outcome.goodput_mbps);
+    }
+    std::printf("%-28s %8u %12.2f %12.1f %9s\n", p.label,
+                p.trace.server_port, outcome.goodput_mbps,
+                static_cast<double>(outcome.usage_delta) / 1024.0,
+                outcome.blocked ? "yes" : "no");
+  }
+  bench::print_rule(76);
+  std::printf(
+      "differential treatment detected: %s (paper: \"We found no pattern to\n"
+      "which flows received relatively more or less bandwidth\")\n",
+      any_differentiated ? "YES (unexpected)" : "no");
+  if (max_tcp_goodput > 0) {
+    std::printf("bulk-TCP goodput spread: %.2f-%.2f Mbps (ratio %.2fx)\n",
+                min_tcp_goodput, max_tcp_goodput,
+                max_tcp_goodput / min_tcp_goodput);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// bench_sec65_gfc — §6.5 "The Great Firewall of China": analysis efficiency
+// over the blocking signal, the GET+hostname matching fields, the RST burst,
+// the server:port escalation after two classified replays, UDP passing
+// unclassified, and the RST-before vs RST-after asymmetry.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/evaluation.h"
+#include "trace/generators.h"
+#include "util/strings.h"
+
+using namespace liberate;
+using namespace liberate::core;
+
+int main() {
+  auto env = dpi::make_gfc();
+  env->loop.run_until(netsim::hours(16));
+  ReplayRunner runner(*env);
+  auto app = trace::economist_trace();
+
+  bench::print_header("§6.5 Great Firewall of China — blocking signal");
+  {
+    auto outcome = runner.run(app);
+    std::printf(
+        "economist.com over HTTP: blocked=%s rsts-at-client=%llu (paper:\n"
+        "blocked with 3-5 RSTs)\n",
+        outcome.blocked ? "yes" : "no",
+        static_cast<unsigned long long>(outcome.rsts_at_client));
+  }
+
+  bench::print_header("§6.5 — classifier analysis");
+  CharacterizationOptions copts;
+  copts.unique_port_per_round = true;  // fresh ports per replay (see below)
+  auto report = characterize_classifier(runner, app, copts);
+  std::printf(
+      "rounds=%d (paper: 86 replays x 4 KB, <15 min, <400 KB)\n"
+      "data=%.0f KB  virtual=%.1f min\n",
+      report.replay_rounds, static_cast<double>(report.bytes_replayed) / 1024,
+      report.virtual_seconds / 60.0);
+  for (const auto& f : report.fields) {
+    std::printf("  field: \"%s\"\n",
+                printable(BytesView(f.content), 44).c_str());
+  }
+  std::printf(
+      "position-sensitive=%s (paper: 1-byte dummy prepend evades)\n"
+      "middlebox hops=%d (paper: TTL of 10)\nport-sensitive=%s (paper: no — "
+      "any port is censored)\n",
+      report.position_sensitive ? "yes" : "no",
+      report.middlebox_hops.value_or(-1),
+      report.port_sensitive ? "yes" : "no");
+
+  bench::print_header("§6.5 — endpoint escalation after two classified flows");
+  {
+    auto env2 = dpi::make_gfc();
+    ReplayRunner runner2(*env2);
+    auto t = trace::economist_trace();
+    runner2.run(t);
+    runner2.run(t);
+    auto innocuous = trace::plain_web_trace();
+    innocuous.server_port = t.server_port;
+    auto third = runner2.run(innocuous);
+    std::printf(
+        "after 2 blocked replays, innocuous content to the same server:port\n"
+        "blocked=%s (paper: \"the GFC blocks all traffic toward a server...\n"
+        "after it blocks two replays for that server and port\")\n",
+        third.blocked ? "yes" : "no");
+  }
+
+  bench::print_header("§6.5 — UDP is not classified");
+  {
+    auto out = runner.run(trace::make_generic_udp_trace());
+    std::printf(
+        "UDP flow blocked=%s completed=%s (paper: QUIC would let users view\n"
+        "otherwise censored content)\n",
+        out.blocked ? "yes" : "no", out.completed ? "yes" : "no");
+  }
+
+  bench::print_header("§6.5 — RST flush asymmetry and checksum validation");
+  EvasionEvaluator evaluator(runner, report);
+  {
+    RstBeforeMatch before;
+    RstAfterMatch after;
+    auto b = evaluator.evaluate_one(before, app);
+    auto a = evaluator.evaluate_one(after, app);
+    std::printf(
+        "TTL-limited RST before match evades: %s (paper: yes)\n"
+        "TTL-limited RST after match evades:  %s (paper: no — classification\n"
+        "already triggered blocking)\n",
+        b.evaded ? "yes" : "no", a.changed_classification ? "yes" : "no");
+  }
+  {
+    InertInsertion cks(InertVariant::kWrongTcpChecksum);
+    InertInsertion noack(InertVariant::kTcpNoAckFlag);
+    InertInsertion ttl(InertVariant::kLowTtl);
+    auto c = evaluator.evaluate_one(cks, app);
+    auto n = evaluator.evaluate_one(noack, app);
+    auto t = evaluator.evaluate_one(ttl, app);
+    std::printf(
+        "wrong-TCP-checksum decoy changes classification: %s, reaches server\n"
+        "  (checksum repaired in path, note 4): %s   (paper: yes / yes)\n"
+        "no-ACK decoy changes classification: %s (paper: yes)\n"
+        "TTL-limited decoy evades: %s (paper: yes)\n",
+        c.changed_classification ? "yes" : "no",
+        c.crafted_reached_server ? "yes" : "no",
+        n.changed_classification ? "yes" : "no", t.evaded ? "yes" : "no");
+  }
+  {
+    TcpSegmentSplit reorder(true);
+    auto r = evaluator.evaluate_one(reorder, app);
+    std::printf(
+        "segment reordering evades: %s (paper: no — the GFC reassembles)\n",
+        r.changed_classification ? "yes" : "no");
+  }
+  return 0;
+}

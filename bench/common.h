@@ -1,0 +1,49 @@
+// common.h — shared helpers for the reproduction benches: table printing and
+// paper-vs-measured agreement accounting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace liberate::bench {
+
+/// Tri-state cell: '1' = check mark, '0' = cross, '-' = not applicable.
+inline const char* glyph(char c) {
+  switch (c) {
+    case '1':
+      return "Y";
+    case '0':
+      return "x";
+    default:
+      return "-";
+  }
+}
+
+struct Agreement {
+  int compared = 0;
+  int matched = 0;
+
+  void tally(char expected, char measured) {
+    if (expected == '-' || measured == '?') return;
+    compared += 1;
+    if (expected == measured) matched += 1;
+  }
+  double percent() const {
+    return compared == 0 ? 100.0 : 100.0 * matched / compared;
+  }
+};
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule(78);
+  std::printf("%s\n", title.c_str());
+  print_rule(78);
+}
+
+}  // namespace liberate::bench

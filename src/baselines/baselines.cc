@@ -1,0 +1,124 @@
+#include "baselines/baselines.h"
+
+#include "netsim/packet.h"
+#include "util/strings.h"
+
+namespace liberate::baselines {
+
+namespace {
+
+/// Deterministic keystream byte for (key, flow position i). Toy cipher: the
+/// property under test is pattern removal, not confidentiality.
+std::uint8_t keystream(std::uint64_t key, std::uint32_t seq, std::size_t i) {
+  std::uint64_t x = key ^ (static_cast<std::uint64_t>(seq) << 16) ^ i;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::uint8_t>(x);
+}
+
+}  // namespace
+
+Bytes rebuild_tcp_payload(const netsim::PacketView& pkt, BytesView payload) {
+  netsim::TcpHeader h;
+  h.src_port = pkt.tcp->src_port;
+  h.dst_port = pkt.tcp->dst_port;
+  h.seq = pkt.tcp->seq;
+  h.ack = pkt.tcp->ack;
+  h.flags = pkt.tcp->flags;
+  h.window = pkt.tcp->window;
+  netsim::Ipv4Header ip;
+  ip.src = pkt.ip.src;
+  ip.dst = pkt.ip.dst;
+  ip.ttl = pkt.ip.ttl;
+  ip.identification = pkt.ip.identification;
+  return make_tcp_datagram(ip, h, payload);
+}
+
+void VpnTunnelShim::send(Bytes datagram) {
+  stats_.packets += 1;
+  auto parsed = netsim::parse_packet(datagram);
+  if (!parsed.ok() || !parsed.value().is_tcp() ||
+      parsed.value().tcp->payload.empty()) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+  const netsim::PacketView& pkt = parsed.value();
+  Bytes payload(pkt.tcp->payload.begin(), pkt.tcp->payload.end());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] ^= keystream(key_, pkt.tcp->seq, i);
+  }
+  stats_.payload_packets += 1;
+  // Tunnel framing overhead is accounted analytically (8 bytes/packet):
+  // physically growing segments would shift the simulated sequence space.
+  stats_.extra_bytes += 8;
+  (void)encrypt_;  // XOR is an involution: encrypt == decrypt
+  inner_.send(rebuild_tcp_payload(pkt, payload));
+}
+
+std::optional<Bytes> VpnTunnelShim::transform_incoming(
+    BytesView datagram) const {
+  auto parsed = netsim::parse_packet(datagram);
+  if (!parsed.ok() || !parsed.value().is_tcp() ||
+      parsed.value().tcp->payload.empty()) {
+    return std::nullopt;
+  }
+  const netsim::PacketView& pkt = parsed.value();
+  Bytes payload(pkt.tcp->payload.begin(), pkt.tcp->payload.end());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] ^= keystream(key_, pkt.tcp->seq, i);
+  }
+  return rebuild_tcp_payload(pkt, payload);
+}
+
+void ObfuscationShim::send(Bytes datagram) {
+  stats_.packets += 1;
+  auto parsed = netsim::parse_packet(datagram);
+  if (!parsed.ok() || !parsed.value().is_tcp() ||
+      parsed.value().tcp->payload.empty()) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+  const netsim::PacketView& pkt = parsed.value();
+  Bytes payload(pkt.tcp->payload.begin(), pkt.tcp->payload.end());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] ^= keystream(key_, pkt.tcp->seq, i);
+  }
+  stats_.payload_packets += 1;
+  inner_.send(rebuild_tcp_payload(pkt, payload));
+}
+
+Bytes ObfuscationShim::derandomize(BytesView payload, std::uint64_t key) {
+  // Static helper for tests; real deployments run a mirror shim at the peer.
+  Bytes out(payload.begin(), payload.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] ^= keystream(key, 0, i);
+  }
+  return out;
+}
+
+void DomainFrontingShim::send(Bytes datagram) {
+  stats_.packets += 1;
+  auto parsed = netsim::parse_packet(datagram);
+  if (!parsed.ok() || !parsed.value().is_tcp() ||
+      parsed.value().tcp->payload.empty()) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+  const netsim::PacketView& pkt = parsed.value();
+  std::string payload = to_string(pkt.tcp->payload);
+  std::size_t pos = payload.find(real_host_);
+  if (pos == std::string::npos) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+  // Length-preserving substitution (keeps the simulated sequence space
+  // intact; real fronting swaps whole requests at the HTTP layer).
+  std::string front = front_host_;
+  front.resize(real_host_.size(), 'x');
+  payload.replace(pos, real_host_.size(), front);
+  stats_.payload_packets += 1;
+  inner_.send(rebuild_tcp_payload(pkt, BytesView(to_bytes(payload))));
+}
+
+}  // namespace liberate::baselines

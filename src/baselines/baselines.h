@@ -1,0 +1,97 @@
+// baselines.h — the evasion approaches lib·erate is compared against in
+// Table 1: VPN/encrypting tunnels, payload obfuscation (ScrambleSuit/obfs4
+// style), and domain fronting (meek style).
+//
+// Each is implemented as a NetworkPort shim pair (client + server side),
+// which makes their deployment model measurable: every one of them needs
+// BOTH endpoints modified (or third-party infrastructure), unlike lib·erate's
+// unilateral shim — exactly the Table 1 "Client only" column. The per-packet
+// overhead columns come from counting real bytes through these shims.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/network.h"
+#include "util/bytes.h"
+
+namespace liberate::baselines {
+
+/// Statistics shared by all baseline shims.
+struct ShimStats {
+  std::uint64_t packets = 0;
+  std::uint64_t payload_packets = 0;   // packets whose payload was rewritten
+  std::uint64_t extra_bytes = 0;       // overhead added on the wire
+};
+
+/// XOR-keystream "encryption" of every TCP/UDP payload plus an 8-byte tunnel
+/// header — the shape of a VPN/encrypting tunnel: O(n) per-flow overhead,
+/// needs the decrypting peer. (A toy cipher: the property under test is that
+/// no plaintext byte pattern survives, not cryptographic strength.)
+class VpnTunnelShim : public netsim::NetworkPort {
+ public:
+  VpnTunnelShim(netsim::NetworkPort& inner, std::uint64_t key, bool encrypt)
+      : inner_(inner), key_(key), encrypt_(encrypt) {}
+
+  void send(Bytes datagram) override;
+  netsim::EventLoop& loop() override { return inner_.loop(); }
+  const ShimStats& stats() const { return stats_; }
+
+  /// Transform (encrypt or decrypt) an incoming datagram at the receiving
+  /// end; returns nullopt when the datagram is not tunnel traffic.
+  std::optional<Bytes> transform_incoming(BytesView datagram) const;
+
+ private:
+  netsim::NetworkPort& inner_;
+  std::uint64_t key_;
+  bool encrypt_;
+  ShimStats stats_;
+};
+
+/// Payload randomization without framing ("looking like nothing"): payloads
+/// XORed with a per-flow keystream, no added bytes. Still O(n) work and
+/// needs the peer to derandomize.
+class ObfuscationShim : public netsim::NetworkPort {
+ public:
+  ObfuscationShim(netsim::NetworkPort& inner, std::uint64_t key)
+      : inner_(inner), key_(key) {}
+
+  void send(Bytes datagram) override;
+  netsim::EventLoop& loop() override { return inner_.loop(); }
+  const ShimStats& stats() const { return stats_; }
+
+  static Bytes derandomize(BytesView payload, std::uint64_t key);
+
+ private:
+  netsim::NetworkPort& inner_;
+  std::uint64_t key_;
+  ShimStats stats_;
+};
+
+/// Domain fronting: rewrite the HTTP Host header (or TLS SNI) to a popular
+/// front domain on the wire; the fronting infrastructure routes by the real
+/// name carried elsewhere. O(1) per flow, but requires the fronting service.
+class DomainFrontingShim : public netsim::NetworkPort {
+ public:
+  DomainFrontingShim(netsim::NetworkPort& inner, std::string real_host,
+                     std::string front_host)
+      : inner_(inner),
+        real_host_(std::move(real_host)),
+        front_host_(std::move(front_host)) {}
+
+  void send(Bytes datagram) override;
+  netsim::EventLoop& loop() override { return inner_.loop(); }
+  const ShimStats& stats() const { return stats_; }
+
+ private:
+  netsim::NetworkPort& inner_;
+  std::string real_host_;
+  std::string front_host_;
+  ShimStats stats_;
+};
+
+/// Helper used by the shims: rebuild a TCP datagram with a new payload,
+/// keeping flow coordinates and sequence numbering consistent.
+Bytes rebuild_tcp_payload(const netsim::PacketView& pkt, BytesView payload);
+
+}  // namespace liberate::baselines

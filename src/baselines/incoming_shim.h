@@ -1,0 +1,31 @@
+// incoming_shim.h — receive-side interception for baseline shims: wraps a
+// HostIface and transforms datagrams before the host's stack sees them (the
+// "server-side support" every baseline method needs).
+#pragma once
+
+#include <functional>
+
+#include "netsim/network.h"
+
+namespace liberate::baselines {
+
+class IncomingShim : public netsim::HostIface {
+ public:
+  /// `transform` returns the rewritten datagram, or nullopt to pass the
+  /// original through unchanged.
+  using Transform = std::function<std::optional<Bytes>(BytesView)>;
+
+  IncomingShim(netsim::HostIface& inner, Transform transform)
+      : inner_(inner), transform_(std::move(transform)) {}
+
+  void receive(Bytes datagram) override {
+    auto rewritten = transform_(datagram);
+    inner_.receive(rewritten ? std::move(*rewritten) : std::move(datagram));
+  }
+
+ private:
+  netsim::HostIface& inner_;
+  Transform transform_;
+};
+
+}  // namespace liberate::baselines

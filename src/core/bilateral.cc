@@ -1,0 +1,17 @@
+#include "core/bilateral.h"
+
+namespace liberate::core {
+
+trace::ApplicationTrace with_bilateral_prepend(
+    const trace::ApplicationTrace& trace, const BilateralOptions& options) {
+  trace::ApplicationTrace out = trace;
+  Rng rng(options.seed);
+  trace::Message dummy;
+  dummy.sender = trace::Sender::kClient;
+  dummy.payload = rng.bytes(std::max<std::size_t>(options.dummy_bytes, 1));
+  dummy.payload[0] = 0x00;  // no protocol starts with a NUL byte
+  out.messages.insert(out.messages.begin(), std::move(dummy));
+  return out;
+}
+
+}  // namespace liberate::core

@@ -1,0 +1,39 @@
+// bilateral.h — server-coordinated evasion (§1 finding, §7 future work).
+//
+// "If we can assume server-side support as well, we found that inserting
+// even one packet carrying dummy traffic (that is ignored by the server) at
+// the beginning of a flow evades classification in our testbed, T-Mobile,
+// AT&T, and the GFC."
+//
+// Bilateral evasion is a TRACE-level transform: the client sends a dummy
+// first message and the cooperating server knows to discard it. It defeats
+// every position-anchored classifier (GET/TLS anchors, packet-position
+// rules, terminating proxies that sniff the request line) at the cost of
+// losing unilateral deployability — the trade Table 1 is about.
+#pragma once
+
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace liberate::core {
+
+struct BilateralOptions {
+  /// Bytes of dummy data in the prepended message (1 suffices everywhere
+  /// the paper tested).
+  std::size_t dummy_bytes = 1;
+  std::uint64_t seed = 0xB11A7E4A1;
+};
+
+/// The client-side half: a trace whose first client message is dummy data.
+/// The dummy deliberately starts with a byte that cannot begin any known
+/// protocol (so anchored matchers fail fast).
+trace::ApplicationTrace with_bilateral_prepend(
+    const trace::ApplicationTrace& trace, const BilateralOptions& options = {});
+
+/// The server-side half: how many leading client bytes the cooperating
+/// server must discard for a trace produced by with_bilateral_prepend.
+inline std::size_t bilateral_discard_bytes(const BilateralOptions& options) {
+  return options.dummy_bytes;
+}
+
+}  // namespace liberate::core

@@ -1,0 +1,153 @@
+#include "core/blinding.h"
+
+#include <algorithm>
+
+namespace liberate::core {
+
+trace::ApplicationTrace blind_range(const trace::ApplicationTrace& trace,
+                                    std::size_t message_index,
+                                    std::size_t offset, std::size_t length) {
+  trace::ApplicationTrace out = trace;
+  if (message_index >= out.messages.size()) return out;
+  Bytes& payload = out.messages[message_index].payload;
+  std::size_t end = std::min(payload.size(), offset + length);
+  for (std::size_t i = offset; i < end; ++i) {
+    payload[i] = static_cast<std::uint8_t>(~payload[i]);
+  }
+  return out;
+}
+
+namespace {
+
+struct Searcher {
+  const trace::ApplicationTrace& trace;
+  const ClassificationOracle& oracle;
+  BlindingStats* stats;
+  std::size_t granularity;
+  std::vector<MatchingField> fields;
+
+  bool still_classified(std::size_t msg, std::size_t off, std::size_t len) {
+    auto modified = blind_range(trace, msg, off, len);
+    if (stats != nullptr) {
+      stats->replay_rounds += 1;
+      stats->bytes_replayed += modified.total_bytes();
+    }
+    return oracle(modified);
+  }
+
+  /// Region is necessary iff blinding it breaks classification.
+  void explore(std::size_t msg, std::size_t off, std::size_t len) {
+    if (len == 0) return;
+    if (still_classified(msg, off, len)) return;  // nothing necessary inside
+    if (len <= granularity) {
+      fields.push_back(MatchingField{msg, off, len, {}});
+      return;
+    }
+    std::size_t half = len / 2;
+    explore(msg, off, half);
+    explore(msg, off + half, len - half);
+    // Fields can straddle the midpoint: if neither half alone is necessary
+    // but the whole region is, the boundary region holds a field fragment.
+    // The per-half recursion above already finds straddling fields because
+    // blinding *either* half of a keyword breaks it; no extra probe needed.
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Sort, merge adjacent regions and attach original content — shared by the
+/// single-user and distributed searches.
+std::vector<MatchingField> merge_fields(const trace::ApplicationTrace& trace,
+                                        std::vector<MatchingField> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const MatchingField& a, const MatchingField& b) {
+              if (a.message_index != b.message_index) {
+                return a.message_index < b.message_index;
+              }
+              return a.offset < b.offset;
+            });
+  std::vector<MatchingField> merged;
+  for (const MatchingField& f : fields) {
+    if (!merged.empty() && merged.back().message_index == f.message_index &&
+        merged.back().offset + merged.back().length >= f.offset) {
+      merged.back().length =
+          std::max(merged.back().offset + merged.back().length,
+                   f.offset + f.length) -
+          merged.back().offset;
+    } else {
+      merged.push_back(f);
+    }
+  }
+  for (MatchingField& f : merged) {
+    const Bytes& payload = trace.messages[f.message_index].payload;
+    f.content.assign(
+        payload.begin() + static_cast<std::ptrdiff_t>(f.offset),
+        payload.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(payload.size(), f.offset + f.length)));
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<MatchingField> find_matching_fields_distributed(
+    const trace::ApplicationTrace& trace,
+    const std::vector<ClassificationOracle>& users,
+    DistributedBlindingStats* stats, std::size_t granularity) {
+  std::vector<MatchingField> fields;
+  if (users.empty()) return fields;
+  if (stats != nullptr) stats->per_user.assign(users.size(), BlindingStats{});
+
+  // Each user confirms the baseline once, then probes only their share of
+  // the trace's messages (round-robin assignment).
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    BlindingStats user_stats;
+    Searcher s{trace, users[u], &user_stats,
+               std::max<std::size_t>(granularity, 1), {}};
+    user_stats.replay_rounds += 1;
+    user_stats.bytes_replayed += trace.total_bytes();
+    if (!users[u](trace)) {
+      if (stats != nullptr) (*stats).per_user[u] = user_stats;
+      continue;  // this user's vantage sees no differentiation: skip
+    }
+    for (std::size_t m = u; m < trace.messages.size(); m += users.size()) {
+      const Bytes& payload = trace.messages[m].payload;
+      if (payload.empty()) continue;
+      if (s.still_classified(m, 0, payload.size())) continue;
+      s.explore(m, 0, payload.size());
+    }
+    fields.insert(fields.end(), s.fields.begin(), s.fields.end());
+    if (stats != nullptr) (*stats).per_user[u] = user_stats;
+  }
+  return merge_fields(trace, fields);
+}
+
+std::vector<MatchingField> find_matching_fields(
+    const trace::ApplicationTrace& trace, const ClassificationOracle& oracle,
+    BlindingStats* stats, std::size_t granularity) {
+  Searcher s{trace, oracle, stats, std::max<std::size_t>(granularity, 1), {}};
+
+  // Baseline: the unmodified trace must be classified, or there are no
+  // matching fields to find.
+  {
+    if (stats != nullptr) {
+      stats->replay_rounds += 1;
+      stats->bytes_replayed += trace.total_bytes();
+    }
+    if (!oracle(trace)) return {};
+  }
+
+  for (std::size_t m = 0; m < trace.messages.size(); ++m) {
+    const Bytes& payload = trace.messages[m].payload;
+    if (payload.empty()) continue;
+    // One cheap whole-message probe prunes messages with no matching bytes.
+    if (s.still_classified(m, 0, payload.size())) continue;
+    s.explore(m, 0, payload.size());
+  }
+
+  return merge_fields(trace, std::move(s.fields));
+}
+
+}  // namespace liberate::core

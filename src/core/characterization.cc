@@ -1,0 +1,153 @@
+#include "core/characterization.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace liberate::core {
+
+using trace::ApplicationTrace;
+using trace::Message;
+using trace::Sender;
+
+namespace {
+
+/// Insert `count` random messages before message `before_index`, sent by
+/// the same endpoint as that message (a prepend probe must land in the same
+/// direction the classifier counts — rules can key on server content, e.g.
+/// AT&T's Content-Type).
+ApplicationTrace with_prepended(const ApplicationTrace& trace,
+                                std::size_t before_index, std::size_t count,
+                                std::size_t size, Rng& rng) {
+  ApplicationTrace out = trace;
+  Sender sender = before_index < trace.messages.size()
+                      ? trace.messages[before_index].sender
+                      : Sender::kClient;
+  std::vector<Message> junk;
+  for (std::size_t i = 0; i < count; ++i) {
+    Message m;
+    m.sender = sender;
+    m.payload = rng.bytes(size);
+    junk.push_back(std::move(m));
+  }
+  out.messages.insert(
+      out.messages.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(before_index, out.messages.size())),
+      junk.begin(), junk.end());
+  return out;
+}
+
+std::size_t first_client_message(const ApplicationTrace& trace) {
+  for (std::size_t i = 0; i < trace.messages.size(); ++i) {
+    if (trace.messages[i].sender == Sender::kClient) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+CharacterizationReport characterize_classifier(
+    ReplayRunner& runner, const ApplicationTrace& trace,
+    const CharacterizationOptions& options) {
+  CharacterizationReport report;
+  Rng rng(0xC11A5);
+
+  const int rounds0 = runner.rounds();
+  const std::uint64_t bytes0 = runner.bytes_offered();
+  const double t0 = runner.virtual_seconds_elapsed();
+
+  // --- Port sensitivity first (§6.3, §6.6): it decides how the remaining
+  // rounds pick ports. A port-sensitive classifier (Iran) forces every round
+  // onto the trace's port; otherwise fresh ports per round sidestep
+  // GFC-style endpoint escalation (§6.5).
+  {
+    ApplicationTrace moved = trace;
+    moved.server_port = static_cast<std::uint16_t>(trace.server_port + 1000);
+    ReplayOutcome out = runner.run(moved, ReplayOptions{});
+    report.port_sensitive = !runner.differentiated(out);
+  }
+
+  std::uint16_t next_port = 23000;
+  auto pick_port = [&]() -> std::uint16_t {
+    if (options.pin_trace_port || report.port_sensitive) return 0;
+    if (options.unique_port_per_round) return next_port++;
+    return 0;
+  };
+
+  auto classified = [&](const ApplicationTrace& t) {
+    ReplayOptions o;
+    o.server_port_override = pick_port();
+    ReplayOutcome out = runner.run(t, o);
+    return runner.differentiated(out);
+  };
+
+  // --- Matching fields via recursive blinding (§4.2) ----------------------
+  BlindingStats stats;
+  report.fields = find_matching_fields(trace, classified, &stats,
+                                       options.blinding_granularity);
+
+  // --- Position / packet-limit probing (§5.1) -----------------------------
+  std::size_t match_msg = report.fields.empty()
+                              ? first_client_message(trace)
+                              : report.fields[0].message_index;
+
+  // One 1-byte prepend: does position matter at all?
+  report.position_sensitive =
+      !classified(with_prepended(trace, match_msg, 1, 1, rng));
+
+  // MTU-sized prepends until classification changes, then confirm with
+  // 1-byte packets whether the limit is packet-count based.
+  bool change_observed = false;
+  for (std::size_t k = 1; k <= options.max_prepend_packets; ++k) {
+    if (!classified(with_prepended(trace, match_msg, k, 1400, rng))) {
+      change_observed = true;
+      if (!classified(with_prepended(trace, match_msg, k, 1, rng))) {
+        report.packet_limit = k;  // count-based, not byte-based
+      }
+      break;
+    }
+  }
+  report.inspects_all_packets = !change_observed;
+
+  // --- Middlebox localization via TTL probing (§5.2) -----------------------
+  if (options.probe_ttl) {
+    // Probe trace: the matching message alone (blocking / direct signals);
+    // for the zero-rating signal, follow it with client bulk so the usage
+    // counter can discriminate.
+    ApplicationTrace probe;
+    probe.app_name = trace.app_name + "-ttlprobe";
+    probe.transport = trace.transport;
+    probe.server_port = trace.server_port;
+    if (match_msg < trace.messages.size()) {
+      probe.messages.push_back(trace.messages[match_msg]);
+    }
+    if (runner.env().signal == dpi::Environment::Signal::kZeroRating) {
+      Message bulk;
+      bulk.sender = Sender::kClient;
+      bulk.payload = rng.bytes(100 * 1024);
+      probe.messages.push_back(std::move(bulk));
+    }
+
+    TechniqueContext ctx;
+    ctx.matching_snippets = report.snippets();
+    for (std::size_t ttl = 1; ttl <= options.max_ttl_probe; ++ttl) {
+      ReplayOptions o;
+      o.server_port_override = pick_port();
+      o.context = ctx;
+      o.match_packet_ttl = static_cast<std::uint8_t>(ttl);
+      o.timeout = netsim::seconds(20);
+      ReplayOutcome out = runner.run(probe, o);
+      if (runner.differentiated(out)) {
+        report.middlebox_hops = static_cast<int>(ttl);
+        break;
+      }
+    }
+  }
+
+  report.replay_rounds = runner.rounds() - rounds0;
+  report.bytes_replayed = runner.bytes_offered() - bytes0;
+  report.virtual_seconds = runner.virtual_seconds_elapsed() - t0;
+  return report;
+}
+
+}  // namespace liberate::core

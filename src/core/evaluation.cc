@@ -1,0 +1,113 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+namespace liberate::core {
+
+bool cheaper(const Overhead& a, const Overhead& b) {
+  if (a.extra_seconds != b.extra_seconds) {
+    return a.extra_seconds < b.extra_seconds;
+  }
+  if (a.extra_packets != b.extra_packets) {
+    return a.extra_packets < b.extra_packets;
+  }
+  return a.extra_bytes < b.extra_bytes;
+}
+
+EvasionEvaluator::EvasionEvaluator(ReplayRunner& runner,
+                                   const CharacterizationReport& report)
+    : runner_(runner), report_(report), suite_(build_full_suite()) {
+  context_.matching_snippets = report.snippets();
+  context_.decoy_payload = decoy_request_payload();
+  if (report.middlebox_hops) {
+    context_.middlebox_ttl = static_cast<std::uint8_t>(*report.middlebox_hops);
+  }
+}
+
+TechniqueOutcome EvasionEvaluator::evaluate_one(
+    Technique& technique, const trace::ApplicationTrace& trace) {
+  TechniqueOutcome outcome;
+  outcome.technique = technique.name();
+  outcome.category = technique.category();
+  outcome.overhead = technique.overhead(context_);
+
+  ReplayOptions opts;
+  opts.technique = &technique;
+  opts.context = context_;
+  // Port handling mirrors characterization: a port-sensitive classifier only
+  // reacts on the trace port; otherwise fresh ports avoid escalation.
+  if (!report_.port_sensitive) opts.server_port_override = next_port_++;
+
+  ReplayOutcome replay = runner_.run(trace, opts);
+  outcome.signal_absent = !runner_.differentiated(replay);
+  outcome.payload_intact = replay.payload_intact;
+  outcome.completed = replay.completed;
+  outcome.changed_classification = outcome.signal_absent && replay.completed;
+  outcome.evaded = outcome.changed_classification && replay.payload_intact;
+  outcome.crafted_reached_server = replay.crafted_at_server > 0;
+  outcome.crafted_reassembled = replay.crafted_reassembled;
+  outcome.triggered_blocking =
+      technique.category() == Category::kInertInsertion && replay.blocked;
+  return outcome;
+}
+
+EvaluationResult EvasionEvaluator::evaluate(
+    const trace::ApplicationTrace& trace, bool run_pruned) {
+  EvaluationResult result;
+  const int rounds0 = runner_.rounds();
+
+  PruningFacts facts;
+  facts.inspects_all_packets = report_.inspects_all_packets;
+  facts.udp_flow = trace.transport == trace::Transport::kUdp;
+  std::vector<Technique*> ordered = ordered_suite(suite_, facts);
+
+  // Techniques outside the ordered set are pruned; optionally still run them
+  // (full-matrix mode).
+  for (const auto& owned : suite_) {
+    Technique* t = owned.get();
+    bool in_ordered =
+        std::find(ordered.begin(), ordered.end(), t) != ordered.end();
+    if (in_ordered) continue;
+    TechniqueOutcome outcome;
+    outcome.technique = t->name();
+    outcome.category = t->category();
+    outcome.pruned = true;
+    // Transport-inapplicable techniques are never run even in matrix mode.
+    bool applicable = facts.udp_flow ? t->applies_to_udp() : t->applies_to_tcp();
+    if (run_pruned && applicable) {
+      TechniqueOutcome run = evaluate_one(*t, trace);
+      run.pruned = true;
+      outcome = run;
+      outcome.pruned = true;
+    }
+    result.outcomes.push_back(outcome);
+  }
+  for (Technique* t : ordered) {
+    result.outcomes.push_back(evaluate_one(*t, trace));
+  }
+
+  // Select the cheapest working technique.
+  const TechniqueOutcome* best = nullptr;
+  const Technique* best_technique = nullptr;
+  for (const auto& o : result.outcomes) {
+    if (!o.evaded || o.pruned) continue;
+    const Technique* t = nullptr;
+    for (const auto& owned : suite_) {
+      if (owned->name() == o.technique) {
+        t = owned.get();
+        break;
+      }
+    }
+    if (t == nullptr) continue;
+    if (best == nullptr ||
+        cheaper(t->overhead(context_), best_technique->overhead(context_))) {
+      best = &o;
+      best_technique = t;
+    }
+  }
+  if (best != nullptr) result.selected = best->technique;
+  result.replay_rounds = runner_.rounds() - rounds0;
+  return result;
+}
+
+}  // namespace liberate::core

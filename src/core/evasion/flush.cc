@@ -1,0 +1,37 @@
+#include "core/evasion/flush.h"
+
+#include "netsim/tcp.h"
+
+namespace liberate::core {
+
+using netsim::PacketView;
+using netsim::TcpFlags;
+
+std::vector<TimedDatagram> RstAfterMatch::inject_after_match(
+    const PacketView& match_pkt, FlowShimState& state,
+    const TechniqueContext& ctx) {
+  if (state.injected_after_match || !match_pkt.is_tcp()) return {};
+  state.injected_after_match = true;
+  netsim::Ipv4Header ip;
+  ip.ttl = ctx.middlebox_ttl;  // reaches the classifier, dies before the server
+  std::uint32_t seq =
+      match_pkt.tcp->seq +
+      static_cast<std::uint32_t>(match_pkt.tcp->payload.size());
+  Bytes rst = craft_flow_tcp_packet(match_pkt, seq, {},
+                                    TcpFlags::kRst | TcpFlags::kAck, ip);
+  return {TimedDatagram{std::move(rst), 0}};
+}
+
+std::vector<TimedDatagram> RstBeforeMatch::inject_before_first_payload(
+    const PacketView& first_payload_pkt, FlowShimState& state,
+    const TechniqueContext& ctx) {
+  if (state.injected_before_payload || !first_payload_pkt.is_tcp()) return {};
+  state.injected_before_payload = true;
+  netsim::Ipv4Header ip;
+  ip.ttl = ctx.middlebox_ttl;
+  Bytes rst = craft_flow_tcp_packet(first_payload_pkt, first_payload_pkt.tcp->seq,
+                                    {}, TcpFlags::kRst | TcpFlags::kAck, ip);
+  return {TimedDatagram{std::move(rst), 0}};
+}
+
+}  // namespace liberate::core

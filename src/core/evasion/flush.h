@@ -1,0 +1,113 @@
+// flush.h — classification flushing (§4.3, Fig. 2(f); Table 3 lower rows).
+//
+// Middleboxes do not retain classification state forever: results expire
+// (testbed: 120 s), are evicted under load (GFC, Figure 4), or are dropped
+// when the box sees a RST for the flow (testbed: result lifetime collapses
+// to 10 s; T-Mobile: flushed immediately). These techniques exploit that
+// with pauses and TTL-limited RSTs that reach the middlebox but never the
+// server, so the real connection stays healthy end-to-end.
+#pragma once
+
+#include "core/evasion/technique.h"
+
+namespace liberate::core {
+
+/// Idle for t seconds after the handshake, BEFORE the matching payload is
+/// sent. Evades classifiers whose per-flow inspection state is evicted while
+/// idle (testbed fixed 120 s; GFC during busy hours).
+class PauseBeforeMatch : public Technique {
+ public:
+  std::string name() const override { return "flush/pause-before-match"; }
+  Category category() const override {
+    return Category::kClassificationFlushing;
+  }
+  Overhead overhead(const TechniqueContext& ctx) const override {
+    Overhead o;
+    o.extra_seconds = ctx.pause_seconds;
+    o.formula = "t seconds";
+    return o;
+  }
+  TimingPlan timing(const TechniqueContext& ctx) const override {
+    return TimingPlan{.pause_before_match_s = ctx.pause_seconds};
+  }
+  bool applies_to_udp() const override { return true; }
+};
+
+/// Idle for t seconds AFTER the matching payload: the classification result
+/// expires before the bulk of the flow is exchanged.
+class PauseAfterMatch : public Technique {
+ public:
+  std::string name() const override { return "flush/pause-after-match"; }
+  Category category() const override {
+    return Category::kClassificationFlushing;
+  }
+  Overhead overhead(const TechniqueContext& ctx) const override {
+    Overhead o;
+    o.extra_seconds = ctx.pause_seconds;
+    o.formula = "t seconds";
+    return o;
+  }
+  TimingPlan timing(const TechniqueContext& ctx) const override {
+    return TimingPlan{.pause_after_match_s = ctx.pause_seconds};
+  }
+  bool requires_match_and_forget() const override { return true; }
+  bool applies_to_udp() const override { return true; }
+};
+
+/// TTL-limited RST injected AFTER the classifier matched — variant (a) in
+/// Table 3. On the testbed the result then dies within 10 s, so the
+/// technique also pauses briefly before the bulk transfer continues.
+class RstAfterMatch : public Technique {
+ public:
+  std::string name() const override { return "flush/ttl-limited-rst-after"; }
+  Category category() const override {
+    return Category::kClassificationFlushing;
+  }
+  Overhead overhead(const TechniqueContext& ctx) const override {
+    (void)ctx;
+    Overhead o;
+    o.extra_packets = 1;
+    o.extra_bytes = 40;
+    o.extra_seconds = kPostRstPause;
+    o.formula = "1 packet (+ short pause)";
+    return o;
+  }
+  TimingPlan timing(const TechniqueContext& ctx) const override {
+    (void)ctx;
+    return TimingPlan{.pause_after_match_s = kPostRstPause};
+  }
+  bool requires_match_and_forget() const override { return true; }
+
+  std::vector<TimedDatagram> inject_after_match(
+      const netsim::PacketView& match_pkt, FlowShimState& state,
+      const TechniqueContext& ctx) override;
+
+  /// Long enough to outlive the testbed's 10 s post-RST result cache.
+  static constexpr double kPostRstPause = 12.0;
+};
+
+/// TTL-limited RST injected right after the handshake, BEFORE any payload —
+/// variant (b). Classifiers that flush flow state on RST (and only track
+/// flows from their SYN) never see the flow again.
+class RstBeforeMatch : public Technique {
+ public:
+  std::string name() const override { return "flush/ttl-limited-rst-before"; }
+  Category category() const override {
+    return Category::kClassificationFlushing;
+  }
+  Overhead overhead(const TechniqueContext& ctx) const override {
+    (void)ctx;
+    Overhead o;
+    o.extra_packets = 1;
+    o.extra_bytes = 40;
+    o.formula = "1 packet";
+    return o;
+  }
+  bool requires_match_and_forget() const override { return true; }
+
+  std::vector<TimedDatagram> inject_before_first_payload(
+      const netsim::PacketView& first_payload_pkt, FlowShimState& state,
+      const TechniqueContext& ctx) override;
+};
+
+}  // namespace liberate::core

@@ -1,0 +1,202 @@
+#include "core/evasion/inert.h"
+
+#include "netsim/tcp.h"
+#include "netsim/udp.h"
+
+namespace liberate::core {
+
+using netsim::Ipv4Header;
+using netsim::Ipv4Option;
+using netsim::PacketView;
+using netsim::TcpFlags;
+using netsim::TcpHeader;
+using netsim::UdpHeader;
+
+const std::vector<InertVariant>& all_inert_variants() {
+  static const std::vector<InertVariant> kAll = {
+      InertVariant::kLowTtl,
+      InertVariant::kInvalidIpVersion,
+      InertVariant::kInvalidIpHeaderLength,
+      InertVariant::kIpTotalLengthLong,
+      InertVariant::kIpTotalLengthShort,
+      InertVariant::kWrongIpProtocol,
+      InertVariant::kWrongIpChecksum,
+      InertVariant::kInvalidIpOptions,
+      InertVariant::kDeprecatedIpOptions,
+      InertVariant::kWrongTcpSeq,
+      InertVariant::kWrongTcpChecksum,
+      InertVariant::kTcpNoAckFlag,
+      InertVariant::kInvalidTcpDataOffset,
+      InertVariant::kInvalidTcpFlagCombo,
+      InertVariant::kUdpInvalidChecksum,
+      InertVariant::kUdpLengthLong,
+      InertVariant::kUdpLengthShort,
+  };
+  return kAll;
+}
+
+std::string InertInsertion::name() const {
+  switch (variant_) {
+    case InertVariant::kLowTtl:
+      return "inert/ip-low-ttl";
+    case InertVariant::kInvalidIpVersion:
+      return "inert/ip-invalid-version";
+    case InertVariant::kInvalidIpHeaderLength:
+      return "inert/ip-invalid-header-length";
+    case InertVariant::kIpTotalLengthLong:
+      return "inert/ip-total-length-long";
+    case InertVariant::kIpTotalLengthShort:
+      return "inert/ip-total-length-short";
+    case InertVariant::kWrongIpProtocol:
+      return "inert/ip-wrong-protocol";
+    case InertVariant::kWrongIpChecksum:
+      return "inert/ip-wrong-checksum";
+    case InertVariant::kInvalidIpOptions:
+      return "inert/ip-invalid-options";
+    case InertVariant::kDeprecatedIpOptions:
+      return "inert/ip-deprecated-options";
+    case InertVariant::kWrongTcpSeq:
+      return "inert/tcp-wrong-seq";
+    case InertVariant::kWrongTcpChecksum:
+      return "inert/tcp-wrong-checksum";
+    case InertVariant::kTcpNoAckFlag:
+      return "inert/tcp-no-ack-flag";
+    case InertVariant::kInvalidTcpDataOffset:
+      return "inert/tcp-invalid-data-offset";
+    case InertVariant::kInvalidTcpFlagCombo:
+      return "inert/tcp-invalid-flag-combo";
+    case InertVariant::kUdpInvalidChecksum:
+      return "inert/udp-invalid-checksum";
+    case InertVariant::kUdpLengthLong:
+      return "inert/udp-length-long";
+    case InertVariant::kUdpLengthShort:
+      return "inert/udp-length-short";
+  }
+  return "inert/?";
+}
+
+bool InertInsertion::applies_to_udp() const {
+  switch (variant_) {
+    case InertVariant::kUdpInvalidChecksum:
+    case InertVariant::kUdpLengthLong:
+    case InertVariant::kUdpLengthShort:
+      return true;
+    // IP-level variants work over any transport; we exercise them on TCP
+    // (like the paper) to keep the matrix identical to Table 3.
+    default:
+      return false;
+  }
+}
+
+bool InertInsertion::applies_to_tcp() const { return !applies_to_udp(); }
+
+Overhead InertInsertion::overhead(const TechniqueContext& ctx) const {
+  Overhead o;
+  o.extra_packets = 1;
+  o.extra_bytes = 40 + ctx.decoy_payload.size();
+  o.formula = "k packets (k = 1)";
+  return o;
+}
+
+Bytes InertInsertion::craft_tcp_inert(const PacketView& pkt,
+                                      const TechniqueContext& ctx) const {
+  Ipv4Header ip;
+  ip.identification = kCraftedIpId;
+  TcpHeader tcp;
+  std::uint8_t flags = TcpFlags::kAck | TcpFlags::kPsh;
+  std::uint32_t seq = pkt.tcp->seq;  // same position as the real payload
+
+  switch (variant_) {
+    case InertVariant::kLowTtl:
+      ip.ttl = ctx.middlebox_ttl;
+      break;
+    case InertVariant::kInvalidIpVersion:
+      ip.version = 5;
+      break;
+    case InertVariant::kInvalidIpHeaderLength:
+      ip.ihl_words = 3;
+      break;
+    case InertVariant::kIpTotalLengthLong:
+      ip.total_length_override = static_cast<std::uint16_t>(
+          20 + 20 + ctx.decoy_payload.size() + 64);
+      break;
+    case InertVariant::kIpTotalLengthShort:
+      ip.total_length_override = 20 + 20 + 4;
+      break;
+    case InertVariant::kWrongIpProtocol:
+      ip.protocol = 143;  // unassigned
+      break;
+    case InertVariant::kWrongIpChecksum:
+      ip.checksum_override = 0x0bad;
+      break;
+    case InertVariant::kInvalidIpOptions:
+      ip.options.push_back(Ipv4Option::invalid_length());
+      break;
+    case InertVariant::kDeprecatedIpOptions:
+      ip.options.push_back(Ipv4Option::stream_id(0x0007));
+      break;
+    case InertVariant::kWrongTcpSeq:
+      seq = pkt.tcp->seq + 0x00500000;  // far outside any sane window
+      break;
+    case InertVariant::kWrongTcpChecksum:
+      tcp.checksum_override = 0x0bad;
+      break;
+    case InertVariant::kTcpNoAckFlag:
+      flags = TcpFlags::kPsh;  // data without ACK
+      break;
+    case InertVariant::kInvalidTcpDataOffset:
+      tcp.data_offset_words = 2;  // below the 5-word minimum: always invalid
+      break;
+    case InertVariant::kInvalidTcpFlagCombo:
+      flags = TcpFlags::kSyn | TcpFlags::kFin | TcpFlags::kAck;
+      break;
+    default:
+      break;  // UDP variants handled elsewhere
+  }
+  return craft_flow_tcp_packet(pkt, seq, ctx.decoy_payload, flags, ip, tcp);
+}
+
+Bytes InertInsertion::craft_udp_inert(const PacketView& pkt,
+                                      const TechniqueContext& ctx) const {
+  UdpHeader udp;
+  udp.src_port = pkt.udp->src_port;
+  udp.dst_port = pkt.udp->dst_port;
+  // A dummy (non-matching) payload: shifts the real first packet to
+  // position 2 and gives position-sensitive rules nothing to match.
+  Bytes dummy = ctx.decoy_payload.empty() ? to_bytes("DUMMYPKT")
+                                          : ctx.decoy_payload;
+  switch (variant_) {
+    case InertVariant::kUdpInvalidChecksum:
+      udp.checksum_override = 0x0bad;
+      break;
+    case InertVariant::kUdpLengthLong:
+      udp.length_override = static_cast<std::uint16_t>(8 + dummy.size() + 32);
+      break;
+    case InertVariant::kUdpLengthShort:
+      udp.length_override = 8 + 2;
+      break;
+    default:
+      break;
+  }
+  netsim::Ipv4Header ip;
+  ip.src = pkt.ip.src;
+  ip.dst = pkt.ip.dst;
+  ip.identification = kCraftedIpId;
+  return make_udp_datagram(ip, udp, dummy);
+}
+
+std::vector<TimedDatagram> InertInsertion::inject_before_first_payload(
+    const PacketView& first_payload_pkt, FlowShimState& state,
+    const TechniqueContext& ctx) {
+  if (state.injected_before_payload) return {};
+  state.injected_before_payload = true;
+  std::vector<TimedDatagram> out;
+  if (first_payload_pkt.is_tcp() && applies_to_tcp()) {
+    out.push_back(TimedDatagram{craft_tcp_inert(first_payload_pkt, ctx), 0});
+  } else if (first_payload_pkt.is_udp() && applies_to_udp()) {
+    out.push_back(TimedDatagram{craft_udp_inert(first_payload_pkt, ctx), 0});
+  }
+  return out;
+}
+
+}  // namespace liberate::core

@@ -1,0 +1,65 @@
+// inert.h — inert packet insertion (§4.3, Fig. 2(b)/(c); Table 3 upper rows).
+//
+// After the handshake and before the application's first payload packet, the
+// shim injects a packet that carries a *valid request for a benign
+// application class* but is crafted so that it never takes effect at the
+// server: either it dies in the network (TTL-limited) or the server OS
+// rejects it (invalid header fields). A middlebox with an incomplete
+// validation implementation processes the packet anyway and — being
+// match-and-forget — sticks to the benign verdict.
+#pragma once
+
+#include "core/evasion/technique.h"
+
+namespace liberate::core {
+
+enum class InertVariant {
+  kLowTtl,                 // IP: TTL reaches classifier, not server
+  kInvalidIpVersion,       // IP: version != 4
+  kInvalidIpHeaderLength,  // IP: IHL < 5
+  kIpTotalLengthLong,      // IP: total length > actual
+  kIpTotalLengthShort,     // IP: total length < actual
+  kWrongIpProtocol,        // IP: bogus protocol number
+  kWrongIpChecksum,        // IP: bad header checksum
+  kInvalidIpOptions,       // IP: malformed option TLV
+  kDeprecatedIpOptions,    // IP: Stream-ID option (RFC 6814)
+  kWrongTcpSeq,            // TCP: far out-of-window sequence number
+  kWrongTcpChecksum,       // TCP: bad checksum
+  kTcpNoAckFlag,           // TCP: data segment without ACK
+  kInvalidTcpDataOffset,   // TCP: data offset past segment end
+  kInvalidTcpFlagCombo,    // TCP: SYN|FIN data segment
+  kUdpInvalidChecksum,     // UDP: bad checksum
+  kUdpLengthLong,          // UDP: declared length > payload
+  kUdpLengthShort,         // UDP: declared length < payload
+};
+
+/// All variants in Table 3 row order.
+const std::vector<InertVariant>& all_inert_variants();
+
+class InertInsertion : public Technique {
+ public:
+  explicit InertInsertion(InertVariant variant) : variant_(variant) {}
+
+  std::string name() const override;
+  Category category() const override { return Category::kInertInsertion; }
+  Overhead overhead(const TechniqueContext& ctx) const override;
+  bool requires_match_and_forget() const override { return true; }
+  bool applies_to_udp() const override;
+  bool applies_to_tcp() const override;
+
+  std::vector<TimedDatagram> inject_before_first_payload(
+      const netsim::PacketView& first_payload_pkt, FlowShimState& state,
+      const TechniqueContext& ctx) override;
+
+  InertVariant variant() const { return variant_; }
+
+ private:
+  Bytes craft_tcp_inert(const netsim::PacketView& pkt,
+                        const TechniqueContext& ctx) const;
+  Bytes craft_udp_inert(const netsim::PacketView& pkt,
+                        const TechniqueContext& ctx) const;
+
+  InertVariant variant_;
+};
+
+}  // namespace liberate::core

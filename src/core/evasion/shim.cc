@@ -1,0 +1,110 @@
+#include "core/evasion/shim.h"
+
+namespace liberate::core {
+
+using netsim::Direction;
+using netsim::FiveTuple;
+using netsim::PacketView;
+
+void EvasionShim::emit(std::vector<TimedDatagram> datagrams) {
+  for (auto& td : datagrams) {
+    if (td.delay == 0) {
+      inner_.send(std::move(td.datagram));
+    } else {
+      netsim::EventLoop& l = inner_.loop();
+      netsim::NetworkPort* port = &inner_;
+      l.schedule(td.delay, [port, d = std::move(td.datagram)]() mutable {
+        port->send(std::move(d));
+      });
+    }
+  }
+}
+
+void EvasionShim::send(Bytes datagram) {
+  auto parsed = netsim::parse_packet(datagram);
+  if (!parsed.ok()) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+  const PacketView& pkt = parsed.value();
+
+  // TTL override for localization probes applies with or without a
+  // technique.
+  const bool has_payload = !pkt.app_payload().empty();
+  const bool is_match =
+      has_payload && contains_matching_field(pkt.app_payload(),
+                                             context_.matching_snippets);
+  if (match_packet_ttl_ && is_match) {
+    netsim::set_ttl_in_place(datagram, *match_packet_ttl_);
+  }
+
+  if (technique_ == nullptr) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+
+  FiveTuple tuple = pkt.five_tuple();
+  FlowShimState& state = flows_[tuple];
+  state.tuple = tuple;
+  state.udp = pkt.is_udp();
+
+  // UDP order swap: hold the first payload packet, release it after the
+  // second.
+  if (pkt.is_udp() && technique_->swaps_first_two_udp_packets()) {
+    if (state.payload_packets_sent == 0 && !held_udp_packet_) {
+      held_udp_packet_ = std::move(datagram);
+      state.payload_packets_sent += 1;
+      ++packets_rewritten_;
+      return;
+    }
+    if (held_udp_packet_) {
+      Bytes first = std::move(*held_udp_packet_);
+      held_udp_packet_.reset();
+      state.payload_packets_sent += 1;
+      inner_.send(std::move(datagram));
+      inner_.send(std::move(first));
+      return;
+    }
+    state.payload_packets_sent += 1;
+    inner_.send(std::move(datagram));
+    return;
+  }
+
+  if (!has_payload) {
+    // Handshake/ACK/RST/FIN control traffic passes untouched.
+    inner_.send(std::move(datagram));
+    return;
+  }
+
+  // Injections that precede the first payload-carrying packet.
+  if (state.payload_packets_sent == 0) {
+    auto inj = technique_->inject_before_first_payload(pkt, state, context_);
+    packets_injected_ += inj.size();
+    emit(std::move(inj));
+  }
+  state.payload_packets_sent += 1;
+
+  if (is_match && !state.match_packet_seen) {
+    state.match_packet_seen = true;
+    auto pieces = technique_->transform_matching_packet(std::move(datagram),
+                                                        pkt, state, context_);
+    if (pieces.size() != 1) packets_rewritten_ += pieces.size();
+    emit(std::move(pieces));
+    auto after = technique_->inject_after_match(pkt, state, context_);
+    packets_injected_ += after.size();
+    emit(std::move(after));
+    return;
+  }
+  if (is_match) {
+    // Retransmission of the matching payload: apply the same transform so
+    // the wire never carries the intact field.
+    auto pieces = technique_->transform_matching_packet(std::move(datagram),
+                                                        pkt, state, context_);
+    emit(std::move(pieces));
+    return;
+  }
+
+  inner_.send(std::move(datagram));
+}
+
+}  // namespace liberate::core

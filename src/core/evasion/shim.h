@@ -1,0 +1,55 @@
+// shim.h — the evasion shim: lib·erate's deployment vehicle.
+//
+// An EvasionShim wraps the client's NetworkPort, exactly where the paper's
+// transparent proxy / linked library sits (Fig. 3, step 3): below the
+// unmodified application and its stack, above the wire. It watches outgoing
+// packets, recognizes the flow structure (handshake, first payload packet,
+// the packet carrying matching fields) and lets the active Technique inject
+// or rewrite packets.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/evasion/technique.h"
+#include "netsim/network.h"
+
+namespace liberate::core {
+
+class EvasionShim : public netsim::NetworkPort {
+ public:
+  EvasionShim(netsim::NetworkPort& inner, Technique* technique,
+              TechniqueContext context)
+      : inner_(inner), technique_(technique), context_(std::move(context)) {}
+
+  void send(Bytes datagram) override;
+  netsim::EventLoop& loop() override { return inner_.loop(); }
+
+  /// Swap the active technique at runtime (adaptation).
+  void set_technique(Technique* technique) { technique_ = technique; }
+  void set_context(TechniqueContext context) { context_ = std::move(context); }
+  const TechniqueContext& context() const { return context_; }
+
+  /// Localization support: force this TTL onto packets that carry matching
+  /// fields (used by the TTL-probing phase, §5.2).
+  void set_match_packet_ttl(std::optional<std::uint8_t> ttl) {
+    match_packet_ttl_ = ttl;
+  }
+
+  std::uint64_t packets_injected() const { return packets_injected_; }
+  std::uint64_t packets_rewritten() const { return packets_rewritten_; }
+
+ private:
+  void emit(std::vector<TimedDatagram> datagrams);
+
+  netsim::NetworkPort& inner_;
+  Technique* technique_;
+  TechniqueContext context_;
+  std::map<netsim::FiveTuple, FlowShimState> flows_;
+  std::optional<Bytes> held_udp_packet_;
+  std::optional<std::uint8_t> match_packet_ttl_;
+  std::uint64_t packets_injected_ = 0;
+  std::uint64_t packets_rewritten_ = 0;
+};
+
+}  // namespace liberate::core

@@ -1,0 +1,185 @@
+#include "core/evasion/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include "netsim/tcp.h"
+
+namespace liberate::core {
+
+using netsim::PacketView;
+using netsim::TcpFlags;
+
+std::vector<std::size_t> split_plan(
+    std::size_t payload_size,
+    const std::vector<std::pair<std::size_t, std::size_t>>& field_ranges,
+    std::size_t max_pieces) {
+  std::set<std::size_t> cuts;  // cut positions in (0, payload_size)
+
+  // Lead pieces: up to five 1-byte slices (empirically, packet-limited
+  // classifiers inspected no more than 5 packets — §5.2).
+  const std::size_t lead = std::min<std::size_t>(5, payload_size > 1
+                                                        ? payload_size - 1
+                                                        : 0);
+  for (std::size_t i = 1; i <= lead; ++i) cuts.insert(i);
+
+  // A cut through the midpoint of every matching field.
+  for (const auto& [begin, end] : field_ranges) {
+    std::size_t mid = begin + (end - begin) / 2;
+    if (mid > 0 && mid < payload_size) cuts.insert(mid);
+  }
+
+  // Respect the piece cap, preferring field cuts (insertion order above
+  // means dropping from the lead range first when over budget).
+  while (cuts.size() + 1 > max_pieces) {
+    // Drop the smallest lead cut that is not a field cut.
+    bool dropped = false;
+    for (auto it = cuts.begin(); it != cuts.end(); ++it) {
+      bool is_field_cut = false;
+      for (const auto& [begin, end] : field_ranges) {
+        std::size_t mid = begin + (end - begin) / 2;
+        if (*it == mid) {
+          is_field_cut = true;
+          break;
+        }
+      }
+      if (!is_field_cut) {
+        cuts.erase(it);
+        dropped = true;
+        break;
+      }
+    }
+    if (!dropped) break;  // only field cuts left: keep them all
+  }
+
+  std::vector<std::size_t> lengths;
+  std::size_t prev = 0;
+  for (std::size_t cut : cuts) {
+    lengths.push_back(cut - prev);
+    prev = cut;
+  }
+  lengths.push_back(payload_size - prev);
+  return lengths;
+}
+
+Overhead TcpSegmentSplit::overhead(const TechniqueContext& ctx) const {
+  Overhead o;
+  // Each extra segment adds one 40-byte header (Table 2: k * 40 bytes).
+  std::size_t k = ctx.split_pieces > 0 ? ctx.split_pieces - 1 : 0;
+  o.extra_packets = k;
+  o.extra_bytes = k * 40;
+  o.formula = "k*40 bytes (k extra segments)";
+  return o;
+}
+
+std::vector<TimedDatagram> TcpSegmentSplit::transform_matching_packet(
+    Bytes datagram, const PacketView& pkt, FlowShimState& state,
+    const TechniqueContext& ctx) {
+  (void)state;
+  if (!pkt.is_tcp() || pkt.tcp->payload.empty()) {
+    return {{std::move(datagram), 0}};
+  }
+  BytesView payload = pkt.tcp->payload;
+  auto ranges = matching_ranges(payload, ctx.matching_snippets);
+  auto lengths = split_plan(payload.size(), ranges, ctx.split_pieces);
+  if (lengths.size() <= 1) return {{std::move(datagram), 0}};
+
+  std::vector<TimedDatagram> pieces;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    std::uint8_t flags = TcpFlags::kAck;
+    if (i + 1 == lengths.size() && pkt.tcp->has(TcpFlags::kPsh)) {
+      flags |= TcpFlags::kPsh;
+    }
+    netsim::Ipv4Header ip;
+    ip.ttl = pkt.ip.ttl;
+    Bytes seg = craft_flow_tcp_packet(
+        pkt, pkt.tcp->seq + static_cast<std::uint32_t>(offset),
+        payload.subspan(offset, lengths[i]), flags, ip);
+    pieces.push_back(TimedDatagram{std::move(seg), 0});
+    offset += lengths[i];
+  }
+  if (reversed_) std::reverse(pieces.begin(), pieces.end());
+  return pieces;
+}
+
+Overhead IpFragmentSplit::overhead(const TechniqueContext& ctx) const {
+  Overhead o;
+  std::size_t k = ctx.fragment_pieces > 0 ? ctx.fragment_pieces - 1 : 0;
+  o.extra_packets = k;
+  o.extra_bytes = k * 20;
+  o.formula = "m*20 bytes (m extra fragments)";
+  return o;
+}
+
+std::vector<TimedDatagram> IpFragmentSplit::transform_matching_packet(
+    Bytes datagram, const PacketView& pkt, FlowShimState& state,
+    const TechniqueContext& ctx) {
+  (void)state;
+  if (!pkt.is_tcp() || pkt.tcp->payload.empty()) {
+    return {{std::move(datagram), 0}};
+  }
+  // Cut through the first matching field, aligned to the 8-byte fragment
+  // grid. Field offsets are relative to the TCP payload; fragmentation
+  // operates on the IP payload, so shift by the TCP header length.
+  auto ranges = matching_ranges(pkt.tcp->payload, ctx.matching_snippets);
+  std::size_t ip_payload_size = pkt.ip.payload.size();
+  std::size_t cut_units = 0;
+  if (!ranges.empty()) {
+    std::size_t field_mid_in_segment =
+        pkt.tcp->header_length + ranges[0].first +
+        (ranges[0].second - ranges[0].first) / 2;
+    cut_units = field_mid_in_segment / 8;
+  }
+  if (cut_units == 0) cut_units = (ip_payload_size / 2) / 8;
+  cut_units = std::max<std::size_t>(cut_units, 3);  // keep the TCP header + a
+                                                    // field prefix in piece 1
+
+  // Re-stamp the identification so RS? tracking sees the fragments, then
+  // fragment at the chosen boundary (2 pieces; §5.2: m = 2).
+  Bytes stamped = datagram;
+  stamped[4] = static_cast<std::uint8_t>(kCraftedIpId >> 8);
+  stamped[5] = static_cast<std::uint8_t>(kCraftedIpId);
+  netsim::refresh_ipv4_checksum(stamped);
+
+  auto parsed = netsim::parse_ipv4(stamped).value();
+  BytesView whole_payload = parsed.payload;
+  std::size_t cut = std::min(cut_units * 8, whole_payload.size() - 1);
+
+  std::vector<TimedDatagram> out;
+  {
+    netsim::Ipv4Header h;
+    h.identification = kCraftedIpId;
+    h.flag_more_fragments = true;
+    h.fragment_offset_words = 0;
+    h.ttl = parsed.ttl;
+    h.protocol = parsed.protocol;
+    h.src = parsed.src;
+    h.dst = parsed.dst;
+    out.push_back(
+        TimedDatagram{serialize_ipv4(h, whole_payload.subspan(0, cut)), 0});
+  }
+  {
+    netsim::Ipv4Header h;
+    h.identification = kCraftedIpId;
+    h.flag_more_fragments = false;
+    h.fragment_offset_words = static_cast<std::uint16_t>(cut / 8);
+    h.ttl = parsed.ttl;
+    h.protocol = parsed.protocol;
+    h.src = parsed.src;
+    h.dst = parsed.dst;
+    out.push_back(
+        TimedDatagram{serialize_ipv4(h, whole_payload.subspan(cut)), 0});
+  }
+  if (reversed_) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Overhead UdpReorder::overhead(const TechniqueContext& ctx) const {
+  (void)ctx;
+  Overhead o;
+  o.formula = "none (order swap only)";
+  return o;
+}
+
+}  // namespace liberate::core

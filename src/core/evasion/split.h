@@ -1,0 +1,82 @@
+// split.h — payload splitting and reordering (§4.3, Fig. 2(d)/(e)).
+//
+// The splitting plan serves two goals at once (§5.2):
+//  * every matching field is cut across a packet boundary, defeating
+//    per-packet matchers (testbed, Iran);
+//  * the first pieces are tiny (1 byte), so a first-k-packets inspection
+//    window is exhausted before any field is assembled (T-Mobile's 5-packet
+//    window; also "the first packet contains only one byte of payload"
+//    suffices on the testbed).
+// Only a classifier that fully reassembles the byte stream with no packet
+// limit (the GFC) sees through it.
+#pragma once
+
+#include "core/evasion/technique.h"
+
+namespace liberate::core {
+
+/// Compute split boundaries for a payload: `lead` one-byte pieces followed
+/// by cuts through the midpoint of every matching-field range. Returns the
+/// piece lengths (sum == payload size).
+std::vector<std::size_t> split_plan(
+    std::size_t payload_size,
+    const std::vector<std::pair<std::size_t, std::size_t>>& field_ranges,
+    std::size_t max_pieces);
+
+class TcpSegmentSplit : public Technique {
+ public:
+  explicit TcpSegmentSplit(bool reversed) : reversed_(reversed) {}
+
+  std::string name() const override {
+    return reversed_ ? "reorder/tcp-segments-out-of-order"
+                     : "split/tcp-segmentation";
+  }
+  Category category() const override {
+    return reversed_ ? Category::kPayloadReordering
+                     : Category::kPayloadSplitting;
+  }
+  Overhead overhead(const TechniqueContext& ctx) const override;
+
+  std::vector<TimedDatagram> transform_matching_packet(
+      Bytes datagram, const netsim::PacketView& pkt, FlowShimState& state,
+      const TechniqueContext& ctx) override;
+
+ private:
+  bool reversed_;
+};
+
+class IpFragmentSplit : public Technique {
+ public:
+  explicit IpFragmentSplit(bool reversed) : reversed_(reversed) {}
+
+  std::string name() const override {
+    return reversed_ ? "reorder/ip-fragments-out-of-order"
+                     : "split/ip-fragmentation";
+  }
+  Category category() const override {
+    return reversed_ ? Category::kPayloadReordering
+                     : Category::kPayloadSplitting;
+  }
+  Overhead overhead(const TechniqueContext& ctx) const override;
+
+  std::vector<TimedDatagram> transform_matching_packet(
+      Bytes datagram, const netsim::PacketView& pkt, FlowShimState& state,
+      const TechniqueContext& ctx) override;
+
+ private:
+  bool reversed_;
+};
+
+/// UDP datagram reordering: the shim swaps the first two payload packets, so
+/// position-sensitive rules (testbed Skype: attribute in packet #1) miss.
+class UdpReorder : public Technique {
+ public:
+  std::string name() const override { return "reorder/udp-out-of-order"; }
+  Category category() const override { return Category::kPayloadReordering; }
+  Overhead overhead(const TechniqueContext& ctx) const override;
+  bool applies_to_udp() const override { return true; }
+  bool applies_to_tcp() const override { return false; }
+  bool swaps_first_two_udp_packets() const override { return true; }
+};
+
+}  // namespace liberate::core

@@ -1,0 +1,61 @@
+#include "core/evasion/technique.h"
+
+#include "netsim/tcp.h"
+
+namespace liberate::core {
+
+std::string category_name(Category c) {
+  switch (c) {
+    case Category::kInertInsertion:
+      return "inert-packet-insertion";
+    case Category::kPayloadSplitting:
+      return "payload-splitting";
+    case Category::kPayloadReordering:
+      return "payload-reordering";
+    case Category::kClassificationFlushing:
+      return "classification-flushing";
+  }
+  return "?";
+}
+
+bool contains_matching_field(BytesView payload,
+                             const std::vector<Bytes>& snippets) {
+  return !matching_ranges(payload, snippets).empty();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> matching_ranges(
+    BytesView payload, const std::vector<Bytes>& snippets) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (payload.empty()) return out;
+  for (const Bytes& s : snippets) {
+    if (s.empty() || s.size() > payload.size()) continue;
+    for (std::size_t i = 0; i + s.size() <= payload.size(); ++i) {
+      if (std::equal(s.begin(), s.end(), payload.begin() + static_cast<std::ptrdiff_t>(i))) {
+        out.emplace_back(i, i + s.size());
+        break;  // one occurrence per snippet is enough for splitting
+      }
+    }
+  }
+  return out;
+}
+
+Bytes craft_flow_tcp_packet(const netsim::PacketView& pkt, std::uint32_t seq,
+                            BytesView payload, std::uint8_t flags,
+                            netsim::Ipv4Header ip_overrides,
+                            std::optional<netsim::TcpHeader> tcp_overrides) {
+  netsim::TcpHeader tcp =
+      tcp_overrides.value_or(netsim::TcpHeader{});
+  tcp.src_port = pkt.tcp->src_port;
+  tcp.dst_port = pkt.tcp->dst_port;
+  tcp.seq = seq;
+  tcp.ack = pkt.tcp->ack;
+  tcp.flags = flags;
+
+  netsim::Ipv4Header ip = ip_overrides;
+  ip.src = pkt.ip.src;
+  ip.dst = pkt.ip.dst;
+  if (ip.identification == 0) ip.identification = kCraftedIpId;
+  return make_tcp_datagram(ip, tcp, payload);
+}
+
+}  // namespace liberate::core

@@ -1,0 +1,163 @@
+// technique.h — the classifier-evasion taxonomy (§4.3).
+//
+// A Technique rewrites a flow at the packet level (inert insertion, payload
+// splitting, payload reordering) and/or at the timing level (classification
+// flushing). Techniques are applied by the EvasionShim, which sits between
+// the client's stack and the network — exactly where lib·erate's transparent
+// proxy sits in the paper's deployment (Fig. 3 step 3) — so applications and
+// their TCP stacks stay unmodified.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "netsim/simclock.h"
+#include "util/bytes.h"
+
+namespace liberate::core {
+
+/// Marker stamped into the IP identification field of every crafted/modified
+/// packet so the replay server's raw tap can answer Table 3's RS? question.
+constexpr std::uint16_t kCraftedIpId = 0xC0DE;
+
+enum class Category {
+  kInertInsertion,
+  kPayloadSplitting,
+  kPayloadReordering,
+  kClassificationFlushing,
+};
+
+std::string category_name(Category c);
+
+/// Context a technique needs, produced by the characterization phase.
+struct TechniqueContext {
+  /// Byte snippets whose presence in a payload triggers classification (the
+  /// "matching fields" found by blinding).
+  std::vector<Bytes> matching_snippets;
+  /// Smallest TTL that reaches the middlebox (hops_before_middlebox + 1);
+  /// a packet with exactly this TTL dies before the server.
+  std::uint8_t middlebox_ttl = 2;
+  /// Valid request for a benign-but-classified application (Fig. 2(b)): the
+  /// payload carried by inert packets.
+  Bytes decoy_payload;
+  /// Split/reorder parameters (§5.2: n <= 10 segments, m = 2 fragments).
+  std::size_t split_pieces = 10;
+  std::size_t fragment_pieces = 2;
+  /// Flush-delay parameter t for pause techniques (§5.3: 40–240 s).
+  double pause_seconds = 130.0;
+};
+
+/// Per-flow state the shim tracks and hands to techniques.
+struct FlowShimState {
+  netsim::FiveTuple tuple;      // client -> server
+  std::size_t payload_packets_sent = 0;
+  bool match_packet_seen = false;
+  bool injected_before_payload = false;
+  bool injected_after_match = false;
+  std::uint32_t last_seq_end = 0;  // next expected client seq (from traffic)
+  bool udp = false;
+};
+
+/// One outgoing datagram, optionally delayed.
+struct TimedDatagram {
+  Bytes datagram;
+  netsim::Duration delay = 0;
+};
+
+/// Estimated per-flow overhead (Table 2).
+struct Overhead {
+  std::size_t extra_packets = 0;
+  std::size_t extra_bytes = 0;
+  double extra_seconds = 0;
+  std::string formula;  // e.g. "k packets", "k*40 bytes", "t seconds"
+};
+
+/// Timing directives consumed by the replay harness / deployment proxy for
+/// the classification-flushing techniques.
+struct TimingPlan {
+  double pause_before_match_s = 0;
+  double pause_after_match_s = 0;
+};
+
+class Technique {
+ public:
+  virtual ~Technique() = default;
+
+  virtual std::string name() const = 0;
+  virtual Category category() const = 0;
+  virtual Overhead overhead(const TechniqueContext& ctx) const = 0;
+  virtual TimingPlan timing(const TechniqueContext& ctx) const {
+    (void)ctx;
+    return {};
+  }
+
+  /// Requires the classifier to stop inspecting after a match; pruned when
+  /// characterization shows an inspect-every-packet classifier (§5.2:
+  /// "inert packet insertions are unlikely to evade" such classifiers).
+  virtual bool requires_match_and_forget() const { return false; }
+  /// Only applicable to TCP / UDP flows.
+  virtual bool applies_to_udp() const { return false; }
+  virtual bool applies_to_tcp() const { return true; }
+
+  /// Packets to inject before the client's first payload-carrying packet
+  /// (inert insertion, RST-before-match).
+  virtual std::vector<TimedDatagram> inject_before_first_payload(
+      const netsim::PacketView& first_payload_pkt, FlowShimState& state,
+      const TechniqueContext& ctx) {
+    (void)first_payload_pkt;
+    (void)state;
+    (void)ctx;
+    return {};
+  }
+
+  /// Packets to inject right after the first matching packet went out
+  /// (RST-after-match).
+  virtual std::vector<TimedDatagram> inject_after_match(
+      const netsim::PacketView& match_pkt, FlowShimState& state,
+      const TechniqueContext& ctx) {
+    (void)match_pkt;
+    (void)state;
+    (void)ctx;
+    return {};
+  }
+
+  /// Rewrite a payload-carrying packet that contains matching fields
+  /// (splitting/reordering). Default: pass through unchanged.
+  virtual std::vector<TimedDatagram> transform_matching_packet(
+      Bytes datagram, const netsim::PacketView& pkt, FlowShimState& state,
+      const TechniqueContext& ctx) {
+    (void)pkt;
+    (void)state;
+    (void)ctx;
+    std::vector<TimedDatagram> out;
+    out.push_back(TimedDatagram{std::move(datagram), 0});
+    return out;
+  }
+
+  /// UDP-datagram-order manipulation (swap the first two payload packets).
+  virtual bool swaps_first_two_udp_packets() const { return false; }
+};
+
+/// Helpers shared by technique implementations -----------------------------
+
+/// Does this payload contain any of the matching snippets?
+bool contains_matching_field(BytesView payload,
+                             const std::vector<Bytes>& snippets);
+
+/// Byte ranges [begin, end) of every snippet occurrence within payload.
+std::vector<std::pair<std::size_t, std::size_t>> matching_ranges(
+    BytesView payload, const std::vector<Bytes>& snippets);
+
+/// Build a TCP datagram cloned from `pkt`'s flow coordinates carrying
+/// `payload` at sequence `seq`, stamped with kCraftedIpId.
+Bytes craft_flow_tcp_packet(const netsim::PacketView& pkt, std::uint32_t seq,
+                            BytesView payload, std::uint8_t flags,
+                            netsim::Ipv4Header ip_overrides,
+                            std::optional<netsim::TcpHeader> tcp_overrides =
+                                std::nullopt);
+
+}  // namespace liberate::core

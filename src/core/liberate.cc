@@ -1,0 +1,84 @@
+#include "core/liberate.h"
+
+namespace liberate::core {
+
+Liberate::Liberate(dpi::Environment& env, std::uint64_t seed)
+    : env_(env), runner_(env, seed) {}
+
+SessionReport Liberate::analyze(const trace::ApplicationTrace& trace) {
+  SessionReport report;
+  const int rounds0 = runner_.rounds();
+  const std::uint64_t bytes0 = runner_.bytes_offered();
+  const double t0 = runner_.virtual_seconds_elapsed();
+
+  // Phase 1: differentiation detection.
+  report.detection = detect_differentiation(runner_, trace);
+  if (report.detection.content_based) {
+    // Phase 2: characterization.
+    report.ran_characterization = true;
+    CharacterizationOptions copts;
+    copts.unique_port_per_round = true;  // harmless when not needed
+    report.characterization = characterize_classifier(runner_, trace, copts);
+
+    // Phase 3: evasion evaluation (pruned production mode).
+    EvasionEvaluator evaluator(runner_, report.characterization);
+    report.evaluation = evaluator.evaluate(trace, /*run_pruned=*/false);
+    report.selected_technique = report.evaluation.selected;
+  }
+
+  report.total_rounds = runner_.rounds() - rounds0;
+  report.total_bytes = runner_.bytes_offered() - bytes0;
+  report.total_virtual_minutes =
+      (runner_.virtual_seconds_elapsed() - t0) / 60.0;
+  return report;
+}
+
+std::unique_ptr<Technique> Liberate::instantiate(
+    const std::string& name) const {
+  auto suite = build_full_suite();
+  for (auto& t : suite) {
+    if (t->name() == name) return std::move(t);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Deployment> Liberate::deploy(const SessionReport& report,
+                                             netsim::NetworkPort& inner) const {
+  if (!report.selected_technique) return nullptr;
+  auto technique = instantiate(*report.selected_technique);
+  if (!technique) return nullptr;
+  TechniqueContext ctx;
+  ctx.matching_snippets = report.characterization.snippets();
+  ctx.decoy_payload = decoy_request_payload();
+  if (report.characterization.middlebox_hops) {
+    ctx.middlebox_ttl =
+        static_cast<std::uint8_t>(*report.characterization.middlebox_hops);
+  }
+  return std::make_unique<Deployment>(inner, std::move(technique),
+                                      std::move(ctx));
+}
+
+std::optional<SessionReport> Liberate::readapt(
+    const SessionReport& previous, const trace::ApplicationTrace& trace) {
+  if (!previous.selected_technique) return analyze(trace);
+  auto technique = instantiate(*previous.selected_technique);
+  if (!technique) return analyze(trace);
+
+  // Replay with the previously working technique: if differentiation
+  // reappears, the rules changed — redo characterization and evaluation.
+  ReplayOptions opts;
+  opts.technique = technique.get();
+  opts.context.matching_snippets = previous.characterization.snippets();
+  opts.context.decoy_payload = decoy_request_payload();
+  if (previous.characterization.middlebox_hops) {
+    opts.context.middlebox_ttl = static_cast<std::uint8_t>(
+        *previous.characterization.middlebox_hops);
+  }
+  ReplayOutcome outcome = runner_.run(trace, opts);
+  if (!runner_.differentiated(outcome) && outcome.completed) {
+    return std::nullopt;  // still evading fine
+  }
+  return analyze(trace);
+}
+
+}  // namespace liberate::core

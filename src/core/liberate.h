@@ -1,0 +1,85 @@
+// liberate.h — the lib·erate facade: the four automated phases of Fig. 1.
+//
+//   1. detection        — is this app's traffic differentiated, by content?
+//   2. characterization — which bytes/positions/ports trigger it, where is
+//                         the middlebox?
+//   3. evasion eval     — which techniques defeat it, at what cost?
+//   4. deployment       — wrap live traffic in the cheapest working
+//                         technique, re-running 1–3 when the classifier
+//                         changes (runtime adaptation).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/detection.h"
+#include "core/evaluation.h"
+
+namespace liberate::core {
+
+struct SessionReport {
+  DetectionResult detection;
+  bool ran_characterization = false;
+  CharacterizationReport characterization;
+  EvaluationResult evaluation;
+  std::optional<std::string> selected_technique;
+
+  // End-to-end cost accounting across all phases (§5.3).
+  int total_rounds = 0;
+  std::uint64_t total_bytes = 0;
+  double total_virtual_minutes = 0;
+};
+
+/// A deployed evasion: an EvasionShim bound to the selected technique, ready
+/// to wrap a live application's NetworkPort (library/transparent-proxy
+/// deployment).
+class Deployment {
+ public:
+  Deployment(netsim::NetworkPort& inner, std::unique_ptr<Technique> technique,
+             TechniqueContext context)
+      : technique_(std::move(technique)),
+        shim_(std::make_unique<EvasionShim>(inner, technique_.get(),
+                                            std::move(context))) {}
+
+  netsim::NetworkPort& port() { return *shim_; }
+  const Technique* technique() const { return technique_.get(); }
+  /// Timing directives live applications must honor for flush techniques.
+  TimingPlan timing() const {
+    return technique_ ? technique_->timing(shim_->context()) : TimingPlan{};
+  }
+
+ private:
+  std::unique_ptr<Technique> technique_;
+  std::unique_ptr<EvasionShim> shim_;
+};
+
+class Liberate {
+ public:
+  explicit Liberate(dpi::Environment& env, std::uint64_t seed = 1);
+
+  /// Run phases 1–3 for an application's recorded trace.
+  SessionReport analyze(const trace::ApplicationTrace& trace);
+
+  /// Build a deployment for live traffic from an analysis result. Returns
+  /// nullptr when no technique worked (or none was needed).
+  std::unique_ptr<Deployment> deploy(const SessionReport& report,
+                                     netsim::NetworkPort& inner) const;
+
+  /// Runtime adaptation (§4.2 "lib·erate must run the characterization step
+  /// whenever an application's classification rule changes"): re-test with
+  /// the previously selected technique; if differentiation reappeared,
+  /// re-analyze from scratch. Returns the fresh report (or nullopt if the
+  /// old technique still works).
+  std::optional<SessionReport> readapt(const SessionReport& previous,
+                                       const trace::ApplicationTrace& trace);
+
+  ReplayRunner& runner() { return runner_; }
+
+ private:
+  std::unique_ptr<Technique> instantiate(const std::string& name) const;
+
+  dpi::Environment& env_;
+  ReplayRunner runner_;
+};
+
+}  // namespace liberate::core

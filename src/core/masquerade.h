@@ -1,0 +1,48 @@
+// masquerade.h — §7 "Masquerading" extension.
+//
+// The inverse of evasion: make arbitrary traffic LOOK like a favorably
+// treated class (e.g. zero-rated video) by injecting an inert packet that
+// carries a matching request for that class. Match-and-forget classifiers
+// then extend the favorable policy to the whole flow. The paper lists this
+// as supported-by-framework future work; we implement it on top of the same
+// inert-insertion machinery.
+#pragma once
+
+#include "core/evasion/inert.h"
+
+namespace liberate::core {
+
+/// A technique that injects an inert packet carrying `bait_payload` (a
+/// request matching the favorable class) before the flow's first payload.
+class Masquerade : public Technique {
+ public:
+  Masquerade(InertVariant carrier, Bytes bait_payload)
+      : carrier_(carrier), bait_(std::move(bait_payload)) {}
+
+  std::string name() const override {
+    return "masquerade/" + InertInsertion(carrier_).name();
+  }
+  Category category() const override { return Category::kInertInsertion; }
+  Overhead overhead(const TechniqueContext& ctx) const override {
+    return InertInsertion(carrier_).overhead(ctx);
+  }
+  bool requires_match_and_forget() const override { return true; }
+
+  std::vector<TimedDatagram> inject_before_first_payload(
+      const netsim::PacketView& first_payload_pkt, FlowShimState& state,
+      const TechniqueContext& ctx) override {
+    // Same crafting as inert insertion, but the payload is the bait for the
+    // favorable class instead of a neutral decoy.
+    TechniqueContext bait_ctx = ctx;
+    bait_ctx.decoy_payload = bait_;
+    InertInsertion impl(carrier_);
+    return impl.inject_before_first_payload(first_payload_pkt, state,
+                                            bait_ctx);
+  }
+
+ private:
+  InertVariant carrier_;
+  Bytes bait_;
+};
+
+}  // namespace liberate::core

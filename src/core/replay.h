@@ -1,0 +1,100 @@
+// replay.h — record/replay infrastructure (Fig. 3, steps 1–2).
+//
+// A ReplayRunner plays an ApplicationTrace between a fresh client and a
+// fresh replay server across an Environment's path, optionally through an
+// EvasionShim, and collects every observable signal the paper uses:
+// completion/integrity, RSTs and 403s (blocking), goodput (shaping), the
+// data-usage counter (zero rating, with realistic lag/noise), the raw
+// crafted-packet tap at the server (Table 3's RS? column), and the
+// classifier's own log (testbed direct signal).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/evasion/shim.h"
+#include "dpi/profiles.h"
+#include "stack/host.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace liberate::core {
+
+struct ReplayOptions {
+  /// Evasion technique applied by the client-side shim (null = none).
+  Technique* technique = nullptr;
+  /// Matching fields etc. for the shim/technique.
+  TechniqueContext context;
+  /// Override the trace's server port (port-sensitivity probing, and fresh
+  /// ports per round against the GFC's endpoint escalation).
+  std::uint16_t server_port_override = 0;
+  /// Replay from a different server address (0 = the default). §4.2: an
+  /// adversary may whitelist known replay servers; "we can detect the former
+  /// using previously unseen replay servers".
+  std::uint32_t server_ip_override = 0;
+  /// Localization: force this TTL onto the matching packet.
+  std::optional<std::uint8_t> match_packet_ttl;
+  /// Extra pauses (flushing techniques fill these from Technique::timing()).
+  double pause_before_match_s = 0;
+  double pause_after_match_s = 0;
+  /// Hard deadline for the round (auto-extended by the pauses).
+  netsim::Duration timeout = netsim::seconds(60);
+};
+
+struct ReplayOutcome {
+  bool completed = false;           // every trace message delivered
+  bool payload_intact = true;       // delivered bytes matched the trace
+  bool blocked = false;             // reset / unsolicited 403
+  bool got_403 = false;
+  std::uint64_t rsts_at_client = 0; // raw RSTs seen on the client wire
+  double duration_s = 0;
+  double goodput_mbps = 0;          // server->client application goodput
+  std::uint64_t usage_delta = 0;    // data-usage counter delta (noisy)
+  std::uint64_t expected_wire_bytes = 0;  // trace bytes offered this round
+  // RS? bookkeeping: crafted packets (IP id == kCraftedIpId) at the server.
+  std::size_t crafted_at_server = 0;
+  bool crafted_reassembled = false;  // arrived merged into one datagram
+  netsim::FiveTuple flow;            // client->server tuple of the main flow
+  std::vector<dpi::ClassificationEvent> classifications;  // this round only
+};
+
+class ReplayRunner {
+ public:
+  explicit ReplayRunner(dpi::Environment& env, std::uint64_t seed = 1);
+
+  ReplayOutcome run(const trace::ApplicationTrace& trace,
+                    const ReplayOptions& options = {});
+
+  /// The differentiation oracle: did this round experience the environment's
+  /// policy? (Per-signal semantics; see DESIGN.md.)
+  bool differentiated(const ReplayOutcome& outcome) const;
+
+  dpi::Environment& env() { return env_; }
+  /// Total replay rounds executed and bytes offered so far (cost accounting
+  /// for §6's efficiency numbers).
+  int rounds() const { return rounds_; }
+  std::uint64_t bytes_offered() const { return bytes_offered_; }
+  double virtual_seconds_elapsed() const {
+    return netsim::to_seconds(env_.loop.now());
+  }
+
+ private:
+  ReplayOutcome run_tcp(const trace::ApplicationTrace& trace,
+                        const ReplayOptions& options);
+  ReplayOutcome run_udp(const trace::ApplicationTrace& trace,
+                        const ReplayOptions& options);
+
+  dpi::Environment& env_;
+  Rng rng_;
+  std::uint16_t next_client_port_ = 42001;
+  std::uint16_t next_server_port_ = 20000;  // fresh ports per round
+  int rounds_ = 0;
+  std::uint64_t bytes_offered_ = 0;
+  // Hosts must outlive any event-loop callbacks that captured them; they are
+  // retired here and reclaimed with the runner.
+  std::vector<std::unique_ptr<stack::Host>> retired_hosts_;
+  std::vector<std::unique_ptr<EvasionShim>> retired_shims_;
+};
+
+}  // namespace liberate::core

@@ -1,0 +1,105 @@
+#include "dpi/http_parser.h"
+
+#include "util/strings.h"
+
+namespace liberate::dpi {
+
+namespace {
+
+std::optional<std::string> find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return v;
+  }
+  return std::nullopt;
+}
+
+/// Split head into lines up to the blank line; returns nullopt if no header
+/// terminator and the data looks truncated mid-head (we still parse what we
+/// can when at least one full line exists).
+std::vector<std::string_view> head_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string_view::npos) break;
+    if (eol == pos) break;  // blank line: end of head
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 2;
+  }
+  return lines;
+}
+
+void parse_header_lines(const std::vector<std::string_view>& lines,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos) continue;
+    out->emplace_back(std::string(trim(lines[i].substr(0, colon))),
+                      std::string(trim(lines[i].substr(colon + 1))));
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::optional<std::string> HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool looks_like_http_request(BytesView stream) {
+  static constexpr std::string_view kMethods[] = {
+      "GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT "};
+  std::string prefix = to_string(stream.subspan(0, std::min<std::size_t>(
+                                                       stream.size(), 8)));
+  for (auto m : kMethods) {
+    if (prefix.rfind(m, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::optional<HttpRequest> parse_http_request(BytesView stream) {
+  if (!looks_like_http_request(stream)) return std::nullopt;
+  std::string text = to_string(stream);
+  auto lines = head_lines(text);
+  if (lines.empty()) return std::nullopt;
+
+  auto parts = split(lines[0], ' ');
+  if (parts.size() < 3) return std::nullopt;
+  HttpRequest req;
+  req.method = std::string(parts[0]);
+  req.target = std::string(parts[1]);
+  req.version = std::string(parts[2]);
+  parse_header_lines(lines, &req.headers);
+  return req;
+}
+
+std::optional<HttpResponse> parse_http_response(BytesView stream) {
+  std::string text = to_string(stream);
+  if (text.rfind("HTTP/", 0) != 0) return std::nullopt;
+  auto lines = head_lines(text);
+  if (lines.empty()) return std::nullopt;
+
+  auto parts = split(lines[0], ' ');
+  if (parts.size() < 2) return std::nullopt;
+  HttpResponse resp;
+  resp.version = std::string(parts[0]);
+  resp.status = 0;
+  for (char c : parts[1]) {
+    if (c < '0' || c > '9') break;
+    resp.status = resp.status * 10 + (c - '0');
+  }
+  if (parts.size() >= 3) {
+    // Reason phrase may contain spaces: take the remainder of the line.
+    std::size_t off = parts[0].size() + 1 + parts[1].size() + 1;
+    resp.reason = std::string(lines[0].substr(off));
+  }
+  parse_header_lines(lines, &resp.headers);
+  return resp;
+}
+
+}  // namespace liberate::dpi

@@ -1,0 +1,48 @@
+// http_parser.h — minimal HTTP/1.x request/response header parsing.
+//
+// DPI classifiers in the paper key on the request line, the Host header, the
+// User-Agent, and (AT&T Stream Saver) the response Content-Type. This parser
+// extracts exactly that, tolerantly, from raw stream bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace liberate::dpi {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  std::optional<std::string> header(std::string_view name) const;
+  std::optional<std::string> host() const { return header("Host"); }
+};
+
+struct HttpResponse {
+  std::string version;
+  int status = 0;
+  std::string reason;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  std::optional<std::string> header(std::string_view name) const;
+  std::optional<std::string> content_type() const {
+    return header("Content-Type");
+  }
+};
+
+/// Parse the head of an HTTP request from stream bytes. Returns nullopt when
+/// the bytes do not begin with a plausible request head (or it is incomplete
+/// and `require_complete_head` is set).
+std::optional<HttpRequest> parse_http_request(BytesView stream);
+
+std::optional<HttpResponse> parse_http_response(BytesView stream);
+
+/// True if the stream starts with a known HTTP method token ("GET ", etc.).
+bool looks_like_http_request(BytesView stream);
+
+}  // namespace liberate::dpi

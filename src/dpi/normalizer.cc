@@ -1,0 +1,44 @@
+#include "dpi/normalizer.h"
+
+namespace liberate::dpi {
+
+void NormalizerElement::process(Bytes datagram, netsim::Direction dir,
+                                netsim::ElementIo& io) {
+  auto parsed = netsim::parse_packet(datagram);
+  if (!parsed.ok()) {
+    ++dropped_;
+    return;
+  }
+
+  if (config_.reassemble_fragments && parsed.value().ip.is_fragment()) {
+    const int d = dir == netsim::Direction::kClientToServer ? 0 : 1;
+    auto whole = reassembler_[d].push(datagram, io.now());
+    reassembler_[d].expire(io.now());
+    if (!whole) return;
+    datagram = std::move(*whole);
+    parsed = netsim::parse_packet(datagram);
+    if (!parsed.ok()) {
+      ++dropped_;
+      return;
+    }
+  }
+
+  if (config_.drop_malformed) {
+    netsim::AnomalySet anomalies = netsim::anomalies_of(parsed.value());
+    // Everything except the benign fragment marker counts as malformed here
+    // (deprecated options included: a normalizer strips oddities).
+    if (anomalies & ~netsim::anomaly_bit(netsim::Anomaly::kIpFragment)) {
+      ++dropped_;
+      return;
+    }
+  }
+
+  if (config_.ttl_floor != 0 && parsed.value().ip.ttl < config_.ttl_floor) {
+    netsim::set_ttl_in_place(datagram, config_.ttl_floor);
+    ++ttl_raised_;
+  }
+
+  io.forward(std::move(datagram));
+}
+
+}  // namespace liberate::dpi

@@ -1,0 +1,47 @@
+// normalizer.h — §4.3 "Evasion countermeasures": a traffic normalizer in the
+// spirit of Kreibich et al.'s `norm`, deployed in FRONT of a classifier to
+// neutralize lib·erate's techniques.
+//
+// The paper argues each countermeasure is possible but costly; the
+// ablation bench (bench_ablation_countermeasures) measures exactly which
+// techniques each knob kills. "Interestingly, we find that few defenses
+// identified by norm are adopted by the middleboxes we studied."
+#pragma once
+
+#include "netsim/network.h"
+#include "stack/ip_reassembly.h"
+
+namespace liberate::dpi {
+
+struct NormalizerConfig {
+  /// Drop packets with any header anomaly ("a network could detect and
+  /// filter lib·erate's inert packets"). Kills the invalid-field inert
+  /// variants.
+  bool drop_malformed = false;
+  /// Raise every TTL below this floor up to it ("defeated if the middlebox
+  /// normalizes the TTL to a large value" — with the paper's caveat about
+  /// amplifying transient loops). Kills the TTL-limited techniques.
+  std::uint8_t ttl_floor = 0;  // 0 = disabled
+  /// Reassemble IP fragments before the classifier.
+  bool reassemble_fragments = false;
+};
+
+class NormalizerElement : public netsim::PathElement {
+ public:
+  explicit NormalizerElement(NormalizerConfig config) : config_(config) {}
+
+  void process(Bytes datagram, netsim::Direction dir,
+               netsim::ElementIo& io) override;
+  std::string name() const override { return "normalizer"; }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t ttl_raised() const { return ttl_raised_; }
+
+ private:
+  NormalizerConfig config_;
+  stack::IpReassembler reassembler_[2];
+  std::uint64_t dropped_ = 0;
+  std::uint64_t ttl_raised_ = 0;
+};
+
+}  // namespace liberate::dpi

@@ -1,0 +1,75 @@
+// profiles.h — the evaluation environments of §6 as mechanism configurations.
+//
+// Each factory assembles a complete network path (routers, filters,
+// reassemblers, the middlebox) inside a self-owned Environment. The client
+// and server hosts are attached by the experiment harness. Every Table 3
+// cell must *emerge* from these configurations; see DESIGN.md §4 for the
+// mechanism notes and the provenance of every knob.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpi/middlebox.h"
+#include "netsim/event_loop.h"
+#include "netsim/network.h"
+#include "stack/os_profile.h"
+
+namespace liberate::dpi {
+
+struct Environment {
+  std::string name;
+  netsim::EventLoop loop;
+  netsim::Network net{loop};
+
+  DpiMiddlebox* dpi = nullptr;           // null for AT&T / Sprint
+  TransparentHttpProxy* proxy = nullptr; // AT&T only
+  netsim::TapElement* pre_middlebox_tap = nullptr;
+  /// Cellular access link whose rate benches vary over time (§6.2's
+  /// time-varying unshaped throughput). Present on the TMUS path.
+  netsim::BandwidthElement* base_bandwidth = nullptr;
+
+  /// Number of TTL-decrementing hops in front of the middlebox: the minimum
+  /// TTL that reaches the middlebox is hops_before_middlebox + 1.
+  int hops_before_middlebox = 0;
+  int total_router_hops = 0;
+
+  /// Does the observable differentiation signal exist at all? (Sprint: no.)
+  bool differentiates = true;
+
+  /// How the experiment reads the classifier's verdict in this network —
+  /// which also determines the per-round cost profile of §6.
+  enum class Signal {
+    kDirect,      // testbed: middlebox shows result immediately (§6.1)
+    kZeroRating,  // TMUS: data-usage counter, laggy/noisy (§6.2)
+    kThroughput,  // AT&T: throttled to 1.5 Mbps on port 80 (§6.3)
+    kBlocking,    // GFC / Iran: RSTs (+403) (§6.5, §6.6)
+    kNone,        // Sprint (§6.4)
+  };
+  Signal signal = Signal::kDirect;
+
+  stack::OsProfile server_os = stack::OsProfile::linux_profile();
+};
+
+std::unique_ptr<Environment> make_testbed(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_tmus(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_gfc(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_iran(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_att(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_sprint(std::uint64_t seed = 1);
+
+/// Dispatcher: "testbed" | "tmus" | "gfc" | "iran" | "att" | "sprint".
+std::unique_ptr<Environment> make_environment(const std::string& name,
+                                              std::uint64_t seed = 1);
+std::vector<std::string> environment_names();
+
+/// The GFC's load-dependent idle-eviction threshold (Figure 4 substrate):
+/// busy hours evict idle flow state quickly (~40 s), quiet hours barely at
+/// all (> 240 s, the longest delay the paper tested).
+netsim::Duration gfc_eviction_threshold(netsim::TimePoint now);
+
+/// Diurnal load in [0, 1]: trough at 04:00, peak at 16:00–22:00 virtual time.
+double diurnal_load(double hour_of_day);
+
+}  // namespace liberate::dpi

@@ -1,0 +1,43 @@
+#include "dpi/rules.h"
+
+#include "dpi/stun_parser.h"
+#include "util/strings.h"
+
+namespace liberate::dpi {
+
+bool MatchRule::matches_content(BytesView content) const {
+  if (stun_attribute) {
+    auto msg = parse_stun(content);
+    if (!msg || !msg->has_attribute(*stun_attribute)) return false;
+    // Fall through: any keywords must also match.
+  }
+  std::string text = to_string(content);
+  for (std::size_t i = 0; i < keywords.size(); ++i) {
+    std::size_t pos = ifind(text, keywords[i]);
+    if (pos == std::string_view::npos) return false;
+    if (i == 0 && anchored && pos != 0) {
+      // Anchored: the first keyword must open the content. ifind returns the
+      // first occurrence, so pos != 0 means the content does not begin with
+      // it.
+      return false;
+    }
+  }
+  return true;
+}
+
+RuleHit match_rules(const std::vector<MatchRule>& rules, BytesView content,
+                    const RuleContext& ctx) {
+  for (const auto& rule : rules) {
+    if (rule.udp != ctx.udp) continue;
+    if (rule.dst_port && *rule.dst_port != ctx.dst_port) continue;
+    if (rule.only_packet_index) {
+      if (!ctx.packet_index || *ctx.packet_index != *rule.only_packet_index) {
+        continue;
+      }
+    }
+    if (rule.matches_content(content)) return RuleHit{&rule};
+  }
+  return RuleHit{};
+}
+
+}  // namespace liberate::dpi

@@ -1,0 +1,71 @@
+// rules.h — traffic-classification match rules.
+//
+// The paper reverse-engineers classifiers and finds they match keywords in
+// HTTP payloads (request line, Host), TLS SNI, and protocol-specific fields
+// (STUN attributes for Skype). A MatchRule expresses one such rule: a set of
+// byte-substring keywords that must all appear in the inspected content,
+// optionally anchored at the start of the content/stream, optionally port-
+// constrained, optionally requiring a parsed STUN attribute.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace liberate::dpi {
+
+struct MatchRule {
+  std::string name;           // diagnostic label, e.g. "tmus-youtube-sni"
+  std::string traffic_class;  // policy key, e.g. "video"
+
+  /// All keywords must appear (case-insensitive substring) in the inspected
+  /// content for the rule to fire.
+  std::vector<std::string> keywords;
+
+  /// The first keyword must sit at offset 0 of the inspected content (stream
+  /// start for stream-mode classifiers, packet start for per-packet ones).
+  /// This models GET-anchored matchers: prepending a single dummy byte
+  /// defeats them (observed for T-Mobile and the GFC, §6.2/§6.5).
+  bool anchored = false;
+
+  /// Restrict to a destination port (Iran and AT&T match only port 80).
+  std::optional<std::uint16_t> dst_port;
+
+  /// Rule applies to UDP (otherwise TCP) content.
+  bool udp = false;
+
+  /// Require this STUN attribute type to be present in a well-formed STUN
+  /// message (the testbed's Skype rule: MS-SERVICE-QUALITY, 0x8055).
+  std::optional<std::uint16_t> stun_attribute;
+
+  /// Per-packet matchers only: rule fires only on the Nth payload-carrying
+  /// packet of the flow (1-based). The testbed's Skype rule inspected
+  /// "packets at certain position in the flow" — the first.
+  std::optional<std::size_t> only_packet_index;
+
+  /// Evaluate against a chunk of content (one packet's payload or the
+  /// reassembled stream prefix).
+  bool matches_content(BytesView content) const;
+};
+
+/// Result of evaluating a rule set.
+struct RuleHit {
+  const MatchRule* rule = nullptr;
+  explicit operator bool() const { return rule != nullptr; }
+};
+
+/// Evaluate all rules against content, honoring port/udp/packet-index
+/// constraints supplied by the engine.
+struct RuleContext {
+  std::uint16_t dst_port = 0;
+  bool udp = false;
+  std::optional<std::size_t> packet_index;  // set in per-packet mode
+};
+
+RuleHit match_rules(const std::vector<MatchRule>& rules, BytesView content,
+                    const RuleContext& ctx);
+
+}  // namespace liberate::dpi

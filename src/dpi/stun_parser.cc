@@ -1,0 +1,56 @@
+#include "dpi/stun_parser.h"
+
+namespace liberate::dpi {
+
+std::optional<StunMessage> parse_stun(BytesView payload) {
+  if (payload.size() < 20) return std::nullopt;
+  ByteReader r(payload);
+  StunMessage msg;
+  msg.message_type = r.u16().value();
+  if (msg.message_type & 0xc000) return std::nullopt;  // top bits must be 0
+  std::uint16_t length = r.u16().value();
+  std::uint32_t cookie = r.u32().value();
+  if (cookie != kStunMagicCookie) return std::nullopt;
+  auto tid = r.raw(12);
+  if (!tid.ok()) return std::nullopt;
+  msg.transaction_id.assign(tid.value().begin(), tid.value().end());
+
+  std::size_t body_end = std::min<std::size_t>(20 + length, payload.size());
+  while (r.position() + 4 <= body_end) {
+    StunAttribute attr;
+    attr.type = r.u16().value();
+    std::uint16_t alen = r.u16().value();
+    auto val = r.raw(std::min<std::size_t>(alen, r.remaining()));
+    if (!val.ok()) break;
+    attr.value.assign(val.value().begin(), val.value().end());
+    msg.attributes.push_back(std::move(attr));
+    // Attributes are padded to 4-byte boundaries.
+    std::size_t pad = (4 - alen % 4) % 4;
+    if (!r.skip(std::min(pad, r.remaining())).ok()) break;
+  }
+  return msg;
+}
+
+Bytes serialize_stun(const StunMessage& msg) {
+  ByteWriter body;
+  for (const auto& attr : msg.attributes) {
+    body.u16(attr.type);
+    body.u16(static_cast<std::uint16_t>(attr.value.size()));
+    body.raw(attr.value);
+    while (body.size() % 4 != 0) body.u8(0);
+  }
+
+  ByteWriter w(20 + body.size());
+  w.u16(msg.message_type);
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.u32(kStunMagicCookie);
+  if (msg.transaction_id.size() == 12) {
+    w.raw(msg.transaction_id);
+  } else {
+    w.fill(0xab, 12);
+  }
+  w.raw(body.bytes());
+  return std::move(w).take();
+}
+
+}  // namespace liberate::dpi

@@ -1,0 +1,45 @@
+// stun_parser.h — STUN message decoding (RFC 5389 framing).
+//
+// The paper found that the testbed classifier identified Skype by the
+// Microsoft STUN attribute MS-SERVICE-QUALITY (type 0x8055) in the first
+// client packet. We parse STUN properly so that rule matches the attribute
+// rather than an accidental byte pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace liberate::dpi {
+
+constexpr std::uint32_t kStunMagicCookie = 0x2112A442;
+constexpr std::uint16_t kStunAttrMsServiceQuality = 0x8055;
+
+struct StunAttribute {
+  std::uint16_t type = 0;
+  Bytes value;
+};
+
+struct StunMessage {
+  std::uint16_t message_type = 0;  // e.g. 0x0001 Binding Request
+  Bytes transaction_id;            // 12 bytes
+  std::vector<StunAttribute> attributes;
+
+  bool has_attribute(std::uint16_t type) const {
+    for (const auto& a : attributes) {
+      if (a.type == type) return true;
+    }
+    return false;
+  }
+};
+
+/// Parse a STUN message from a UDP payload. Checks the magic cookie, so
+/// blinded payloads fail cleanly.
+std::optional<StunMessage> parse_stun(BytesView payload);
+
+/// Serialize (used by the Skype trace generator).
+Bytes serialize_stun(const StunMessage& msg);
+
+}  // namespace liberate::dpi

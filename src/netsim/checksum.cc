@@ -1,0 +1,40 @@
+#include "netsim/checksum.h"
+
+namespace liberate::netsim {
+
+std::uint32_t checksum_accumulate(std::uint32_t partial, BytesView data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    partial += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    partial += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  return partial;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial) {
+  while (partial >> 16) {
+    partial = (partial & 0xffff) + (partial >> 16);
+  }
+  return static_cast<std::uint16_t>(~partial & 0xffff);
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  return checksum_finish(checksum_accumulate(0, data));
+}
+
+std::uint16_t transport_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                 std::uint8_t protocol, BytesView segment) {
+  std::uint32_t sum = 0;
+  sum += (src_ip >> 16) & 0xffff;
+  sum += src_ip & 0xffff;
+  sum += (dst_ip >> 16) & 0xffff;
+  sum += dst_ip & 0xffff;
+  sum += protocol;
+  sum += static_cast<std::uint32_t>(segment.size());
+  sum = checksum_accumulate(sum, segment);
+  return checksum_finish(sum);
+}
+
+}  // namespace liberate::netsim

@@ -1,0 +1,25 @@
+// checksum.h — RFC 1071 internet checksum, plus TCP/UDP pseudo-header forms.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace liberate::netsim {
+
+/// One's-complement sum of 16-bit big-endian words (odd trailing byte padded
+/// with zero), folded and complemented per RFC 1071.
+std::uint16_t internet_checksum(BytesView data);
+
+/// Continue an unfolded one's-complement sum; used to compose pseudo-header +
+/// segment sums without copying.
+std::uint32_t checksum_accumulate(std::uint32_t partial, BytesView data);
+std::uint16_t checksum_finish(std::uint32_t partial);
+
+/// TCP/UDP checksum over the IPv4 pseudo-header (src, dst, zero, protocol,
+/// transport length) followed by the transport header+payload bytes, where the
+/// checksum field inside `segment` is assumed already zeroed by the caller.
+std::uint16_t transport_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                 std::uint8_t protocol, BytesView segment);
+
+}  // namespace liberate::netsim

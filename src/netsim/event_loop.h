@@ -1,0 +1,69 @@
+// event_loop.h — deterministic discrete-event scheduler.
+//
+// Single-threaded by design: determinism matters more than parallelism for a
+// reproduction harness, and every test/bench drives one loop to completion.
+// Ties are broken by insertion order so runs are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netsim/simclock.h"
+
+namespace liberate::netsim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule(Duration delay, Callback fn) {
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  /// Run events until the queue is empty. Advances virtual time.
+  void run_until_idle() {
+    while (!queue_.empty()) step();
+  }
+
+  /// Run events with timestamps <= deadline, then set now() to the deadline
+  /// (even if idle earlier), so "wait 120 seconds" always advances time.
+  void run_until(TimePoint deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void step() {
+    // The callback may schedule more events; pop first.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace liberate::netsim

@@ -1,0 +1,37 @@
+#include "netsim/icmp.h"
+
+#include "netsim/checksum.h"
+#include "netsim/ipv4.h"
+
+namespace liberate::netsim {
+
+Bytes serialize_icmp(const IcmpMessage& msg) {
+  ByteWriter w(8 + msg.body.size());
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  w.u8(msg.code);
+  w.u16(0);  // checksum placeholder
+  w.u32(0);  // unused / rest-of-header (we keep identifiers in body)
+  w.raw(msg.body);
+  std::uint16_t cks = internet_checksum(BytesView(w.bytes()));
+  w.patch_u16(2, cks);
+  return std::move(w).take();
+}
+
+Result<IcmpMessage> parse_icmp(BytesView payload) {
+  if (payload.size() < 8) return Error("icmp: message shorter than header");
+  IcmpMessage msg;
+  msg.type = static_cast<IcmpType>(payload[0]);
+  msg.code = payload[1];
+  msg.body.assign(payload.begin() + 8, payload.end());
+  return msg;
+}
+
+Bytes icmp_original_datagram_excerpt(BytesView offending_datagram) {
+  auto parsed = parse_ipv4(offending_datagram);
+  std::size_t header_len = parsed.ok() ? parsed.value().header_length : 20;
+  std::size_t n = std::min(offending_datagram.size(), header_len + 8);
+  return Bytes(offending_datagram.begin(),
+               offending_datagram.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+}  // namespace liberate::netsim

@@ -1,0 +1,34 @@
+// icmp.h — minimal ICMP codec: time-exceeded (used by TTL-based middlebox
+// localization, like traceroute/Tracebox) and destination-unreachable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace liberate::netsim {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  /// For time-exceeded / unreachable: the embedded original IP header + first
+  /// 8 bytes of its payload, per RFC 792. For echo: identifier+seq+data.
+  Bytes body;
+};
+
+Bytes serialize_icmp(const IcmpMessage& msg);
+Result<IcmpMessage> parse_icmp(BytesView payload);
+
+/// Build the standard time-exceeded body from an offending datagram: its IP
+/// header plus the first 8 payload bytes.
+Bytes icmp_original_datagram_excerpt(BytesView offending_datagram);
+
+}  // namespace liberate::netsim

@@ -1,0 +1,56 @@
+// lossy.h — failure-injection path elements: random loss and jitter.
+//
+// The evasion techniques must keep working over imperfect paths: a
+// retransmitted matching packet re-enters the shim and must be re-split /
+// re-ordered identically, and inert injections must not double-fire. The
+// integration tests drive flows through these elements to prove it.
+#pragma once
+
+#include "netsim/network.h"
+#include "util/rng.h"
+
+namespace liberate::netsim {
+
+/// Drops each packet independently with probability `loss`.
+class LossyElement : public PathElement {
+ public:
+  LossyElement(double loss, std::uint64_t seed) : loss_(loss), rng_(seed) {}
+
+  void process(Bytes datagram, Direction dir, ElementIo& io) override {
+    (void)dir;
+    if (rng_.chance(loss_)) {
+      ++dropped_;
+      return;
+    }
+    io.forward(std::move(datagram));
+  }
+  std::string name() const override { return "lossy"; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  double loss_;
+  Rng rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Adds a uniformly random extra delay in [0, max_jitter] per packet. Note
+/// that reordering can result when jitter exceeds packet spacing — exactly
+/// what robust receivers must tolerate.
+class JitterElement : public PathElement {
+ public:
+  JitterElement(Duration max_jitter, std::uint64_t seed)
+      : max_jitter_(max_jitter), rng_(seed) {}
+
+  void process(Bytes datagram, Direction dir, ElementIo& io) override {
+    (void)dir;
+    Duration extra = max_jitter_ == 0 ? 0 : rng_.below(max_jitter_ + 1);
+    io.forward_after(extra, std::move(datagram));
+  }
+  std::string name() const override { return "jitter"; }
+
+ private:
+  Duration max_jitter_;
+  Rng rng_;
+};
+
+}  // namespace liberate::netsim

@@ -1,0 +1,105 @@
+#include "netsim/packet.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace liberate::netsim {
+
+std::string FiveTuple::to_string() const {
+  return format("%s:%u -> %s:%u proto=%u", ip_to_string(src_ip).c_str(),
+                src_port, ip_to_string(dst_ip).c_str(), dst_port, protocol);
+}
+
+Result<PacketView> parse_packet(BytesView datagram) {
+  auto ip = parse_ipv4(datagram);
+  if (!ip.ok()) return ip.error();
+  PacketView v;
+  v.ip = std::move(ip).value();
+
+  // Transport headers only exist in the first fragment (offset 0).
+  if (v.ip.fragment_offset_words != 0) return v;
+
+  if (v.ip.protocol == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    auto tcp = parse_tcp(v.ip.payload);
+    if (tcp.ok()) v.tcp = std::move(tcp).value();
+  } else if (v.ip.protocol == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    auto udp = parse_udp(v.ip.payload);
+    if (udp.ok()) v.udp = std::move(udp).value();
+  } else if (v.ip.protocol == static_cast<std::uint8_t>(IpProto::kIcmp)) {
+    auto icmp = parse_icmp(v.ip.payload);
+    if (icmp.ok()) v.icmp = std::move(icmp).value();
+  }
+  return v;
+}
+
+Bytes make_tcp_datagram(Ipv4Header ip, const TcpHeader& tcp,
+                        BytesView payload) {
+  if (ip.protocol == kProtoUnset) {
+    ip.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  }
+  Bytes segment = serialize_tcp(tcp, payload, ip.src, ip.dst);
+  return serialize_ipv4(ip, segment);
+}
+
+Bytes make_udp_datagram(Ipv4Header ip, const UdpHeader& udp,
+                        BytesView payload) {
+  if (ip.protocol == kProtoUnset) {
+    ip.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  }
+  Bytes dgram = serialize_udp(udp, payload, ip.src, ip.dst);
+  return serialize_ipv4(ip, dgram);
+}
+
+Bytes make_icmp_datagram(Ipv4Header ip, const IcmpMessage& msg) {
+  if (ip.protocol == kProtoUnset) {
+    ip.protocol = static_cast<std::uint8_t>(IpProto::kIcmp);
+  }
+  Bytes body = serialize_icmp(msg);
+  return serialize_ipv4(ip, body);
+}
+
+std::vector<Bytes> fragment_datagram(BytesView datagram, std::size_t pieces) {
+  auto parsed = parse_ipv4(datagram);
+  std::vector<Bytes> out;
+  if (!parsed.ok() || pieces <= 1) {
+    out.emplace_back(datagram.begin(), datagram.end());
+    return out;
+  }
+  const Ipv4View& v = parsed.value();
+  BytesView payload = v.payload;
+
+  // Fragment offsets must be multiples of 8 bytes; compute an even-ish split.
+  std::size_t unit_count = (payload.size() + 7) / 8;
+  pieces = std::min(pieces, std::max<std::size_t>(unit_count, 1));
+  std::size_t units_per_piece = std::max<std::size_t>(1, unit_count / pieces);
+
+  std::size_t offset_units = 0;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    std::size_t begin = offset_units * 8;
+    std::size_t end = (i + 1 == pieces)
+                          ? payload.size()
+                          : std::min(payload.size(),
+                                     (offset_units + units_per_piece) * 8);
+    if (begin >= payload.size()) break;
+
+    Ipv4Header h;
+    h.version = 4;
+    h.dscp_ecn = v.dscp_ecn;
+    h.identification = v.identification;
+    h.flag_dont_fragment = false;
+    h.flag_more_fragments = (end < payload.size());
+    h.fragment_offset_words = static_cast<std::uint16_t>(offset_units);
+    h.ttl = v.ttl;
+    h.protocol = v.protocol;
+    h.src = v.src;
+    h.dst = v.dst;
+    h.options = v.options;
+    out.push_back(serialize_ipv4(h, payload.subspan(begin, end - begin)));
+    offset_units += (end - begin) / 8 + (((end - begin) % 8) ? 1 : 0);
+    if (end == payload.size()) break;
+  }
+  return out;
+}
+
+}  // namespace liberate::netsim

@@ -1,0 +1,102 @@
+// packet.h — whole-datagram helpers: five-tuples, combined parsed views, and
+// builders that assemble IPv4+TCP/UDP/ICMP datagrams in one call.
+//
+// The wire unit everywhere in this library is `Bytes` holding one complete
+// serialized IPv4 datagram — exactly what a middlebox on the path sees.
+// PacketView objects hold spans INTO the datagram buffer and must not outlive
+// it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "netsim/icmp.h"
+#include "netsim/ipv4.h"
+#include "netsim/tcp.h"
+#include "netsim/udp.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace liberate::netsim {
+
+/// Connection identity. Ordered so it can key std::map; hashable for
+/// unordered containers.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  FiveTuple reversed() const {
+    return {dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+  auto operator<=>(const FiveTuple&) const = default;
+  std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const {
+    std::size_t h = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip);
+    std::size_t h2 = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(t.src_port) << 32) |
+        (static_cast<std::uint64_t>(t.dst_port) << 8) | t.protocol);
+    return h ^ (h2 + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+};
+
+/// A datagram parsed down through the transport layer (leniently — anomaly
+/// flags are set rather than failing). Spans reference the source buffer.
+struct PacketView {
+  Ipv4View ip;
+  std::optional<TcpView> tcp;   // set when protocol==6 and segment parseable
+  std::optional<UdpView> udp;   // set when protocol==17 and parseable
+  std::optional<IcmpMessage> icmp;
+
+  bool is_tcp() const { return tcp.has_value(); }
+  bool is_udp() const { return udp.has_value(); }
+
+  /// Application payload (after transport header), or the raw IP payload when
+  /// no transport header could be parsed.
+  BytesView app_payload() const {
+    if (tcp) return tcp->payload;
+    if (udp) return udp->payload;
+    return ip.payload;
+  }
+
+  FiveTuple five_tuple() const {
+    FiveTuple t;
+    t.src_ip = ip.src;
+    t.dst_ip = ip.dst;
+    t.protocol = ip.protocol;
+    if (tcp) {
+      t.src_port = tcp->src_port;
+      t.dst_port = tcp->dst_port;
+    } else if (udp) {
+      t.src_port = udp->src_port;
+      t.dst_port = udp->dst_port;
+    }
+    return t;
+  }
+};
+
+/// Parse an entire datagram. Transport parsing is skipped for IP fragments
+/// with nonzero offset (their payload is mid-stream bytes).
+Result<PacketView> parse_packet(BytesView datagram);
+
+/// Builders. When ip.protocol is kProtoUnset it is filled with the transport
+/// protocol; an explicit (possibly wrong) value is honored verbatim, which is
+/// how the "Wrong Protocol" inert technique is built.
+Bytes make_tcp_datagram(Ipv4Header ip, const TcpHeader& tcp, BytesView payload);
+Bytes make_udp_datagram(Ipv4Header ip, const UdpHeader& udp, BytesView payload);
+Bytes make_icmp_datagram(Ipv4Header ip, const IcmpMessage& msg);
+
+/// Split a serialized datagram into `pieces` IP fragments (8-byte-aligned
+/// offsets, MF flags set appropriately). Returns the original datagram if it
+/// cannot be split that many times.
+std::vector<Bytes> fragment_datagram(BytesView datagram, std::size_t pieces);
+
+}  // namespace liberate::netsim

@@ -1,0 +1,26 @@
+// simclock.h — virtual time. All experiment durations in the paper (5-second
+// replay rounds, 120 s flow timeouts, 23-minute characterization runs, the
+// 24-hour Figure 4 sweep) elapse in simulated time, so the whole evaluation
+// reproduces in milliseconds of wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace liberate::netsim {
+
+/// Microseconds since simulation start.
+using TimePoint = std::uint64_t;
+/// Microseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration microseconds(std::uint64_t us) { return us; }
+constexpr Duration milliseconds(std::uint64_t ms) { return ms * 1000; }
+constexpr Duration seconds(std::uint64_t s) { return s * 1000 * 1000; }
+constexpr Duration minutes(std::uint64_t m) { return m * 60 * 1000 * 1000; }
+constexpr Duration hours(std::uint64_t h) { return h * 3600ull * 1000 * 1000; }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace liberate::netsim

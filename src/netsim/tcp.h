@@ -1,0 +1,99 @@
+// tcp.h — TCP segment codec (header + options), with support for invalid
+// field values used by inert-packet evasion techniques.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace liberate::netsim {
+
+/// TCP flag bits, matching wire layout (low byte of the flags field).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+  static constexpr std::uint8_t kEce = 0x40;
+  static constexpr std::uint8_t kCwr = 0x80;
+};
+
+struct TcpOption {
+  std::uint8_t kind = 0;
+  Bytes data;
+
+  static TcpOption mss(std::uint16_t value) {
+    return {.kind = 2,
+            .data = {static_cast<std::uint8_t>(value >> 8),
+                     static_cast<std::uint8_t>(value)}};
+  }
+  static TcpOption nop() { TcpOption o; o.kind = 1; return o; }
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  /// Header length in 32-bit words; 0 = auto (5 + options). Values < 5 or
+  /// pointing past the segment are invalid ("Invalid Data Offset" row).
+  std::uint8_t data_offset_words = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  /// unset = auto-compute; set = use this exact (possibly wrong) value.
+  std::optional<std::uint16_t> checksum_override;
+  std::uint16_t urgent_ptr = 0;
+  std::vector<TcpOption> options;
+
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+};
+
+/// Serialize a TCP segment (header + payload). The checksum needs the IPv4
+/// pseudo-header, hence the src/dst parameters.
+Bytes serialize_tcp(const TcpHeader& header, BytesView payload,
+                    std::uint32_t src_ip, std::uint32_t dst_ip);
+
+struct TcpView {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset_words = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_ptr = 0;
+  std::vector<TcpOption> options;
+
+  std::size_t header_length = 0;  // effective bytes consumed
+  BytesView payload;
+
+  bool bad_data_offset = false;  // < 5 words or past end of segment
+  bool bad_options = false;
+
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+  /// SYN+FIN, or FIN without ACK-family context etc. — see is_invalid_flag_combo.
+  bool syn() const { return has(TcpFlags::kSyn); }
+  bool fin() const { return has(TcpFlags::kFin); }
+  bool rst() const { return has(TcpFlags::kRst); }
+  bool ack_flag() const { return has(TcpFlags::kAck); }
+};
+
+/// Lenient parse of a TCP segment from IP payload bytes.
+Result<TcpView> parse_tcp(BytesView segment);
+
+/// Whether the checksum of a serialized segment is correct given the
+/// pseudo-header addresses.
+bool tcp_checksum_ok(BytesView segment, std::uint32_t src_ip,
+                     std::uint32_t dst_ip);
+
+/// Mutually exclusive / nonsensical flag combinations (e.g. SYN|FIN,
+/// SYN|RST, FIN with no ACK and no SYN, or no flags at all).
+bool is_invalid_flag_combo(std::uint8_t flags);
+
+}  // namespace liberate::netsim

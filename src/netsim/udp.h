@@ -1,0 +1,55 @@
+// udp.h — UDP datagram codec, supporting invalid length/checksum values for
+// Table 3's UDP inert-packet rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace liberate::netsim {
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// unset = auto (8 + payload); set values may disagree with the payload
+  /// ("Length longer/shorter than payload" rows).
+  std::optional<std::uint16_t> length_override;
+  /// unset = auto-compute; 0 on the wire means "no checksum" (legal for UDP
+  /// over IPv4); any other explicit value is used verbatim.
+  std::optional<std::uint16_t> checksum_override;
+};
+
+Bytes serialize_udp(const UdpHeader& header, BytesView payload,
+                    std::uint32_t src_ip, std::uint32_t dst_ip);
+
+struct UdpView {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // declared
+  std::uint16_t checksum = 0;
+  BytesView payload;  // actual bytes after the 8-byte header
+
+  bool bad_length = false;     // declared != actual datagram size
+  bool length_short = false;   // declared < actual
+  bool length_long = false;    // declared > actual
+
+  /// Payload truncated to the declared length, when the declared length is
+  /// short — some stacks (Linux, Table 3 note 5) deliver exactly this.
+  BytesView declared_payload() const {
+    if (length >= 8 && static_cast<std::size_t>(length - 8) <= payload.size()) {
+      return payload.subspan(0, length - 8);
+    }
+    return payload;
+  }
+};
+
+Result<UdpView> parse_udp(BytesView datagram);
+
+/// Checksum verification needs the pseudo-header; a wire checksum of zero
+/// means "not computed" and always verifies for IPv4.
+bool udp_checksum_ok(BytesView datagram, std::uint32_t src_ip,
+                     std::uint32_t dst_ip);
+
+}  // namespace liberate::netsim

@@ -1,0 +1,97 @@
+#include "netsim/validation.h"
+
+#include "netsim/checksum.h"
+
+namespace liberate::netsim {
+
+AnomalySet anomalies_of(const PacketView& pkt) {
+  AnomalySet set = 0;
+  const Ipv4View& ip = pkt.ip;
+
+  if (ip.bad_version) set |= anomaly_bit(Anomaly::kBadIpVersion);
+  if (ip.bad_ihl) set |= anomaly_bit(Anomaly::kBadIpHeaderLength);
+  if (ip.total_length_long) set |= anomaly_bit(Anomaly::kIpTotalLengthLong);
+  if (ip.total_length_short) set |= anomaly_bit(Anomaly::kIpTotalLengthShort);
+  if (ip.bad_checksum) set |= anomaly_bit(Anomaly::kBadIpChecksum);
+  if (ip.bad_options) set |= anomaly_bit(Anomaly::kInvalidIpOptions);
+  if (ip.has_deprecated_option) {
+    set |= anomaly_bit(Anomaly::kDeprecatedIpOptions);
+  }
+  if (ip.is_fragment()) set |= anomaly_bit(Anomaly::kIpFragment);
+
+  const bool known_proto =
+      ip.protocol == static_cast<std::uint8_t>(IpProto::kTcp) ||
+      ip.protocol == static_cast<std::uint8_t>(IpProto::kUdp) ||
+      ip.protocol == static_cast<std::uint8_t>(IpProto::kIcmp);
+  if (!known_proto) set |= anomaly_bit(Anomaly::kUnknownIpProtocol);
+
+  if (pkt.tcp) {
+    const TcpView& tcp = *pkt.tcp;
+    if (tcp.bad_data_offset) set |= anomaly_bit(Anomaly::kBadTcpDataOffset);
+    if (is_invalid_flag_combo(tcp.flags)) {
+      set |= anomaly_bit(Anomaly::kInvalidTcpFlagCombo);
+    }
+    if (!tcp.payload.empty() && !tcp.ack_flag() && !tcp.syn() && !tcp.rst()) {
+      set |= anomaly_bit(Anomaly::kTcpDataNoAck);
+    }
+    if (!tcp_checksum_ok(ip.payload, ip.src, ip.dst)) {
+      set |= anomaly_bit(Anomaly::kBadTcpChecksum);
+    }
+  }
+  if (pkt.udp) {
+    const UdpView& udp = *pkt.udp;
+    if (udp.length_long) set |= anomaly_bit(Anomaly::kUdpLengthLong);
+    if (udp.length_short) set |= anomaly_bit(Anomaly::kUdpLengthShort);
+    if (!udp_checksum_ok(ip.payload, ip.src, ip.dst)) {
+      set |= anomaly_bit(Anomaly::kBadUdpChecksum);
+    }
+  }
+  return set;
+}
+
+std::string describe_anomalies(AnomalySet set) {
+  struct Name {
+    Anomaly a;
+    const char* name;
+  };
+  static const Name kNames[] = {
+      {Anomaly::kBadIpVersion, "bad-ip-version"},
+      {Anomaly::kBadIpHeaderLength, "bad-ip-header-length"},
+      {Anomaly::kIpTotalLengthLong, "ip-total-length-long"},
+      {Anomaly::kIpTotalLengthShort, "ip-total-length-short"},
+      {Anomaly::kBadIpChecksum, "bad-ip-checksum"},
+      {Anomaly::kUnknownIpProtocol, "unknown-ip-protocol"},
+      {Anomaly::kInvalidIpOptions, "invalid-ip-options"},
+      {Anomaly::kDeprecatedIpOptions, "deprecated-ip-options"},
+      {Anomaly::kBadTcpChecksum, "bad-tcp-checksum"},
+      {Anomaly::kBadTcpDataOffset, "bad-tcp-data-offset"},
+      {Anomaly::kInvalidTcpFlagCombo, "invalid-tcp-flag-combo"},
+      {Anomaly::kTcpDataNoAck, "tcp-data-no-ack"},
+      {Anomaly::kBadUdpChecksum, "bad-udp-checksum"},
+      {Anomaly::kUdpLengthLong, "udp-length-long"},
+      {Anomaly::kUdpLengthShort, "udp-length-short"},
+      {Anomaly::kTcpSeqOutOfWindow, "tcp-seq-out-of-window"},
+      {Anomaly::kIpFragment, "ip-fragment"},
+  };
+  std::string out;
+  for (const auto& n : kNames) {
+    if (has_anomaly(set, n.a)) {
+      if (!out.empty()) out += ",";
+      out += n.name;
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+ValidationPolicy ValidationPolicy::strict() {
+  ValidationPolicy p;
+  p.checked = ~0u & ~anomaly_bit(Anomaly::kIpFragment) &
+              ~anomaly_bit(Anomaly::kDeprecatedIpOptions);
+  return p;
+}
+
+ValidationPolicy ValidationPolicy::none() {
+  return ValidationPolicy{};
+}
+
+}  // namespace liberate::netsim

@@ -1,0 +1,80 @@
+#include "stack/ip_reassembly.h"
+
+#include <algorithm>
+
+namespace liberate::stack {
+
+using netsim::Ipv4Header;
+using netsim::Ipv4View;
+
+std::optional<Bytes> IpReassembler::push(BytesView datagram,
+                                         netsim::TimePoint now) {
+  auto parsed = netsim::parse_ipv4(datagram);
+  if (!parsed.ok()) return std::nullopt;
+  const Ipv4View& v = parsed.value();
+
+  if (!v.is_fragment()) {
+    return Bytes(datagram.begin(), datagram.end());
+  }
+
+  Key key{v.src, v.dst, v.protocol, v.identification};
+  Buffer& buf = buffers_[key];
+  if (buf.pieces.empty()) buf.first_seen = now;
+
+  std::size_t offset = v.fragment_offset_bytes();
+  buf.pieces.push_back(
+      Piece{offset, Bytes(v.payload.begin(), v.payload.end())});
+  if (!v.flag_more_fragments) {
+    buf.total_size = offset + v.payload.size();
+  }
+  if (offset == 0) {
+    Ipv4Header h;
+    h.version = 4;
+    h.dscp_ecn = v.dscp_ecn;
+    h.identification = v.identification;
+    h.ttl = v.ttl;
+    h.protocol = v.protocol;
+    h.src = v.src;
+    h.dst = v.dst;
+    h.options = v.options;
+    buf.header = h;
+  }
+
+  // Completion check: we need the last piece, the first piece, and full
+  // coverage of [0, total_size).
+  if (!buf.total_size || !buf.header) return std::nullopt;
+  std::vector<Piece> sorted = buf.pieces;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Piece& a, const Piece& b) { return a.offset < b.offset; });
+  std::size_t covered = 0;
+  for (const Piece& p : sorted) {
+    if (p.offset > covered) return std::nullopt;  // gap
+    covered = std::max(covered, p.offset + p.data.size());
+  }
+  if (covered < *buf.total_size) return std::nullopt;
+
+  // Reassemble; later bytes win on overlap (first-writer order preserved by
+  // writing in sorted order, which matches "last fragment wins" semantics of
+  // common stacks closely enough for our experiments).
+  Bytes payload(*buf.total_size, 0);
+  for (const Piece& p : sorted) {
+    std::size_t n = std::min(p.data.size(), payload.size() - p.offset);
+    std::copy_n(p.data.begin(), n,
+                payload.begin() + static_cast<std::ptrdiff_t>(p.offset));
+  }
+  Bytes whole = serialize_ipv4(*buf.header, payload);
+  buffers_.erase(key);
+  return whole;
+}
+
+void IpReassembler::expire(netsim::TimePoint now) {
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (now - it->second.first_seen > timeout_) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace liberate::stack

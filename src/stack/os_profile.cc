@@ -1,0 +1,78 @@
+#include "stack/os_profile.h"
+
+namespace liberate::stack {
+
+using netsim::Anomaly;
+using netsim::anomaly_bit;
+using netsim::AnomalySet;
+using netsim::has_anomaly;
+
+namespace {
+
+// Anomalies every mainstream OS validates and silently drops on.
+AnomalySet common_dropped() {
+  return anomaly_bit(Anomaly::kBadIpVersion) |
+         anomaly_bit(Anomaly::kBadIpHeaderLength) |
+         anomaly_bit(Anomaly::kIpTotalLengthLong) |
+         anomaly_bit(Anomaly::kIpTotalLengthShort) |
+         anomaly_bit(Anomaly::kBadIpChecksum) |
+         anomaly_bit(Anomaly::kUnknownIpProtocol) |
+         anomaly_bit(Anomaly::kBadTcpChecksum) |
+         anomaly_bit(Anomaly::kBadTcpDataOffset) |
+         anomaly_bit(Anomaly::kTcpDataNoAck) |
+         anomaly_bit(Anomaly::kBadUdpChecksum) |
+         anomaly_bit(Anomaly::kUdpLengthLong) |
+         anomaly_bit(Anomaly::kTcpSeqOutOfWindow);
+}
+
+}  // namespace
+
+OsAction OsProfile::decide(AnomalySet anomalies) const {
+  if (anomalies == 0) return OsAction::kDeliver;
+
+  // Windows answers a RST to nonsense flag combinations instead of staying
+  // silent — worse than a drop for evasion, since the RST can tear down the
+  // very connection the inert packet was inserted into (Table 3 note 6).
+  if (rst_on_invalid_flag_combo &&
+      has_anomaly(anomalies, Anomaly::kInvalidTcpFlagCombo)) {
+    return OsAction::kRespondRst;
+  }
+
+  if (dropped & anomalies) return OsAction::kDrop;
+
+  // Linux: a UDP datagram whose declared length is shorter than its payload
+  // is delivered, but only up to the declared length (Table 3 note 5).
+  if (truncate_short_udp && has_anomaly(anomalies, Anomaly::kUdpLengthShort)) {
+    return OsAction::kDeliverTruncated;
+  }
+
+  return OsAction::kDeliver;
+}
+
+OsProfile OsProfile::linux_profile() {
+  OsProfile p;
+  p.name = "Linux";
+  p.dropped = common_dropped() | anomaly_bit(Anomaly::kInvalidTcpFlagCombo);
+  p.truncate_short_udp = true;
+  // Invalid and deprecated IP options are NOT dropped: they reach the app.
+  return p;
+}
+
+OsProfile OsProfile::macos_profile() {
+  OsProfile p;
+  p.name = "MacOS";
+  p.dropped = common_dropped() | anomaly_bit(Anomaly::kInvalidTcpFlagCombo) |
+              anomaly_bit(Anomaly::kUdpLengthShort);
+  return p;
+}
+
+OsProfile OsProfile::windows_profile() {
+  OsProfile p;
+  p.name = "Windows";
+  p.dropped = common_dropped() | anomaly_bit(Anomaly::kInvalidIpOptions) |
+              anomaly_bit(Anomaly::kUdpLengthShort);
+  p.rst_on_invalid_flag_combo = true;
+  return p;
+}
+
+}  // namespace liberate::stack

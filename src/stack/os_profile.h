@@ -1,0 +1,46 @@
+// os_profile.h — per-OS packet acceptance behaviour.
+//
+// Table 3's rightmost "Server Response" columns record, for every inert-packet
+// technique, whether Linux / macOS / Windows drops the crafted packet (good
+// for unilateral evasion) or lets it reach the application (side effects).
+// The paper's observations, encoded here:
+//   * invalid IP options   — delivered by Linux and macOS, dropped by Windows;
+//   * deprecated IP options — delivered by every OS;
+//   * invalid TCP flag combos — silently dropped by Linux/macOS, but Windows
+//     answers with a RST (note 6), which can kill the real connection;
+//   * UDP length shorter than payload — Linux delivers the payload truncated
+//     to the declared length (note 5); macOS/Windows drop;
+//   * everything else malformed — dropped by all three.
+#pragma once
+
+#include <string>
+
+#include "netsim/validation.h"
+
+namespace liberate::stack {
+
+enum class OsAction {
+  kDeliver,           // packet accepted, payload reaches the application
+  kDrop,              // silently discarded
+  kRespondRst,        // discarded and answered with a RST segment
+  kDeliverTruncated,  // UDP: deliver payload cut to the declared length
+};
+
+struct OsProfile {
+  std::string name;
+  /// Anomalies that cause a silent drop.
+  netsim::AnomalySet dropped = 0;
+  /// Windows behaviour: invalid flag combination answered with RST.
+  bool rst_on_invalid_flag_combo = false;
+  /// Linux behaviour: short-declared UDP delivered truncated.
+  bool truncate_short_udp = false;
+
+  /// Decide what this OS does with a packet exhibiting `anomalies`.
+  OsAction decide(netsim::AnomalySet anomalies) const;
+
+  static OsProfile linux_profile();
+  static OsProfile macos_profile();
+  static OsProfile windows_profile();
+};
+
+}  // namespace liberate::stack

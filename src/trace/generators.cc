@@ -1,0 +1,268 @@
+#include "trace/generators.h"
+
+#include "dpi/stun_parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace liberate::trace {
+
+namespace {
+
+constexpr std::size_t kBodyChunk = 8 * 1024;  // server message granularity
+
+Message client_msg(Bytes payload, std::uint64_t gap_us = 0) {
+  return Message{Sender::kClient, std::move(payload), gap_us};
+}
+Message server_msg(Bytes payload, std::uint64_t gap_us = 0) {
+  return Message{Sender::kServer, std::move(payload), gap_us};
+}
+
+}  // namespace
+
+ApplicationTrace make_http_trace(const std::string& app_name,
+                                 const HttpTraceOptions& options) {
+  ApplicationTrace trace;
+  trace.app_name = app_name;
+  trace.transport = Transport::kTcp;
+  trace.server_port = options.server_port;
+
+  std::string request = format(
+      "GET %s HTTP/1.1\r\n"
+      "Host: %s\r\n"
+      "User-Agent: %s\r\n"
+      "Accept: */*\r\n"
+      "Connection: keep-alive\r\n"
+      "\r\n",
+      options.path.c_str(), options.host.c_str(), options.user_agent.c_str());
+  trace.messages.push_back(client_msg(to_bytes(request)));
+
+  std::string head = format(
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Server: nginx/1.14.0\r\n"
+      "\r\n",
+      options.content_type.c_str(), options.response_body_bytes);
+  trace.messages.push_back(server_msg(to_bytes(head)));
+
+  Rng rng(options.seed);
+  std::size_t remaining = options.response_body_bytes;
+  while (remaining > 0) {
+    std::size_t n = std::min(remaining, options.chunk_bytes);
+    trace.messages.push_back(server_msg(rng.bytes(n)));
+    remaining -= n;
+  }
+  return trace;
+}
+
+ApplicationTrace make_tls_trace(const std::string& app_name,
+                                const TlsTraceOptions& options) {
+  ApplicationTrace trace;
+  trace.app_name = app_name;
+  trace.transport = Transport::kTcp;
+  trace.server_port = options.server_port;
+  Rng rng(options.seed);
+
+  // --- ClientHello with SNI ---
+  ByteWriter ext;
+  const std::string& sni = options.sni;
+  ext.u16(0);  // server_name extension
+  ext.u16(static_cast<std::uint16_t>(sni.size() + 5));
+  ext.u16(static_cast<std::uint16_t>(sni.size() + 3));
+  ext.u8(0);
+  ext.u16(static_cast<std::uint16_t>(sni.size()));
+  ext.raw(sni);
+
+  ByteWriter body;
+  body.u16(0x0303);
+  for (int i = 0; i < 32; ++i) body.u8(rng.byte());
+  body.u8(0);
+  body.u16(4);  // two cipher suites
+  body.u16(0x1301);
+  body.u16(0x1302);
+  body.u8(1);
+  body.u8(0);
+  body.u16(static_cast<std::uint16_t>(ext.size()));
+  body.raw(ext.bytes());
+
+  ByteWriter hs;
+  hs.u8(1);
+  hs.u24(static_cast<std::uint32_t>(body.size()));
+  hs.raw(body.bytes());
+
+  ByteWriter record;
+  record.u8(22);
+  record.u16(0x0301);
+  record.u16(static_cast<std::uint16_t>(hs.size()));
+  record.raw(hs.bytes());
+  trace.messages.push_back(client_msg(std::move(record).take()));
+
+  // --- ServerHello-ish handshake blob ---
+  ByteWriter sh;
+  sh.u8(22);
+  sh.u16(0x0303);
+  Bytes sh_body = rng.bytes(96);
+  sh.u16(static_cast<std::uint16_t>(sh_body.size()));
+  sh.raw(sh_body);
+  trace.messages.push_back(server_msg(std::move(sh).take()));
+
+  // --- Client Finished-ish record ---
+  ByteWriter fin;
+  fin.u8(20);  // change_cipher_spec
+  fin.u16(0x0303);
+  fin.u16(1);
+  fin.u8(1);
+  trace.messages.push_back(client_msg(std::move(fin).take()));
+
+  // --- Application data records (opaque) ---
+  std::size_t remaining = options.response_body_bytes;
+  while (remaining > 0) {
+    std::size_t n = std::min<std::size_t>(remaining, kBodyChunk);
+    ByteWriter rec;
+    rec.u8(23);  // application_data
+    rec.u16(0x0303);
+    rec.u16(static_cast<std::uint16_t>(n));
+    rec.raw(rng.bytes(n));
+    trace.messages.push_back(server_msg(std::move(rec).take()));
+    remaining -= n;
+  }
+  return trace;
+}
+
+ApplicationTrace make_skype_trace(const SkypeTraceOptions& options) {
+  ApplicationTrace trace;
+  trace.app_name = "Skype";
+  trace.transport = Transport::kUdp;
+  trace.server_port = options.server_port;
+  Rng rng(options.seed);
+
+  // First client packet: STUN Binding Request with MS-SERVICE-QUALITY.
+  dpi::StunMessage req;
+  req.message_type = 0x0001;
+  req.transaction_id = rng.bytes(12);
+  req.attributes.push_back(dpi::StunAttribute{
+      dpi::kStunAttrMsServiceQuality, {0x00, 0x01, 0x00, 0x00, 0x00, 0x01}});
+  req.attributes.push_back(dpi::StunAttribute{0x0006, to_bytes("skypeuser")});
+  trace.messages.push_back(client_msg(dpi::serialize_stun(req)));
+
+  // STUN Binding Response from the server.
+  dpi::StunMessage resp;
+  resp.message_type = 0x0101;
+  resp.transaction_id = req.transaction_id;
+  resp.attributes.push_back(
+      dpi::StunAttribute{0x0020, {0x00, 0x01, 0x1f, 0x40, 1, 2, 3, 4}});
+  trace.messages.push_back(server_msg(dpi::serialize_stun(resp)));
+
+  // RTP-like voice payloads, alternating directions, 20 ms apart.
+  for (std::size_t i = 0; i < options.voice_packets; ++i) {
+    Bytes pkt = rng.bytes(options.voice_packet_bytes);
+    pkt[0] = 0x80;  // RTP version 2
+    if (i % 2 == 0) {
+      trace.messages.push_back(client_msg(std::move(pkt), 20000));
+    } else {
+      trace.messages.push_back(server_msg(std::move(pkt), 20000));
+    }
+  }
+  return trace;
+}
+
+ApplicationTrace make_generic_udp_trace(std::uint64_t seed,
+                                        std::uint16_t port) {
+  ApplicationTrace trace;
+  trace.app_name = "GenericUdpApp";
+  trace.transport = Transport::kUdp;
+  trace.server_port = port;
+  Rng rng(seed);
+  for (int i = 0; i < 12; ++i) {
+    Bytes payload = rng.bytes(200 + rng.below(400));
+    // Keep it plainly non-STUN/non-RTP.
+    payload[0] = 'Q';
+    payload[1] = 'D';
+    if (i % 3 == 2) {
+      trace.messages.push_back(server_msg(std::move(payload), 5000));
+    } else {
+      trace.messages.push_back(client_msg(std::move(payload), 5000));
+    }
+  }
+  return trace;
+}
+
+ApplicationTrace amazon_video_trace(std::size_t body_bytes) {
+  HttpTraceOptions o;
+  // Amazon Prime Video fetches segments from CloudFront; both T-Mobile's and
+  // the testbed's rules key on this hostname (§6.2).
+  o.host = "d25xi40x97liuc.cloudfront.net";
+  o.path = "/video/segment-1.mp4";
+  o.user_agent = "AmazonVideo/5.0 (Linux)";
+  o.content_type = "video/mp4";
+  o.response_body_bytes = body_bytes;
+  o.seed = 11;
+  auto t = make_http_trace("AmazonPrimeVideo", o);
+  return t;
+}
+
+ApplicationTrace spotify_trace(std::size_t body_bytes) {
+  HttpTraceOptions o;
+  o.host = "api.spotify.com";
+  o.path = "/v1/track/4uLU6hMCjMI75M1A2tKUQC/stream";
+  o.user_agent = "Spotify/8.4 (Linux)";
+  o.content_type = "audio/ogg";
+  o.response_body_bytes = body_bytes;
+  o.seed = 12;
+  return make_http_trace("Spotify", o);
+}
+
+ApplicationTrace youtube_tls_trace(std::size_t body_bytes) {
+  TlsTraceOptions o;
+  o.sni = "r4---sn-p5qlsnz6.googlevideo.com";
+  o.response_body_bytes = body_bytes;
+  o.seed = 13;
+  return make_tls_trace("YouTube", o);
+}
+
+ApplicationTrace nbcsports_trace(std::size_t body_bytes) {
+  HttpTraceOptions o;
+  o.host = "vod.nbcsports.com";
+  o.path = "/highlights/game7.mp4";
+  o.user_agent = "Mozilla/5.0";
+  o.content_type = "video/mp4";
+  o.response_body_bytes = body_bytes;
+  o.chunk_bytes = 64 * 1024;  // long video: coarse recording granularity
+  o.seed = 14;
+  return make_http_trace("NBCSports", o);
+}
+
+ApplicationTrace economist_trace() {
+  HttpTraceOptions o;
+  o.host = "www.economist.com";
+  o.path = "/news/china/index.html";
+  o.user_agent = "Mozilla/5.0";
+  o.content_type = "text/html";
+  o.response_body_bytes = 3 * 1024;  // ~4 KB per replay round (§6.5)
+  o.seed = 15;
+  return make_http_trace("EconomistWeb", o);
+}
+
+ApplicationTrace facebook_trace() {
+  HttpTraceOptions o;
+  o.host = "www.facebook.com";
+  o.path = "/home.php";
+  o.user_agent = "Mozilla/5.0";
+  o.content_type = "text/html";
+  o.response_body_bytes = 3 * 1024;
+  o.seed = 16;
+  return make_http_trace("FacebookWeb", o);
+}
+
+ApplicationTrace plain_web_trace() {
+  HttpTraceOptions o;
+  o.host = "www.plain-example.org";
+  o.path = "/index.html";
+  o.user_agent = "Mozilla/5.0";
+  o.content_type = "text/html";
+  o.response_body_bytes = 3 * 1024;
+  o.seed = 17;
+  return make_http_trace("PlainWeb", o);
+}
+
+}  // namespace liberate::trace

@@ -1,0 +1,76 @@
+// generators.h — byte-accurate application traffic generators.
+//
+// These produce the traces the paper records and replays: HTTP video/music
+// sessions (Amazon Prime Video, Spotify, NBCSports, economist.com,
+// facebook.com), TLS sessions with SNI (YouTube via googlevideo.com), and
+// Skype's STUN-based UDP session carrying the MS-SERVICE-QUALITY attribute.
+// The classification rules in dpi/profiles.cc key on fields these generators
+// emit — exactly the coupling the real systems have.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace liberate::trace {
+
+struct HttpTraceOptions {
+  std::string host = "www.primevideo.com";
+  std::string path = "/video/segment-1.mp4";
+  std::string user_agent = "AmazonVideo/5.0 (Linux)";
+  std::string content_type = "video/mp4";
+  /// Total response body bytes (the download that gets shaped/zero-rated).
+  std::size_t response_body_bytes = 200 * 1024;
+  /// Server message granularity: how many body bytes per recorded message.
+  /// Larger chunks keep the blinding search's per-message pruning cost low
+  /// for big traces (the AT&T video sessions).
+  std::size_t chunk_bytes = 8 * 1024;
+  std::uint16_t server_port = 80;
+  std::uint64_t seed = 1;
+};
+
+/// A single HTTP request/response exchange with a chunked body.
+ApplicationTrace make_http_trace(const std::string& app_name,
+                                 const HttpTraceOptions& options);
+
+struct TlsTraceOptions {
+  std::string sni = "r4---sn-p5qlsnz6.googlevideo.com";
+  std::size_t response_body_bytes = 200 * 1024;
+  std::uint16_t server_port = 443;
+  std::uint64_t seed = 2;
+};
+
+/// A TLS session: ClientHello (with SNI), ServerHello-ish response, then
+/// opaque application-data records.
+ApplicationTrace make_tls_trace(const std::string& app_name,
+                                const TlsTraceOptions& options);
+
+struct SkypeTraceOptions {
+  std::size_t voice_packets = 40;
+  std::size_t voice_packet_bytes = 160;
+  std::uint16_t server_port = 3478;
+  std::uint64_t seed = 3;
+};
+
+/// Skype-like UDP flow: STUN binding request carrying MS-SERVICE-QUALITY
+/// (0x8055) in the FIRST client packet (§6.1), a STUN response, then
+/// RTP-like voice payloads.
+ApplicationTrace make_skype_trace(const SkypeTraceOptions& options);
+
+/// A generic UDP application that matches no classifier rule (the "class B"
+/// cover traffic for UDP misclassification tests).
+ApplicationTrace make_generic_udp_trace(std::uint64_t seed = 4,
+                                        std::uint16_t port = 9000);
+
+/// Canonical named traces used across tests/benches/examples, mirroring the
+/// applications named in §6.
+ApplicationTrace amazon_video_trace(std::size_t body_bytes = 200 * 1024);
+ApplicationTrace spotify_trace(std::size_t body_bytes = 60 * 1024);
+ApplicationTrace youtube_tls_trace(std::size_t body_bytes = 200 * 1024);
+ApplicationTrace nbcsports_trace(std::size_t body_bytes = 2 * 1024 * 1024);
+ApplicationTrace economist_trace();   // blocked in China (§6.5), 4 KB pages
+ApplicationTrace facebook_trace();    // blocked in Iran (§6.6)
+ApplicationTrace plain_web_trace();   // matches no rule anywhere
+
+}  // namespace liberate::trace

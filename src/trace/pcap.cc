@@ -1,0 +1,83 @@
+#include "trace/pcap.h"
+
+namespace liberate::trace {
+
+namespace {
+
+// pcap files are conventionally little-endian; ByteWriter is big-endian, so
+// write LE explicitly.
+void le16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void le32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+std::uint32_t rd32(BytesView d, std::size_t off) {
+  return static_cast<std::uint32_t>(d[off]) |
+         (static_cast<std::uint32_t>(d[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(d[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(d[off + 3]) << 24);
+}
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kLinkTypeRaw = 101;
+
+}  // namespace
+
+Bytes write_pcap(const std::vector<PcapRecord>& records) {
+  Bytes out;
+  le32(out, kMagic);
+  le16(out, 2);   // version major
+  le16(out, 4);   // version minor
+  le32(out, 0);   // thiszone
+  le32(out, 0);   // sigfigs
+  le32(out, 65535);  // snaplen
+  le32(out, kLinkTypeRaw);
+  for (const auto& r : records) {
+    le32(out, static_cast<std::uint32_t>(r.at / 1000000));  // ts_sec
+    le32(out, static_cast<std::uint32_t>(r.at % 1000000));  // ts_usec
+    le32(out, static_cast<std::uint32_t>(r.datagram.size()));  // incl_len
+    le32(out, static_cast<std::uint32_t>(r.datagram.size()));  // orig_len
+    out.insert(out.end(), r.datagram.begin(), r.datagram.end());
+  }
+  return out;
+}
+
+Result<std::vector<PcapRecord>> read_pcap(BytesView data) {
+  if (data.size() < 24) return Error("pcap: truncated global header");
+  if (rd32(data, 0) != kMagic) return Error("pcap: bad magic (or byteswapped)");
+  if (rd32(data, 20) != kLinkTypeRaw) {
+    return Error("pcap: unsupported link type (want LINKTYPE_RAW)");
+  }
+  std::vector<PcapRecord> records;
+  std::size_t off = 24;
+  while (off + 16 <= data.size()) {
+    std::uint32_t ts_sec = rd32(data, off);
+    std::uint32_t ts_usec = rd32(data, off + 4);
+    std::uint32_t incl = rd32(data, off + 8);
+    off += 16;
+    if (off + incl > data.size()) return Error("pcap: truncated record");
+    PcapRecord r;
+    r.at = static_cast<netsim::TimePoint>(ts_sec) * 1000000 + ts_usec;
+    r.datagram.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                      data.begin() + static_cast<std::ptrdiff_t>(off + incl));
+    records.push_back(std::move(r));
+    off += incl;
+  }
+  if (off != data.size()) return Error("pcap: trailing garbage");
+  return records;
+}
+
+Bytes tap_to_pcap(const netsim::TapElement& tap) {
+  std::vector<PcapRecord> records;
+  for (const auto& seen : tap.seen()) {
+    records.push_back(PcapRecord{seen.at, seen.datagram});
+  }
+  return write_pcap(records);
+}
+
+}  // namespace liberate::trace

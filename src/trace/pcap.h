@@ -1,0 +1,34 @@
+// pcap.h — classic libpcap file format export/import (LINKTYPE_RAW: each
+// record is one complete IPv4 datagram).
+//
+// Lets wire captures from TapElements and recorded traces be inspected with
+// standard tooling (tcpdump/wireshark), and round-trips within the library
+// for tests. Timestamps are virtual-simulation time.
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.h"
+#include "netsim/simclock.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace liberate::trace {
+
+struct PcapRecord {
+  netsim::TimePoint at = 0;  // microseconds
+  Bytes datagram;
+};
+
+/// Serialize records into a classic pcap byte stream (magic 0xa1b2c3d4,
+/// version 2.4, LINKTYPE_RAW=101, microsecond timestamps).
+Bytes write_pcap(const std::vector<PcapRecord>& records);
+
+/// Parse a pcap byte stream produced by write_pcap (or any classic
+/// little-endian pcap with LINKTYPE_RAW).
+Result<std::vector<PcapRecord>> read_pcap(BytesView data);
+
+/// Convenience: everything a tap saw, as a pcap stream.
+Bytes tap_to_pcap(const netsim::TapElement& tap);
+
+}  // namespace liberate::trace

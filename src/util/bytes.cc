@@ -1,0 +1,13 @@
+#include "util/bytes.h"
+
+namespace liberate {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace liberate

@@ -1,0 +1,79 @@
+// result.h — minimal expected-style result type (C++20; std::expected is C++23).
+//
+// Parse and protocol functions across the library return Result<T> instead of
+// throwing: malformed packets are the *normal* input of a DPI evasion tool, so
+// failure must be cheap, explicit and carry a reason string for diagnostics.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace liberate {
+
+/// Error carries a human-readable reason. Kept deliberately small: call sites
+/// that need machine-readable classification use dedicated enums (see
+/// netsim/validation.h) rather than parsing messages.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+/// Result<T> — either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(state_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(state_);
+  }
+
+  /// value() with a fallback, for call sites where failure has a benign default.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> specialization-ish helper: success/failure with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+  static Status success() { return Status(); }
+
+ private:
+  Error error_{std::string()};
+  bool failed_ = false;
+};
+
+}  // namespace liberate

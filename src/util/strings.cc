@@ -1,0 +1,104 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace liberate {
+
+namespace {
+char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::size_t ifind(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return 0;
+  if (needle.size() > haystack.size()) return std::string_view::npos;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (iequals(haystack.substr(i, needle.size()), needle)) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = ascii_lower(c);
+  return out;
+}
+
+std::string hex_dump(BytesView data, std::size_t max_bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (data.size() > max_bytes) out += " ...";
+  return out;
+}
+
+std::string printable(BytesView data, std::size_t max_bytes) {
+  std::string out;
+  std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = static_cast<char>(data[i]);
+    out.push_back(
+        std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+  }
+  if (data.size() > max_bytes) out += "...";
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace liberate

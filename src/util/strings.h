@@ -1,0 +1,36 @@
+// strings.h — small string helpers shared across parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace liberate {
+
+/// Case-insensitive ASCII comparison (HTTP header names, hostnames).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive substring search; returns npos if absent.
+std::size_t ifind(std::string_view haystack, std::string_view needle);
+
+/// Split on a delimiter; empty fields preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lowercase copy (ASCII only).
+std::string to_lower(std::string_view s);
+
+/// Hex dump of a byte span, e.g. "47 45 54 20" — used in logs and reports.
+std::string hex_dump(BytesView data, std::size_t max_bytes = 64);
+
+/// Printable rendering: ASCII kept, the rest as '.' — matching-field reports.
+std::string printable(BytesView data, std::size_t max_bytes = 80);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace liberate

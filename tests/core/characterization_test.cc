@@ -1,0 +1,110 @@
+#include "core/characterization.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.h"
+#include "util/strings.h"
+
+namespace liberate::core {
+namespace {
+
+std::string joined_fields(const CharacterizationReport& r) {
+  std::string all;
+  for (const auto& f : r.fields) all += to_string(BytesView(f.content)) + "|";
+  return all;
+}
+
+TEST(Characterization, TestbedHttpFindsHostField) {
+  auto env = dpi::make_testbed();
+  ReplayRunner runner(*env);
+  auto report = characterize_classifier(runner, trace::amazon_video_trace(16 * 1024));
+
+  EXPECT_NE(joined_fields(report).find("cloudfront"), std::string::npos);
+  // Per-packet matcher, first 5 packets (§6.1).
+  EXPECT_FALSE(report.position_sensitive);
+  ASSERT_TRUE(report.packet_limit.has_value());
+  EXPECT_EQ(*report.packet_limit, 5u);
+  EXPECT_FALSE(report.inspects_all_packets);
+  EXPECT_TRUE(report.match_and_forget());
+  EXPECT_FALSE(report.port_sensitive);
+  ASSERT_TRUE(report.middlebox_hops.has_value());
+  EXPECT_EQ(*report.middlebox_hops, env->hops_before_middlebox + 1);
+  // "at most 70 replay rounds" + prepend/port/TTL probes (§6.1).
+  EXPECT_LT(report.replay_rounds, 140);
+}
+
+TEST(Characterization, TestbedSkypeUdpFirstPacketRule) {
+  auto env = dpi::make_testbed();
+  ReplayRunner runner(*env);
+  auto report = characterize_classifier(runner, trace::make_skype_trace({}),
+                                        {.probe_ttl = false});
+  ASSERT_FALSE(report.fields.empty());
+  EXPECT_EQ(report.fields[0].message_index, 0u);  // first client packet
+  // Prepending one dummy packet changes the result (§6.1).
+  EXPECT_TRUE(report.position_sensitive);
+  EXPECT_FALSE(report.inspects_all_packets);
+}
+
+TEST(Characterization, TmusAnchorAndKeywords) {
+  auto env = dpi::make_tmus();
+  ReplayRunner runner(*env);
+  auto report = characterize_classifier(runner, trace::amazon_video_trace(220 * 1024));
+  EXPECT_NE(joined_fields(report).find("cloudfront"), std::string::npos);
+  // "prepending one packet with one byte of (dummy) data changes
+  // classification" (§6.2).
+  EXPECT_TRUE(report.position_sensitive);
+  EXPECT_FALSE(report.inspects_all_packets);
+  ASSERT_TRUE(report.middlebox_hops.has_value());
+  EXPECT_EQ(*report.middlebox_hops, 3);  // TTL = 3 suffices (§6.2)
+}
+
+TEST(Characterization, GfcKeywordsAndHops) {
+  auto env = dpi::make_gfc();
+  ReplayRunner runner(*env);
+  CharacterizationOptions opts;
+  opts.unique_port_per_round = true;  // §6.5: fresh ports per replay
+  auto report = characterize_classifier(runner, trace::economist_trace(), opts);
+
+  std::string fields = joined_fields(report);
+  EXPECT_NE(fields.find("GET"), std::string::npos);
+  EXPECT_NE(fields.find("economist"), std::string::npos);
+  EXPECT_TRUE(report.position_sensitive);  // dummy-byte prepend evades (§6.5)
+  EXPECT_FALSE(report.inspects_all_packets);
+  EXPECT_FALSE(report.port_sensitive);
+  ASSERT_TRUE(report.middlebox_hops.has_value());
+  EXPECT_EQ(*report.middlebox_hops, 10);  // "TTL of 10" (§6.5)
+  // §6.5 reports 86 replays for the blinding phase; stay in that ballpark.
+  EXPECT_LT(report.replay_rounds, 160);
+}
+
+TEST(Characterization, IranInspectsEveryPacketPort80Only) {
+  auto env = dpi::make_iran();
+  ReplayRunner runner(*env);
+  auto report = characterize_classifier(runner, trace::facebook_trace());
+
+  EXPECT_NE(joined_fields(report).find("facebook"), std::string::npos);
+  EXPECT_TRUE(report.inspects_all_packets);  // §6.6
+  EXPECT_FALSE(report.match_and_forget());
+  EXPECT_TRUE(report.port_sensitive);        // §6.6
+  ASSERT_TRUE(report.middlebox_hops.has_value());
+  EXPECT_EQ(*report.middlebox_hops, 8);      // "eight hops away" (§6.6)
+}
+
+TEST(Characterization, AttPortSensitiveProxy) {
+  auto env = dpi::make_att();
+  ReplayRunner runner(*env);
+  auto report = characterize_classifier(runner, trace::nbcsports_trace(1536 * 1024),
+                                        {.probe_ttl = false});
+  std::string fields = joined_fields(report);
+  // Request keywords and the response Content-Type both matter (§6.3).
+  EXPECT_NE(fields.find("GET"), std::string::npos);
+  bool response_field = false;
+  for (const auto& f : report.fields) {
+    if (f.message_index == 1) response_field = true;  // the response head
+  }
+  EXPECT_TRUE(response_field);
+  EXPECT_TRUE(report.port_sensitive);
+}
+
+}  // namespace
+}  // namespace liberate::core

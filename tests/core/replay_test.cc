@@ -1,0 +1,182 @@
+#include "core/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detection.h"
+#include "trace/generators.h"
+
+namespace liberate::core {
+namespace {
+
+TEST(Replay, CompletesCleanTraceOnSprint) {
+  auto env = dpi::make_sprint();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::amazon_video_trace(64 * 1024));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.payload_intact);
+  EXPECT_FALSE(outcome.blocked);
+  EXPECT_FALSE(runner.differentiated(outcome));
+}
+
+TEST(Replay, TestbedClassifiesVideoTrace) {
+  auto env = dpi::make_testbed();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::amazon_video_trace(64 * 1024));
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_FALSE(outcome.classifications.empty());
+  EXPECT_EQ(outcome.classifications[0].traffic_class, "video");
+  EXPECT_TRUE(runner.differentiated(outcome));
+  // The testbed shapes classified flows to 1.5 Mbps.
+  EXPECT_LT(outcome.goodput_mbps, 1.8);
+}
+
+TEST(Replay, TestbedDoesNotClassifyPlainTrace) {
+  auto env = dpi::make_testbed();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::plain_web_trace());
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.classifications.empty());
+  EXPECT_FALSE(runner.differentiated(outcome));
+}
+
+TEST(Replay, TestbedClassifiesSkypeUdp) {
+  auto env = dpi::make_testbed();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::make_skype_trace({}));
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_FALSE(outcome.classifications.empty());
+  EXPECT_EQ(outcome.classifications[0].traffic_class, "voip");
+}
+
+TEST(Replay, TmusZeroRatesVideo) {
+  auto env = dpi::make_tmus();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::amazon_video_trace(200 * 1024));
+  EXPECT_TRUE(outcome.completed);
+  // Zero-rated: the usage counter barely moved.
+  EXPECT_LT(outcome.usage_delta, outcome.expected_wire_bytes / 2);
+  EXPECT_TRUE(runner.differentiated(outcome));
+
+  // An unclassified trace counts fully.
+  auto plain = runner.run(trace::plain_web_trace());
+  EXPECT_FALSE(runner.differentiated(plain));
+}
+
+TEST(Replay, TmusClassifiesYoutubeSni) {
+  auto env = dpi::make_tmus();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::youtube_tls_trace(200 * 1024));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(runner.differentiated(outcome));
+}
+
+TEST(Replay, GfcBlocksEconomistWithRsts) {
+  auto env = dpi::make_gfc();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::economist_trace());
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_TRUE(outcome.blocked);
+  // "confirmed it is blocked by 3-5 RST packets" (§6.5).
+  // 3-5 injected per block event, plus stragglers for retransmissions.
+  EXPECT_GE(outcome.rsts_at_client, 3u);
+  EXPECT_LE(outcome.rsts_at_client, 14u);
+  EXPECT_TRUE(runner.differentiated(outcome));
+}
+
+TEST(Replay, GfcEscalatesAfterTwoBlockedReplays) {
+  auto env = dpi::make_gfc();
+  ReplayRunner runner(*env);
+  auto t = trace::economist_trace();
+  // Two blocked replays on the same port escalate...
+  EXPECT_TRUE(runner.run(t).blocked);
+  EXPECT_TRUE(runner.run(t).blocked);
+  // ...after which even innocuous content to the same server:port dies.
+  auto plain = trace::plain_web_trace();
+  plain.server_port = t.server_port;
+  auto outcome = runner.run(plain);
+  EXPECT_TRUE(outcome.blocked);
+  // A different port works.
+  ReplayOptions opts;
+  opts.server_port_override = 8081;
+  auto other = runner.run(trace::plain_web_trace(), opts);
+  EXPECT_TRUE(other.completed);
+}
+
+TEST(Replay, IranBlocksWith403AndTwoRsts) {
+  auto env = dpi::make_iran();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::facebook_trace());
+  EXPECT_TRUE(outcome.blocked);
+  EXPECT_TRUE(outcome.got_403);
+  EXPECT_GE(outcome.rsts_at_client, 2u);
+}
+
+TEST(Replay, IranIgnoresNonStandardPort) {
+  auto env = dpi::make_iran();
+  ReplayRunner runner(*env);
+  auto t = trace::facebook_trace();
+  t.server_port = 8080;
+  auto outcome = runner.run(t);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.blocked);
+}
+
+TEST(Replay, AttThrottlesPort80Video) {
+  auto env = dpi::make_att();
+  ReplayRunner runner(*env);
+  auto outcome = runner.run(trace::nbcsports_trace(1536 * 1024));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.payload_intact);
+  EXPECT_LT(outcome.goodput_mbps, 1.8);
+  EXPECT_TRUE(runner.differentiated(outcome));
+}
+
+TEST(Replay, AttLeavesOtherPortsAlone) {
+  auto env = dpi::make_att();
+  ReplayRunner runner(*env);
+  auto t = trace::nbcsports_trace(1536 * 1024);
+  t.server_port = 8443;
+  auto outcome = runner.run(t);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.goodput_mbps, 3.0);
+  EXPECT_FALSE(runner.differentiated(outcome));
+}
+
+TEST(Replay, UdpTraceCompletesEverywhereUnclassified) {
+  for (const char* name : {"tmus", "gfc", "iran"}) {
+    auto env = dpi::make_environment(name);
+    ReplayRunner runner(*env);
+    auto outcome = runner.run(trace::make_generic_udp_trace());
+    EXPECT_TRUE(outcome.completed) << name;
+    EXPECT_FALSE(runner.differentiated(outcome)) << name;
+  }
+}
+
+TEST(Detection, TestbedContentBasedDifferentiation) {
+  auto env = dpi::make_testbed();
+  ReplayRunner runner(*env);
+  auto result = detect_differentiation(runner, trace::amazon_video_trace(32 * 1024));
+  EXPECT_TRUE(result.differentiation);
+  EXPECT_TRUE(result.content_based);
+  EXPECT_EQ(result.rounds, 2);
+}
+
+TEST(Detection, SprintShowsNoDifferentiation) {
+  auto env = dpi::make_sprint();
+  ReplayRunner runner(*env);
+  auto result = detect_differentiation(runner, trace::amazon_video_trace(32 * 1024));
+  EXPECT_FALSE(result.differentiation);
+  EXPECT_FALSE(result.content_based);
+}
+
+TEST(Detection, GfcInvertedControlPassesCleanly) {
+  auto env = dpi::make_gfc();
+  ReplayRunner runner(*env);
+  auto result = detect_differentiation(runner, trace::economist_trace());
+  EXPECT_TRUE(result.differentiation);
+  EXPECT_TRUE(result.content_based);
+  EXPECT_TRUE(result.inverted.completed);
+}
+
+}  // namespace
+}  // namespace liberate::core

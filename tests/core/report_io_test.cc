@@ -1,0 +1,102 @@
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "trace/generators.h"
+
+namespace liberate::core {
+namespace {
+
+CharacterizationReport sample_report() {
+  CharacterizationReport r;
+  r.position_sensitive = true;
+  r.packet_limit = 5;
+  r.inspects_all_packets = false;
+  r.port_sensitive = true;
+  r.middlebox_hops = 8;
+  r.replay_rounds = 75;
+  r.bytes_replayed = 300 * 1024;
+  r.virtual_seconds = 600;
+  r.fields.push_back(MatchingField{0, 0, 3, to_bytes("GET")});
+  r.fields.push_back(MatchingField{0, 22, 12, to_bytes("facebook.com")});
+  return r;
+}
+
+TEST(ReportIo, RoundTripsEveryField) {
+  auto r = sample_report();
+  auto back = deserialize_report(serialize_report(r));
+  ASSERT_TRUE(back.ok());
+  const auto& b = back.value();
+  EXPECT_EQ(b.position_sensitive, r.position_sensitive);
+  EXPECT_EQ(b.packet_limit, r.packet_limit);
+  EXPECT_EQ(b.inspects_all_packets, r.inspects_all_packets);
+  EXPECT_EQ(b.port_sensitive, r.port_sensitive);
+  EXPECT_EQ(b.middlebox_hops, r.middlebox_hops);
+  EXPECT_EQ(b.replay_rounds, r.replay_rounds);
+  ASSERT_EQ(b.fields.size(), 2u);
+  EXPECT_EQ(to_string(BytesView(b.fields[1].content)), "facebook.com");
+  EXPECT_EQ(b.fields[1].offset, 22u);
+}
+
+TEST(ReportIo, OptionalAbsenceSurvives) {
+  CharacterizationReport r;
+  r.inspects_all_packets = true;  // Iran-shaped: no limit, no hops
+  auto back = deserialize_report(serialize_report(r));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value().packet_limit.has_value());
+  EXPECT_FALSE(back.value().middlebox_hops.has_value());
+  EXPECT_TRUE(back.value().inspects_all_packets);
+}
+
+TEST(ReportIo, RejectsGarbage) {
+  EXPECT_FALSE(deserialize_report(BytesView(to_bytes("XXXX"))).ok());
+  Bytes blob = serialize_report(sample_report());
+  blob.resize(blob.size() - 5);
+  EXPECT_FALSE(deserialize_report(blob).ok());
+}
+
+TEST(RuleCache, PublishAndLookup) {
+  RuleCache cache;
+  cache.publish("gfc", "economist", sample_report());
+  EXPECT_EQ(cache.entries(), 1u);
+  auto entry = cache.lookup("gfc", "economist");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->fields.size(), 2u);
+  EXPECT_FALSE(cache.lookup("gfc", "other").has_value());
+  // The shared blob is tiny compared to re-running characterization.
+  EXPECT_LT(cache.entry_bytes("gfc", "economist").value(), 256u);
+}
+
+// The paper's sharing story end-to-end: user A pays the characterization
+// cost against the censor, publishes; user B adopts the report and goes
+// straight to evasion — zero characterization rounds.
+TEST(RuleCache, SecondUserSkipsCharacterization) {
+  RuleCache cache;
+  auto app = trace::facebook_trace();
+
+  {
+    auto env = dpi::make_iran();
+    ReplayRunner runner(*env);
+    auto report = characterize_classifier(runner, app);
+    ASSERT_FALSE(report.fields.empty());
+    cache.publish("iran", app.app_name, report);
+  }
+
+  {
+    auto env = dpi::make_iran();
+    ReplayRunner runner(*env);
+    auto adopted = cache.lookup("iran", app.app_name);
+    ASSERT_TRUE(adopted.has_value());
+    const int rounds_before = runner.rounds();
+    EvasionEvaluator evaluator(runner, *adopted);
+    TcpSegmentSplit split(false);
+    auto outcome = evaluator.evaluate_one(split, app);
+    EXPECT_TRUE(outcome.evaded);
+    // Only the single evasion round ran; no blinding, no probing.
+    EXPECT_EQ(runner.rounds() - rounds_before, 1);
+  }
+}
+
+}  // namespace
+}  // namespace liberate::core

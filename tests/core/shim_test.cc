@@ -1,0 +1,237 @@
+#include "core/evasion/shim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evasion/registry.h"
+#include "netsim/network.h"
+#include "stack/host.h"
+
+namespace liberate::core {
+namespace {
+
+using namespace netsim;
+using stack::Host;
+using stack::OsProfile;
+using stack::TcpConnection;
+
+struct Rig {
+  EventLoop loop;
+  Network net{loop};
+  std::unique_ptr<EvasionShim> shim;
+  std::unique_ptr<Host> client;
+  Host server;
+  TapElement* tap;
+
+  explicit Rig(Technique* technique, TechniqueContext ctx)
+      : server(net.server_port(), ip_addr("10.9.9.9"),
+               OsProfile::linux_profile()) {
+    tap = &net.emplace<TapElement>("wire");
+    shim = std::make_unique<EvasionShim>(net.client_port(), technique,
+                                         std::move(ctx));
+    client = std::make_unique<Host>(*shim, ip_addr("10.0.0.1"),
+                                    OsProfile::linux_profile());
+    net.attach_client(client.get());
+    net.attach_server(&server);
+  }
+};
+
+TechniqueContext ctx_with_snippet(std::string snippet) {
+  TechniqueContext ctx;
+  ctx.matching_snippets = {to_bytes(snippet)};
+  ctx.decoy_payload = decoy_request_payload();
+  ctx.middlebox_ttl = 1;
+  return ctx;
+}
+
+const std::string kRequest =
+    "GET /v HTTP/1.1\r\nHost: www.primevideo.com\r\nUA: x\r\n\r\n";
+
+TEST(EvasionShim, PassThroughWithoutTechnique) {
+  Rig rig(nullptr, ctx_with_snippet("primevideo"));
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = rig.client->tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(std::string_view(kRequest)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(got, kRequest);
+  EXPECT_EQ(rig.shim->packets_injected(), 0u);
+}
+
+TEST(EvasionShim, InertInjectionPrecedesFirstPayload) {
+  InertInsertion inert(InertVariant::kWrongTcpChecksum);
+  Rig rig(&inert, ctx_with_snippet("primevideo"));
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = rig.client->tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(std::string_view(kRequest)); });
+  rig.loop.run_until_idle();
+
+  // The app stream is intact (the inert packet was dropped by the server OS).
+  EXPECT_EQ(got, kRequest);
+  EXPECT_EQ(rig.shim->packets_injected(), 1u);
+
+  // On the wire: a crafted packet with the decoy payload right before the
+  // real request, at the same sequence number.
+  std::optional<std::size_t> crafted_at;
+  std::optional<std::size_t> real_at;
+  for (std::size_t i = 0; i < rig.tap->seen().size(); ++i) {
+    auto p = parse_packet(rig.tap->seen()[i].datagram).value();
+    if (p.ip.identification == kCraftedIpId) crafted_at = i;
+    if (!real_at && to_string(p.app_payload()) == kRequest) real_at = i;
+  }
+  ASSERT_TRUE(crafted_at.has_value());
+  ASSERT_TRUE(real_at.has_value());
+  EXPECT_LT(*crafted_at, *real_at);
+}
+
+TEST(EvasionShim, SplitRewritesMatchingPacketOnly) {
+  TcpSegmentSplit split(/*reversed=*/false);
+  auto ctx = ctx_with_snippet("Host: www.primevideo.com");
+  Rig rig(&split, std::move(ctx));
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = rig.client->tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    conn.send(std::string_view(kRequest));
+    conn.send(std::string_view("harmless follow-up"));
+  });
+  rig.loop.run_until_idle();
+
+  // Reassembled correctly at the server despite the split.
+  EXPECT_EQ(got, kRequest + std::string("harmless follow-up"));
+
+  // No packet on the wire carries the full matching field.
+  for (const auto& seen : rig.tap->seen()) {
+    auto p = parse_packet(seen.datagram).value();
+    if (!p.is_tcp() || p.tcp->payload.empty()) continue;
+    std::string payload = to_string(p.tcp->payload);
+    EXPECT_EQ(payload.find("Host: www.primevideo.com"), std::string::npos);
+  }
+}
+
+TEST(EvasionShim, ReversedSplitArrivesIntact) {
+  TcpSegmentSplit split(/*reversed=*/true);
+  Rig rig(&split, ctx_with_snippet("Host: www.primevideo.com"));
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = rig.client->tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(std::string_view(kRequest)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(got, kRequest);  // server reassembles out-of-order segments
+}
+
+TEST(EvasionShim, FragmentedMatchingPacketReassembledByServer) {
+  IpFragmentSplit frag(/*reversed=*/false);
+  Rig rig(&frag, ctx_with_snippet("Host: www.primevideo.com"));
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = rig.client->tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(std::string_view(kRequest)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(got, kRequest);
+  // Fragments were on the wire.
+  std::size_t fragments = 0;
+  for (const auto& seen : rig.tap->seen()) {
+    auto p = parse_ipv4(seen.datagram).value();
+    if (p.is_fragment()) ++fragments;
+  }
+  EXPECT_GE(fragments, 2u);
+}
+
+TEST(EvasionShim, RstBeforeMatchDoesNotBreakConnection) {
+  RstBeforeMatch rst;
+  auto ctx = ctx_with_snippet("Host: www.primevideo.com");
+  ctx.middlebox_ttl = 1;  // would die at the first router; here: none, so it
+                          // reaches the server — the in-window RST must still
+                          // not kill the real connection... it would. Use a
+                          // router to absorb it instead.
+  EventLoop loop;
+  Network net{loop};
+  net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+  net.emplace<RouterHop>(ip_addr("10.1.0.2"));
+  auto shim = std::make_unique<EvasionShim>(net.client_port(), &rst, ctx);
+  Host client(*shim, ip_addr("10.0.0.1"), OsProfile::linux_profile());
+  Host server(net.server_port(), ip_addr("10.9.9.9"),
+              OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+
+  std::string got;
+  server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(std::string_view(kRequest)); });
+  loop.run_until_idle();
+  EXPECT_EQ(got, kRequest);
+  EXPECT_FALSE(conn.was_reset());
+}
+
+TEST(EvasionShim, UdpSwapReordersFirstTwoPackets) {
+  UdpReorder reorder;
+  TechniqueContext ctx;
+  Rig rig(&reorder, std::move(ctx));
+  std::vector<std::string> order;
+  auto& srv = rig.server.udp_bind(3478);
+  srv.on_receive([&](const stack::UdpSocket::Incoming& in) {
+    order.push_back(to_string(BytesView(in.payload)));
+  });
+  auto& cli = rig.client->udp_bind(5000);
+  cli.send_to(ip_addr("10.9.9.9"), 3478, BytesView(to_bytes("first")));
+  cli.send_to(ip_addr("10.9.9.9"), 3478, BytesView(to_bytes("second")));
+  cli.send_to(ip_addr("10.9.9.9"), 3478, BytesView(to_bytes("third")));
+  rig.loop.run_until_idle();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "second");
+  EXPECT_EQ(order[1], "first");
+  EXPECT_EQ(order[2], "third");
+}
+
+TEST(EvasionShim, MatchTtlOverrideOnlyHitsMatchingPackets) {
+  EventLoop loop;
+  Network net{loop};
+  auto& tap = net.emplace<TapElement>("wire");
+  auto shim = std::make_unique<EvasionShim>(net.client_port(), nullptr,
+                                            ctx_with_snippet("SECRET"));
+  shim->set_match_packet_ttl(5);
+  Host client(*shim, ip_addr("10.0.0.1"), OsProfile::linux_profile());
+  Host server(net.server_port(), ip_addr("10.9.9.9"),
+              OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+  server.tcp_listen(80, [](TcpConnection&) {});
+  auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    conn.send(std::string_view("innocuous"));
+    conn.send(std::string_view("with SECRET inside"));
+  });
+  loop.run_until_idle();
+
+  bool saw_ttl5_match = false;
+  for (const auto& seen : tap.seen()) {
+    auto p = parse_packet(seen.datagram).value();
+    if (!p.is_tcp() || p.tcp->payload.empty()) continue;
+    std::string s = to_string(p.tcp->payload);
+    if (s.find("SECRET") != std::string::npos) {
+      EXPECT_EQ(p.ip.ttl, 5);
+      EXPECT_FALSE(p.ip.bad_checksum);  // checksum kept consistent
+      saw_ttl5_match = true;
+    } else {
+      EXPECT_EQ(p.ip.ttl, 64);
+    }
+  }
+  EXPECT_TRUE(saw_ttl5_match);
+}
+
+}  // namespace
+}  // namespace liberate::core

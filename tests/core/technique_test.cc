@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "core/evasion/registry.h"
+#include "netsim/validation.h"
+
+namespace liberate::core {
+namespace {
+
+using namespace netsim;
+
+TEST(SplitPlan, CutsEveryFieldAndLeadsWithTinyPieces) {
+  // Payload of 100 bytes with a field at [40, 60).
+  auto lengths = split_plan(100, {{40, 60}}, 10);
+  ASSERT_GE(lengths.size(), 2u);
+  std::size_t total = 0;
+  for (auto l : lengths) total += l;
+  EXPECT_EQ(total, 100u);
+  // First pieces are 1 byte each.
+  EXPECT_EQ(lengths[0], 1u);
+  EXPECT_EQ(lengths[1], 1u);
+  // A boundary falls strictly inside the field (at its midpoint, 50).
+  std::size_t offset = 0;
+  bool cut_inside_field = false;
+  for (auto l : lengths) {
+    offset += l;
+    if (offset > 40 && offset < 60) cut_inside_field = true;
+  }
+  EXPECT_TRUE(cut_inside_field);
+}
+
+TEST(SplitPlan, RespectsPieceCap) {
+  auto lengths = split_plan(1000, {{100, 130}, {500, 530}, {900, 930}}, 4);
+  EXPECT_LE(lengths.size(), 4u);
+  // Field cuts survive the cap.
+  std::size_t offset = 0;
+  int cuts_in_fields = 0;
+  for (auto l : lengths) {
+    offset += l;
+    if ((offset > 100 && offset < 130) || (offset > 500 && offset < 530) ||
+        (offset > 900 && offset < 930)) {
+      ++cuts_in_fields;
+    }
+  }
+  EXPECT_EQ(cuts_in_fields, 3);
+}
+
+TEST(SplitPlan, TinyPayloadDegradesGracefully) {
+  EXPECT_EQ(split_plan(1, {}, 10).size(), 1u);
+  auto lengths = split_plan(3, {{0, 3}}, 10);
+  std::size_t total = 0;
+  for (auto l : lengths) total += l;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(MatchingRanges, FindsSnippetOffsets) {
+  Bytes payload = to_bytes("GET / HTTP/1.1\r\nHost: example.com\r\n");
+  std::vector<Bytes> snippets = {to_bytes("example.com"), to_bytes("GET")};
+  auto ranges = matching_ranges(payload, snippets);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_TRUE(contains_matching_field(payload, snippets));
+  EXPECT_FALSE(contains_matching_field(to_bytes("nothing here"), snippets));
+  EXPECT_FALSE(contains_matching_field({}, snippets));
+}
+
+TEST(Registry, FullSuiteCoversTable3Rows) {
+  auto suite = build_full_suite();
+  // 17 inert + 2 split + 3 reorder + 4 flush = 26 techniques.
+  EXPECT_EQ(suite.size(), 26u);
+  int inert = 0, split = 0, reorder = 0, flush = 0;
+  for (const auto& t : suite) {
+    switch (t->category()) {
+      case Category::kInertInsertion: ++inert; break;
+      case Category::kPayloadSplitting: ++split; break;
+      case Category::kPayloadReordering: ++reorder; break;
+      case Category::kClassificationFlushing: ++flush; break;
+    }
+  }
+  EXPECT_EQ(inert, 17);
+  EXPECT_EQ(split, 2);
+  EXPECT_EQ(reorder, 3);
+  EXPECT_EQ(flush, 4);
+}
+
+TEST(Registry, PruningDropsInertAndFlushForInspectAllClassifiers) {
+  auto suite = build_full_suite();
+  PruningFacts facts;
+  facts.inspects_all_packets = true;
+  auto ordered = ordered_suite(suite, facts);
+  for (const Technique* t : ordered) {
+    EXPECT_NE(t->category(), Category::kInertInsertion) << t->name();
+    EXPECT_NE(t->category(), Category::kClassificationFlushing) << t->name();
+  }
+  EXPECT_FALSE(ordered.empty());  // splitting/reordering remain
+}
+
+TEST(Registry, UdpFlowGetsUdpTechniquesOnly) {
+  auto suite = build_full_suite();
+  PruningFacts facts;
+  facts.udp_flow = true;
+  auto ordered = ordered_suite(suite, facts);
+  EXPECT_FALSE(ordered.empty());
+  for (const Technique* t : ordered) {
+    EXPECT_TRUE(t->applies_to_udp()) << t->name();
+  }
+}
+
+TEST(Registry, OrderingPutsCheapReorderingFirst) {
+  auto suite = build_full_suite();
+  auto ordered = ordered_suite(suite, PruningFacts{});
+  ASSERT_FALSE(ordered.empty());
+  EXPECT_EQ(ordered.front()->category(), Category::kPayloadReordering);
+}
+
+TEST(Inert, EachTcpVariantProducesItsAnomaly) {
+  // Craft a reference flow packet, then check the inert packet for each
+  // variant carries the right anomaly (or low TTL).
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  tcp.seq = 5000;
+  tcp.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  Bytes real = make_tcp_datagram(ip, tcp, to_bytes("GET /real HTTP/1.1"));
+  auto pkt = parse_packet(real).value();
+
+  TechniqueContext ctx;
+  ctx.decoy_payload = decoy_request_payload();
+  ctx.middlebox_ttl = 3;
+
+  struct Expect {
+    InertVariant variant;
+    Anomaly anomaly;
+  };
+  const Expect cases[] = {
+      {InertVariant::kInvalidIpVersion, Anomaly::kBadIpVersion},
+      {InertVariant::kInvalidIpHeaderLength, Anomaly::kBadIpHeaderLength},
+      {InertVariant::kIpTotalLengthLong, Anomaly::kIpTotalLengthLong},
+      {InertVariant::kIpTotalLengthShort, Anomaly::kIpTotalLengthShort},
+      {InertVariant::kWrongIpProtocol, Anomaly::kUnknownIpProtocol},
+      {InertVariant::kWrongIpChecksum, Anomaly::kBadIpChecksum},
+      {InertVariant::kInvalidIpOptions, Anomaly::kInvalidIpOptions},
+      {InertVariant::kDeprecatedIpOptions, Anomaly::kDeprecatedIpOptions},
+      {InertVariant::kWrongTcpChecksum, Anomaly::kBadTcpChecksum},
+      {InertVariant::kTcpNoAckFlag, Anomaly::kTcpDataNoAck},
+      {InertVariant::kInvalidTcpDataOffset, Anomaly::kBadTcpDataOffset},
+      {InertVariant::kInvalidTcpFlagCombo, Anomaly::kInvalidTcpFlagCombo},
+  };
+  for (const auto& c : cases) {
+    InertInsertion t(c.variant);
+    FlowShimState state;
+    auto out = t.inject_before_first_payload(pkt, state, ctx);
+    ASSERT_EQ(out.size(), 1u) << t.name();
+    auto crafted = parse_packet(out[0].datagram).value();
+    EXPECT_TRUE(has_anomaly(anomalies_of(crafted), c.anomaly)) << t.name();
+    // Stamped for RS? tracking.
+    EXPECT_EQ(crafted.ip.identification, kCraftedIpId) << t.name();
+  }
+}
+
+TEST(Inert, LowTtlVariantUsesMiddleboxTtl) {
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  tcp.seq = 777;
+  Bytes real = make_tcp_datagram(ip, tcp, to_bytes("data"));
+  auto pkt = parse_packet(real).value();
+
+  TechniqueContext ctx;
+  ctx.decoy_payload = decoy_request_payload();
+  ctx.middlebox_ttl = 7;
+  InertInsertion t(InertVariant::kLowTtl);
+  FlowShimState state;
+  auto out = t.inject_before_first_payload(pkt, state, ctx);
+  ASSERT_EQ(out.size(), 1u);
+  auto crafted = parse_packet(out[0].datagram).value();
+  EXPECT_EQ(crafted.ip.ttl, 7);
+  EXPECT_EQ(anomalies_of(crafted), 0u);  // perfectly valid otherwise
+  EXPECT_EQ(crafted.tcp->seq, 777u);     // sits at the real payload's seq
+}
+
+TEST(Inert, InjectsOnlyOnce) {
+  Ipv4Header ip;
+  ip.src = 1;
+  ip.dst = 2;
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  Bytes real = make_tcp_datagram(ip, tcp, to_bytes("x"));
+  auto pkt = parse_packet(real).value();
+  TechniqueContext ctx;
+  ctx.decoy_payload = decoy_request_payload();
+  InertInsertion t(InertVariant::kLowTtl);
+  FlowShimState state;
+  EXPECT_EQ(t.inject_before_first_payload(pkt, state, ctx).size(), 1u);
+  EXPECT_EQ(t.inject_before_first_payload(pkt, state, ctx).size(), 0u);
+}
+
+TEST(Flush, TimingPlansMatchParameters) {
+  TechniqueContext ctx;
+  ctx.pause_seconds = 130;
+  PauseBeforeMatch before;
+  EXPECT_DOUBLE_EQ(before.timing(ctx).pause_before_match_s, 130.0);
+  EXPECT_DOUBLE_EQ(before.timing(ctx).pause_after_match_s, 0.0);
+  PauseAfterMatch after;
+  EXPECT_DOUBLE_EQ(after.timing(ctx).pause_after_match_s, 130.0);
+  RstAfterMatch rst;
+  EXPECT_GT(rst.timing(ctx).pause_after_match_s, 10.0);
+}
+
+TEST(Decoy, PayloadMatchesBenignRuleShape) {
+  Bytes d = decoy_request_payload();
+  std::string s = to_string(d);
+  EXPECT_EQ(s.rfind("GET ", 0), 0u);  // anchored-GET classifiers accept it
+  EXPECT_NE(s.find("news-decoy.example.net"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace liberate::core

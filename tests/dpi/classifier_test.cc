@@ -1,0 +1,492 @@
+#include "dpi/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "dpi/stun_parser.h"
+
+namespace liberate::dpi {
+namespace {
+
+using namespace netsim;
+
+constexpr auto kC2S = Direction::kClientToServer;
+constexpr auto kS2C = Direction::kServerToClient;
+
+// Small harness that crafts flow packets with coherent sequence numbers.
+struct FlowSim {
+  std::uint32_t client_ip = ip_addr("10.0.0.1");
+  std::uint32_t server_ip = ip_addr("10.9.9.9");
+  std::uint16_t client_port = 40000;
+  std::uint16_t server_port = 80;
+  std::uint32_t cseq = 1000;
+  std::uint32_t sseq = 9000;
+
+  Bytes packet(Direction dir, std::uint8_t flags, BytesView payload,
+               std::optional<std::uint32_t> seq_override = std::nullopt) {
+    TcpHeader h;
+    Ipv4Header ip;
+    if (dir == kC2S) {
+      h.src_port = client_port;
+      h.dst_port = server_port;
+      h.seq = seq_override.value_or(cseq);
+      h.ack = sseq;
+      ip.src = client_ip;
+      ip.dst = server_ip;
+      if (!seq_override) {
+        cseq += static_cast<std::uint32_t>(payload.size()) +
+                ((flags & TcpFlags::kSyn) ? 1 : 0);
+      }
+    } else {
+      h.src_port = server_port;
+      h.dst_port = client_port;
+      h.seq = seq_override.value_or(sseq);
+      h.ack = cseq;
+      ip.src = server_ip;
+      ip.dst = client_ip;
+      if (!seq_override) {
+        sseq += static_cast<std::uint32_t>(payload.size()) +
+                ((flags & TcpFlags::kSyn) ? 1 : 0);
+      }
+    }
+    h.flags = flags;
+    return make_tcp_datagram(ip, h, payload);
+  }
+
+  Bytes syn() { return packet(kC2S, TcpFlags::kSyn, {}); }
+  Bytes synack() { return packet(kS2C, TcpFlags::kSyn | TcpFlags::kAck, {}); }
+  Bytes data(std::string_view s) {
+    return packet(kC2S, TcpFlags::kAck | TcpFlags::kPsh, to_bytes(s));
+  }
+  Bytes rst() { return packet(kC2S, TcpFlags::kRst, {}); }
+};
+
+Inspection feed(DpiEngine& eng, const Bytes& dgram, Direction dir,
+                TimePoint now = 0) {
+  return eng.inspect(parse_packet(dgram).value(), dir, now);
+}
+
+std::vector<MatchRule> video_rules(bool anchored = false) {
+  MatchRule r;
+  r.name = "video";
+  r.traffic_class = "video";
+  r.keywords = {"Host: www.primevideo.com"};
+  r.anchored = anchored;
+  return {r};
+}
+
+const std::string kRequest =
+    "GET /v HTTP/1.1\r\nHost: www.primevideo.com\r\nUA: x\r\n\r\n";
+
+TEST(DpiEngine, PerPacketMatchesAndSticks) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kPerPacket;
+  c.packet_inspection_limit = 5;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  feed(eng, f.synack(), kS2C);
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_TRUE(insp.processed);
+  EXPECT_TRUE(insp.newly_classified);
+  EXPECT_EQ(insp.traffic_class.value(), "video");
+  ASSERT_EQ(eng.log().size(), 1u);
+  EXPECT_EQ(eng.log()[0].traffic_class, "video");
+
+  // Sticky: subsequent innocuous packets carry the class.
+  auto insp2 = feed(eng, f.data("innocuous"), kC2S);
+  EXPECT_FALSE(insp2.newly_classified);
+  EXPECT_EQ(insp2.traffic_class.value(), "video");
+}
+
+TEST(DpiEngine, PerPacketLimitStopsInspection) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kPerPacket;
+  c.packet_inspection_limit = 5;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  for (int i = 0; i < 5; ++i) feed(eng, f.data("padding-padding"), kC2S);
+  // The matching packet is now the 6th payload packet: beyond the window.
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+}
+
+TEST(DpiEngine, PerPacketMatcherMissesSplitKeyword) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kPerPacket;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  // Keyword split mid-field across two packets.
+  std::string part1 = "GET /v HTTP/1.1\r\nHost: www.prime";
+  std::string part2 = "video.com\r\nUA: x\r\n\r\n";
+  EXPECT_FALSE(feed(eng, f.data(part1), kC2S).traffic_class.has_value());
+  EXPECT_FALSE(feed(eng, f.data(part2), kC2S).traffic_class.has_value());
+}
+
+TEST(DpiEngine, StreamModeReassemblesSplitKeyword) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  std::string part1 = "GET /v HTTP/1.1\r\nHost: www.prime";
+  std::string part2 = "video.com\r\nUA: x\r\n\r\n";
+  EXPECT_FALSE(feed(eng, f.data(part1), kC2S).traffic_class.has_value());
+  auto insp = feed(eng, f.data(part2), kC2S);
+  EXPECT_EQ(insp.traffic_class.value(), "video");
+}
+
+TEST(DpiEngine, StreamWithoutOooLosesReorderedBytes) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = false;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  std::string part1 = kRequest.substr(0, 20);
+  std::string part2 = kRequest.substr(20);
+  std::uint32_t base = f.cseq;
+  // Send the SECOND half first (out of order), then the first half.
+  Bytes p2 = f.packet(kC2S, TcpFlags::kAck, to_bytes(part2),
+                      base + static_cast<std::uint32_t>(part1.size()));
+  Bytes p1 = f.packet(kC2S, TcpFlags::kAck, to_bytes(part1), base);
+  feed(eng, p2, kC2S);
+  auto insp = feed(eng, p1, kC2S);
+  EXPECT_FALSE(insp.traffic_class.has_value());  // T-Mobile evaded
+}
+
+TEST(DpiEngine, StreamWithOooReassemblesReordered) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = true;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  std::string part1 = kRequest.substr(0, 20);
+  std::string part2 = kRequest.substr(20);
+  std::uint32_t base = f.cseq;
+  Bytes p2 = f.packet(kC2S, TcpFlags::kAck, to_bytes(part2),
+                      base + static_cast<std::uint32_t>(part1.size()));
+  Bytes p1 = f.packet(kC2S, TcpFlags::kAck, to_bytes(part1), base);
+  feed(eng, p2, kC2S);
+  auto insp = feed(eng, p1, kC2S);
+  EXPECT_EQ(insp.traffic_class.value(), "video");  // GFC not evaded
+}
+
+TEST(DpiEngine, GetAnchorDefeatedByDummyByte) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_anchor_prefixes = {"GET", std::string("\x16\x03", 2)};
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  EXPECT_FALSE(feed(eng, f.data("X"), kC2S).traffic_class.has_value());
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+
+  // Control: without the dummy byte the same engine classifies.
+  DpiEngine eng2(c, video_rules());
+  FlowSim f2;
+  feed(eng2, f2.syn(), kC2S);
+  EXPECT_TRUE(feed(eng2, f2.data(kRequest), kC2S).traffic_class.has_value());
+}
+
+TEST(DpiEngine, RequiresSynIgnoresMidFlowPackets) {
+  ClassifierConfig c;
+  c.requires_syn = true;
+  DpiEngine eng(c, video_rules());
+  FlowSim f;
+  // No SYN seen: the matching data packet is invisible.
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_FALSE(insp.processed);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+}
+
+TEST(DpiEngine, ResultTimeoutExpires) {
+  ClassifierConfig c;
+  c.result_timeout = seconds(120);
+  c.idle_eviction_threshold = [](TimePoint) { return seconds(120); };
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S, 0);
+  feed(eng, f.data(kRequest), kC2S, seconds(1));
+  auto mid = feed(eng, f.data("x"), kC2S, seconds(60));
+  EXPECT_EQ(mid.traffic_class.value(), "video");
+  // At +130 s the flow state itself was idle-evicted (>120 s idle), and the
+  // mid-flow packet can't recreate it (requires_syn).
+  auto late = feed(eng, f.data("x"), kC2S, seconds(190));
+  EXPECT_FALSE(late.traffic_class.has_value());
+}
+
+TEST(DpiEngine, RstFlushCachesResultBriefly) {
+  // Testbed semantics: a RST tears down the flow's inspection state but the
+  // classification result lingers for 10 s in a side cache (§6.1).
+  ClassifierConfig c;
+  c.result_timeout = seconds(120);
+  c.flush_flow_on_rst = true;
+  c.result_cache_after_rst = seconds(10);
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S, 0);
+  feed(eng, f.data(kRequest), kC2S, seconds(1));
+  feed(eng, f.rst(), kC2S, seconds(2));
+  EXPECT_EQ(eng.tracked_flows(), 0u);
+  // Within the 10 s cache window the policy still applies...
+  EXPECT_TRUE(
+      feed(eng, f.data("x"), kC2S, seconds(5)).traffic_class.has_value());
+  // ...and afterwards the flow is unclassified for good (requires_syn: the
+  // flushed flow cannot re-form mid-stream).
+  EXPECT_FALSE(
+      feed(eng, f.data("x"), kC2S, seconds(13)).traffic_class.has_value());
+  EXPECT_FALSE(
+      feed(eng, f.data(kRequest), kC2S, seconds(14)).traffic_class.has_value());
+}
+
+TEST(DpiEngine, RstBeforeMatchKillsFutureClassification) {
+  // RST arriving BEFORE any match (TTL-limited RST (b), Table 3): the flow
+  // state is flushed, there is no result to cache, and the later matching
+  // packet lands on an unknown flow.
+  ClassifierConfig c;
+  c.flush_flow_on_rst = true;
+  c.result_cache_after_rst = seconds(10);
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S, 0);
+  feed(eng, f.rst(), kC2S, seconds(1));
+  auto insp = feed(eng, f.data(kRequest), kC2S, seconds(2));
+  EXPECT_FALSE(insp.processed);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+}
+
+TEST(DpiEngine, FlushOnRstDropsFlowEntirely) {
+  ClassifierConfig c;
+  c.flush_flow_on_rst = true;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  feed(eng, f.data(kRequest), kC2S);
+  EXPECT_EQ(eng.tracked_flows(), 1u);
+  feed(eng, f.rst(), kC2S);
+  EXPECT_EQ(eng.tracked_flows(), 0u);
+  // Subsequent packets on the flow are mid-flow packets of an unknown flow.
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_FALSE(insp.processed);
+}
+
+TEST(DpiEngine, BlockedMarkSurvivesRstFlush) {
+  ClassifierConfig c;
+  c.flush_flow_on_rst = true;
+  c.block_survives_flush = true;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  ASSERT_TRUE(insp.newly_classified);
+  eng.mark_blocked(insp.flow);
+  feed(eng, f.rst(), kC2S);
+  auto later = feed(eng, f.data("anything"), kC2S);
+  EXPECT_TRUE(later.flow_blocked);
+}
+
+TEST(DpiEngine, ValidatedAnomaliesAreSkipped) {
+  ClassifierConfig c;
+  c.validated_anomalies = anomaly_bit(Anomaly::kBadTcpChecksum);
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  TcpHeader h;
+  h.src_port = f.client_port;
+  h.dst_port = f.server_port;
+  h.seq = f.cseq;
+  h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  h.checksum_override = 0xbad1;
+  Ipv4Header ip;
+  ip.src = f.client_ip;
+  ip.dst = f.server_ip;
+  auto insp =
+      feed(eng, make_tcp_datagram(ip, h, to_bytes(kRequest)), kC2S);
+  EXPECT_TRUE(insp.skipped_invalid);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+
+  // A naive engine (validating nothing) classifies the same packet.
+  ClassifierConfig naive;
+  DpiEngine eng2(naive, video_rules());
+  FlowSim f2;
+  feed(eng2, f2.syn(), kC2S);
+  TcpHeader h2 = h;
+  h2.seq = f2.cseq;
+  auto insp2 =
+      feed(eng2, make_tcp_datagram(ip, h2, to_bytes(kRequest)), kC2S);
+  EXPECT_TRUE(insp2.traffic_class.has_value());
+}
+
+TEST(DpiEngine, SeqValidationSkipsOutOfWindow) {
+  ClassifierConfig c;
+  c.validate_tcp_seq = true;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  Bytes wild = f.packet(kC2S, TcpFlags::kAck | TcpFlags::kPsh,
+                        to_bytes(kRequest), 0xdead0000);
+  auto insp = feed(eng, wild, kC2S);
+  EXPECT_TRUE(insp.skipped_invalid);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+}
+
+TEST(DpiEngine, WrongProtocolQuirkParsesAnyway) {
+  ClassifierConfig with_quirk;
+  with_quirk.parse_transport_despite_wrong_protocol = true;
+  with_quirk.requires_syn = true;
+  DpiEngine eng(with_quirk, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  TcpHeader h;
+  h.src_port = f.client_port;
+  h.dst_port = f.server_port;
+  h.seq = f.cseq;
+  h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  Ipv4Header ip;
+  ip.src = f.client_ip;
+  ip.dst = f.server_ip;
+  ip.protocol = 143;  // not TCP
+  auto insp = feed(eng, make_tcp_datagram(ip, h, to_bytes(kRequest)), kC2S);
+  EXPECT_TRUE(insp.traffic_class.has_value());
+
+  ClassifierConfig strict;
+  strict.validated_anomalies = anomaly_bit(Anomaly::kUnknownIpProtocol);
+  DpiEngine eng2(strict, video_rules());
+  FlowSim f2;
+  feed(eng2, f2.syn(), kC2S);
+  TcpHeader h2 = h;
+  h2.seq = f2.cseq;
+  auto insp2 = feed(eng2, make_tcp_datagram(ip, h2, to_bytes(kRequest)), kC2S);
+  EXPECT_FALSE(insp2.traffic_class.has_value());
+}
+
+TEST(DpiEngine, UdpInspectionAndPacketPosition) {
+  ClassifierConfig c;
+  c.inspect_udp = true;
+  MatchRule r;
+  r.traffic_class = "voip";
+  r.udp = true;
+  r.stun_attribute = kStunAttrMsServiceQuality;
+  r.only_packet_index = 1;
+  DpiEngine eng(c, {r});
+
+  StunMessage msg;
+  msg.message_type = 1;
+  msg.transaction_id = Bytes(12, 7);
+  msg.attributes.push_back(StunAttribute{kStunAttrMsServiceQuality, {1}});
+  Bytes stun = serialize_stun(msg);
+
+  UdpHeader u;
+  u.src_port = 5000;
+  u.dst_port = 3478;
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  Bytes pkt = make_udp_datagram(ip, u, stun);
+
+  // As the first packet: classified.
+  auto insp = feed(eng, pkt, kC2S);
+  EXPECT_EQ(insp.traffic_class.value(), "voip");
+
+  // Fresh engine, dummy first (reordered): not classified.
+  DpiEngine eng2(c, {r});
+  Bytes dummy = make_udp_datagram(ip, u, to_bytes("x"));
+  feed(eng2, dummy, kC2S);
+  auto insp2 = feed(eng2, pkt, kC2S);
+  EXPECT_FALSE(insp2.traffic_class.has_value());
+}
+
+TEST(DpiEngine, OnlyPortsRestrictsInspection) {
+  ClassifierConfig c;
+  c.only_ports = {80};
+  c.requires_syn = false;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  f.server_port = 8080;
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_FALSE(insp.processed);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+
+  FlowSim g;
+  g.server_port = 80;
+  EXPECT_TRUE(feed(eng, g.data(kRequest), kC2S).traffic_class.has_value());
+}
+
+TEST(DpiEngine, InspectEveryPacketWhenNotMatchAndForget) {
+  ClassifierConfig c;
+  c.match_and_forget = false;
+  c.requires_syn = false;
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  // Prepending many packets does not change anything for Iran-style
+  // inspect-everything classifiers.
+  for (int i = 0; i < 50; ++i) feed(eng, f.data("padding"), kC2S);
+  auto insp = feed(eng, f.data(kRequest), kC2S);
+  EXPECT_TRUE(insp.newly_classified);
+  // And no sticky result is kept.
+  auto next = feed(eng, f.data("innocuous"), kC2S);
+  EXPECT_FALSE(next.traffic_class.has_value());
+}
+
+TEST(DpiEngine, IdleEvictionUsesThresholdFunction) {
+  ClassifierConfig c;
+  c.idle_eviction_threshold = [](TimePoint) { return seconds(40); };
+  DpiEngine eng(c, video_rules());
+
+  FlowSim f;
+  feed(eng, f.syn(), kC2S, 0);
+  // 41 s of idle: state evicted; the GET arrives on an unknown flow.
+  auto insp = feed(eng, f.data(kRequest), kC2S, seconds(41));
+  EXPECT_FALSE(insp.processed);
+  EXPECT_FALSE(insp.traffic_class.has_value());
+
+  // Under the threshold the flow survives.
+  DpiEngine eng2(c, video_rules());
+  FlowSim f2;
+  feed(eng2, f2.syn(), kC2S, 0);
+  auto insp2 = feed(eng2, f2.data(kRequest), kC2S, seconds(39));
+  EXPECT_TRUE(insp2.traffic_class.has_value());
+}
+
+TEST(DpiEngine, RuleChangeAtRuntime) {
+  ClassifierConfig c;
+  DpiEngine eng(c, video_rules());
+  FlowSim f;
+  feed(eng, f.syn(), kC2S);
+  EXPECT_TRUE(feed(eng, f.data(kRequest), kC2S).traffic_class.has_value());
+
+  MatchRule other;
+  other.name = "other";
+  other.traffic_class = "music";
+  other.keywords = {"spotify.com"};
+  eng.set_rules({other});
+
+  FlowSim f2;
+  f2.client_port = 41000;  // a fresh flow, not the already-classified one
+  feed(eng, f2.syn(), kC2S);
+  EXPECT_FALSE(feed(eng, f2.data(kRequest), kC2S).traffic_class.has_value());
+}
+
+}  // namespace
+}  // namespace liberate::dpi

@@ -1,0 +1,153 @@
+// Edge coverage for the DPI engine and middlebox: stream buffer caps,
+// escalation expiry, split-plan properties under random inputs.
+#include <gtest/gtest.h>
+
+#include "core/evasion/split.h"
+#include "dpi/classifier.h"
+#include "dpi/middlebox.h"
+#include "dpi/profiles.h"
+#include "netsim/network.h"
+#include "stack/host.h"
+#include "util/rng.h"
+
+namespace liberate::dpi {
+namespace {
+
+using namespace netsim;
+
+TEST(EngineEdge, StreamBufferCapBoundsMemoryNotCorrectness) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.requires_syn = false;
+  c.stream_buffer_cap = 256;  // tiny cap
+  MatchRule late;
+  late.traffic_class = "x";
+  late.keywords = {"way-past-the-cap-keyword"};
+  MatchRule early;
+  early.traffic_class = "y";
+  early.keywords = {"early-keyword"};
+  DpiEngine eng(c, {late, early});
+
+  // Early keyword inside the cap: matched. Late keyword beyond: not seen.
+  Ipv4Header ip;
+  ip.src = 1;
+  ip.dst = 2;
+  std::uint32_t seq = 1000;
+  auto send = [&](const std::string& payload) {
+    TcpHeader h;
+    h.src_port = 5;
+    h.dst_port = 80;
+    h.seq = seq;
+    h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    seq += static_cast<std::uint32_t>(payload.size());
+    Bytes d = make_tcp_datagram(ip, h, to_bytes(payload));
+    return eng.inspect(parse_packet(d).value(),
+                       Direction::kClientToServer, 0);
+  };
+  std::string filler(300, 'z');
+  auto first = send(filler + "early-keyword");
+  // "early-keyword" starts past the 256-byte cap: not assembled either.
+  EXPECT_FALSE(first.traffic_class.has_value());
+  auto second = send("way-past-the-cap-keyword");
+  EXPECT_FALSE(second.traffic_class.has_value());
+
+  // A fresh flow with the keyword inside the cap matches.
+  ip.src = 7;
+  seq = 50;
+  auto hit = send("xx early-keyword yy");
+  EXPECT_EQ(hit.traffic_class.value_or(""), "y");
+}
+
+TEST(EngineEdge, EscalationExpiresAfterConfiguredDuration) {
+  auto env = make_gfc();
+  EventLoop& loop = env->loop;
+  stack::Host client(env->net.client_port(), ip_addr("10.0.0.1"),
+                     stack::OsProfile::linux_profile());
+  stack::Host server(env->net.server_port(), ip_addr("198.51.100.20"),
+                     stack::OsProfile::linux_profile());
+  env->net.attach_client(&client);
+  env->net.attach_server(&server);
+  server.tcp_listen(80, [](stack::TcpConnection& c) {
+    c.on_data([&c](BytesView) { c.send(std::string_view("OK")); });
+  });
+
+  auto censored_fetch = [&](std::uint16_t sport) {
+    auto& conn = client.tcp_connect(ip_addr("198.51.100.20"), 80, sport);
+    bool reset = false;
+    conn.on_reset([&] { reset = true; });
+    conn.on_established([&] {
+      conn.send(std::string_view(
+          "GET / HTTP/1.1\r\nHost: www.economist.com\r\n\r\n"));
+    });
+    loop.run_for(seconds(10));
+    return reset;
+  };
+  auto innocuous_fetch = [&](std::uint16_t sport) {
+    auto& conn = client.tcp_connect(ip_addr("198.51.100.20"), 80, sport);
+    bool reset = false;
+    std::string got;
+    conn.on_reset([&] { reset = true; });
+    conn.on_data([&](BytesView d) { got += to_string(d); });
+    conn.on_established([&] {
+      conn.send(std::string_view("GET / HTTP/1.1\r\nHost: ok.example\r\n\r\n"));
+    });
+    loop.run_for(seconds(10));
+    return !reset && got == "OK";
+  };
+
+  EXPECT_TRUE(censored_fetch(41001));
+  EXPECT_TRUE(censored_fetch(41002));
+  EXPECT_EQ(env->dpi->blocked_endpoints(), 1u);
+  EXPECT_FALSE(innocuous_fetch(41003));  // escalated: everything dies
+
+  // After escalation_duration (120 s) the endpoint block lapses.
+  loop.run_for(seconds(130));
+  EXPECT_TRUE(innocuous_fetch(41004));
+}
+
+// split_plan property sweep over random payload sizes, field layouts and
+// piece caps: total length preserved, every field cut, cap honored.
+class SplitPlanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitPlanProperty, InvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t payload = 20 + rng.below(2000);
+    std::size_t nfields = rng.below(4);
+    std::vector<std::pair<std::size_t, std::size_t>> fields;
+    for (std::size_t f = 0; f < nfields; ++f) {
+      std::size_t begin = rng.below(payload > 4 ? payload - 4 : 1);
+      std::size_t len = 2 + rng.below(30);
+      fields.emplace_back(begin, std::min(payload, begin + len));
+    }
+    std::size_t cap = 2 + rng.below(12);
+    auto lengths = liberate::core::split_plan(payload, fields, cap);
+
+    std::size_t total = 0;
+    for (auto l : lengths) {
+      EXPECT_GT(l, 0u);
+      total += l;
+    }
+    EXPECT_EQ(total, payload);
+    EXPECT_LE(lengths.size(), std::max<std::size_t>(cap, fields.size() + 1));
+
+    // Each field midpoint is a boundary (they survive the cap).
+    std::size_t offset = 0;
+    std::vector<std::size_t> cuts;
+    for (auto l : lengths) {
+      offset += l;
+      cuts.push_back(offset);
+    }
+    for (const auto& [begin, end] : fields) {
+      std::size_t mid = begin + (end - begin) / 2;
+      if (mid == 0 || mid >= payload) continue;
+      EXPECT_NE(std::find(cuts.begin(), cuts.end(), mid), cuts.end())
+          << "field midpoint " << mid << " not a cut";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitPlanProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace liberate::dpi

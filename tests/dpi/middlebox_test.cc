@@ -1,0 +1,278 @@
+#include "dpi/middlebox.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "stack/host.h"
+#include "util/rng.h"
+
+namespace liberate::dpi {
+namespace {
+
+using namespace netsim;
+using stack::Host;
+using stack::OsProfile;
+using stack::TcpConnection;
+
+MiddleboxConfig blocker_config(bool drop_packet, bool send_403,
+                               bool escalation = false) {
+  ClassifierConfig c;
+  c.requires_syn = true;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = true;
+  MatchRule r;
+  r.name = "censor";
+  r.traffic_class = "censored";
+  r.keywords = {"forbidden-topic"};
+  MiddleboxConfig mc;
+  mc.classifier = c;
+  mc.rules = {r};
+  PolicyAction block;
+  block.block = true;
+  block.rst_count_min = 3;
+  block.rst_count_max = 5;
+  block.send_403 = send_403;
+  block.drop_matching_packet = drop_packet;
+  mc.actions["censored"] = block;
+  mc.endpoint_escalation = escalation;
+  mc.escalation_threshold = 2;
+  mc.escalation_duration = seconds(120);
+  return mc;
+}
+
+struct Rig {
+  EventLoop loop;
+  Network net{loop};
+  Host client;
+  Host server;
+  DpiMiddlebox* dpi = nullptr;
+
+  explicit Rig(MiddleboxConfig mc)
+      : client(net.client_port(), ip_addr("10.0.0.1"),
+               OsProfile::linux_profile()),
+        server(net.server_port(), ip_addr("10.9.9.9"),
+               OsProfile::linux_profile()) {
+    net.attach_client(&client);
+    net.attach_server(&server);
+    net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+    dpi = &net.emplace<DpiMiddlebox>(std::move(mc));
+    net.emplace<RouterHop>(ip_addr("10.1.0.2"));
+  }
+};
+
+TEST(DpiMiddlebox, BlocksFlowWithRstsBothWays) {
+  Rig rig(blocker_config(/*drop_packet=*/false, /*send_403=*/false));
+  std::string server_got;
+  bool client_reset = false, server_reset = false;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { server_got += to_string(d); });
+    c.on_reset([&] { server_reset = true; });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_reset([&] { client_reset = true; });
+  conn.on_established(
+      [&] { conn.send(std::string_view("about the forbidden-topic now")); });
+  rig.loop.run_until_idle();
+
+  EXPECT_TRUE(client_reset);
+  EXPECT_TRUE(server_reset);
+  EXPECT_GE(rig.dpi->rsts_injected(), 6u);  // >= 3 toward each side
+  // The matching packet itself was forwarded (on-path injector).
+  EXPECT_EQ(server_got, "about the forbidden-topic now");
+}
+
+TEST(DpiMiddlebox, Iran403AndDrop) {
+  Rig rig(blocker_config(/*drop_packet=*/true, /*send_403=*/true));
+  std::string client_got;
+  std::string server_got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { server_got += to_string(d); });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_data([&](BytesView d) { client_got += to_string(d); });
+  conn.on_established(
+      [&] { conn.send(std::string_view("GET forbidden-topic HTTP/1.1")); });
+  rig.loop.run_until_idle();
+
+  // The unsolicited 403 impersonating the server reached the client.
+  EXPECT_NE(client_got.find("403 Forbidden"), std::string::npos);
+  // In-path censor: the offending request never reached the server.
+  EXPECT_EQ(server_got.find("forbidden-topic"), std::string::npos);
+}
+
+TEST(DpiMiddlebox, BlockedFlowStaysDead) {
+  Rig rig(blocker_config(false, false));
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  rig.server.tcp_listen(80, [](TcpConnection&) {});
+  conn.on_established(
+      [&] { conn.send(std::string_view("forbidden-topic here")); });
+  rig.loop.run_until_idle();
+  auto rsts_before = rig.dpi->rsts_injected();
+  ASSERT_GT(rsts_before, 0u);
+
+  // Try to keep using the (now dead) flow at the raw level: still RST'd.
+  TcpHeader h;
+  h.src_port = conn.tuple().src_port;
+  h.dst_port = 80;
+  h.seq = 424242;
+  h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  rig.client.send_raw(make_tcp_datagram(ip, h, to_bytes("more data")));
+  rig.loop.run_until_idle();
+  EXPECT_GT(rig.dpi->rsts_injected(), rsts_before);
+  EXPECT_GT(rig.dpi->packets_dropped(), 0u);
+}
+
+TEST(DpiMiddlebox, EndpointEscalationBlocksWholeServerPort) {
+  Rig rig(blocker_config(false, false, /*escalation=*/true));
+  rig.server.tcp_listen(80, [](TcpConnection&) {});
+
+  // Two censored flows to the same server:port trigger escalation.
+  for (int i = 0; i < 2; ++i) {
+    auto& c = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+    c.on_established(
+        [&c] { c.send(std::string_view("forbidden-topic request")); });
+    rig.loop.run_until_idle();
+  }
+  EXPECT_EQ(rig.dpi->blocked_endpoints(), 1u);
+
+  // A third, entirely innocuous connection to the same endpoint is killed.
+  bool reset = false;
+  bool established = false;
+  auto& c3 = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  c3.on_reset([&] { reset = true; });
+  c3.on_established([&] { established = true; });
+  rig.loop.run_until_idle();
+  EXPECT_TRUE(reset);
+  EXPECT_FALSE(established);  // even the SYN is answered with RSTs
+
+  // A different port is unaffected.
+  rig.server.tcp_listen(8080, [](TcpConnection&) {});
+  bool ok = false;
+  auto& c4 = rig.client.tcp_connect(ip_addr("10.9.9.9"), 8080);
+  c4.on_established([&] { ok = true; });
+  rig.loop.run_until_idle();
+  EXPECT_TRUE(ok);
+}
+
+TEST(DpiMiddlebox, ThrottleLimitsGoodput) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = true;
+  MatchRule r;
+  r.name = "video";
+  r.traffic_class = "video";
+  r.keywords = {"primevideo.com"};
+  MiddleboxConfig mc;
+  mc.classifier = c;
+  mc.rules = {r};
+  PolicyAction throttle;
+  throttle.throttle_bytes_per_sec = 1.5e6 / 8;  // 1.5 Mbps
+  mc.actions["video"] = throttle;
+  Rig rig(std::move(mc));
+
+  // Server pushes 1 MB after seeing the request.
+  Rng rng(5);
+  Bytes blob = rng.bytes(1 << 20);
+  rig.server.tcp_listen(80, [&](TcpConnection& conn) {
+    conn.on_data([&, pc = &conn](BytesView) { pc->send(BytesView(blob)); });
+  });
+  Bytes received;
+  TimePoint done_at = 0;
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_data([&](BytesView d) {
+    received.insert(received.end(), d.begin(), d.end());
+    done_at = rig.loop.now();
+  });
+  conn.on_established([&] {
+    conn.send(std::string_view("GET /v HTTP/1.1\r\nHost: primevideo.com\r\n\r\n"));
+  });
+  rig.loop.run_until_idle();
+
+  ASSERT_EQ(received.size(), blob.size());
+  double seconds_taken = to_seconds(done_at);
+  double mbps = 8.0 * static_cast<double>(received.size()) / seconds_taken / 1e6;
+  // Goodput pinned near the 1.5 Mbps shaping rate.
+  EXPECT_LT(mbps, 1.7);
+  EXPECT_GT(mbps, 0.9);
+}
+
+TEST(DpiMiddlebox, ZeroRatingAccountsBytes) {
+  ClassifierConfig c;
+  c.mode = ClassifierConfig::Mode::kStream;
+  MatchRule r;
+  r.name = "video";
+  r.traffic_class = "video";
+  r.keywords = {"primevideo.com"};
+  MiddleboxConfig mc;
+  mc.classifier = c;
+  mc.rules = {r};
+  PolicyAction zr;
+  zr.zero_rate = true;
+  mc.actions["video"] = zr;
+  Rig rig(std::move(mc));
+
+  Rng rng(6);
+  Bytes blob = rng.bytes(100 * 1024);
+  rig.server.tcp_listen(80, [&](TcpConnection& conn) {
+    conn.on_data([&, pc = &conn](BytesView) { pc->send(BytesView(blob)); });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  std::size_t got = 0;
+  conn.on_data([&](BytesView d) { got += d.size(); });
+  conn.on_established([&] {
+    conn.send(std::string_view("GET /v HTTP/1.1\r\nHost: primevideo.com\r\n\r\n"));
+  });
+  rig.loop.run_until_idle();
+  ASSERT_EQ(got, blob.size());
+
+  // Virtually all bytes were zero-rated; only the handshake (pre-match)
+  // hit the usage counter.
+  EXPECT_GT(rig.dpi->zero_rated_bytes(), 100u * 1024);
+  EXPECT_LT(rig.dpi->usage_counter_bytes(), 1024u);
+}
+
+TEST(ConntrackFilter, DropsOutOfWindowButPassesNormal) {
+  EventLoop loop;
+  Network net{loop};
+  Host client(net.client_port(), ip_addr("10.0.0.1"),
+              OsProfile::linux_profile());
+  Host server(net.server_port(), ip_addr("10.9.9.9"),
+              OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+  net.emplace<ConntrackFilter>(ValidationPolicy::none(), true);
+
+  std::string got;
+  server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    // Out-of-window crafted segment, then normal data.
+    TcpHeader h;
+    h.src_port = conn.tuple().src_port;
+    h.dst_port = 80;
+    h.seq = 0xdead0000;
+    h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    client.send_raw(make_tcp_datagram(ip, h, to_bytes("EVIL")));
+    conn.send(std::string_view("fine"));
+  });
+  loop.run_until_idle();
+  EXPECT_EQ(got, "fine");
+  // The crafted packet never even reached the server's wire.
+  bool evil_seen = false;
+  for (const auto& d : server.raw_received()) {
+    auto p = parse_packet(d).value();
+    if (to_string(p.app_payload()) == "EVIL") evil_seen = true;
+  }
+  EXPECT_FALSE(evil_seen);
+}
+
+}  // namespace
+}  // namespace liberate::dpi

@@ -1,0 +1,107 @@
+#include "dpi/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/packet.h"
+
+namespace liberate::dpi {
+namespace {
+
+using namespace netsim;
+
+struct RecordingHost : HostIface {
+  std::vector<Bytes> received;
+  void receive(Bytes d) override { received.push_back(std::move(d)); }
+};
+
+struct Rig {
+  EventLoop loop;
+  Network net{loop};
+  RecordingHost client, server;
+  NormalizerElement* norm;
+
+  explicit Rig(NormalizerConfig cfg) {
+    net.attach_client(&client);
+    net.attach_server(&server);
+    norm = &net.emplace<NormalizerElement>(cfg);
+  }
+};
+
+Bytes tcp_packet(std::uint8_t ttl, std::optional<std::uint16_t> bad_checksum =
+                                       std::nullopt) {
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  ip.ttl = ttl;
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  tcp.checksum_override = bad_checksum;
+  return make_tcp_datagram(ip, tcp, to_bytes("payload"));
+}
+
+TEST(Normalizer, DropMalformedFiltersInertPackets) {
+  NormalizerConfig cfg;
+  cfg.drop_malformed = true;
+  Rig rig(cfg);
+  rig.net.send_from_client(tcp_packet(64, 0x0bad));  // bad checksum
+  rig.net.send_from_client(tcp_packet(64));          // clean
+  rig.loop.run_until_idle();
+  ASSERT_EQ(rig.server.received.size(), 1u);
+  EXPECT_EQ(rig.norm->dropped(), 1u);
+}
+
+TEST(Normalizer, TtlFloorDefeatsTtlLimitedProbes) {
+  NormalizerConfig cfg;
+  cfg.ttl_floor = 32;
+  Rig rig(cfg);
+  rig.net.send_from_client(tcp_packet(3));   // TTL-limited probe
+  rig.net.send_from_client(tcp_packet(64));  // normal
+  rig.loop.run_until_idle();
+  ASSERT_EQ(rig.server.received.size(), 2u);
+  auto probe = parse_packet(rig.server.received[0]).value();
+  EXPECT_EQ(probe.ip.ttl, 32);  // raised: it now survives to the server
+  EXPECT_FALSE(probe.ip.bad_checksum);
+  auto normal = parse_packet(rig.server.received[1]).value();
+  EXPECT_EQ(normal.ip.ttl, 64);  // untouched
+  EXPECT_EQ(rig.norm->ttl_raised(), 1u);
+}
+
+TEST(Normalizer, ReassemblesFragmentsBeforeForwarding) {
+  NormalizerConfig cfg;
+  cfg.reassemble_fragments = true;
+  Rig rig(cfg);
+  Bytes whole = tcp_packet(64);
+  // Make the payload big enough to fragment.
+  {
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    TcpHeader tcp;
+    tcp.flags = TcpFlags::kAck;
+    whole = make_tcp_datagram(ip, tcp, Bytes(600, 0x61));
+  }
+  for (auto& f : fragment_datagram(whole, 3)) {
+    rig.net.send_from_client(std::move(f));
+  }
+  rig.loop.run_until_idle();
+  ASSERT_EQ(rig.server.received.size(), 1u);
+  auto got = parse_packet(rig.server.received[0]).value();
+  EXPECT_FALSE(got.ip.is_fragment());
+  EXPECT_EQ(got.app_payload().size(), 600u);
+}
+
+TEST(Normalizer, DisabledConfigIsTransparent) {
+  Rig rig(NormalizerConfig{});
+  rig.net.send_from_client(tcp_packet(3, 0x0bad));
+  rig.loop.run_until_idle();
+  ASSERT_EQ(rig.server.received.size(), 1u);
+  auto got = parse_packet(rig.server.received[0]).value();
+  EXPECT_EQ(got.ip.ttl, 3);
+  EXPECT_TRUE(
+      has_anomaly(anomalies_of(got), Anomaly::kBadTcpChecksum));
+}
+
+}  // namespace
+}  // namespace liberate::dpi

@@ -1,0 +1,82 @@
+#include "dpi/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace liberate::dpi {
+namespace {
+
+TEST(Profiles, AllEnvironmentsConstruct) {
+  for (const auto& name : environment_names()) {
+    auto env = make_environment(name);
+    ASSERT_NE(env, nullptr) << name;
+    EXPECT_EQ(env->name, name);
+    EXPECT_GT(env->net.element_count(), 0u) << name;
+  }
+  EXPECT_EQ(make_environment("nonsense"), nullptr);
+}
+
+TEST(Profiles, MiddleboxPresenceMatchesPaper) {
+  EXPECT_NE(make_testbed()->dpi, nullptr);
+  EXPECT_NE(make_tmus()->dpi, nullptr);
+  EXPECT_NE(make_gfc()->dpi, nullptr);
+  EXPECT_NE(make_iran()->dpi, nullptr);
+  EXPECT_EQ(make_att()->dpi, nullptr);
+  EXPECT_NE(make_att()->proxy, nullptr);
+  EXPECT_EQ(make_sprint()->dpi, nullptr);
+  EXPECT_FALSE(make_sprint()->differentiates);
+}
+
+TEST(Profiles, MiddleboxHopCountsMatchPaper) {
+  EXPECT_EQ(make_tmus()->hops_before_middlebox, 2);  // TTL=3 evades (§6.2)
+  EXPECT_EQ(make_gfc()->hops_before_middlebox, 9);   // TTL=10 (§6.5)
+  EXPECT_EQ(make_iran()->hops_before_middlebox, 7);  // 8 hops away (§6.6)
+}
+
+TEST(Profiles, ClassifierQuirksMatchPaper) {
+  auto testbed = make_testbed();
+  EXPECT_EQ(testbed->dpi->engine().config().mode,
+            ClassifierConfig::Mode::kPerPacket);
+  EXPECT_TRUE(testbed->dpi->engine().config().inspect_udp);
+  EXPECT_EQ(testbed->dpi->engine().config().packet_inspection_limit, 5u);
+
+  auto tmus = make_tmus();
+  EXPECT_EQ(tmus->dpi->engine().config().mode, ClassifierConfig::Mode::kStream);
+  EXPECT_FALSE(tmus->dpi->engine().config().stream_handles_out_of_order);
+  EXPECT_FALSE(tmus->dpi->engine().config().inspect_udp);
+  EXPECT_TRUE(tmus->dpi->engine().config().flush_flow_on_rst);
+  EXPECT_FALSE(tmus->dpi->engine().config().result_timeout.has_value());
+
+  auto gfc = make_gfc();
+  EXPECT_TRUE(gfc->dpi->engine().config().stream_handles_out_of_order);
+  EXPECT_FALSE(gfc->dpi->engine().config().validated_anomalies &
+               netsim::anomaly_bit(netsim::Anomaly::kBadTcpChecksum));
+  EXPECT_TRUE(gfc->dpi->engine().config().idle_eviction_threshold != nullptr);
+  EXPECT_TRUE(gfc->dpi->config().endpoint_escalation);
+
+  auto iran = make_iran();
+  EXPECT_FALSE(iran->dpi->engine().config().match_and_forget);
+  EXPECT_TRUE(iran->dpi->engine().config().only_ports.contains(80));
+  EXPECT_EQ(iran->dpi->engine().config().packet_inspection_limit, 0u);
+}
+
+TEST(Profiles, DiurnalLoadShape) {
+  // Trough at 4am, peak at 4pm.
+  EXPECT_NEAR(diurnal_load(4.0), 0.0, 1e-9);
+  EXPECT_NEAR(diurnal_load(16.0), 1.0, 1e-9);
+  EXPECT_GT(diurnal_load(20.0), 0.5);
+  EXPECT_LT(diurnal_load(2.0), 0.2);
+}
+
+TEST(Profiles, GfcEvictionFastWhenBusySlowWhenQuiet) {
+  using netsim::hours;
+  using netsim::seconds;
+  // 16:00 virtual: busy -> threshold near 40 s.
+  auto busy = gfc_eviction_threshold(hours(16));
+  EXPECT_LT(busy, seconds(60));
+  // 04:00 virtual: quiet -> threshold far above the 240 s test ceiling.
+  auto quiet = gfc_eviction_threshold(hours(4));
+  EXPECT_GT(quiet, seconds(240));
+}
+
+}  // namespace
+}  // namespace liberate::dpi

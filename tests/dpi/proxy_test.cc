@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "dpi/middlebox.h"
+#include "netsim/network.h"
+#include "stack/host.h"
+#include "util/rng.h"
+
+namespace liberate::dpi {
+namespace {
+
+using namespace netsim;
+using stack::Host;
+using stack::OsProfile;
+using stack::TcpConnection;
+
+struct Rig {
+  EventLoop loop;
+  Network net{loop};
+  Host client;
+  Host server;
+  TransparentHttpProxy* proxy = nullptr;
+
+  Rig() : client(net.client_port(), ip_addr("10.0.0.1"),
+                 OsProfile::linux_profile()),
+          server(net.server_port(), ip_addr("10.9.9.9"),
+                 OsProfile::linux_profile()) {
+    net.attach_client(&client);
+    net.attach_server(&server);
+    net.emplace<RouterHop>(ip_addr("10.5.0.1"));
+    proxy = &net.emplace<TransparentHttpProxy>(TransparentHttpProxy::Config{});
+    net.emplace<RouterHop>(ip_addr("10.5.0.2"));
+  }
+};
+
+void serve_video(Host& server, std::size_t bytes, std::uint16_t port = 80) {
+  server.tcp_listen(port, [bytes](TcpConnection& c) {
+    c.on_data([&c, bytes](BytesView) {
+      std::string head =
+          "HTTP/1.1 200 OK\r\nContent-Type: video/mp4\r\n\r\n";
+      Bytes body(bytes, 0x33);
+      c.send(std::string_view(head));
+      c.send(BytesView(body));
+    });
+  });
+}
+
+TEST(TransparentProxy, RelaysHttpEndToEnd) {
+  Rig rig;
+  serve_video(rig.server, 10 * 1024);
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  std::string got;
+  conn.on_data([&](BytesView d) { got += to_string(d); });
+  conn.on_established([&] {
+    conn.send(std::string_view(
+        "GET /clip.mp4 HTTP/1.1\r\nHost: video.nbcsports.com\r\n\r\n"));
+  });
+  rig.loop.run_until_idle();
+  EXPECT_NE(got.find("200 OK"), std::string::npos);
+  EXPECT_GE(got.size(), 10u * 1024);
+  EXPECT_EQ(rig.proxy->sessions_opened(), 1u);
+  EXPECT_EQ(rig.proxy->throttled_sessions(), 1u);
+}
+
+TEST(TransparentProxy, ThrottlesVideoToConfiguredRate) {
+  Rig rig;
+  serve_video(rig.server, 512 * 1024);
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  std::size_t got = 0;
+  TimePoint done = 0;
+  conn.on_data([&](BytesView d) {
+    got += d.size();
+    done = rig.loop.now();
+  });
+  conn.on_established([&] {
+    conn.send(std::string_view("GET /c HTTP/1.1\r\nHost: x\r\n\r\n"));
+  });
+  rig.loop.run_until_idle();
+  ASSERT_GT(got, 512u * 1024);
+  double mbps = 8.0 * static_cast<double>(got) / to_seconds(done) / 1e6;
+  EXPECT_LT(mbps, 1.7);  // Stream Saver: ~1.5 Mbps
+  EXPECT_GT(mbps, 1.0);
+}
+
+TEST(TransparentProxy, NonVideoContentNotThrottled) {
+  Rig rig;
+  rig.server.tcp_listen(80, [](TcpConnection& c) {
+    c.on_data([&c](BytesView) {
+      std::string head =
+          "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n";
+      Bytes body(256 * 1024, 'a');
+      c.send(std::string_view(head));
+      c.send(BytesView(body));
+    });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  std::size_t got = 0;
+  TimePoint done = 0;
+  conn.on_data([&](BytesView d) {
+    got += d.size();
+    done = rig.loop.now();
+  });
+  conn.on_established([&] {
+    conn.send(std::string_view("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  });
+  rig.loop.run_until_idle();
+  ASSERT_GT(got, 256u * 1024);
+  double mbps = 8.0 * static_cast<double>(got) / to_seconds(done) / 1e6;
+  EXPECT_GT(mbps, 5.0);  // effectively unthrottled
+  EXPECT_EQ(rig.proxy->throttled_sessions(), 0u);
+}
+
+TEST(TransparentProxy, NonProxiedPortPassesThrough) {
+  Rig rig;
+  serve_video(rig.server, 128 * 1024, /*port=*/8080);
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 8080);
+  std::size_t got = 0;
+  TimePoint done = 0;
+  conn.on_data([&](BytesView d) {
+    got += d.size();
+    done = rig.loop.now();
+  });
+  conn.on_established([&] {
+    conn.send(std::string_view("GET /c HTTP/1.1\r\nHost: x\r\n\r\n"));
+  });
+  rig.loop.run_until_idle();
+  ASSERT_GT(got, 128u * 1024);
+  EXPECT_EQ(rig.proxy->sessions_opened(), 0u);
+  double mbps = 8.0 * static_cast<double>(got) / to_seconds(done) / 1e6;
+  EXPECT_GT(mbps, 5.0);  // video on a non-80 port evades Stream Saver (§6.3)
+}
+
+TEST(TransparentProxy, AbsorbsCraftedInvalidPackets) {
+  Rig rig;
+  serve_video(rig.server, 1024);
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    // Inert packet with a bad TCP checksum: a terminating proxy eats it.
+    TcpHeader h;
+    h.src_port = conn.tuple().src_port;
+    h.dst_port = 80;
+    h.seq = 1;
+    h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    h.checksum_override = 0x0bad;
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    rig.client.send_raw(make_tcp_datagram(ip, h, to_bytes("inert")));
+  });
+  rig.loop.run_until_idle();
+  EXPECT_GE(rig.proxy->crafted_packets_absorbed(), 1u);
+  // Nothing crafted reached the server's wire: every packet the server saw
+  // has the proxy's regenerated (valid) form.
+  for (const auto& d : rig.server.raw_received()) {
+    auto p = parse_packet(d);
+    ASSERT_TRUE(p.ok());
+    EXPECT_FALSE(has_anomaly(anomalies_of(p.value()),
+                             Anomaly::kBadTcpChecksum));
+  }
+}
+
+TEST(TransparentProxy, ClientCloseReachesServer) {
+  Rig rig;
+  bool server_closed = false;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_closed([&] { server_closed = true; });
+    c.on_data([&c](BytesView) { c.close(); });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    conn.send(std::string_view("GET / HTTP/1.1\r\n\r\n"));
+    conn.close();
+  });
+  rig.loop.run_until_idle();
+  EXPECT_TRUE(server_closed);
+}
+
+}  // namespace
+}  // namespace liberate::dpi

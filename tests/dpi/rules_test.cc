@@ -1,0 +1,123 @@
+#include "dpi/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "dpi/stun_parser.h"
+
+namespace liberate::dpi {
+namespace {
+
+MatchRule http_rule() {
+  MatchRule r;
+  r.name = "r";
+  r.traffic_class = "video";
+  r.keywords = {"GET", "primevideo.com"};
+  return r;
+}
+
+TEST(Rules, AllKeywordsMustMatch) {
+  MatchRule r = http_rule();
+  EXPECT_TRUE(r.matches_content(
+      BytesView(to_bytes("GET / HTTP/1.1\r\nHost: primevideo.com\r\n\r\n"))));
+  EXPECT_FALSE(
+      r.matches_content(BytesView(to_bytes("GET / HTTP/1.1\r\nHost: x\r\n"))));
+  EXPECT_FALSE(r.matches_content(BytesView(to_bytes("primevideo.com only"))));
+}
+
+TEST(Rules, MatchingIsCaseInsensitive) {
+  MatchRule r = http_rule();
+  EXPECT_TRUE(r.matches_content(
+      BytesView(to_bytes("get / http/1.1\r\nhost: PRIMEVIDEO.COM\r\n"))));
+}
+
+TEST(Rules, AnchoredRequiresKeywordAtOffsetZero) {
+  MatchRule r = http_rule();
+  r.anchored = true;
+  EXPECT_TRUE(r.matches_content(
+      BytesView(to_bytes("GET /x HTTP/1.1\r\nHost: primevideo.com\r\n"))));
+  // One prepended byte defeats the anchored matcher (the T-Mobile/GFC trick).
+  EXPECT_FALSE(r.matches_content(
+      BytesView(to_bytes("XGET /x HTTP/1.1\r\nHost: primevideo.com\r\n"))));
+}
+
+TEST(Rules, BlindedContentNeverMatches) {
+  MatchRule r = http_rule();
+  std::string payload = "GET / HTTP/1.1\r\nHost: primevideo.com\r\n\r\n";
+  Bytes inverted = to_bytes(payload);
+  for (auto& b : inverted) b = static_cast<std::uint8_t>(~b);
+  EXPECT_FALSE(r.matches_content(inverted));
+}
+
+TEST(Rules, StunAttributeRule) {
+  MatchRule r;
+  r.traffic_class = "voip";
+  r.udp = true;
+  r.stun_attribute = kStunAttrMsServiceQuality;
+
+  StunMessage msg;
+  msg.message_type = 0x0001;
+  msg.transaction_id = Bytes(12, 3);
+  msg.attributes.push_back(StunAttribute{kStunAttrMsServiceQuality, {1, 2}});
+  EXPECT_TRUE(r.matches_content(serialize_stun(msg)));
+
+  StunMessage no_attr;
+  no_attr.message_type = 0x0001;
+  no_attr.transaction_id = Bytes(12, 3);
+  EXPECT_FALSE(r.matches_content(serialize_stun(no_attr)));
+
+  // Raw bytes containing 0x80 0x55 but not a valid STUN message: no match
+  // (the rule parses, it doesn't grep).
+  Bytes fake{0x80, 0x55, 0x80, 0x55, 0x80, 0x55};
+  EXPECT_FALSE(r.matches_content(fake));
+}
+
+TEST(Rules, PortAndUdpConstraints) {
+  std::vector<MatchRule> rules;
+  MatchRule r = http_rule();
+  r.dst_port = 80;
+  rules.push_back(r);
+
+  Bytes content = to_bytes("GET / HTTP/1.1\r\nHost: primevideo.com\r\n");
+  RuleContext ctx;
+  ctx.dst_port = 80;
+  ctx.udp = false;
+  EXPECT_TRUE(match_rules(rules, content, ctx));
+  ctx.dst_port = 8080;
+  EXPECT_FALSE(match_rules(rules, content, ctx));
+  ctx.dst_port = 80;
+  ctx.udp = true;  // TCP rule never matches UDP content
+  EXPECT_FALSE(match_rules(rules, content, ctx));
+}
+
+TEST(Rules, PacketIndexConstraint) {
+  std::vector<MatchRule> rules;
+  MatchRule r;
+  r.traffic_class = "voip";
+  r.udp = true;
+  r.keywords = {"probe"};
+  r.only_packet_index = 1;
+  rules.push_back(r);
+
+  Bytes content = to_bytes("probe");
+  RuleContext ctx;
+  ctx.udp = true;
+  ctx.packet_index = 1;
+  EXPECT_TRUE(match_rules(rules, content, ctx));
+  ctx.packet_index = 2;  // reordered to second place: no match
+  EXPECT_FALSE(match_rules(rules, content, ctx));
+  ctx.packet_index.reset();
+  EXPECT_FALSE(match_rules(rules, content, ctx));
+}
+
+TEST(Rules, FirstMatchingRuleWins) {
+  std::vector<MatchRule> rules(2, http_rule());
+  rules[0].name = "first";
+  rules[1].name = "second";
+  Bytes content = to_bytes("GET / HTTP/1.1\r\nHost: primevideo.com\r\n");
+  auto hit = match_rules(rules, content, RuleContext{80, false, {}});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit.rule->name, "first");
+}
+
+}  // namespace
+}  // namespace liberate::dpi

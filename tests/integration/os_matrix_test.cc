@@ -1,0 +1,129 @@
+// End-to-end reproduction of Table 3's "Server Response" columns: every TCP
+// inert-packet variant is injected into a live flow against each server OS,
+// and the expectation is whether the flow's application data survives
+// unscathed (the crafted packet was dropped / never arrived) or not (it was
+// delivered into the stream, or triggered a RST).
+#include <gtest/gtest.h>
+
+#include "core/evasion/registry.h"
+#include "core/replay.h"
+#include "trace/generators.h"
+
+namespace liberate::core {
+namespace {
+
+using stack::OsProfile;
+
+enum class Response {
+  kInert,      // crafted packet neutralized: app data intact
+  kCorrupts,   // delivered into the stream: app data corrupted
+  kKillsFlow,  // provoked a RST that tears the connection down
+};
+
+struct Case {
+  InertVariant variant;
+  Response linux_r;
+  Response macos_r;
+  Response windows_r;
+};
+
+// Table 3, rightmost columns (TCP rows).
+const Case kCases[] = {
+    {InertVariant::kLowTtl, Response::kInert, Response::kInert,
+     Response::kInert},  // dies in the network
+    {InertVariant::kInvalidIpVersion, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kInvalidIpHeaderLength, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kIpTotalLengthLong, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kIpTotalLengthShort, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kWrongIpProtocol, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kWrongIpChecksum, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kInvalidIpOptions, Response::kCorrupts, Response::kCorrupts,
+     Response::kInert},  // only Windows drops invalid options
+    {InertVariant::kDeprecatedIpOptions, Response::kCorrupts,
+     Response::kCorrupts, Response::kCorrupts},  // nobody drops these
+    {InertVariant::kWrongTcpSeq, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kWrongTcpChecksum, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kTcpNoAckFlag, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kInvalidTcpDataOffset, Response::kInert, Response::kInert,
+     Response::kInert},
+    {InertVariant::kInvalidTcpFlagCombo, Response::kInert, Response::kInert,
+     Response::kKillsFlow},  // note 6: Windows answers with a RST
+};
+
+class OsMatrix
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(OsMatrix, ServerResponseMatchesTable3) {
+  const Case& c = kCases[std::get<0>(GetParam())];
+  const int os_index = std::get<1>(GetParam());
+
+  OsProfile os = os_index == 0   ? OsProfile::linux_profile()
+                 : os_index == 1 ? OsProfile::macos_profile()
+                                 : OsProfile::windows_profile();
+  Response expected = os_index == 0   ? c.linux_r
+                      : os_index == 1 ? c.macos_r
+                                      : c.windows_r;
+
+  // A plain network: two routers, NO middlebox. The question here is purely
+  // what the server's OS does with the crafted packet.
+  auto env = dpi::make_sprint();
+  env->server_os = os;
+  ReplayRunner runner(*env);
+
+  InertInsertion technique(c.variant);
+  ReplayOptions opts;
+  opts.technique = &technique;
+  opts.context.decoy_payload = decoy_request_payload();
+  opts.context.middlebox_ttl = 2;  // dies at the second router
+  auto app = trace::plain_web_trace();
+  opts.context.matching_snippets = {Bytes(app.messages[0].payload)};
+
+  auto outcome = runner.run(app, opts);
+
+  switch (expected) {
+    case Response::kInert:
+      EXPECT_TRUE(outcome.completed) << technique.name() << " os=" << os.name;
+      EXPECT_TRUE(outcome.payload_intact)
+          << technique.name() << " os=" << os.name;
+      break;
+    case Response::kCorrupts:
+      // Delivered into the stream: the exchange still finishes (TCP-wise)
+      // but the bytes the server read are not what the client's app sent.
+      EXPECT_FALSE(outcome.payload_intact)
+          << technique.name() << " os=" << os.name;
+      break;
+    case Response::kKillsFlow:
+      EXPECT_TRUE(outcome.blocked || !outcome.completed)
+          << technique.name() << " os=" << os.name;
+      EXPECT_GE(outcome.rsts_at_client, 1u);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3ServerResponse, OsMatrix,
+    ::testing::Combine(::testing::Range<std::size_t>(0, std::size(kCases)),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<OsMatrix::ParamType>& info) {
+      InertInsertion t(kCases[std::get<0>(info.param)].variant);
+      std::string name = t.name().substr(t.name().find('/') + 1);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      const char* os = std::get<1>(info.param) == 0   ? "linux"
+                       : std::get<1>(info.param) == 1 ? "macos"
+                                                      : "windows";
+      return name + "_" + os;
+    });
+
+}  // namespace
+}  // namespace liberate::core

@@ -1,0 +1,88 @@
+#include "netsim/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace liberate::netsim {
+namespace {
+
+// RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2 before
+// complement, so the checksum is ~0xddf2 = 0x220d.
+TEST(Checksum, Rfc1071WorkedExample) {
+  Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  Bytes even{0x12, 0x34, 0x56, 0x00};
+  Bytes odd{0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, EmptyBufferIsAllOnes) {
+  EXPECT_EQ(internet_checksum(BytesView{}), 0xffff);
+}
+
+// Fundamental property: inserting the computed checksum into the data and
+// re-summing yields zero.
+TEST(Checksum, VerificationProperty) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data = rng.bytes(20 + rng.below(100));
+    // Zero a 2-byte "checksum field" at an even offset.
+    std::size_t field = 2 * (rng.below(data.size() / 2 - 1));
+    data[field] = 0;
+    data[field + 1] = 0;
+    std::uint16_t cks = internet_checksum(data);
+    data[field] = static_cast<std::uint8_t>(cks >> 8);
+    data[field + 1] = static_cast<std::uint8_t>(cks);
+    EXPECT_EQ(internet_checksum(data), 0x0000) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, AccumulateComposes) {
+  Rng rng(17);
+  Bytes data = rng.bytes(64);
+  BytesView whole(data);
+  // Split at even boundary: accumulate must compose.
+  std::uint32_t partial = checksum_accumulate(0, whole.subspan(0, 30));
+  partial = checksum_accumulate(partial, whole.subspan(30));
+  EXPECT_EQ(checksum_finish(partial), internet_checksum(data));
+}
+
+TEST(Checksum, TransportChecksumDetectsCorruption) {
+  Rng rng(23);
+  Bytes segment = rng.bytes(40);
+  segment[16] = 0;
+  segment[17] = 0;
+  std::uint16_t cks = transport_checksum(0x0a000001, 0x0a000002, 6, segment);
+  segment[16] = static_cast<std::uint8_t>(cks >> 8);
+  segment[17] = static_cast<std::uint8_t>(cks);
+
+  // Intact: verifies (sum over pseudo-header + segment with checksum == 0).
+  std::uint32_t sum = 0;
+  sum += 0x0a00;
+  sum += 0x0001;
+  sum += 0x0a00;
+  sum += 0x0002;
+  sum += 6;
+  sum += static_cast<std::uint32_t>(segment.size());
+  sum = checksum_accumulate(sum, segment);
+  EXPECT_EQ(checksum_finish(sum), 0);
+
+  // Flip a payload byte: no longer verifies.
+  segment[20] ^= 0xff;
+  sum = 0;
+  sum += 0x0a00;
+  sum += 0x0001;
+  sum += 0x0a00;
+  sum += 0x0002;
+  sum += 6;
+  sum += static_cast<std::uint32_t>(segment.size());
+  sum = checksum_accumulate(sum, segment);
+  EXPECT_NE(checksum_finish(sum), 0);
+}
+
+}  // namespace
+}  // namespace liberate::netsim

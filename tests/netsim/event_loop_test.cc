@@ -1,0 +1,63 @@
+#include "netsim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace liberate::netsim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule(milliseconds(20), [&] { order.push_back(2); });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), milliseconds(30));
+}
+
+TEST(EventLoop, TieBrokenByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CallbacksCanScheduleMore) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) loop.schedule(seconds(1), tick);
+  };
+  loop.schedule(seconds(1), tick);
+  loop.run_until_idle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), seconds(5));
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeEvenWhenIdle) {
+  EventLoop loop;
+  loop.run_until(seconds(42));
+  EXPECT_EQ(loop.now(), seconds(42));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  bool early = false;
+  bool late = false;
+  loop.schedule(seconds(1), [&] { early = true; });
+  loop.schedule(seconds(10), [&] { late = true; });
+  loop.run_for(seconds(5));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(loop.now(), seconds(5));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_until_idle();
+  EXPECT_TRUE(late);
+}
+
+}  // namespace
+}  // namespace liberate::netsim

@@ -1,0 +1,54 @@
+#include "netsim/icmp.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/ipv4.h"
+#include "netsim/packet.h"
+#include "netsim/tcp.h"
+
+namespace liberate::netsim {
+namespace {
+
+TEST(Icmp, SerializeParseRoundTrip) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kTimeExceeded;
+  msg.code = 0;
+  msg.body = to_bytes("embedded");
+  auto parsed = parse_icmp(serialize_icmp(msg)).value();
+  EXPECT_EQ(parsed.type, IcmpType::kTimeExceeded);
+  EXPECT_EQ(parsed.code, 0);
+  EXPECT_EQ(to_string(parsed.body), "embedded");
+}
+
+TEST(Icmp, ExcerptContainsHeaderPlusEightBytes) {
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.0.0.9");
+  TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kSyn;
+  Bytes dgram = make_tcp_datagram(ip, tcp, to_bytes("payload-data"));
+
+  Bytes excerpt = icmp_original_datagram_excerpt(dgram);
+  EXPECT_EQ(excerpt.size(), 28u);  // 20-byte header + 8 payload bytes
+
+  // The excerpt parses as an IP header and identifies the original flow —
+  // that's what traceroute-style localization relies on.
+  auto v = parse_ipv4(excerpt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().src, ip_addr("10.0.0.1"));
+  EXPECT_EQ(v.value().dst, ip_addr("10.0.0.9"));
+  // First 8 payload bytes of a TCP segment = ports + sequence number.
+  BytesView tcp_start = BytesView(excerpt).subspan(20);
+  EXPECT_EQ((tcp_start[0] << 8) | tcp_start[1], 1234);
+  EXPECT_EQ((tcp_start[2] << 8) | tcp_start[3], 80);
+}
+
+TEST(Icmp, TooShortFails) {
+  Bytes tiny{11, 0};
+  EXPECT_FALSE(parse_icmp(tiny).ok());
+}
+
+}  // namespace
+}  // namespace liberate::netsim

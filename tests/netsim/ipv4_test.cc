@@ -1,0 +1,174 @@
+#include "netsim/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace liberate::netsim {
+namespace {
+
+Ipv4Header basic_header() {
+  Ipv4Header h;
+  h.src = ip_addr("10.0.0.1");
+  h.dst = ip_addr("10.0.0.2");
+  h.ttl = 64;
+  h.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  h.identification = 0x1234;
+  return h;
+}
+
+TEST(Ipv4Addr, RoundTrip) {
+  EXPECT_EQ(ip_to_string(ip_addr("192.168.1.200")), "192.168.1.200");
+  EXPECT_EQ(ip_addr("0.0.0.0"), 0u);
+  EXPECT_EQ(ip_addr("255.255.255.255"), 0xffffffffu);
+}
+
+TEST(Ipv4, SerializeParseRoundTrip) {
+  Bytes payload = to_bytes("hello world");
+  Bytes dgram = serialize_ipv4(basic_header(), payload);
+  ASSERT_EQ(dgram.size(), 20 + payload.size());
+
+  auto parsed = parse_ipv4(dgram);
+  ASSERT_TRUE(parsed.ok());
+  const Ipv4View& v = parsed.value();
+  EXPECT_EQ(v.version, 4);
+  EXPECT_EQ(v.ihl_words, 5);
+  EXPECT_EQ(v.total_length, dgram.size());
+  EXPECT_EQ(v.identification, 0x1234);
+  EXPECT_EQ(v.ttl, 64);
+  EXPECT_EQ(v.src, ip_addr("10.0.0.1"));
+  EXPECT_EQ(v.dst, ip_addr("10.0.0.2"));
+  EXPECT_EQ(to_string(v.payload), "hello world");
+  EXPECT_FALSE(v.any_anomaly());
+}
+
+TEST(Ipv4, AutoChecksumVerifies) {
+  Bytes dgram = serialize_ipv4(basic_header(), to_bytes("x"));
+  auto v = parse_ipv4(dgram).value();
+  EXPECT_FALSE(v.bad_checksum);
+}
+
+TEST(Ipv4, ChecksumOverrideDetected) {
+  Ipv4Header h = basic_header();
+  h.checksum_override = 0xdead;
+  auto v = parse_ipv4(serialize_ipv4(h, to_bytes("x"))).value();
+  EXPECT_TRUE(v.bad_checksum);
+}
+
+TEST(Ipv4, BadVersionDetected) {
+  Ipv4Header h = basic_header();
+  h.version = 6;
+  auto v = parse_ipv4(serialize_ipv4(h, to_bytes("x"))).value();
+  EXPECT_TRUE(v.bad_version);
+  EXPECT_EQ(v.version, 6);
+}
+
+TEST(Ipv4, BadIhlDetected) {
+  Ipv4Header h = basic_header();
+  h.ihl_words = 3;  // below minimum of 5
+  auto v = parse_ipv4(serialize_ipv4(h, to_bytes("x"))).value();
+  EXPECT_TRUE(v.bad_ihl);
+  // Best-effort header length falls back to 20.
+  EXPECT_EQ(v.header_length, 20u);
+}
+
+TEST(Ipv4, TotalLengthLongAndShort) {
+  Ipv4Header h = basic_header();
+  Bytes payload = to_bytes("abcdef");
+
+  h.total_length_override = static_cast<std::uint16_t>(20 + payload.size() + 10);
+  auto vl = parse_ipv4(serialize_ipv4(h, payload)).value();
+  EXPECT_TRUE(vl.total_length_long);
+  EXPECT_FALSE(vl.total_length_short);
+
+  h.total_length_override = 22;
+  auto vs = parse_ipv4(serialize_ipv4(h, payload)).value();
+  EXPECT_TRUE(vs.total_length_short);
+  EXPECT_FALSE(vs.total_length_long);
+}
+
+TEST(Ipv4, OptionsRoundTrip) {
+  Ipv4Header h = basic_header();
+  h.options.push_back(Ipv4Option::nop());
+  h.options.push_back(Ipv4Option::stream_id(0xbeef));
+  Bytes dgram = serialize_ipv4(h, to_bytes("payload"));
+  auto v = parse_ipv4(dgram).value();
+  EXPECT_FALSE(v.bad_options);
+  EXPECT_TRUE(v.has_deprecated_option);
+  EXPECT_EQ(v.header_length, 28u);  // 20 + nop(1) + streamid(4) + pad to 8
+  EXPECT_EQ(to_string(v.payload), "payload");
+  ASSERT_GE(v.options.size(), 2u);
+  EXPECT_EQ(v.options[1].kind, 136);
+  EXPECT_EQ(v.options[1].data, (Bytes{0xbe, 0xef}));
+}
+
+TEST(Ipv4, InvalidOptionLengthDetected) {
+  Ipv4Header h = basic_header();
+  h.options.push_back(Ipv4Option::invalid_length());
+  auto v = parse_ipv4(serialize_ipv4(h, to_bytes("x"))).value();
+  EXPECT_TRUE(v.bad_options);
+}
+
+TEST(Ipv4, FragmentFieldsRoundTrip) {
+  Ipv4Header h = basic_header();
+  h.flag_more_fragments = true;
+  h.fragment_offset_words = 185;
+  auto v = parse_ipv4(serialize_ipv4(h, to_bytes("x"))).value();
+  EXPECT_TRUE(v.flag_more_fragments);
+  EXPECT_EQ(v.fragment_offset_words, 185);
+  EXPECT_TRUE(v.is_fragment());
+  EXPECT_EQ(v.fragment_offset_bytes(), 185u * 8);
+}
+
+TEST(Ipv4, TooShortBufferFailsCleanly) {
+  Bytes tiny{0x45, 0x00};
+  EXPECT_FALSE(parse_ipv4(tiny).ok());
+}
+
+TEST(Ipv4, SetTtlInPlaceKeepsChecksumValid) {
+  Bytes dgram = serialize_ipv4(basic_header(), to_bytes("data"));
+  for (std::uint8_t ttl = 63; ttl > 0; --ttl) {
+    set_ttl_in_place(dgram, ttl);
+    auto v = parse_ipv4(dgram).value();
+    ASSERT_EQ(v.ttl, ttl);
+    ASSERT_FALSE(v.bad_checksum) << "ttl " << int(ttl);
+  }
+}
+
+TEST(Ipv4, SetTtlPreservesIntentionalBadChecksum) {
+  Ipv4Header h = basic_header();
+  h.checksum_override = 0x0bad;
+  Bytes dgram = serialize_ipv4(h, to_bytes("data"));
+  set_ttl_in_place(dgram, 5);
+  auto v = parse_ipv4(dgram).value();
+  EXPECT_EQ(v.ttl, 5);
+  // The checksum stays wrong: routers must not accidentally repair packets
+  // crafted with an intentionally bad checksum.
+  EXPECT_TRUE(v.bad_checksum);
+}
+
+TEST(Ipv4, RefreshChecksumRepairs) {
+  Ipv4Header h = basic_header();
+  h.checksum_override = 0x0bad;
+  Bytes dgram = serialize_ipv4(h, to_bytes("data"));
+  refresh_ipv4_checksum(dgram);
+  EXPECT_FALSE(parse_ipv4(dgram).value().bad_checksum);
+}
+
+// Property sweep: random payload sizes round-trip.
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Ipv4RoundTrip, PayloadIntact) {
+  Rng rng(GetParam() * 977 + 1);
+  Bytes payload = rng.bytes(GetParam());
+  Bytes dgram = serialize_ipv4(basic_header(), payload);
+  auto v = parse_ipv4(dgram).value();
+  EXPECT_FALSE(v.any_anomaly());
+  EXPECT_EQ(Bytes(v.payload.begin(), v.payload.end()), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Ipv4RoundTrip,
+                         ::testing::Values(0, 1, 7, 8, 100, 576, 1400, 1480));
+
+}  // namespace
+}  // namespace liberate::netsim

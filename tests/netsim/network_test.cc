@@ -1,0 +1,179 @@
+#include "netsim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/packet.h"
+
+namespace liberate::netsim {
+namespace {
+
+struct RecordingHost : HostIface {
+  std::vector<Bytes> received;
+  void receive(Bytes datagram) override {
+    received.push_back(std::move(datagram));
+  }
+};
+
+Bytes tcp_packet(std::uint8_t ttl, std::string_view payload,
+                 const char* src = "10.0.0.1", const char* dst = "10.9.9.9") {
+  Ipv4Header ip;
+  ip.src = ip_addr(src);
+  ip.dst = ip_addr(dst);
+  ip.ttl = ttl;
+  TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  return make_tcp_datagram(ip, tcp, to_bytes(payload));
+}
+
+struct Testbed {
+  EventLoop loop;
+  Network net{loop};
+  RecordingHost client, server;
+  Testbed() {
+    net.attach_client(&client);
+    net.attach_server(&server);
+  }
+};
+
+TEST(Network, DeliversEndToEndThroughRouters) {
+  Testbed tb;
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.2"));
+  tb.net.send_from_client(tcp_packet(64, "hello"));
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.server.received.size(), 1u);
+  auto pkt = parse_packet(tb.server.received[0]).value();
+  EXPECT_EQ(to_string(pkt.app_payload()), "hello");
+  EXPECT_EQ(pkt.ip.ttl, 62);  // two decrements
+  EXPECT_FALSE(pkt.ip.bad_checksum);
+}
+
+TEST(Network, ServerToClientTraversesInReverse) {
+  Testbed tb;
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+  auto& tap = tb.net.emplace<TapElement>("mid");
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.2"));
+  tb.net.send_from_server(tcp_packet(64, "response", "10.9.9.9", "10.0.0.1"));
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.client.received.size(), 1u);
+  EXPECT_EQ(tap.count(Direction::kServerToClient), 1u);
+  EXPECT_EQ(tap.count(Direction::kClientToServer), 0u);
+}
+
+TEST(Network, TtlExpiryDropsAndSendsIcmpBack) {
+  Testbed tb;
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.2"));
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.3"));
+
+  // TTL=2: expires at the second router.
+  tb.net.send_from_client(tcp_packet(2, "probe"));
+  tb.loop.run_until_idle();
+  EXPECT_TRUE(tb.server.received.empty());
+  ASSERT_EQ(tb.client.received.size(), 1u);
+  auto pkt = parse_packet(tb.client.received[0]).value();
+  ASSERT_TRUE(pkt.icmp.has_value());
+  EXPECT_EQ(pkt.icmp->type, IcmpType::kTimeExceeded);
+  EXPECT_EQ(pkt.ip.src, ip_addr("10.1.0.2"));
+}
+
+TEST(Network, TtlJustEnoughReachesServer) {
+  Testbed tb;
+  for (int i = 0; i < 3; ++i) {
+    tb.net.emplace<RouterHop>(ip_addr("10.1.0.1") + static_cast<std::uint32_t>(i));
+  }
+  // A packet with TTL = N dies at the Nth router; TTL = N+1 arrives with 1.
+  tb.net.send_from_client(tcp_packet(3, "dies"));
+  tb.net.send_from_client(tcp_packet(4, "arrives"));
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.server.received.size(), 1u);
+  auto pkt = parse_packet(tb.server.received[0]).value();
+  EXPECT_EQ(to_string(pkt.app_payload()), "arrives");
+  EXPECT_EQ(pkt.ip.ttl, 1);
+}
+
+TEST(Network, FilterDropsCheckedAnomalies) {
+  Testbed tb;
+  auto& r = tb.net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+  ValidationPolicy p;
+  p.check(Anomaly::kBadTcpChecksum);
+  r.filter(p);
+
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  tcp.checksum_override = 0x1111;
+  tb.net.send_from_client(make_tcp_datagram(ip, tcp, to_bytes("bad")));
+  tb.net.send_from_client(tcp_packet(64, "good"));
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.server.received.size(), 1u);
+  EXPECT_EQ(to_string(parse_packet(tb.server.received[0]).value().app_payload()),
+            "good");
+}
+
+TEST(Network, ChecksumNormalizerRepairsTcpChecksum) {
+  Testbed tb;
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.1")).fix_tcp_checksums();
+
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  TcpHeader tcp;
+  tcp.src_port = 5;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  tcp.checksum_override = 0x2222;
+  tb.net.send_from_client(make_tcp_datagram(ip, tcp, to_bytes("fixme")));
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.server.received.size(), 1u);
+  auto pkt = parse_packet(tb.server.received[0]).value();
+  EXPECT_FALSE(has_anomaly(anomalies_of(pkt), Anomaly::kBadTcpChecksum));
+  EXPECT_EQ(to_string(pkt.app_payload()), "fixme");
+}
+
+TEST(Network, FragmentDropperOnlyDropsFragments) {
+  Testbed tb;
+  tb.net.emplace<RouterHop>(ip_addr("10.1.0.1")).drop_fragments();
+  Bytes whole = tcp_packet(64, std::string(100, 'a'));
+  for (auto& f : fragment_datagram(whole, 2)) {
+    tb.net.send_from_client(std::move(f));
+  }
+  tb.net.send_from_client(tcp_packet(64, "unfragmented"));
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.server.received.size(), 1u);
+  EXPECT_EQ(to_string(parse_packet(tb.server.received[0]).value().app_payload()),
+            "unfragmented");
+}
+
+TEST(Network, BandwidthElementPacesTraffic) {
+  Testbed tb;
+  // 10 KB/s, generous queue.
+  tb.net.emplace<BandwidthElement>(10'000.0, 1 << 20);
+  // Send 10 packets of ~1 KB: last should arrive ~1 second in.
+  for (int i = 0; i < 10; ++i) {
+    tb.net.send_from_client(tcp_packet(64, std::string(980, 'x')));
+  }
+  tb.loop.run_until_idle();
+  EXPECT_EQ(tb.server.received.size(), 10u);
+  EXPECT_GE(tb.loop.now(), milliseconds(900));
+  EXPECT_LE(tb.loop.now(), milliseconds(1300));
+}
+
+TEST(Network, BandwidthQueueOverflowDrops) {
+  Testbed tb;
+  auto& bw = tb.net.emplace<BandwidthElement>(1'000.0, 3000);
+  for (int i = 0; i < 20; ++i) {
+    tb.net.send_from_client(tcp_packet(64, std::string(980, 'x')));
+  }
+  tb.loop.run_until_idle();
+  EXPECT_LT(tb.server.received.size(), 20u);
+  EXPECT_GT(bw.dropped(), 0u);
+  EXPECT_EQ(tb.server.received.size() + bw.dropped(), 20u);
+}
+
+}  // namespace
+}  // namespace liberate::netsim

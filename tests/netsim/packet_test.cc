@@ -1,0 +1,152 @@
+#include "netsim/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace liberate::netsim {
+namespace {
+
+Ipv4Header ip_between(const char* src, const char* dst) {
+  Ipv4Header h;
+  h.src = ip_addr(src);
+  h.dst = ip_addr(dst);
+  return h;
+}
+
+TEST(Packet, TcpBuilderFillsProtocol) {
+  TcpHeader tcp;
+  tcp.src_port = 1111;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d =
+      make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp, to_bytes("hi"));
+  auto pkt = parse_packet(d).value();
+  EXPECT_EQ(pkt.ip.protocol, 6);
+  ASSERT_TRUE(pkt.is_tcp());
+  EXPECT_EQ(pkt.tcp->dst_port, 80);
+  EXPECT_EQ(to_string(pkt.app_payload()), "hi");
+}
+
+TEST(Packet, WrongProtocolOverrideHonored) {
+  Ipv4Header ip = ip_between("1.1.1.1", "2.2.2.2");
+  ip.protocol = 143;  // bogus
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d = make_tcp_datagram(ip, tcp, to_bytes("hi"));
+  auto pkt = parse_packet(d).value();
+  EXPECT_EQ(pkt.ip.protocol, 143);
+  // Not parsed as TCP because the protocol number says otherwise.
+  EXPECT_FALSE(pkt.is_tcp());
+}
+
+TEST(Packet, UdpBuilder) {
+  UdpHeader udp;
+  udp.src_port = 5000;
+  udp.dst_port = 53;
+  Bytes d =
+      make_udp_datagram(ip_between("1.1.1.1", "2.2.2.2"), udp, to_bytes("q"));
+  auto pkt = parse_packet(d).value();
+  ASSERT_TRUE(pkt.is_udp());
+  EXPECT_EQ(pkt.udp->dst_port, 53);
+  EXPECT_EQ(pkt.ip.protocol, 17);
+}
+
+TEST(Packet, FiveTupleAndReverse) {
+  TcpHeader tcp;
+  tcp.src_port = 1111;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d = make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp, {});
+  auto t = parse_packet(d).value().five_tuple();
+  EXPECT_EQ(t.src_port, 1111);
+  EXPECT_EQ(t.dst_port, 80);
+  FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.src_port, 80);
+  EXPECT_EQ(r.reversed(), t);
+  EXPECT_NE(FiveTupleHash{}(t), 0u);
+}
+
+TEST(Packet, FragmentationSplitsAndPreservesBytes) {
+  Rng rng(3);
+  Bytes payload = rng.bytes(1000);
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d = make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp, payload);
+
+  auto frags = fragment_datagram(d, 3);
+  ASSERT_EQ(frags.size(), 3u);
+
+  // Reassemble manually by offset.
+  Bytes reassembled;
+  std::size_t expected_total = 0;
+  for (const auto& f : frags) {
+    auto v = parse_ipv4(f).value();
+    EXPECT_FALSE(v.bad_checksum);
+    expected_total += v.payload.size();
+  }
+  reassembled.resize(expected_total);
+  bool saw_last = false;
+  for (const auto& f : frags) {
+    auto v = parse_ipv4(f).value();
+    std::copy(v.payload.begin(), v.payload.end(),
+              reassembled.begin() +
+                  static_cast<std::ptrdiff_t>(v.fragment_offset_bytes()));
+    if (!v.flag_more_fragments) saw_last = true;
+  }
+  EXPECT_TRUE(saw_last);
+
+  // The reassembled bytes equal the original transport segment.
+  auto orig = parse_ipv4(d).value();
+  EXPECT_EQ(reassembled, Bytes(orig.payload.begin(), orig.payload.end()));
+}
+
+TEST(Packet, FragmentOffsetsAreEightByteAligned) {
+  Bytes payload(333, 0xab);
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d = make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp, payload);
+  for (std::size_t pieces : {2u, 3u, 5u, 7u}) {
+    auto frags = fragment_datagram(d, pieces);
+    for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
+      auto v = parse_ipv4(frags[i]).value();
+      EXPECT_EQ(v.payload.size() % 8, 0u) << "non-final fragment " << i;
+    }
+  }
+}
+
+TEST(Packet, NonFirstFragmentSkipsTransportParse) {
+  Bytes payload(200, 0x77);
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d = make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp, payload);
+  auto frags = fragment_datagram(d, 2);
+  ASSERT_EQ(frags.size(), 2u);
+  auto second = parse_packet(frags[1]).value();
+  EXPECT_FALSE(second.is_tcp());
+  EXPECT_TRUE(second.ip.is_fragment());
+}
+
+TEST(Packet, FragmentCountCappedByEightByteUnits) {
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  // 20-byte TCP header + 3 bytes payload = 23 bytes -> at most 3 fragments.
+  Bytes d = make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp,
+                              to_bytes("abc"));
+  auto frags = fragment_datagram(d, 10);
+  EXPECT_EQ(frags.size(), 3u);
+}
+
+TEST(Packet, FragmentWithOnePieceReturnsOriginal) {
+  TcpHeader tcp;
+  tcp.flags = TcpFlags::kAck;
+  Bytes d = make_tcp_datagram(ip_between("1.1.1.1", "2.2.2.2"), tcp,
+                              to_bytes("abc"));
+  auto frags = fragment_datagram(d, 1);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0], d);
+}
+
+}  // namespace
+}  // namespace liberate::netsim

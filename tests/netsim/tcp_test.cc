@@ -1,0 +1,117 @@
+#include "netsim/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/ipv4.h"
+#include "util/rng.h"
+
+namespace liberate::netsim {
+namespace {
+
+constexpr std::uint32_t kSrc = 0x0a000001;
+constexpr std::uint32_t kDst = 0x0a000002;
+
+TcpHeader basic_header() {
+  TcpHeader h;
+  h.src_port = 40000;
+  h.dst_port = 80;
+  h.seq = 1000;
+  h.ack = 2000;
+  h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  h.window = 65000;
+  return h;
+}
+
+TEST(Tcp, SerializeParseRoundTrip) {
+  Bytes seg = serialize_tcp(basic_header(), to_bytes("GET / HTTP/1.1"), kSrc, kDst);
+  auto v = parse_tcp(seg).value();
+  EXPECT_EQ(v.src_port, 40000);
+  EXPECT_EQ(v.dst_port, 80);
+  EXPECT_EQ(v.seq, 1000u);
+  EXPECT_EQ(v.ack, 2000u);
+  EXPECT_EQ(v.data_offset_words, 5);
+  EXPECT_TRUE(v.has(TcpFlags::kAck));
+  EXPECT_TRUE(v.has(TcpFlags::kPsh));
+  EXPECT_FALSE(v.has(TcpFlags::kSyn));
+  EXPECT_EQ(v.window, 65000);
+  EXPECT_EQ(to_string(v.payload), "GET / HTTP/1.1");
+  EXPECT_FALSE(v.bad_data_offset);
+}
+
+TEST(Tcp, AutoChecksumVerifies) {
+  Bytes seg = serialize_tcp(basic_header(), to_bytes("data"), kSrc, kDst);
+  EXPECT_TRUE(tcp_checksum_ok(seg, kSrc, kDst));
+}
+
+TEST(Tcp, ChecksumOverrideFailsVerification) {
+  TcpHeader h = basic_header();
+  h.checksum_override = 0x1111;
+  Bytes seg = serialize_tcp(h, to_bytes("data"), kSrc, kDst);
+  EXPECT_FALSE(tcp_checksum_ok(seg, kSrc, kDst));
+}
+
+TEST(Tcp, ChecksumBindsAddresses) {
+  // A segment valid for one address pair is invalid for another (the
+  // pseudo-header includes src/dst).
+  Bytes seg = serialize_tcp(basic_header(), to_bytes("data"), kSrc, kDst);
+  EXPECT_FALSE(tcp_checksum_ok(seg, kSrc, kDst + 1));
+}
+
+TEST(Tcp, OptionsRoundTrip) {
+  TcpHeader h = basic_header();
+  h.flags = TcpFlags::kSyn;
+  h.options.push_back(TcpOption::mss(1460));
+  Bytes seg = serialize_tcp(h, {}, kSrc, kDst);
+  auto v = parse_tcp(seg).value();
+  EXPECT_EQ(v.header_length, 24u);
+  ASSERT_EQ(v.options.size(), 1u);
+  EXPECT_EQ(v.options[0].kind, 2);
+  EXPECT_EQ(v.options[0].data, (Bytes{0x05, 0xb4}));
+  EXPECT_TRUE(tcp_checksum_ok(seg, kSrc, kDst));
+}
+
+TEST(Tcp, InvalidDataOffsetDetected) {
+  TcpHeader h = basic_header();
+  h.data_offset_words = 15;  // claims 60-byte header in a small segment
+  Bytes seg = serialize_tcp(h, to_bytes("x"), kSrc, kDst);
+  auto v = parse_tcp(seg).value();
+  EXPECT_TRUE(v.bad_data_offset);
+  h.data_offset_words = 4;  // below minimum
+  v = parse_tcp(serialize_tcp(h, to_bytes("x"), kSrc, kDst)).value();
+  EXPECT_TRUE(v.bad_data_offset);
+}
+
+TEST(Tcp, InvalidFlagCombos) {
+  EXPECT_TRUE(is_invalid_flag_combo(TcpFlags::kSyn | TcpFlags::kFin));
+  EXPECT_TRUE(is_invalid_flag_combo(TcpFlags::kSyn | TcpFlags::kRst));
+  EXPECT_TRUE(is_invalid_flag_combo(TcpFlags::kFin | TcpFlags::kRst));
+  EXPECT_TRUE(is_invalid_flag_combo(0));
+  EXPECT_FALSE(is_invalid_flag_combo(TcpFlags::kSyn));
+  EXPECT_FALSE(is_invalid_flag_combo(TcpFlags::kAck | TcpFlags::kPsh));
+  EXPECT_FALSE(is_invalid_flag_combo(TcpFlags::kFin | TcpFlags::kAck));
+}
+
+TEST(Tcp, TooShortSegmentFails) {
+  Bytes tiny{0x01, 0x02, 0x03};
+  EXPECT_FALSE(parse_tcp(tiny).ok());
+}
+
+class TcpRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcpRoundTrip, PayloadAndChecksumIntact) {
+  Rng rng(GetParam() + 5);
+  Bytes payload = rng.bytes(GetParam());
+  TcpHeader h = basic_header();
+  h.seq = static_cast<std::uint32_t>(rng.next());
+  Bytes seg = serialize_tcp(h, payload, kSrc, kDst);
+  auto v = parse_tcp(seg).value();
+  EXPECT_EQ(Bytes(v.payload.begin(), v.payload.end()), payload);
+  EXPECT_TRUE(tcp_checksum_ok(seg, kSrc, kDst));
+  EXPECT_EQ(v.seq, h.seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpRoundTrip,
+                         ::testing::Values(0, 1, 3, 64, 536, 1460));
+
+}  // namespace
+}  // namespace liberate::netsim

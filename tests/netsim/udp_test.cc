@@ -1,0 +1,84 @@
+#include "netsim/udp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace liberate::netsim {
+namespace {
+
+constexpr std::uint32_t kSrc = 0x0a000001;
+constexpr std::uint32_t kDst = 0x0a000002;
+
+UdpHeader basic_header() {
+  UdpHeader h;
+  h.src_port = 50000;
+  h.dst_port = 3478;
+  return h;
+}
+
+TEST(Udp, SerializeParseRoundTrip) {
+  Bytes dgram = serialize_udp(basic_header(), to_bytes("stun"), kSrc, kDst);
+  auto v = parse_udp(dgram).value();
+  EXPECT_EQ(v.src_port, 50000);
+  EXPECT_EQ(v.dst_port, 3478);
+  EXPECT_EQ(v.length, 12);
+  EXPECT_EQ(to_string(v.payload), "stun");
+  EXPECT_FALSE(v.bad_length);
+  EXPECT_TRUE(udp_checksum_ok(dgram, kSrc, kDst));
+}
+
+TEST(Udp, InvalidChecksumDetected) {
+  UdpHeader h = basic_header();
+  h.checksum_override = 0x1234;
+  Bytes dgram = serialize_udp(h, to_bytes("stun"), kSrc, kDst);
+  EXPECT_FALSE(udp_checksum_ok(dgram, kSrc, kDst));
+}
+
+TEST(Udp, ZeroChecksumMeansUnchecked) {
+  UdpHeader h = basic_header();
+  h.checksum_override = 0;  // "no checksum" is legal for UDP/IPv4
+  Bytes dgram = serialize_udp(h, to_bytes("stun"), kSrc, kDst);
+  EXPECT_TRUE(udp_checksum_ok(dgram, kSrc, kDst));
+}
+
+TEST(Udp, LengthLongerThanPayload) {
+  UdpHeader h = basic_header();
+  h.length_override = 100;
+  auto v = parse_udp(serialize_udp(h, to_bytes("abc"), kSrc, kDst)).value();
+  EXPECT_TRUE(v.length_long);
+  EXPECT_FALSE(v.length_short);
+}
+
+TEST(Udp, LengthShorterThanPayloadAndTruncatedView) {
+  UdpHeader h = basic_header();
+  h.length_override = 10;  // header(8) + 2 bytes declared
+  auto dgram = serialize_udp(h, to_bytes("abcdef"), kSrc, kDst);
+  auto v = parse_udp(dgram).value();
+  EXPECT_TRUE(v.length_short);
+  // Linux-style delivery reads only up to the declared length (note 5).
+  EXPECT_EQ(to_string(v.declared_payload()), "ab");
+  EXPECT_EQ(to_string(v.payload), "abcdef");
+}
+
+TEST(Udp, TooShortBufferFails) {
+  Bytes tiny{0x01};
+  EXPECT_FALSE(parse_udp(tiny).ok());
+}
+
+class UdpRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UdpRoundTrip, PayloadIntact) {
+  Rng rng(GetParam() + 99);
+  Bytes payload = rng.bytes(GetParam());
+  Bytes dgram = serialize_udp(basic_header(), payload, kSrc, kDst);
+  auto v = parse_udp(dgram).value();
+  EXPECT_EQ(Bytes(v.payload.begin(), v.payload.end()), payload);
+  EXPECT_TRUE(udp_checksum_ok(dgram, kSrc, kDst));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UdpRoundTrip,
+                         ::testing::Values(0, 1, 2, 100, 508, 1200));
+
+}  // namespace
+}  // namespace liberate::netsim

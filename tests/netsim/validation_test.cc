@@ -1,0 +1,163 @@
+#include "netsim/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/packet.h"
+
+namespace liberate::netsim {
+namespace {
+
+Ipv4Header ip_basic() {
+  Ipv4Header h;
+  h.src = ip_addr("10.0.0.1");
+  h.dst = ip_addr("10.0.0.2");
+  return h;
+}
+
+TcpHeader tcp_data() {
+  TcpHeader h;
+  h.src_port = 4000;
+  h.dst_port = 80;
+  h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  return h;
+}
+
+AnomalySet anomalies(const Bytes& dgram) {
+  return anomalies_of(parse_packet(dgram).value());
+}
+
+TEST(Validation, CleanPacketHasNoAnomalies) {
+  Bytes d = make_tcp_datagram(ip_basic(), tcp_data(), to_bytes("x"));
+  EXPECT_EQ(anomalies(d), 0u);
+}
+
+TEST(Validation, EachCraftedAnomalyIsDetected) {
+  {
+    Ipv4Header ip = ip_basic();
+    ip.version = 5;
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kBadIpVersion));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.ihl_words = 3;
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kBadIpHeaderLength));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.total_length_override = 2000;
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kIpTotalLengthLong));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.total_length_override = 24;
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("xxxxxxxx")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kIpTotalLengthShort));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.checksum_override = 0xbad0;
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kBadIpChecksum));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.protocol = 143;
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kUnknownIpProtocol));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.options.push_back(Ipv4Option::invalid_length());
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kInvalidIpOptions));
+  }
+  {
+    Ipv4Header ip = ip_basic();
+    ip.options.push_back(Ipv4Option::stream_id(7));
+    auto a = anomalies(make_tcp_datagram(ip, tcp_data(), to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kDeprecatedIpOptions));
+    EXPECT_FALSE(has_anomaly(a, Anomaly::kInvalidIpOptions));
+  }
+  {
+    TcpHeader t = tcp_data();
+    t.checksum_override = 0x1234;
+    auto a = anomalies(make_tcp_datagram(ip_basic(), t, to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kBadTcpChecksum));
+  }
+  {
+    TcpHeader t = tcp_data();
+    t.data_offset_words = 15;
+    auto a = anomalies(make_tcp_datagram(ip_basic(), t, to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kBadTcpDataOffset));
+  }
+  {
+    TcpHeader t = tcp_data();
+    t.flags = TcpFlags::kSyn | TcpFlags::kFin;
+    auto a = anomalies(make_tcp_datagram(ip_basic(), t, to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kInvalidTcpFlagCombo));
+  }
+  {
+    TcpHeader t = tcp_data();
+    t.flags = TcpFlags::kPsh;  // data without ACK
+    auto a = anomalies(make_tcp_datagram(ip_basic(), t, to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kTcpDataNoAck));
+  }
+  {
+    UdpHeader u;
+    u.src_port = 1;
+    u.dst_port = 2;
+    u.checksum_override = 0x5555;
+    auto a = anomalies(make_udp_datagram(ip_basic(), u, to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kBadUdpChecksum));
+  }
+  {
+    UdpHeader u;
+    u.length_override = 200;
+    auto a = anomalies(make_udp_datagram(ip_basic(), u, to_bytes("x")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kUdpLengthLong));
+  }
+  {
+    UdpHeader u;
+    u.length_override = 9;
+    auto a = anomalies(make_udp_datagram(ip_basic(), u, to_bytes("abcdef")));
+    EXPECT_TRUE(has_anomaly(a, Anomaly::kUdpLengthShort));
+  }
+}
+
+TEST(Validation, SynWithoutAckIsNotFlaggedAsDataNoAck) {
+  TcpHeader t;
+  t.flags = TcpFlags::kSyn;
+  auto a = anomalies(make_tcp_datagram(ip_basic(), t, {}));
+  EXPECT_FALSE(has_anomaly(a, Anomaly::kTcpDataNoAck));
+}
+
+TEST(Validation, PolicyRejectsOnlyCheckedAnomalies) {
+  ValidationPolicy p;
+  p.check(Anomaly::kBadIpChecksum);
+  EXPECT_TRUE(p.rejects(anomaly_bit(Anomaly::kBadIpChecksum)));
+  EXPECT_FALSE(p.rejects(anomaly_bit(Anomaly::kBadTcpChecksum)));
+  EXPECT_TRUE(p.rejects(anomaly_bit(Anomaly::kBadIpChecksum) |
+                        anomaly_bit(Anomaly::kBadTcpChecksum)));
+  EXPECT_FALSE(ValidationPolicy::none().rejects(~0u));
+}
+
+TEST(Validation, StrictPolicyAllowsFragmentsAndDeprecatedOptions) {
+  ValidationPolicy strict = ValidationPolicy::strict();
+  EXPECT_FALSE(strict.rejects(anomaly_bit(Anomaly::kIpFragment)));
+  EXPECT_FALSE(strict.rejects(anomaly_bit(Anomaly::kDeprecatedIpOptions)));
+  EXPECT_TRUE(strict.rejects(anomaly_bit(Anomaly::kBadTcpChecksum)));
+}
+
+TEST(Validation, DescribeAnomalies) {
+  EXPECT_EQ(describe_anomalies(0), "none");
+  auto s = describe_anomalies(anomaly_bit(Anomaly::kBadIpVersion) |
+                              anomaly_bit(Anomaly::kBadTcpChecksum));
+  EXPECT_NE(s.find("bad-ip-version"), std::string::npos);
+  EXPECT_NE(s.find("bad-tcp-checksum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace liberate::netsim

@@ -1,0 +1,145 @@
+#include "stack/ip_reassembly.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netsim/packet.h"
+#include "util/rng.h"
+
+namespace liberate::stack {
+namespace {
+
+using namespace netsim;
+
+Bytes tcp_datagram(std::size_t payload_size, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.0.0.2");
+  ip.identification = static_cast<std::uint16_t>(seed);
+  TcpHeader tcp;
+  tcp.src_port = 1000;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  return make_tcp_datagram(ip, tcp, rng.bytes(payload_size));
+}
+
+TEST(IpReassembly, NonFragmentPassesThrough) {
+  IpReassembler r;
+  Bytes d = tcp_datagram(100);
+  auto out = r.push(d, 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, d);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(IpReassembly, InOrderFragmentsReassemble) {
+  IpReassembler r;
+  Bytes d = tcp_datagram(900);
+  auto frags = fragment_datagram(d, 3);
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_FALSE(r.push(frags[0], 0).has_value());
+  EXPECT_FALSE(r.push(frags[1], 0).has_value());
+  auto out = r.push(frags[2], 0);
+  ASSERT_TRUE(out.has_value());
+
+  // Reassembled transport payload identical to the original's.
+  auto orig = parse_ipv4(d).value();
+  auto got = parse_ipv4(*out).value();
+  EXPECT_EQ(Bytes(got.payload.begin(), got.payload.end()),
+            Bytes(orig.payload.begin(), orig.payload.end()));
+  EXPECT_FALSE(got.is_fragment());
+  EXPECT_FALSE(got.any_anomaly());
+}
+
+TEST(IpReassembly, OutOfOrderFragmentsReassemble) {
+  IpReassembler r;
+  Bytes d = tcp_datagram(1200, 7);
+  auto frags = fragment_datagram(d, 4);
+  ASSERT_EQ(frags.size(), 4u);
+  std::swap(frags[0], frags[3]);
+  std::swap(frags[1], frags[2]);
+  std::optional<Bytes> out;
+  for (const auto& f : frags) {
+    out = r.push(f, 0);
+  }
+  ASSERT_TRUE(out.has_value());
+  auto orig = parse_ipv4(d).value();
+  auto got = parse_ipv4(*out).value();
+  EXPECT_EQ(Bytes(got.payload.begin(), got.payload.end()),
+            Bytes(orig.payload.begin(), orig.payload.end()));
+}
+
+TEST(IpReassembly, DistinctFlowsDoNotMix) {
+  IpReassembler r;
+  Bytes a = tcp_datagram(500, 11);
+  Bytes b = tcp_datagram(500, 22);
+  auto fa = fragment_datagram(a, 2);
+  auto fb = fragment_datagram(b, 2);
+  EXPECT_FALSE(r.push(fa[0], 0).has_value());
+  EXPECT_FALSE(r.push(fb[0], 0).has_value());
+  EXPECT_EQ(r.pending(), 2u);
+  auto ra = r.push(fa[1], 0);
+  ASSERT_TRUE(ra.has_value());
+  auto oa = parse_ipv4(a).value();
+  auto ga = parse_ipv4(*ra).value();
+  EXPECT_EQ(Bytes(ga.payload.begin(), ga.payload.end()),
+            Bytes(oa.payload.begin(), oa.payload.end()));
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(IpReassembly, MissingMiddleFragmentNeverCompletes) {
+  IpReassembler r;
+  Bytes d = tcp_datagram(900, 3);
+  auto frags = fragment_datagram(d, 3);
+  EXPECT_FALSE(r.push(frags[0], 0).has_value());
+  EXPECT_FALSE(r.push(frags[2], 0).has_value());
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(IpReassembly, ExpiryDropsStaleBuffers) {
+  IpReassembler r(seconds(30));
+  Bytes d = tcp_datagram(900, 5);
+  auto frags = fragment_datagram(d, 3);
+  EXPECT_FALSE(r.push(frags[0], 0).has_value());
+  r.expire(seconds(31));
+  EXPECT_EQ(r.pending(), 0u);
+  // Completing after expiry does not produce the datagram.
+  EXPECT_FALSE(r.push(frags[1], seconds(31)).has_value());
+  EXPECT_FALSE(r.push(frags[2], seconds(31)).has_value());
+  // frags[1] and frags[2] alone can't cover offset 0.
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+// Property sweep: random fragment counts and delivery orders always
+// reconstruct the original transport bytes.
+class ReassemblyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReassemblyProperty, RandomOrderAlwaysReassembles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  IpReassembler r;
+  std::size_t payload = 200 + rng.below(1800);
+  std::size_t pieces = 2 + rng.below(6);
+  Bytes d = tcp_datagram(payload, static_cast<std::uint64_t>(GetParam()) + 100);
+  auto frags = fragment_datagram(d, pieces);
+  // Shuffle.
+  for (std::size_t i = frags.size(); i > 1; --i) {
+    std::swap(frags[i - 1], frags[rng.below(i)]);
+  }
+  std::optional<Bytes> out;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    out = r.push(frags[i], 0);
+    if (i + 1 < frags.size()) EXPECT_FALSE(out.has_value());
+  }
+  ASSERT_TRUE(out.has_value());
+  auto orig = parse_ipv4(d).value();
+  auto got = parse_ipv4(*out).value();
+  EXPECT_EQ(Bytes(got.payload.begin(), got.payload.end()),
+            Bytes(orig.payload.begin(), orig.payload.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, ReassemblyProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace liberate::stack

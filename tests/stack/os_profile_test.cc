@@ -1,0 +1,88 @@
+#include "stack/os_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace liberate::stack {
+namespace {
+
+using netsim::Anomaly;
+using netsim::anomaly_bit;
+
+struct Row {
+  Anomaly anomaly;
+  OsAction linux_action;
+  OsAction macos_action;
+  OsAction windows_action;
+};
+
+// Direct transcription of Table 3's "Server Response" columns.
+const Row kTable3ServerResponse[] = {
+    {Anomaly::kBadIpVersion, OsAction::kDrop, OsAction::kDrop, OsAction::kDrop},
+    {Anomaly::kBadIpHeaderLength, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kIpTotalLengthLong, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kIpTotalLengthShort, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kUnknownIpProtocol, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kBadIpChecksum, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kInvalidIpOptions, OsAction::kDeliver, OsAction::kDeliver,
+     OsAction::kDrop},
+    {Anomaly::kDeprecatedIpOptions, OsAction::kDeliver, OsAction::kDeliver,
+     OsAction::kDeliver},
+    {Anomaly::kTcpSeqOutOfWindow, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kBadTcpChecksum, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kTcpDataNoAck, OsAction::kDrop, OsAction::kDrop, OsAction::kDrop},
+    {Anomaly::kBadTcpDataOffset, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kInvalidTcpFlagCombo, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kRespondRst},
+    {Anomaly::kBadUdpChecksum, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kUdpLengthLong, OsAction::kDrop, OsAction::kDrop,
+     OsAction::kDrop},
+    {Anomaly::kUdpLengthShort, OsAction::kDeliverTruncated, OsAction::kDrop,
+     OsAction::kDrop},
+};
+
+TEST(OsProfile, CleanPacketsDeliveredEverywhere) {
+  EXPECT_EQ(OsProfile::linux_profile().decide(0), OsAction::kDeliver);
+  EXPECT_EQ(OsProfile::macos_profile().decide(0), OsAction::kDeliver);
+  EXPECT_EQ(OsProfile::windows_profile().decide(0), OsAction::kDeliver);
+}
+
+TEST(OsProfile, MatchesTable3ServerResponseColumns) {
+  OsProfile lin = OsProfile::linux_profile();
+  OsProfile mac = OsProfile::macos_profile();
+  OsProfile win = OsProfile::windows_profile();
+  for (const Row& row : kTable3ServerResponse) {
+    auto a = anomaly_bit(row.anomaly);
+    EXPECT_EQ(lin.decide(a), row.linux_action)
+        << "Linux: " << netsim::describe_anomalies(a);
+    EXPECT_EQ(mac.decide(a), row.macos_action)
+        << "MacOS: " << netsim::describe_anomalies(a);
+    EXPECT_EQ(win.decide(a), row.windows_action)
+        << "Windows: " << netsim::describe_anomalies(a);
+  }
+}
+
+TEST(OsProfile, DropWinsOverTruncationWhenBothPresent) {
+  // A short-length UDP packet that ALSO has a bad checksum is dropped even
+  // on Linux.
+  auto a = anomaly_bit(Anomaly::kUdpLengthShort) |
+           anomaly_bit(Anomaly::kBadUdpChecksum);
+  EXPECT_EQ(OsProfile::linux_profile().decide(a), OsAction::kDrop);
+}
+
+TEST(OsProfile, FragmentsAreNotAnOsAnomaly) {
+  auto a = anomaly_bit(Anomaly::kIpFragment);
+  EXPECT_EQ(OsProfile::linux_profile().decide(a), OsAction::kDeliver);
+  EXPECT_EQ(OsProfile::windows_profile().decide(a), OsAction::kDeliver);
+}
+
+}  // namespace
+}  // namespace liberate::stack

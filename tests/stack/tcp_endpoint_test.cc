@@ -1,0 +1,269 @@
+#include "stack/tcp_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "stack/host.h"
+#include "util/rng.h"
+
+namespace liberate::stack {
+namespace {
+
+using namespace netsim;
+
+// A two-host testbed over a configurable path.
+struct Rig {
+  EventLoop loop;
+  Network net{loop};
+  Host client;
+  Host server;
+
+  explicit Rig(OsProfile server_os = OsProfile::linux_profile())
+      : client(net.client_port(), ip_addr("10.0.0.1"),
+               OsProfile::linux_profile()),
+        server(net.server_port(), ip_addr("10.9.9.9"), std::move(server_os)) {
+    net.attach_client(&client);
+    net.attach_server(&server);
+  }
+};
+
+TEST(TcpEndpoint, HandshakeEstablishesBothSides) {
+  Rig rig;
+  TcpConnection* accepted = nullptr;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) { accepted = &c; });
+  bool client_established = false;
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { client_established = true; });
+  rig.loop.run_until_idle();
+  EXPECT_TRUE(client_established);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(conn.state(), TcpConnection::State::kEstablished);
+  EXPECT_EQ(accepted->state(), TcpConnection::State::kEstablished);
+}
+
+TEST(TcpEndpoint, SynToClosedPortGetsRst) {
+  Rig rig;
+  bool reset = false;
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 81);
+  conn.on_reset([&] { reset = true; });
+  rig.loop.run_until_idle();
+  EXPECT_TRUE(reset);
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+  EXPECT_TRUE(conn.was_reset());
+}
+
+TEST(TcpEndpoint, TransfersDataBothWays) {
+  Rig rig;
+  std::string server_got, client_got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&, pc = &c](BytesView data) {
+      server_got += to_string(data);
+      if (server_got == "ping") pc->send(std::string_view("pong"));
+    });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_data([&](BytesView data) { client_got += to_string(data); });
+  conn.on_established([&] { conn.send(std::string_view("ping")); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+}
+
+TEST(TcpEndpoint, LargeTransferSegmentsAndDeliversInOrder) {
+  Rig rig;
+  Rng rng(42);
+  Bytes blob = rng.bytes(300 * 1024);  // 300 KB: many MSS-sized segments
+  Bytes received;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(BytesView(blob)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(received.size(), blob.size());
+  EXPECT_EQ(received, blob);
+}
+
+TEST(TcpEndpoint, RetransmitsThroughLossyQueue) {
+  Rig rig;
+  // Tight bandwidth + tiny queue: forces drops and hence retransmissions.
+  rig.net.emplace<BandwidthElement>(200'000.0, 4500);
+  Rng rng(7);
+  Bytes blob = rng.bytes(100 * 1024);
+  Bytes received;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(BytesView(blob)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(received, blob);
+  EXPECT_GT(conn.retransmissions(), 0u);
+}
+
+TEST(TcpEndpoint, GracefulCloseBothSides) {
+  Rig rig;
+  bool server_closed = false, client_closed = false;
+  TcpConnection* srv = nullptr;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    srv = &c;
+    c.on_closed([&] { server_closed = true; });
+    c.on_data([&, pc = &c](BytesView) { pc->close(); });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_closed([&] { client_closed = true; });
+  conn.on_established([&] {
+    conn.send(std::string_view("bye"));
+    conn.close();
+  });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->state(), TcpConnection::State::kClosed);
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_FALSE(conn.was_reset());
+}
+
+TEST(TcpEndpoint, AbortSendsRstToPeer) {
+  Rig rig;
+  bool server_reset = false;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_reset([&] { server_reset = true; });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.abort(); });
+  rig.loop.run_until_idle();
+  EXPECT_TRUE(server_reset);
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+}
+
+TEST(TcpEndpoint, OutOfWindowSegmentIgnored) {
+  Rig rig;
+  std::string server_got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView data) { server_got += to_string(data); });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    // Craft a raw in-connection segment with a wildly wrong sequence number
+    // carrying "EVIL", then send real data normally.
+    TcpHeader h;
+    h.src_port = conn.tuple().src_port;
+    h.dst_port = 80;
+    h.seq = 0xdead0000;  // far outside the window
+    h.ack = 0;
+    h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    rig.client.send_raw(make_tcp_datagram(ip, h, to_bytes("EVIL")));
+    conn.send(std::string_view("good"));
+  });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(server_got, "good");
+}
+
+TEST(TcpEndpoint, DuplicateSegmentsDeliveredOnce) {
+  Rig rig;
+  std::string server_got;
+  TcpConnection* cl = nullptr;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView data) { server_got += to_string(data); });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  cl = &conn;
+  conn.on_established([&] {
+    cl->send(std::string_view("once"));
+    // Duplicate the exact bytes at the raw level (simulates duplicated
+    // delivery, e.g. a retransmission racing the original).
+    TcpHeader h;
+    h.src_port = cl->tuple().src_port;
+    h.dst_port = 80;
+    h.seq = 100001;  // first data byte of the client's ISS=100000 flow
+    h.ack = 0;
+    h.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    rig.client.send_raw(make_tcp_datagram(ip, h, to_bytes("once")));
+  });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(server_got, "once");
+}
+
+TEST(TcpEndpoint, WindowsServerRstsOnInvalidFlagCombo) {
+  Rig rig(OsProfile::windows_profile());
+  rig.server.tcp_listen(80, [](TcpConnection&) {});
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  bool reset = false;
+  conn.on_reset([&] { reset = true; });
+  conn.on_established([&] {
+    TcpHeader h;
+    h.src_port = conn.tuple().src_port;
+    h.dst_port = 80;
+    h.seq = 0;
+    h.flags = TcpFlags::kSyn | TcpFlags::kFin;  // nonsense
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    rig.client.send_raw(make_tcp_datagram(ip, h, to_bytes("junk")));
+  });
+  rig.loop.run_until_idle();
+  // The Windows host answered with a RST; note 6 in Table 3 — this can kill
+  // the evaded connection. Our client stack accepts it (in window via seq 0
+  // handling? no: RSTs must be in-window) — the observable effect here is
+  // just that the server sent one.
+  EXPECT_GE(rig.server.rsts_sent(), 1u);
+  (void)reset;
+}
+
+TEST(TcpEndpoint, LinuxServerSilentlyDropsInvalidFlagCombo) {
+  Rig rig(OsProfile::linux_profile());
+  rig.server.tcp_listen(80, [](TcpConnection&) {});
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] {
+    TcpHeader h;
+    h.src_port = conn.tuple().src_port;
+    h.dst_port = 80;
+    h.seq = 0;
+    h.flags = 0;  // null flags
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    rig.client.send_raw(make_tcp_datagram(ip, h, to_bytes("junk")));
+  });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(rig.server.rsts_sent(), 0u);
+  EXPECT_GE(rig.server.dropped_by_os(), 1u);
+}
+
+// Property sweep: transfer sizes including boundary cases around MSS.
+class TcpTransfer : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcpTransfer, DeliversExactly) {
+  Rig rig;
+  Rng rng(GetParam() + 1);
+  Bytes blob = rng.bytes(GetParam());
+  Bytes received;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  auto& conn = rig.client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(BytesView(blob)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(received, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpTransfer,
+                         ::testing::Values(0, 1, 1399, 1400, 1401, 2800, 4096,
+                                           65536, 131072));
+
+}  // namespace
+}  // namespace liberate::stack

@@ -1,0 +1,97 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace liberate {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  Bytes b = std::move(w).take();
+  ASSERT_EQ(b.size(), 10u);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b[i], i + 1) << "byte " << i;
+  }
+}
+
+TEST(ByteWriter, RawAndFill) {
+  ByteWriter w;
+  w.raw(std::string_view("ab"));
+  w.fill(0xcc, 3);
+  Bytes b = std::move(w).take();
+  EXPECT_EQ(b, (Bytes{'a', 'b', 0xcc, 0xcc, 0xcc}));
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u16(0xbeef);
+  w.patch_u16(0, 0xdead);
+  EXPECT_EQ(w.bytes(), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.u8(0xff);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u24(0xabcdef);
+  Bytes b = std::move(w).take();
+  ByteReader r(b);
+  EXPECT_EQ(r.u8().value(), 0xff);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u24().value(), 0xabcdefu);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ReadPastEndFailsWithoutCrashing) {
+  Bytes b{0x01};
+  ByteReader r(b);
+  EXPECT_FALSE(r.u16().ok());
+  // Position unchanged after a failed read.
+  EXPECT_EQ(r.u8().value(), 0x01);
+  EXPECT_FALSE(r.u8().ok());
+}
+
+TEST(ByteReader, RawAndSkip) {
+  Bytes b{1, 2, 3, 4, 5};
+  ByteReader r(b);
+  ASSERT_TRUE(r.skip(2).ok());
+  auto span = r.raw(2);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(span.value()[0], 3);
+  EXPECT_EQ(span.value()[1], 4);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.skip(2).ok());
+}
+
+TEST(BytesConversion, RoundTripsStrings) {
+  std::string s = "GET / HTTP/1.1\r\n";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad = Error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "nope");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Status, SuccessAndFailure) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status f = Error("broken");
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.error().message, "broken");
+}
+
+}  // namespace
+}  // namespace liberate

@@ -1,0 +1,54 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace liberate {
+namespace {
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Host", "host"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("Host", "Hos"));
+  EXPECT_FALSE(iequals("Host", "Hosu"));
+}
+
+TEST(Strings, IFind) {
+  EXPECT_EQ(ifind("GET / HTTP/1.1\r\nHost: EXAMPLE.com", "host:"), 16u);
+  EXPECT_EQ(ifind("abc", "d"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("ab", "abc"), std::string_view::npos);
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \r\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("HoSt"), "host"); }
+
+TEST(Strings, HexDump) {
+  Bytes b{0x47, 0x45, 0x54};
+  EXPECT_EQ(hex_dump(b), "47 45 54");
+  EXPECT_EQ(hex_dump(b, 2), "47 45 ...");
+}
+
+TEST(Strings, Printable) {
+  Bytes b{'G', 'E', 'T', 0x00, 0x7f};
+  EXPECT_EQ(printable(b), "GET..");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+}  // namespace
+}  // namespace liberate
