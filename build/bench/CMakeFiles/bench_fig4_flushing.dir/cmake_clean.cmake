@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_flushing.dir/bench_fig4_flushing.cc.o"
+  "CMakeFiles/bench_fig4_flushing.dir/bench_fig4_flushing.cc.o.d"
+  "bench_fig4_flushing"
+  "bench_fig4_flushing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_flushing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_performance.dir/bench_sec53_performance.cc.o"
+  "CMakeFiles/bench_sec53_performance.dir/bench_sec53_performance.cc.o.d"
+  "bench_sec53_performance"
+  "bench_sec53_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_testbed.dir/bench_sec61_testbed.cc.o"
+  "CMakeFiles/bench_sec61_testbed.dir/bench_sec61_testbed.cc.o.d"
+  "bench_sec61_testbed"
+  "bench_sec61_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

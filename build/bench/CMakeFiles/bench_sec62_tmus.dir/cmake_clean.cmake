@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_tmus.dir/bench_sec62_tmus.cc.o"
+  "CMakeFiles/bench_sec62_tmus.dir/bench_sec62_tmus.cc.o.d"
+  "bench_sec62_tmus"
+  "bench_sec62_tmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_tmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_att.dir/bench_sec63_att.cc.o"
+  "CMakeFiles/bench_sec63_att.dir/bench_sec63_att.cc.o.d"
+  "bench_sec63_att"
+  "bench_sec63_att.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_att.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec64_sprint.dir/bench_sec64_sprint.cc.o"
+  "CMakeFiles/bench_sec64_sprint.dir/bench_sec64_sprint.cc.o.d"
+  "bench_sec64_sprint"
+  "bench_sec64_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

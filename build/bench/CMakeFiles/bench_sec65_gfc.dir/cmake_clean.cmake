@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec65_gfc.dir/bench_sec65_gfc.cc.o"
+  "CMakeFiles/bench_sec65_gfc.dir/bench_sec65_gfc.cc.o.d"
+  "bench_sec65_gfc"
+  "bench_sec65_gfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec65_gfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec66_iran.dir/bench_sec66_iran.cc.o"
+  "CMakeFiles/bench_sec66_iran.dir/bench_sec66_iran.cc.o.d"
+  "bench_sec66_iran"
+  "bench_sec66_iran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec66_iran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censorship_circumvention.dir/censorship_circumvention.cpp.o"
+  "CMakeFiles/censorship_circumvention.dir/censorship_circumvention.cpp.o.d"
+  "censorship_circumvention"
+  "censorship_circumvention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censorship_circumvention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_cli.dir/liberate_cli.cpp.o"
+  "CMakeFiles/liberate_cli.dir/liberate_cli.cpp.o.d"
+  "liberate_cli"
+  "liberate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_unthrottling.dir/video_unthrottling.cpp.o"
+  "CMakeFiles/video_unthrottling.dir/video_unthrottling.cpp.o.d"
+  "video_unthrottling"
+  "video_unthrottling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_unthrottling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

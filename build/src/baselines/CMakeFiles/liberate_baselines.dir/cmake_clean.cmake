@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_baselines.dir/baselines.cc.o"
+  "CMakeFiles/liberate_baselines.dir/baselines.cc.o.d"
+  "libliberate_baselines.a"
+  "libliberate_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bilateral.cc" "src/core/CMakeFiles/liberate_core.dir/bilateral.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/bilateral.cc.o.d"
+  "/root/repo/src/core/blinding.cc" "src/core/CMakeFiles/liberate_core.dir/blinding.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/blinding.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/liberate_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/detection.cc" "src/core/CMakeFiles/liberate_core.dir/detection.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/detection.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/liberate_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/evasion/flush.cc" "src/core/CMakeFiles/liberate_core.dir/evasion/flush.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evasion/flush.cc.o.d"
+  "/root/repo/src/core/evasion/inert.cc" "src/core/CMakeFiles/liberate_core.dir/evasion/inert.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evasion/inert.cc.o.d"
+  "/root/repo/src/core/evasion/registry.cc" "src/core/CMakeFiles/liberate_core.dir/evasion/registry.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evasion/registry.cc.o.d"
+  "/root/repo/src/core/evasion/shim.cc" "src/core/CMakeFiles/liberate_core.dir/evasion/shim.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evasion/shim.cc.o.d"
+  "/root/repo/src/core/evasion/split.cc" "src/core/CMakeFiles/liberate_core.dir/evasion/split.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evasion/split.cc.o.d"
+  "/root/repo/src/core/evasion/technique.cc" "src/core/CMakeFiles/liberate_core.dir/evasion/technique.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/evasion/technique.cc.o.d"
+  "/root/repo/src/core/liberate.cc" "src/core/CMakeFiles/liberate_core.dir/liberate.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/liberate.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/liberate_core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/replay.cc.o.d"
+  "/root/repo/src/core/report_io.cc" "src/core/CMakeFiles/liberate_core.dir/report_io.cc.o" "gcc" "src/core/CMakeFiles/liberate_core.dir/report_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpi/CMakeFiles/liberate_dpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/liberate_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/liberate_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

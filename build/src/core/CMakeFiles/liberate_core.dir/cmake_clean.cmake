@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_core.dir/bilateral.cc.o"
+  "CMakeFiles/liberate_core.dir/bilateral.cc.o.d"
+  "CMakeFiles/liberate_core.dir/blinding.cc.o"
+  "CMakeFiles/liberate_core.dir/blinding.cc.o.d"
+  "CMakeFiles/liberate_core.dir/characterization.cc.o"
+  "CMakeFiles/liberate_core.dir/characterization.cc.o.d"
+  "CMakeFiles/liberate_core.dir/detection.cc.o"
+  "CMakeFiles/liberate_core.dir/detection.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evaluation.cc.o"
+  "CMakeFiles/liberate_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evasion/flush.cc.o"
+  "CMakeFiles/liberate_core.dir/evasion/flush.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evasion/inert.cc.o"
+  "CMakeFiles/liberate_core.dir/evasion/inert.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evasion/registry.cc.o"
+  "CMakeFiles/liberate_core.dir/evasion/registry.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evasion/shim.cc.o"
+  "CMakeFiles/liberate_core.dir/evasion/shim.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evasion/split.cc.o"
+  "CMakeFiles/liberate_core.dir/evasion/split.cc.o.d"
+  "CMakeFiles/liberate_core.dir/evasion/technique.cc.o"
+  "CMakeFiles/liberate_core.dir/evasion/technique.cc.o.d"
+  "CMakeFiles/liberate_core.dir/liberate.cc.o"
+  "CMakeFiles/liberate_core.dir/liberate.cc.o.d"
+  "CMakeFiles/liberate_core.dir/replay.cc.o"
+  "CMakeFiles/liberate_core.dir/replay.cc.o.d"
+  "CMakeFiles/liberate_core.dir/report_io.cc.o"
+  "CMakeFiles/liberate_core.dir/report_io.cc.o.d"
+  "libliberate_core.a"
+  "libliberate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpi/classifier.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/classifier.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/classifier.cc.o.d"
+  "/root/repo/src/dpi/http_parser.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/http_parser.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/http_parser.cc.o.d"
+  "/root/repo/src/dpi/middlebox.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/middlebox.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/middlebox.cc.o.d"
+  "/root/repo/src/dpi/normalizer.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/normalizer.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/normalizer.cc.o.d"
+  "/root/repo/src/dpi/profiles.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/profiles.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/profiles.cc.o.d"
+  "/root/repo/src/dpi/rules.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/rules.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/rules.cc.o.d"
+  "/root/repo/src/dpi/stun_parser.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/stun_parser.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/stun_parser.cc.o.d"
+  "/root/repo/src/dpi/tls_parser.cc" "src/dpi/CMakeFiles/liberate_dpi.dir/tls_parser.cc.o" "gcc" "src/dpi/CMakeFiles/liberate_dpi.dir/tls_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/liberate_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

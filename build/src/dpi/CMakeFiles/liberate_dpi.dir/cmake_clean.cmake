@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_dpi.dir/classifier.cc.o"
+  "CMakeFiles/liberate_dpi.dir/classifier.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/http_parser.cc.o"
+  "CMakeFiles/liberate_dpi.dir/http_parser.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/middlebox.cc.o"
+  "CMakeFiles/liberate_dpi.dir/middlebox.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/normalizer.cc.o"
+  "CMakeFiles/liberate_dpi.dir/normalizer.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/profiles.cc.o"
+  "CMakeFiles/liberate_dpi.dir/profiles.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/rules.cc.o"
+  "CMakeFiles/liberate_dpi.dir/rules.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/stun_parser.cc.o"
+  "CMakeFiles/liberate_dpi.dir/stun_parser.cc.o.d"
+  "CMakeFiles/liberate_dpi.dir/tls_parser.cc.o"
+  "CMakeFiles/liberate_dpi.dir/tls_parser.cc.o.d"
+  "libliberate_dpi.a"
+  "libliberate_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/checksum.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/checksum.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/checksum.cc.o.d"
+  "/root/repo/src/netsim/icmp.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/icmp.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/icmp.cc.o.d"
+  "/root/repo/src/netsim/ipv4.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/ipv4.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/ipv4.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/network.cc.o.d"
+  "/root/repo/src/netsim/packet.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/packet.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/packet.cc.o.d"
+  "/root/repo/src/netsim/tcp.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/tcp.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/tcp.cc.o.d"
+  "/root/repo/src/netsim/udp.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/udp.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/udp.cc.o.d"
+  "/root/repo/src/netsim/validation.cc" "src/netsim/CMakeFiles/liberate_netsim.dir/validation.cc.o" "gcc" "src/netsim/CMakeFiles/liberate_netsim.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_netsim.dir/checksum.cc.o"
+  "CMakeFiles/liberate_netsim.dir/checksum.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/icmp.cc.o"
+  "CMakeFiles/liberate_netsim.dir/icmp.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/ipv4.cc.o"
+  "CMakeFiles/liberate_netsim.dir/ipv4.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/network.cc.o"
+  "CMakeFiles/liberate_netsim.dir/network.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/packet.cc.o"
+  "CMakeFiles/liberate_netsim.dir/packet.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/tcp.cc.o"
+  "CMakeFiles/liberate_netsim.dir/tcp.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/udp.cc.o"
+  "CMakeFiles/liberate_netsim.dir/udp.cc.o.d"
+  "CMakeFiles/liberate_netsim.dir/validation.cc.o"
+  "CMakeFiles/liberate_netsim.dir/validation.cc.o.d"
+  "libliberate_netsim.a"
+  "libliberate_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/host.cc" "src/stack/CMakeFiles/liberate_stack.dir/host.cc.o" "gcc" "src/stack/CMakeFiles/liberate_stack.dir/host.cc.o.d"
+  "/root/repo/src/stack/ip_reassembly.cc" "src/stack/CMakeFiles/liberate_stack.dir/ip_reassembly.cc.o" "gcc" "src/stack/CMakeFiles/liberate_stack.dir/ip_reassembly.cc.o.d"
+  "/root/repo/src/stack/os_profile.cc" "src/stack/CMakeFiles/liberate_stack.dir/os_profile.cc.o" "gcc" "src/stack/CMakeFiles/liberate_stack.dir/os_profile.cc.o.d"
+  "/root/repo/src/stack/tcp_endpoint.cc" "src/stack/CMakeFiles/liberate_stack.dir/tcp_endpoint.cc.o" "gcc" "src/stack/CMakeFiles/liberate_stack.dir/tcp_endpoint.cc.o.d"
+  "/root/repo/src/stack/udp_endpoint.cc" "src/stack/CMakeFiles/liberate_stack.dir/udp_endpoint.cc.o" "gcc" "src/stack/CMakeFiles/liberate_stack.dir/udp_endpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_stack.dir/host.cc.o"
+  "CMakeFiles/liberate_stack.dir/host.cc.o.d"
+  "CMakeFiles/liberate_stack.dir/ip_reassembly.cc.o"
+  "CMakeFiles/liberate_stack.dir/ip_reassembly.cc.o.d"
+  "CMakeFiles/liberate_stack.dir/os_profile.cc.o"
+  "CMakeFiles/liberate_stack.dir/os_profile.cc.o.d"
+  "CMakeFiles/liberate_stack.dir/tcp_endpoint.cc.o"
+  "CMakeFiles/liberate_stack.dir/tcp_endpoint.cc.o.d"
+  "CMakeFiles/liberate_stack.dir/udp_endpoint.cc.o"
+  "CMakeFiles/liberate_stack.dir/udp_endpoint.cc.o.d"
+  "libliberate_stack.a"
+  "libliberate_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

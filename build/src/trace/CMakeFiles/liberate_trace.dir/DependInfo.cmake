@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generators.cc" "src/trace/CMakeFiles/liberate_trace.dir/generators.cc.o" "gcc" "src/trace/CMakeFiles/liberate_trace.dir/generators.cc.o.d"
+  "/root/repo/src/trace/pcap.cc" "src/trace/CMakeFiles/liberate_trace.dir/pcap.cc.o" "gcc" "src/trace/CMakeFiles/liberate_trace.dir/pcap.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/liberate_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/liberate_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/liberate_dpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/liberate_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

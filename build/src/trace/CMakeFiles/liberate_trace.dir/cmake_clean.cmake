@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_trace.dir/generators.cc.o"
+  "CMakeFiles/liberate_trace.dir/generators.cc.o.d"
+  "CMakeFiles/liberate_trace.dir/pcap.cc.o"
+  "CMakeFiles/liberate_trace.dir/pcap.cc.o.d"
+  "CMakeFiles/liberate_trace.dir/trace.cc.o"
+  "CMakeFiles/liberate_trace.dir/trace.cc.o.d"
+  "libliberate_trace.a"
+  "libliberate_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libliberate_trace.a"
+)

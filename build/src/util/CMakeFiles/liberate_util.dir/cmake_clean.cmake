@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberate_util.dir/bytes.cc.o"
+  "CMakeFiles/liberate_util.dir/bytes.cc.o.d"
+  "CMakeFiles/liberate_util.dir/strings.cc.o"
+  "CMakeFiles/liberate_util.dir/strings.cc.o.d"
+  "libliberate_util.a"
+  "libliberate_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberate_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adversarial_test.cc.o"
+  "CMakeFiles/test_core.dir/core/adversarial_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/bilateral_test.cc.o"
+  "CMakeFiles/test_core.dir/core/bilateral_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/blinding_test.cc.o"
+  "CMakeFiles/test_core.dir/core/blinding_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/characterization_test.cc.o"
+  "CMakeFiles/test_core.dir/core/characterization_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/evaluation_test.cc.o"
+  "CMakeFiles/test_core.dir/core/evaluation_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/liberate_test.cc.o"
+  "CMakeFiles/test_core.dir/core/liberate_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/replay_test.cc.o"
+  "CMakeFiles/test_core.dir/core/replay_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/report_io_test.cc.o"
+  "CMakeFiles/test_core.dir/core/report_io_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/shim_test.cc.o"
+  "CMakeFiles/test_core.dir/core/shim_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/technique_test.cc.o"
+  "CMakeFiles/test_core.dir/core/technique_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dpi/classifier_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/classifier_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/classifier_test.cc.o.d"
+  "/root/repo/tests/dpi/engine_edge_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/engine_edge_test.cc.o.d"
+  "/root/repo/tests/dpi/middlebox_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/middlebox_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/middlebox_test.cc.o.d"
+  "/root/repo/tests/dpi/normalizer_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/normalizer_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/normalizer_test.cc.o.d"
+  "/root/repo/tests/dpi/parser_fuzz_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/dpi/parsers_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/parsers_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/parsers_test.cc.o.d"
+  "/root/repo/tests/dpi/profiles_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/profiles_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/profiles_test.cc.o.d"
+  "/root/repo/tests/dpi/proxy_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/proxy_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/proxy_test.cc.o.d"
+  "/root/repo/tests/dpi/rules_test.cc" "tests/CMakeFiles/test_dpi.dir/dpi/rules_test.cc.o" "gcc" "tests/CMakeFiles/test_dpi.dir/dpi/rules_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpi/CMakeFiles/liberate_dpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/liberate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/liberate_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/liberate_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpi.dir/dpi/classifier_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/classifier_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/engine_edge_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/engine_edge_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/middlebox_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/middlebox_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/normalizer_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/normalizer_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/parser_fuzz_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/parser_fuzz_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/parsers_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/parsers_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/profiles_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/profiles_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/proxy_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/proxy_test.cc.o.d"
+  "CMakeFiles/test_dpi.dir/dpi/rules_test.cc.o"
+  "CMakeFiles/test_dpi.dir/dpi/rules_test.cc.o.d"
+  "test_dpi"
+  "test_dpi.pdb"
+  "test_dpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/checksum_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/checksum_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/checksum_test.cc.o.d"
+  "/root/repo/tests/netsim/element_io_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/element_io_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/element_io_test.cc.o.d"
+  "/root/repo/tests/netsim/event_loop_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/event_loop_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/event_loop_test.cc.o.d"
+  "/root/repo/tests/netsim/icmp_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/icmp_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/icmp_test.cc.o.d"
+  "/root/repo/tests/netsim/ipv4_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/ipv4_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/ipv4_test.cc.o.d"
+  "/root/repo/tests/netsim/network_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/network_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/network_test.cc.o.d"
+  "/root/repo/tests/netsim/packet_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/packet_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/packet_test.cc.o.d"
+  "/root/repo/tests/netsim/tcp_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/tcp_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/tcp_test.cc.o.d"
+  "/root/repo/tests/netsim/udp_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/udp_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/udp_test.cc.o.d"
+  "/root/repo/tests/netsim/validation_test.cc" "tests/CMakeFiles/test_netsim.dir/netsim/validation_test.cc.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/validation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/checksum_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/checksum_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/element_io_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/element_io_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/event_loop_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/event_loop_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/icmp_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/icmp_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/ipv4_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/ipv4_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/network_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/network_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/packet_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/packet_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/udp_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/udp_test.cc.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/validation_test.cc.o"
+  "CMakeFiles/test_netsim.dir/netsim/validation_test.cc.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stack/ip_reassembly_test.cc" "tests/CMakeFiles/test_stack.dir/stack/ip_reassembly_test.cc.o" "gcc" "tests/CMakeFiles/test_stack.dir/stack/ip_reassembly_test.cc.o.d"
+  "/root/repo/tests/stack/os_profile_test.cc" "tests/CMakeFiles/test_stack.dir/stack/os_profile_test.cc.o" "gcc" "tests/CMakeFiles/test_stack.dir/stack/os_profile_test.cc.o.d"
+  "/root/repo/tests/stack/tcp_endpoint_test.cc" "tests/CMakeFiles/test_stack.dir/stack/tcp_endpoint_test.cc.o" "gcc" "tests/CMakeFiles/test_stack.dir/stack/tcp_endpoint_test.cc.o.d"
+  "/root/repo/tests/stack/tcp_stress_test.cc" "tests/CMakeFiles/test_stack.dir/stack/tcp_stress_test.cc.o" "gcc" "tests/CMakeFiles/test_stack.dir/stack/tcp_stress_test.cc.o.d"
+  "/root/repo/tests/stack/udp_host_test.cc" "tests/CMakeFiles/test_stack.dir/stack/udp_host_test.cc.o" "gcc" "tests/CMakeFiles/test_stack.dir/stack/udp_host_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/liberate_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/liberate_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/liberate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack.dir/stack/ip_reassembly_test.cc.o"
+  "CMakeFiles/test_stack.dir/stack/ip_reassembly_test.cc.o.d"
+  "CMakeFiles/test_stack.dir/stack/os_profile_test.cc.o"
+  "CMakeFiles/test_stack.dir/stack/os_profile_test.cc.o.d"
+  "CMakeFiles/test_stack.dir/stack/tcp_endpoint_test.cc.o"
+  "CMakeFiles/test_stack.dir/stack/tcp_endpoint_test.cc.o.d"
+  "CMakeFiles/test_stack.dir/stack/tcp_stress_test.cc.o"
+  "CMakeFiles/test_stack.dir/stack/tcp_stress_test.cc.o.d"
+  "CMakeFiles/test_stack.dir/stack/udp_host_test.cc.o"
+  "CMakeFiles/test_stack.dir/stack/udp_host_test.cc.o.d"
+  "test_stack"
+  "test_stack.pdb"
+  "test_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
