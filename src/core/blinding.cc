@@ -124,6 +124,59 @@ std::vector<MatchingField> find_matching_fields_distributed(
   return merge_fields(trace, fields);
 }
 
+std::vector<MatchingField> find_matching_fields_batched(
+    const trace::ApplicationTrace& trace,
+    const BatchClassificationOracle& oracle, BlindingStats* stats,
+    std::size_t granularity) {
+  granularity = std::max<std::size_t>(granularity, 1);
+
+  auto probe_batch = [&](const std::vector<trace::ApplicationTrace>& probes) {
+    if (stats != nullptr) {
+      stats->replay_rounds += static_cast<int>(probes.size());
+      for (const auto& p : probes) stats->bytes_replayed += p.total_bytes();
+    }
+    return oracle(probes);
+  };
+
+  // Baseline: the unmodified trace must be classified, or there are no
+  // matching fields to find.
+  if (!probe_batch({trace})[0]) return {};
+
+  struct Region {
+    std::size_t msg, off, len;
+  };
+  std::vector<Region> frontier;
+  for (std::size_t m = 0; m < trace.messages.size(); ++m) {
+    std::size_t len = trace.messages[m].payload.size();
+    if (len > 0) frontier.push_back(Region{m, 0, len});
+  }
+
+  std::vector<MatchingField> fields;
+  while (!frontier.empty()) {
+    std::vector<trace::ApplicationTrace> probes;
+    probes.reserve(frontier.size());
+    for (const Region& r : frontier) {
+      probes.push_back(blind_range(trace, r.msg, r.off, r.len));
+    }
+    std::vector<bool> verdicts = probe_batch(probes);
+
+    std::vector<Region> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const Region& r = frontier[i];
+      if (verdicts[i]) continue;  // still classified: nothing necessary here
+      if (r.len <= granularity) {
+        fields.push_back(MatchingField{r.msg, r.off, r.len, {}});
+        continue;
+      }
+      std::size_t half = r.len / 2;
+      next.push_back(Region{r.msg, r.off, half});
+      next.push_back(Region{r.msg, r.off + half, r.len - half});
+    }
+    frontier = std::move(next);
+  }
+  return merge_fields(trace, std::move(fields));
+}
+
 std::vector<MatchingField> find_matching_fields(
     const trace::ApplicationTrace& trace, const ClassificationOracle& oracle,
     BlindingStats* stats, std::size_t granularity) {

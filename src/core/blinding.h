@@ -70,4 +70,23 @@ std::vector<MatchingField> find_matching_fields_distributed(
     const std::vector<ClassificationOracle>& users,
     DistributedBlindingStats* stats, std::size_t granularity = 4);
 
+/// Batch oracle: classify many modified traces at once. Backed by the
+/// parallel RoundScheduler, one wave of independent replay rounds; verdicts
+/// come back in submission order.
+using BatchClassificationOracle =
+    std::function<std::vector<bool>(const std::vector<trace::ApplicationTrace>&)>;
+
+/// Breadth-first variant of find_matching_fields: instead of recursing
+/// depth-first one probe at a time, it probes a whole frontier of candidate
+/// regions per wave (all messages, then all halves of the necessary
+/// regions, ...), so every wave fans out across the scheduler's workers.
+/// The probe *set* it explores equals the recursive search's (minus the
+/// recursive variant's duplicate whole-message probe), and the wave
+/// structure is fixed by the trace alone — byte-identical fields and round
+/// counts regardless of worker count or interleaving.
+std::vector<MatchingField> find_matching_fields_batched(
+    const trace::ApplicationTrace& trace,
+    const BatchClassificationOracle& oracle, BlindingStats* stats,
+    std::size_t granularity = 4);
+
 }  // namespace liberate::core

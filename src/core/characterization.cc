@@ -10,15 +10,14 @@ using trace::ApplicationTrace;
 using trace::Message;
 using trace::Sender;
 
-namespace {
-
 /// Insert `count` random messages before message `before_index`, sent by
 /// the same endpoint as that message (a prepend probe must land in the same
 /// direction the classifier counts — rules can key on server content, e.g.
 /// AT&T's Content-Type).
-ApplicationTrace with_prepended(const ApplicationTrace& trace,
-                                std::size_t before_index, std::size_t count,
-                                std::size_t size, Rng& rng) {
+ApplicationTrace with_prepended_probe(const ApplicationTrace& trace,
+                                      std::size_t before_index,
+                                      std::size_t count, std::size_t size,
+                                      Rng& rng) {
   ApplicationTrace out = trace;
   Sender sender = before_index < trace.messages.size()
                       ? trace.messages[before_index].sender
@@ -37,14 +36,12 @@ ApplicationTrace with_prepended(const ApplicationTrace& trace,
   return out;
 }
 
-std::size_t first_client_message(const ApplicationTrace& trace) {
+std::size_t first_client_message_index(const ApplicationTrace& trace) {
   for (std::size_t i = 0; i < trace.messages.size(); ++i) {
     if (trace.messages[i].sender == Sender::kClient) return i;
   }
   return 0;
 }
-
-}  // namespace
 
 CharacterizationReport characterize_classifier(
     ReplayRunner& runner, const ApplicationTrace& trace,
@@ -88,20 +85,20 @@ CharacterizationReport characterize_classifier(
 
   // --- Position / packet-limit probing (§5.1) -----------------------------
   std::size_t match_msg = report.fields.empty()
-                              ? first_client_message(trace)
+                              ? first_client_message_index(trace)
                               : report.fields[0].message_index;
 
   // One 1-byte prepend: does position matter at all?
   report.position_sensitive =
-      !classified(with_prepended(trace, match_msg, 1, 1, rng));
+      !classified(with_prepended_probe(trace, match_msg, 1, 1, rng));
 
   // MTU-sized prepends until classification changes, then confirm with
   // 1-byte packets whether the limit is packet-count based.
   bool change_observed = false;
   for (std::size_t k = 1; k <= options.max_prepend_packets; ++k) {
-    if (!classified(with_prepended(trace, match_msg, k, 1400, rng))) {
+    if (!classified(with_prepended_probe(trace, match_msg, k, 1400, rng))) {
       change_observed = true;
-      if (!classified(with_prepended(trace, match_msg, k, 1, rng))) {
+      if (!classified(with_prepended_probe(trace, match_msg, k, 1, rng))) {
         report.packet_limit = k;  // count-based, not byte-based
       }
       break;

@@ -69,4 +69,18 @@ CharacterizationReport characterize_classifier(
     ReplayRunner& runner, const trace::ApplicationTrace& trace,
     const CharacterizationOptions& options = {});
 
+// Probe-construction helpers shared with the parallel characterizer
+// (core/parallel_analysis) so both build byte-identical probe traces.
+
+/// Insert `count` random messages of `size` bytes before message
+/// `before_index`, sent by the same endpoint as that message (a prepend
+/// probe must land in the direction the classifier counts).
+trace::ApplicationTrace with_prepended_probe(const trace::ApplicationTrace& trace,
+                                             std::size_t before_index,
+                                             std::size_t count,
+                                             std::size_t size, Rng& rng);
+
+/// Index of the first client-sent message (0 when none).
+std::size_t first_client_message_index(const trace::ApplicationTrace& trace);
+
 }  // namespace liberate::core

@@ -4,27 +4,24 @@
 
 namespace liberate::core {
 
-namespace {
-
 /// Random-payload control (the §5.1 fallback): same message structure,
 /// random bytes. Randomization can accidentally contain matching patterns —
 /// which is exactly why bit inversion is the primary control — but it
 /// defeats an inversion-aware adversary.
-trace::ApplicationTrace randomized_control(const trace::ApplicationTrace& t,
-                                           std::uint64_t seed) {
-  trace::ApplicationTrace out = t;
+trace::ApplicationTrace randomized_control_trace(
+    const trace::ApplicationTrace& trace, std::uint64_t seed) {
+  trace::ApplicationTrace out = trace;
   Rng rng(seed);
   for (auto& m : out.messages) m.payload = rng.bytes(m.payload.size());
   return out;
 }
-
-}  // namespace
 
 DetectionResult detect_differentiation(ReplayRunner& runner,
                                        const trace::ApplicationTrace& trace,
                                        std::uint16_t server_port_override,
                                        std::uint32_t server_ip_override) {
   DetectionResult result;
+  const double t0 = runner.virtual_seconds_elapsed();
   ReplayOptions opts;
   opts.server_port_override = server_port_override;
   opts.server_ip_override = server_ip_override;
@@ -49,7 +46,7 @@ DetectionResult detect_differentiation(ReplayRunner& runner,
   // §5.1: "This approach can be detected by middleboxes, so we fall back to
   // randomization if bit inversion fails to reveal correct matching rules."
   if (result.differentiation && inverted_differentiated) {
-    auto random_control = randomized_control(trace, 0xD37EC7);
+    auto random_control = randomized_control_trace(trace, 0xD37EC7);
     ReplayOptions fallback_opts = opts;
     if (fallback_opts.server_ip_override == 0) {
       // Two differentiated replays may already have escalated the default
@@ -65,6 +62,7 @@ DetectionResult detect_differentiation(ReplayRunner& runner,
       result.used_randomization_fallback = true;
     }
   }
+  result.virtual_seconds = runner.virtual_seconds_elapsed() - t0;
   return result;
 }
 

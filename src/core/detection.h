@@ -29,6 +29,7 @@ struct DetectionResult {
   ReplayOutcome inverted;
   int rounds = 0;
   std::uint64_t bytes_used = 0;
+  double virtual_seconds = 0;
 };
 
 DetectionResult detect_differentiation(ReplayRunner& runner,
@@ -42,5 +43,10 @@ DetectionResult detect_differentiation(ReplayRunner& runner,
 DetectionResult detect_differentiation_robust(
     ReplayRunner& runner, const trace::ApplicationTrace& trace,
     const std::vector<std::uint32_t>& unseen_server_ips);
+
+/// The §5.1 random-payload control: same message structure, random bytes.
+/// Shared with the parallel detector so both build the identical control.
+trace::ApplicationTrace randomized_control_trace(
+    const trace::ApplicationTrace& trace, std::uint64_t seed);
 
 }  // namespace liberate::core

@@ -55,6 +55,8 @@ EvaluationResult EvasionEvaluator::evaluate(
     const trace::ApplicationTrace& trace, bool run_pruned) {
   EvaluationResult result;
   const int rounds0 = runner_.rounds();
+  const std::uint64_t bytes0 = runner_.bytes_offered();
+  const double t0 = runner_.virtual_seconds_elapsed();
 
   PruningFacts facts;
   facts.inspects_all_packets = report_.inspects_all_packets;
@@ -107,6 +109,8 @@ EvaluationResult EvasionEvaluator::evaluate(
   }
   if (best != nullptr) result.selected = best->technique;
   result.replay_rounds = runner_.rounds() - rounds0;
+  result.bytes_replayed = runner_.bytes_offered() - bytes0;
+  result.virtual_seconds = runner_.virtual_seconds_elapsed() - t0;
   return result;
 }
 

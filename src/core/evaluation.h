@@ -39,6 +39,8 @@ struct EvaluationResult {
   std::vector<TechniqueOutcome> outcomes;
   std::optional<std::string> selected;  // cheapest working technique
   int replay_rounds = 0;
+  std::uint64_t bytes_replayed = 0;
+  double virtual_seconds = 0;
 };
 
 class EvasionEvaluator {

@@ -1,0 +1,359 @@
+#include "core/parallel_analysis.h"
+
+#include <algorithm>
+
+#include "core/evasion/registry.h"
+#include "dpi/profiles.h"
+#include "util/rng.h"
+
+namespace liberate::core {
+
+using trace::ApplicationTrace;
+using trace::Message;
+using trace::Sender;
+
+namespace {
+
+/// TTL probes go out in fixed-size speculative waves. The size is a
+/// constant — never the worker count — so the probe set (and with it every
+/// report field and round count) is identical for any pool size.
+constexpr std::size_t kTtlWave = 8;
+
+/// Per-phase cost accounting over isolated worlds: logical rounds (cache
+/// hits included — a memoized probe still answers one logical round),
+/// offered bytes and summed per-round virtual time.
+struct Accounting {
+  int rounds = 0;
+  std::uint64_t bytes = 0;
+  double virtual_seconds = 0;
+
+  void absorb(const std::vector<RoundResult>& results) {
+    for (const RoundResult& r : results) {
+      rounds += 1;
+      bytes += r.bytes_offered;
+      virtual_seconds += r.virtual_seconds;
+    }
+  }
+};
+
+RoundRequest plain_round(const ApplicationTrace& trace) {
+  RoundRequest req;
+  req.trace = trace;
+  return req;
+}
+
+}  // namespace
+
+DetectionResult detect_differentiation_parallel(
+    RoundScheduler& scheduler, const ApplicationTrace& trace) {
+  DetectionResult result;
+  Accounting acct;
+
+  // One wave: the bit-inverted control and the original. The sequential
+  // detector replays the control first so an escalating censor (GFC) cannot
+  // poison its port; here each round gets a pristine world, so the wave is
+  // safe by construction.
+  std::vector<RoundRequest> wave;
+  wave.push_back(plain_round(trace.bit_inverted()));
+  wave.push_back(plain_round(trace));
+  std::vector<RoundResult> rounds = scheduler.run_batch(wave);
+  acct.absorb(rounds);
+
+  result.inverted = rounds[0].outcome;
+  result.original = rounds[1].outcome;
+  result.differentiation = rounds[1].differentiated;
+  const bool inverted_differentiated = rounds[0].differentiated;
+  result.content_based = result.differentiation && !inverted_differentiated;
+
+  if (result.differentiation && inverted_differentiated) {
+    RoundRequest fallback =
+        plain_round(randomized_control_trace(trace, 0xD37EC7));
+    // Judge the control from a fresh server address (§4.2) — kept for parity
+    // with the sequential detector even though isolated worlds cannot have
+    // escalated the default endpoint.
+    fallback.server_ip_override = 0xc6336421;  // 198.51.100.33
+    RoundResult random_outcome = scheduler.run_one(fallback);
+    acct.absorb({random_outcome});
+    if (!random_outcome.differentiated) {
+      result.content_based = true;
+      result.used_randomization_fallback = true;
+    }
+  }
+
+  result.rounds = acct.rounds;
+  result.bytes_used = acct.bytes;
+  result.virtual_seconds = acct.virtual_seconds;
+  return result;
+}
+
+CharacterizationReport characterize_classifier_parallel(
+    RoundScheduler& scheduler, const ApplicationTrace& trace,
+    const CharacterizationOptions& options) {
+  CharacterizationReport report;
+  Rng rng(0xC11A5);
+  Accounting acct;
+
+  // --- Port sensitivity first: it decides how later waves pick ports.
+  {
+    ApplicationTrace moved = trace;
+    moved.server_port = static_cast<std::uint16_t>(trace.server_port + 1000);
+    RoundResult out = scheduler.run_one(plain_round(moved));
+    acct.absorb({out});
+    report.port_sensitive = !out.differentiated;
+  }
+
+  // Ports are assigned in request-construction order, which is fixed by the
+  // trace and the options — never by scheduling.
+  std::uint16_t next_port = 23000;
+  auto pick_port = [&]() -> std::uint16_t {
+    if (options.pin_trace_port || report.port_sensitive) return 0;
+    if (options.unique_port_per_round) return next_port++;
+    return 0;
+  };
+
+  // --- Matching fields: breadth-first blinding, one wave per depth level.
+  BatchClassificationOracle oracle =
+      [&](const std::vector<ApplicationTrace>& probes) {
+        std::vector<RoundRequest> wave;
+        wave.reserve(probes.size());
+        for (const ApplicationTrace& p : probes) {
+          RoundRequest req = plain_round(p);
+          req.server_port_override = pick_port();
+          wave.push_back(std::move(req));
+        }
+        std::vector<RoundResult> results = scheduler.run_batch(wave);
+        acct.absorb(results);
+        std::vector<bool> verdicts;
+        verdicts.reserve(results.size());
+        for (const RoundResult& r : results) {
+          verdicts.push_back(r.differentiated);
+        }
+        return verdicts;
+      };
+  report.fields = find_matching_fields_batched(trace, oracle, nullptr,
+                                               options.blinding_granularity);
+
+  // --- Position / packet-limit probing, speculatively in one wave: the
+  // 1-byte position probe plus every MTU-prepend count up to the ceiling.
+  std::size_t match_msg = report.fields.empty()
+                              ? first_client_message_index(trace)
+                              : report.fields[0].message_index;
+  {
+    std::vector<RoundRequest> wave;
+    wave.push_back(
+        plain_round(with_prepended_probe(trace, match_msg, 1, 1, rng)));
+    for (std::size_t k = 1; k <= options.max_prepend_packets; ++k) {
+      wave.push_back(
+          plain_round(with_prepended_probe(trace, match_msg, k, 1400, rng)));
+    }
+    for (RoundRequest& r : wave) r.server_port_override = pick_port();
+    std::vector<RoundResult> results = scheduler.run_batch(wave);
+    acct.absorb(results);
+
+    report.position_sensitive = !results[0].differentiated;
+    std::size_t first_changed = 0;  // 1-based prepend count; 0 = none
+    for (std::size_t k = 1; k <= options.max_prepend_packets; ++k) {
+      if (!results[k].differentiated) {
+        first_changed = k;
+        break;
+      }
+    }
+    report.inspects_all_packets = first_changed == 0;
+    if (first_changed != 0) {
+      // Confirm with 1-byte packets whether the limit is packet-count based.
+      RoundRequest confirm = plain_round(
+          with_prepended_probe(trace, match_msg, first_changed, 1, rng));
+      confirm.server_port_override = pick_port();
+      RoundResult out = scheduler.run_one(confirm);
+      acct.absorb({out});
+      if (!out.differentiated) report.packet_limit = first_changed;
+    }
+  }
+
+  // --- Middlebox localization: TTL sweep in fixed-size waves.
+  if (options.probe_ttl) {
+    ApplicationTrace probe;
+    probe.app_name = trace.app_name + "-ttlprobe";
+    probe.transport = trace.transport;
+    probe.server_port = trace.server_port;
+    if (match_msg < trace.messages.size()) {
+      probe.messages.push_back(trace.messages[match_msg]);
+    }
+    // The zero-rating signal needs client bulk after the matching message so
+    // the usage counter can discriminate; peek at the environment profile.
+    {
+      auto env = dpi::make_environment(scheduler.world().environment,
+                                       scheduler.world().seed);
+      if (env->signal == dpi::Environment::Signal::kZeroRating) {
+        Message bulk;
+        bulk.sender = Sender::kClient;
+        bulk.payload = rng.bytes(100 * 1024);
+        probe.messages.push_back(std::move(bulk));
+      }
+    }
+
+    TechniqueContext ctx;
+    ctx.matching_snippets = report.snippets();
+    for (std::size_t base = 1;
+         base <= options.max_ttl_probe && !report.middlebox_hops;
+         base += kTtlWave) {
+      std::size_t end = std::min(base + kTtlWave - 1, options.max_ttl_probe);
+      std::vector<RoundRequest> wave;
+      for (std::size_t ttl = base; ttl <= end; ++ttl) {
+        RoundRequest req = plain_round(probe);
+        req.server_port_override = pick_port();
+        req.context = ctx;
+        req.match_packet_ttl = static_cast<std::uint8_t>(ttl);
+        req.timeout_s = 20;
+        wave.push_back(std::move(req));
+      }
+      std::vector<RoundResult> results = scheduler.run_batch(wave);
+      acct.absorb(results);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].differentiated) {
+          report.middlebox_hops = static_cast<int>(base + i);
+          break;
+        }
+      }
+    }
+  }
+
+  report.replay_rounds = acct.rounds;
+  report.bytes_replayed = acct.bytes;
+  report.virtual_seconds = acct.virtual_seconds;
+  return report;
+}
+
+EvaluationResult evaluate_parallel(RoundScheduler& scheduler,
+                                   const CharacterizationReport& report,
+                                   const ApplicationTrace& trace,
+                                   bool run_pruned) {
+  EvaluationResult result;
+  Accounting acct;
+
+  TechniqueContext context;
+  context.matching_snippets = report.snippets();
+  context.decoy_payload = decoy_request_payload();
+  if (report.middlebox_hops) {
+    context.middlebox_ttl = static_cast<std::uint8_t>(*report.middlebox_hops);
+  }
+
+  auto suite = build_full_suite();
+  PruningFacts facts;
+  facts.inspects_all_packets = report.inspects_all_packets;
+  facts.udp_flow = trace.transport == trace::Transport::kUdp;
+  std::vector<Technique*> ordered = ordered_suite(suite, facts);
+
+  // Assemble every outcome slot and the corresponding round (if any) in the
+  // sequential evaluator's order: pruned suite entries first, then the
+  // ordered suite. The entire round list is one wave.
+  struct Slot {
+    Technique* technique = nullptr;
+    bool pruned = false;
+    int round_index = -1;  // -1: not replayed (pruned, matrix mode off)
+  };
+  std::vector<Slot> slots;
+  std::vector<RoundRequest> wave;
+  std::uint16_t next_port = 27000;
+
+  auto make_round = [&](Technique* t) {
+    RoundRequest req = plain_round(trace);
+    req.technique = t->name();
+    req.context = context;
+    if (!report.port_sensitive) req.server_port_override = next_port++;
+    wave.push_back(std::move(req));
+    return static_cast<int>(wave.size()) - 1;
+  };
+
+  for (const auto& owned : suite) {
+    Technique* t = owned.get();
+    if (std::find(ordered.begin(), ordered.end(), t) != ordered.end()) {
+      continue;
+    }
+    Slot slot;
+    slot.technique = t;
+    slot.pruned = true;
+    bool applicable =
+        facts.udp_flow ? t->applies_to_udp() : t->applies_to_tcp();
+    if (run_pruned && applicable) slot.round_index = make_round(t);
+    slots.push_back(slot);
+  }
+  for (Technique* t : ordered) {
+    Slot slot;
+    slot.technique = t;
+    slot.round_index = make_round(t);
+    slots.push_back(slot);
+  }
+
+  std::vector<RoundResult> rounds = scheduler.run_batch(wave);
+  acct.absorb(rounds);
+
+  for (const Slot& slot : slots) {
+    TechniqueOutcome outcome;
+    outcome.technique = slot.technique->name();
+    outcome.category = slot.technique->category();
+    outcome.pruned = slot.pruned;
+    outcome.overhead = slot.technique->overhead(context);
+    if (slot.round_index >= 0) {
+      const RoundResult& r = rounds[static_cast<std::size_t>(slot.round_index)];
+      outcome.signal_absent = !r.differentiated;
+      outcome.payload_intact = r.outcome.payload_intact;
+      outcome.completed = r.outcome.completed;
+      outcome.changed_classification =
+          outcome.signal_absent && r.outcome.completed;
+      outcome.evaded =
+          outcome.changed_classification && r.outcome.payload_intact;
+      outcome.crafted_reached_server = r.outcome.crafted_at_server > 0;
+      outcome.crafted_reassembled = r.outcome.crafted_reassembled;
+      outcome.triggered_blocking =
+          slot.technique->category() == Category::kInertInsertion &&
+          r.outcome.blocked;
+    }
+    result.outcomes.push_back(outcome);
+  }
+
+  // Select the cheapest working technique (same rule as the sequential
+  // evaluator; outcome order is deterministic, so ties break identically).
+  const TechniqueOutcome* best = nullptr;
+  for (const auto& o : result.outcomes) {
+    if (!o.evaded || o.pruned) continue;
+    if (best == nullptr || cheaper(o.overhead, best->overhead)) best = &o;
+  }
+  if (best != nullptr) result.selected = best->technique;
+
+  result.replay_rounds = acct.rounds;
+  result.bytes_replayed = acct.bytes;
+  result.virtual_seconds = acct.virtual_seconds;
+  return result;
+}
+
+SessionReport analyze_parallel(RoundScheduler& scheduler,
+                               const ApplicationTrace& trace) {
+  SessionReport report;
+
+  report.detection = detect_differentiation_parallel(scheduler, trace);
+  if (report.detection.content_based) {
+    report.ran_characterization = true;
+    CharacterizationOptions copts;
+    copts.unique_port_per_round = true;  // harmless when not needed
+    report.characterization =
+        characterize_classifier_parallel(scheduler, trace, copts);
+    report.evaluation = evaluate_parallel(scheduler, report.characterization,
+                                          trace, /*run_pruned=*/false);
+    report.selected_technique = report.evaluation.selected;
+  }
+
+  report.total_rounds = report.detection.rounds +
+                        report.characterization.replay_rounds +
+                        report.evaluation.replay_rounds;
+  report.total_bytes = report.detection.bytes_used +
+                       report.characterization.bytes_replayed +
+                       report.evaluation.bytes_replayed;
+  report.total_virtual_minutes = (report.detection.virtual_seconds +
+                                  report.characterization.virtual_seconds +
+                                  report.evaluation.virtual_seconds) /
+                                 60.0;
+  return report;
+}
+
+}  // namespace liberate::core

@@ -1,0 +1,217 @@
+#include "core/round_scheduler.h"
+
+#include <utility>
+
+#include "core/evasion/registry.h"
+#include "dpi/profiles.h"
+
+namespace liberate::core {
+
+namespace {
+
+/// splitmix64 step — used to derive independent seed streams from
+/// (master seed, round fingerprint).
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, const Fingerprint& id,
+                          std::uint64_t salt) {
+  return mix(mix(seed ^ salt) ^ id.lo) ^ mix(id.hi);
+}
+
+void fold_trace(Digest& d, const trace::ApplicationTrace& t) {
+  d.update_sized(t.app_name);
+  d.update_u8(t.transport == trace::Transport::kTcp ? 0 : 1);
+  d.update_u16(t.server_port);
+  d.update_u64(t.messages.size());
+  for (const trace::Message& m : t.messages) {
+    d.update_u8(m.sender == trace::Sender::kClient ? 0 : 1);
+    d.update_u64(m.gap_us);
+    d.update_sized(BytesView(m.payload));
+  }
+}
+
+void fold_context(Digest& d, const TechniqueContext& ctx) {
+  d.update_u64(ctx.matching_snippets.size());
+  for (const Bytes& s : ctx.matching_snippets) d.update_sized(BytesView(s));
+  d.update_u8(ctx.middlebox_ttl);
+  d.update_sized(BytesView(ctx.decoy_payload));
+  d.update_u64(ctx.split_pieces);
+  d.update_u64(ctx.fragment_pieces);
+  d.update_double(ctx.pause_seconds);
+}
+
+}  // namespace
+
+Fingerprint round_fingerprint(const WorldSpec& spec, const RoundRequest& req) {
+  Digest d;
+  // Environment = classifier profile + path configuration.
+  d.update_sized(spec.environment);
+  d.update_u64(spec.seed);
+  d.update_double(spec.warmup_hours);
+  // Trace digest (the exact bytes that go on the wire).
+  fold_trace(d, req.trace);
+  // Mutation: technique + context + replay knobs.
+  d.update_sized(req.technique);
+  fold_context(d, req.context);
+  d.update_u16(req.server_port_override);
+  d.update_u32(req.server_ip_override);
+  d.update_u8(req.match_packet_ttl.has_value() ? 1 : 0);
+  d.update_u8(req.match_packet_ttl.value_or(0));
+  d.update_double(req.pause_before_match_s);
+  d.update_double(req.pause_after_match_s);
+  d.update_double(req.timeout_s);
+  return d.finish();
+}
+
+RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req) {
+  const Fingerprint id = round_fingerprint(spec, req);
+
+  // The world and the runner get independent deterministic streams derived
+  // from (seed, round_id); nothing here depends on scheduling.
+  auto env = dpi::make_environment(spec.environment,
+                                   derive_seed(spec.seed, id, 0xE17));
+  const netsim::TimePoint warmup_end = static_cast<netsim::TimePoint>(
+      spec.warmup_hours * 3600.0 * 1e6);
+  env->loop.run_until(warmup_end);
+
+  ReplayRunner runner(*env, derive_seed(spec.seed, id, 0x5EED));
+
+  std::unique_ptr<Technique> technique;
+  if (!req.technique.empty()) {
+    for (auto& t : build_full_suite()) {
+      if (t->name() == req.technique) {
+        technique = std::move(t);
+        break;
+      }
+    }
+  }
+
+  ReplayOptions opts;
+  opts.technique = technique.get();
+  opts.context = req.context;
+  opts.server_port_override = req.server_port_override;
+  opts.server_ip_override = req.server_ip_override;
+  opts.match_packet_ttl = req.match_packet_ttl;
+  opts.pause_before_match_s = req.pause_before_match_s;
+  opts.pause_after_match_s = req.pause_after_match_s;
+  opts.timeout = static_cast<netsim::Duration>(req.timeout_s * 1e6);
+
+  RoundResult result;
+  result.outcome = runner.run(req.trace, opts);
+  result.differentiated = runner.differentiated(result.outcome);
+  result.virtual_seconds =
+      netsim::to_seconds(env->loop.now() - warmup_end);
+  result.bytes_offered = req.trace.total_bytes();
+  return result;
+}
+
+std::optional<RoundResult> ProbeCache::get(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto hit = lru_.get(key);
+  if (hit) {
+    hits_.fetch_add(1);
+  } else {
+    misses_.fetch_add(1);
+  }
+  return hit;
+}
+
+void ProbeCache::put(const Fingerprint& key, const RoundResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.put(key, result);
+}
+
+std::size_t ProbeCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+RoundScheduler::RoundScheduler(WorldSpec spec, SchedulerOptions options)
+    : spec_(std::move(spec)),
+      options_(options),
+      cache_(options.cache_capacity) {
+  if (options_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+  }
+}
+
+RoundScheduler::~RoundScheduler() {
+  // Drain outstanding rounds before the cache and spec go away.
+  if (pool_) pool_->shutdown();
+}
+
+RoundResult RoundScheduler::execute(const RoundRequest& req,
+                                    const Fingerprint& key) {
+  RoundResult result = run_isolated_round(spec_, req);
+  executed_.fetch_add(1);
+  if (options_.cache_capacity > 0) {
+    cache_.put(key, result);
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  return result;
+}
+
+std::shared_future<RoundResult> RoundScheduler::submit(RoundRequest req) {
+  const Fingerprint key = round_fingerprint(spec_, req);
+
+  auto ready = [](RoundResult r) {
+    std::promise<RoundResult> p;
+    p.set_value(std::move(r));
+    return p.get_future().share();
+  };
+
+  if (options_.cache_capacity > 0) {
+    if (auto cached = cache_.get(key)) {
+      from_cache_.fetch_add(1);
+      cached->from_cache = true;
+      return ready(std::move(*cached));
+    }
+    // Coalesce onto an identical round that is already in flight.
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      from_cache_.fetch_add(1);
+      return it->second;
+    }
+    if (pool_) {
+      auto task = [this, req = std::move(req), key]() {
+        return execute(req, key);
+      };
+      std::shared_future<RoundResult> future =
+          pool_->submit(std::move(task)).share();
+      inflight_[key] = future;
+      return future;
+    }
+  }
+
+  if (pool_) {
+    auto task = [this, req = std::move(req), key]() {
+      return execute(req, key);
+    };
+    return pool_->submit(std::move(task)).share();
+  }
+  return ready(execute(req, key));
+}
+
+RoundResult RoundScheduler::run_one(const RoundRequest& req) {
+  return submit(req).get();
+}
+
+std::vector<RoundResult> RoundScheduler::run_batch(
+    const std::vector<RoundRequest>& reqs) {
+  std::vector<std::shared_future<RoundResult>> futures;
+  futures.reserve(reqs.size());
+  for (const RoundRequest& r : reqs) futures.push_back(submit(r));
+  std::vector<RoundResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace liberate::core

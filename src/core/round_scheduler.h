@@ -1,0 +1,164 @@
+// round_scheduler.h — parallel replay-round scheduler with probe memoization.
+//
+// The paper's costs (§6, Table 2) are dominated by replay rounds: blinding
+// search, prepend probing and the 26-technique evaluation each run dozens to
+// hundreds of *independent* simulated rounds. The scheduler fans those
+// rounds out over a fixed worker pool. Every round executes inside a fully
+// isolated simulation world — its own EventLoop, network, endpoints and
+// middlebox, built fresh from a WorldSpec — so no state leaks between
+// rounds and results are identical regardless of worker count or
+// interleaving.
+//
+// Round identity is content-defined: round_id = fingerprint(world spec,
+// request), covering the trace bytes, the mutation (technique + context +
+// port/TTL/pause overrides), the classifier profile (the environment name
+// is the profile: it selects the rule set and middlebox configuration) and
+// the environment seed/warm-up. The per-round RNG is derived
+// deterministically from (seed, round_id), which makes two things true at
+// once: (a) scheduling order cannot change any outcome, and (b) a repeated
+// probe IS the same round, so memoizing its result is exact — the
+// ProbeCache can answer recursive-blinding re-probes and evaluation re-runs
+// after re-characterization without ever replaying twice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/replay.h"
+#include "util/digest.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
+namespace liberate::core {
+
+/// Everything needed to (re)build one isolated simulation world.
+struct WorldSpec {
+  /// Environment/classifier profile name for dpi::make_environment().
+  std::string environment = "testbed";
+  /// Master seed; every round derives its own RNG stream from this and the
+  /// round fingerprint.
+  std::uint64_t seed = 1;
+  /// Virtual warm-up before the round starts (diurnal-load models — e.g.
+  /// the GFC's load-dependent eviction — care what time of day it is).
+  double warmup_hours = 0;
+};
+
+/// One replay round: a (possibly mutated) trace plus the replay knobs of
+/// ReplayOptions, with the technique carried by name so the request is a
+/// plain value that can cross threads and be fingerprinted.
+struct RoundRequest {
+  trace::ApplicationTrace trace;
+  /// Registry name of the evasion technique to apply ("" = none).
+  std::string technique;
+  TechniqueContext context;
+  std::uint16_t server_port_override = 0;
+  std::uint32_t server_ip_override = 0;
+  std::optional<std::uint8_t> match_packet_ttl;
+  double pause_before_match_s = 0;
+  double pause_after_match_s = 0;
+  double timeout_s = 60;
+};
+
+struct RoundResult {
+  ReplayOutcome outcome;
+  /// The environment's differentiation oracle, evaluated in-world (the
+  /// direct signal needs the live classifier state, which dies with the
+  /// world).
+  bool differentiated = false;
+  /// Virtual seconds this round consumed (excluding warm-up).
+  double virtual_seconds = 0;
+  std::uint64_t bytes_offered = 0;
+  bool from_cache = false;
+};
+
+/// Content fingerprint of a round: the memoization key and the round_id
+/// from which the per-round RNG is derived.
+Fingerprint round_fingerprint(const WorldSpec& spec, const RoundRequest& req);
+
+/// Execute one round in a fresh isolated world. Deterministic: depends only
+/// on (spec, req), never on threads, ordering or wall clock.
+RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req);
+
+/// Thread-safe LRU-bounded memoization of round results.
+class ProbeCache {
+ public:
+  explicit ProbeCache(std::size_t capacity) : lru_(capacity) {}
+
+  std::optional<RoundResult> get(const Fingerprint& key);
+  void put(const Fingerprint& key, const RoundResult& result);
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::size_t size() const;
+  double hit_rate() const {
+    std::uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LruCache<Fingerprint, RoundResult, Fingerprint::Hasher> lru_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+struct SchedulerOptions {
+  /// Worker threads. 0 = serial mode: every round runs inline on the
+  /// calling thread (the reference the equivalence tests compare against).
+  std::size_t workers = 0;
+  /// Probe-cache capacity in rounds; 0 disables memoization.
+  std::size_t cache_capacity = 8192;
+};
+
+/// Batched submission front-end: submit() returns a future per round,
+/// run_batch() submits a wave and collects it in submission order.
+/// Identical in-flight rounds are coalesced onto one execution.
+class RoundScheduler {
+ public:
+  explicit RoundScheduler(WorldSpec spec, SchedulerOptions options = {});
+  ~RoundScheduler();
+
+  std::shared_future<RoundResult> submit(RoundRequest req);
+  RoundResult run_one(const RoundRequest& req);
+  std::vector<RoundResult> run_batch(const std::vector<RoundRequest>& reqs);
+
+  const WorldSpec& world() const { return spec_; }
+  std::size_t worker_count() const {
+    return pool_ ? pool_->worker_count() : 0;
+  }
+
+  /// Rounds that actually replayed (cache misses + uncached).
+  std::uint64_t rounds_executed() const { return executed_.load(); }
+  /// Rounds answered from the memo cache (or coalesced onto an in-flight
+  /// duplicate).
+  std::uint64_t rounds_from_cache() const { return from_cache_.load(); }
+  std::uint64_t rounds_submitted() const {
+    return rounds_executed() + rounds_from_cache();
+  }
+  const ProbeCache& cache() const { return cache_; }
+
+ private:
+  RoundResult execute(const RoundRequest& req, const Fingerprint& key);
+
+  WorldSpec spec_;
+  SchedulerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+  ProbeCache cache_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> from_cache_{0};
+  // In-flight duplicate coalescing: fingerprint -> the future all duplicate
+  // submissions share until the result lands in the cache.
+  std::mutex inflight_mutex_;
+  std::unordered_map<Fingerprint, std::shared_future<RoundResult>,
+                     Fingerprint::Hasher>
+      inflight_;
+};
+
+}  // namespace liberate::core

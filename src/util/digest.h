@@ -1,0 +1,83 @@
+// digest.h — streaming 128-bit content fingerprints.
+//
+// The round scheduler keys its memoization cache and derives per-round RNG
+// seeds from a fingerprint of everything that determines a round's outcome
+// (trace bytes, mutation parameters, classifier profile, environment). Two
+// independent FNV-1a lanes give 128 bits — far beyond what any realistic
+// probe population can collide — while staying dependency-free and
+// byte-order stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace liberate {
+
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const Fingerprint& o) const { return !(*this == o); }
+
+  struct Hasher {
+    std::size_t operator()(const Fingerprint& f) const {
+      return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+};
+
+class Digest {
+ public:
+  Digest() = default;
+
+  void update(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      lo_ = (lo_ ^ p[i]) * 0x100000001b3ULL;        // FNV-1a 64
+      hi_ = (hi_ ^ p[i]) * 0x00000100000001b3ULL ^  // second lane, offset
+            0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  void update(BytesView bytes) { update(bytes.data(), bytes.size()); }
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// Integers are folded in little-endian, width-tagged so that e.g. the
+  /// sequences (1, 2) and (0x0201) hash differently.
+  void update_u64(std::uint64_t v) {
+    std::uint8_t buf[9] = {8};
+    for (int i = 0; i < 8; ++i) buf[i + 1] = static_cast<std::uint8_t>(v >> (8 * i));
+    update(buf, sizeof(buf));
+  }
+  void update_u32(std::uint32_t v) { update_u64(0x4'0000'0000ULL | v); }
+  void update_u16(std::uint16_t v) { update_u64(0x2'0000'0000ULL | v); }
+  void update_u8(std::uint8_t v) { update_u64(0x1'0000'0000ULL | v); }
+  void update_double(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    update_u64(bits);
+  }
+  /// Length-prefixed, so concatenation boundaries are unambiguous.
+  void update_sized(BytesView bytes) {
+    update_u64(bytes.size());
+    update(bytes);
+  }
+  void update_sized(const std::string& s) {
+    update_u64(s.size());
+    update(s);
+  }
+
+  Fingerprint finish() const { return Fingerprint{lo_, hi_}; }
+
+ private:
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  std::uint64_t hi_ = 0x84222325cbf29ce4ULL;
+};
+
+}  // namespace liberate

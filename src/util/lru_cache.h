@@ -1,0 +1,64 @@
+// lru_cache.h — bounded least-recently-used map.
+//
+// The probe-result memoization cache must not grow without bound under
+// million-probe workloads, so every cache in the project goes through this
+// capacity-bounded LRU. Not internally synchronized: wrap it in a mutex when
+// shared between threads (core::ProbeCache does).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace liberate {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// capacity == 0 disables storage entirely (every get misses).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look up and mark as most recently used.
+  std::optional<Value> get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert or overwrite; evicts the least recently used entry when full.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+  }
+
+  bool contains(const Key& key) const { return index_.count(key) > 0; }
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash>
+      index_;
+};
+
+}  // namespace liberate

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <stdexcept>
+
+namespace liberate {
+
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i]() { worker_loop(static_cast<int>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(Shutdown::kDrain); }
+
+int ThreadPool::current_worker_index() { return t_worker_index; }
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() - queue_head_;
+}
+
+void ThreadPool::worker_loop(int index) {
+  t_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock,
+                 [this]() { return stopping_ || queue_head_ < queue_.size(); });
+      if (queue_head_ < queue_.size() && !discard_pending_) {
+        task = std::move(queue_[queue_head_]);
+        queue_head_ += 1;
+        // Periodically compact the consumed prefix.
+        if (queue_head_ > 1024 && queue_head_ * 2 > queue_.size()) {
+          queue_.erase(queue_.begin(),
+                       queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+          queue_head_ = 0;
+        }
+      } else if (stopping_) {
+        return;
+      } else {
+        continue;  // spurious wakeup with discard in progress
+      }
+    }
+    // Run outside the lock. packaged_task stores any exception in the
+    // future, so nothing escapes into the worker loop.
+    task();
+  }
+}
+
+void ThreadPool::shutdown(Shutdown mode) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && threads_.empty()) return;  // already shut down
+    stopping_ = true;
+    if (mode == Shutdown::kDiscardPending) {
+      discard_pending_ = true;
+      // Destroying the queued std::functions destroys their packaged_tasks;
+      // unfired packaged_tasks mark their futures broken_promise.
+      queue_.clear();
+      queue_head_ = 0;
+    }
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace liberate

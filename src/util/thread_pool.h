@@ -1,0 +1,74 @@
+// thread_pool.h — fixed-size worker pool for the parallel round scheduler.
+//
+// A ThreadPool owns N OS threads draining one FIFO task queue. Tasks are
+// submitted as callables and their results (or exceptions) come back through
+// std::future, so a worker throwing propagates to whoever joins the round
+// instead of killing the process. Shutdown has two modes: drain (default —
+// every queued task still runs) and discard (queued-but-unstarted tasks are
+// dropped and their futures report broken_promise). Workers are numbered so
+// schedulers can pin per-worker state; the current worker's index is
+// available from inside a task via ThreadPool::current_worker_index().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace liberate {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+  /// Drains the queue, then joins (equivalent to shutdown(kDrain)).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  enum class Shutdown { kDrain, kDiscardPending };
+
+  /// Enqueue a callable; the returned future carries its result or whatever
+  /// it threw. Submitting after shutdown throws std::runtime_error.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Stop the pool. kDrain runs every queued task first; kDiscardPending
+  /// abandons queued tasks (their futures throw broken_promise). Idempotent.
+  void shutdown(Shutdown mode = Shutdown::kDrain);
+
+  std::size_t worker_count() const { return threads_.size(); }
+  /// Queued-but-unstarted tasks (snapshot).
+  std::size_t pending() const;
+
+  /// Index of the pool worker executing the caller, or -1 when called from
+  /// a thread that is not a pool worker.
+  static int current_worker_index();
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop(int index);
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  std::size_t queue_head_ = 0;
+  bool stopping_ = false;
+  bool discard_pending_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace liberate

@@ -1,0 +1,190 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/lru_cache.h"
+
+namespace liberate {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  auto f1 = pool.submit([]() { return 40 + 2; });
+  auto f2 = pool.submit([]() { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SaturationManyMoreTasksThanWorkers) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([i, &ran]() {
+      ran.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // not a pool thread
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(
+        pool.submit([]() { return ThreadPool::current_worker_index(); }));
+  }
+  for (auto& f : futures) {
+    int idx = f.get();
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("boom in worker"); });
+  auto good = pool.submit([]() { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom in worker");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker that threw keeps serving tasks.
+  EXPECT_EQ(good.get(), 7);
+  auto after = pool.submit([]() { return 8; });
+  EXPECT_EQ(after.get(), 8);
+}
+
+TEST(ThreadPool, DrainShutdownRunsEveryPendingTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      // Futures intentionally dropped; the drain still runs the tasks.
+      pool.submit([&ran]() { ran.fetch_add(1); });
+    }
+  }  // destructor = shutdown(kDrain)
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPool, DiscardShutdownAbandonsPendingWork) {
+  ThreadPool pool(1);
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker = pool.submit([&]() {
+    started.set_value();
+    release.get_future().wait();
+  });
+  started.get_future().wait();  // the single worker is now busy
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> pending;
+  for (int i = 0; i < 50; ++i) {
+    pending.push_back(pool.submit([&ran]() {
+      ran.fetch_add(1);
+      return 1;
+    }));
+  }
+  EXPECT_EQ(pool.pending(), 50u);
+  // Unblock the worker only after shutdown has discarded the queue; shutdown
+  // clears it on entry, then blocks joining the busy worker.
+  std::thread releaser([&release]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    release.set_value();
+  });
+  pool.shutdown(ThreadPool::Shutdown::kDiscardPending);
+  releaser.join();
+  blocker.get();  // the in-flight task completed normally
+  // Discarded tasks never ran and their futures report broken_promise.
+  EXPECT_EQ(ran.load(), 0);
+  int broken = 0;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (const std::future_error& e) {
+      if (e.code() == std::future_errc::broken_promise) broken += 1;
+    }
+  }
+  EXPECT_EQ(broken + ran.load(), 50);
+  EXPECT_THROW(pool.submit([]() { return 0; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.submit([]() {}).get();
+  pool.shutdown();
+  pool.shutdown(ThreadPool::Shutdown::kDiscardPending);  // no-op, no crash
+}
+
+// ---------------------------------------------------------------------------
+// LruCache: the memo cache must stay bounded under million-probe workloads.
+// ---------------------------------------------------------------------------
+
+TEST(LruCache, EvictsLeastRecentlyUsedAtCapacity) {
+  LruCache<int, std::string> cache(3);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  cache.put(3, "three");
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 is now most recent
+  cache.put(4, "four");                   // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value_or(""), "one");
+  EXPECT_EQ(cache.get(3).value_or(""), "three");
+  EXPECT_EQ(cache.get(4).value_or(""), "four");
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCache, SizeNeverExceedsCapacityUnderChurn) {
+  LruCache<int, int> cache(64);
+  for (int i = 0; i < 100000; ++i) {
+    cache.put(i, i);
+    ASSERT_LE(cache.size(), 64u);
+  }
+  // Only the most recent 64 keys survive.
+  EXPECT_FALSE(cache.get(0).has_value());
+  EXPECT_TRUE(cache.get(99999).has_value());
+  EXPECT_TRUE(cache.get(100000 - 64).has_value());
+  EXPECT_FALSE(cache.get(100000 - 65).has_value());
+}
+
+TEST(LruCache, PutOverwritesAndRefreshes) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // overwrite refreshes recency
+  cache.put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.get(1).value_or(-1), 11);
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(3).value_or(-1), 30);
+}
+
+TEST(LruCache, ZeroCapacityStoresNothing) {
+  LruCache<int, int> cache(0);
+  cache.put(1, 10);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace liberate
