@@ -39,6 +39,7 @@ dpi::ClassifierConfig testbed_classifier() {
 }  // namespace
 
 int main() {
+  bench::JsonReport json("ablation_classifier_knobs");
   auto app = trace::amazon_video_trace(48 * 1024);
 
   bench::print_header(
@@ -64,6 +65,13 @@ int main() {
                     ? std::to_string(*report.packet_limit).c_str()
                     : (report.inspects_all_packets ? "all" : "?"),
                 outcome.evaded ? "Y" : "x", report.replay_rounds);
+    json.row("window_k=" + (k == 0 ? std::string("inf") : std::to_string(k)));
+    json.field("detected_k",
+               report.packet_limit
+                   ? std::to_string(*report.packet_limit)
+                   : std::string(report.inspects_all_packets ? "all" : "?"));
+    json.field("split_evades", outcome.evaded);
+    json.field("rounds", report.replay_rounds);
   }
   std::printf(
       "(splitting cuts every matching field across boundaries, so even an\n"
@@ -103,11 +111,17 @@ int main() {
     TcpSegmentSplit split(false);
     TcpSegmentSplit reorder(true);
     RstBeforeMatch rst;
-    std::printf("%-26s %10s %10s %10s %12s\n", m.name,
-                evaluator.evaluate_one(inert, app).evaded ? "Y" : "x",
-                evaluator.evaluate_one(split, app).evaded ? "Y" : "x",
-                evaluator.evaluate_one(reorder, app).evaded ? "Y" : "x",
-                evaluator.evaluate_one(rst, app).evaded ? "Y" : "x");
+    bool inert_e = evaluator.evaluate_one(inert, app).evaded;
+    bool split_e = evaluator.evaluate_one(split, app).evaded;
+    bool reorder_e = evaluator.evaluate_one(reorder, app).evaded;
+    bool rst_e = evaluator.evaluate_one(rst, app).evaded;
+    std::printf("%-26s %10s %10s %10s %12s\n", m.name, inert_e ? "Y" : "x",
+                split_e ? "Y" : "x", reorder_e ? "Y" : "x", rst_e ? "Y" : "x");
+    json.row(m.name);
+    json.field("inert_evades", inert_e);
+    json.field("split_evades", split_e);
+    json.field("reorder_evades", reorder_e);
+    json.field("rst_flush_evades", rst_e);
   }
   std::printf("(matches Table 3's testbed / T-Mobile / GFC columns: full\n"
               "reassembly is the only mode that resists splitting)\n");
@@ -136,6 +150,10 @@ int main() {
     }
     std::printf("%14zu %10d %18zu %20s\n", g, report.replay_rounds,
                 field_bytes, covered ? "Y" : "x");
+    json.row("granularity=" + std::to_string(g));
+    json.field("rounds", report.replay_rounds);
+    json.field("field_bytes", static_cast<std::uint64_t>(field_bytes));
+    json.field("keyword_covered", covered);
   }
   std::printf("(finer granularity tightens the reported fields at the cost "
               "of replay rounds;\nany granularity suffices for evasion since "

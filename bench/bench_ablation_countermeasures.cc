@@ -85,6 +85,7 @@ int main() {
               "CC-only", "surviving techniques");
   bench::print_rule(100);
 
+  bench::JsonReport json("ablation_countermeasures");
   int previous = -1;
   for (const Tier& tier : tiers) {
     auto env = build_env(tier);
@@ -118,6 +119,10 @@ int main() {
     }
     std::printf("%-40s %8d %8d  %s\n", tier.name, evading, cc_only,
                 survivors.c_str());
+    json.row(tier.name);
+    json.field("evading", evading);
+    json.field("cc_only", cc_only);
+    json.field("survivors", survivors);
     if (previous >= 0 && evading > previous) {
       std::printf("  (!) countermeasure tier did not reduce the surface\n");
     }

@@ -50,6 +50,7 @@ int main() {
               "eviction threshold (s)", "sparkline");
   bench::print_rule(78);
 
+  bench::JsonReport json("fig4_flushing");
   int busy_hours_evadable = 0;
   int quiet_hours_blocked = 0;
   for (int hour = 0; hour < 24; hour += 2) {
@@ -80,6 +81,13 @@ int main() {
     if (busy && delay > 0 && delay <= 180) busy_hours_evadable += 1;
     bool quiet = hour <= 8;
     if (quiet && delay < 0) quiet_hours_blocked += 1;
+
+    char label[8];
+    std::snprintf(label, sizeof(label), "%02d:00", hour);
+    json.row(label);
+    json.field("min_delay_s", delay);
+    json.field("evadable", delay >= 0);
+    json.field("eviction_threshold_s", threshold);
   }
 
   bench::print_rule(78);

@@ -4,12 +4,17 @@
 // path adds per packet (§5.3: "negligible overhead").
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/evasion/registry.h"
 #include "core/evasion/shim.h"
 #include "dpi/classifier.h"
 #include "dpi/profiles.h"
 #include "netsim/checksum.h"
 #include "netsim/packet.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace {
@@ -152,6 +157,53 @@ void BM_SplitPlanAndTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_SplitPlanAndTransform);
 
+// Cost of one hot-path obs macro at the build's configured level: a relaxed
+// fetch_add on a per-worker cell when enabled, nothing when compiled out.
+// Satellite guard for the "<5% regression at level=full" acceptance bound —
+// compare BM_ShimPassThrough/BM_ClassifierInspectPerPacket across
+// LIBERATE_OBS_LEVEL settings.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    LIBERATE_COUNTER_ADD("bench.counter_add", 1);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  double v = 0;
+  for (auto _ : state) {
+    LIBERATE_HISTOGRAM_OBSERVE("bench.histogram_observe",
+                               ({0.001, 0.01, 0.1, 1, 10}), v);
+    v += 0.25;
+    if (v > 16) v = 0;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a default --benchmark_out: console output unchanged,
+// and the same results land in BENCH_micro_codec.json like every other
+// bench. An explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_codec.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out) std::printf("wrote BENCH_micro_codec.json\n");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "bench/common.h"
 #include "core/parallel_analysis.h"
 #include "core/round_scheduler.h"
+#include "obs/snapshot.h"
 #include "trace/generators.h"
 
 using namespace liberate;
@@ -50,6 +51,8 @@ std::vector<RoundRequest> probe_wave(const trace::ApplicationTrace& trace,
 int main() {
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("hw: %u core(s) visible to this process\n", cores);
+  bench::JsonReport json("parallel_rounds");
+  json.metric("hw_cores", static_cast<std::uint64_t>(cores));
 
   bench::print_header(
       "parallel scheduler — rounds/sec vs worker count (64-round probe wave)");
@@ -75,6 +78,12 @@ int main() {
                 workers, results.size(), wall,
                 static_cast<double>(results.size()) / wall,
                 serial_seconds / wall);
+    json.row("workers=" + std::to_string(workers));
+    json.field("workers", static_cast<std::uint64_t>(workers));
+    json.field("rounds", static_cast<std::uint64_t>(results.size()));
+    json.field("wall_s", wall);
+    json.field("rounds_per_sec", static_cast<double>(results.size()) / wall);
+    json.field("speedup", serial_seconds / wall);
   }
   bench::print_rule(50);
   std::printf(
@@ -85,6 +94,10 @@ int main() {
   bench::print_header(
       "probe cache — hit rate across repeated analysis (testbed pipeline)");
   {
+    // Scope the obs snapshot to the cache experiment: the counters below
+    // (core.rounds_executed / core.rounds_from_cache) should describe the
+    // three analysis passes, not the throughput sweep above.
+    obs::reset_all();
     WorldSpec spec;
     RoundScheduler scheduler(spec, {.workers = cores > 1 ? 4u : 0u,
                                     .cache_capacity = 8192});
@@ -92,23 +105,61 @@ int main() {
     std::printf("%-22s %10s %10s %10s %9s\n", "pass", "submitted", "executed",
                 "cached", "hit rate");
     bench::print_rule(66);
+    double total_analysis_wall = 0;
     for (int pass = 1; pass <= 3; ++pass) {
       auto start = Clock::now();
       SessionReport report = analyze_parallel(scheduler, app);
       double wall = seconds_since(start);
+      total_analysis_wall += wall;
       std::printf("analysis #%d %8.3fs %10llu %10llu %10llu %8.1f%%\n", pass,
                   wall,
                   static_cast<unsigned long long>(scheduler.rounds_submitted()),
                   static_cast<unsigned long long>(scheduler.rounds_executed()),
                   static_cast<unsigned long long>(scheduler.rounds_from_cache()),
                   100.0 * scheduler.cache().hit_rate());
+      json.row("analysis_pass=" + std::to_string(pass));
+      json.field("wall_s", wall);
+      json.field("rounds_submitted", scheduler.rounds_submitted());
+      json.field("rounds_executed", scheduler.rounds_executed());
+      json.field("rounds_from_cache", scheduler.rounds_from_cache());
+      json.field("cache_hit_rate", scheduler.cache().hit_rate());
       if (pass == 1) {
         std::printf("  (selected technique: %s, %d logical rounds)\n",
                     report.selected_technique.value_or("(none)").c_str(),
                     report.total_rounds);
+        json.metric("selected_technique",
+                    report.selected_technique.value_or("(none)"));
       }
     }
     bench::print_rule(66);
+
+    // Fold the observability snapshot into the JSON artifact: the same
+    // story (executed vs cached, per-round latency) as told by the obs
+    // layer's own counters/histograms. At LIBERATE_OBS_LEVEL=0 these
+    // counters are absent and the metrics below report zero.
+    obs::Snapshot snap = obs::capture();
+    std::uint64_t obs_executed = 0, obs_cached = 0;
+    for (const auto& [name, total] : snap.metrics.counters) {
+      if (name == "core.rounds_executed") obs_executed = total;
+      if (name == "core.rounds_from_cache") obs_cached = total;
+    }
+    json.metric("obs_rounds_executed", obs_executed);
+    json.metric("obs_rounds_from_cache", obs_cached);
+    json.metric("obs_cache_hit_rate",
+                obs_executed + obs_cached == 0
+                    ? 0.0
+                    : static_cast<double>(obs_cached) /
+                          static_cast<double>(obs_executed + obs_cached));
+    json.metric("obs_rounds_per_sec",
+                total_analysis_wall == 0
+                    ? 0.0
+                    : static_cast<double>(obs_executed + obs_cached) /
+                          total_analysis_wall);
+    for (const auto& [name, h] : snap.metrics.histograms) {
+      if (name != "core.round_virtual_seconds") continue;
+      json.metric("round_virtual_seconds_count", h.count);
+      json.metric("round_virtual_seconds_sum", h.sum);
+    }
     std::printf(
         "pass 1 is all misses; passes 2-3 re-ask every probe and the cache\n"
         "answers them without replaying — executed stays flat while the hit\n"

@@ -15,6 +15,7 @@ using namespace liberate;
 using namespace liberate::core;
 
 int main() {
+  bench::JsonReport json("sec53_performance");
   bench::print_header(
       "§5.3 — one-time analysis cost per environment (rounds / data / "
       "virtual time)");
@@ -42,6 +43,13 @@ int main() {
                 c.trace.app_name.c_str(), report.total_rounds, mb,
                 report.total_virtual_minutes,
                 report.selected_technique.value_or("(none)").c_str());
+    json.row(c.env);
+    json.field("application", c.trace.app_name);
+    json.field("rounds", report.total_rounds);
+    json.field("data_mb", mb);
+    json.field("virtual_minutes", report.total_virtual_minutes);
+    json.field("selected_technique",
+               report.selected_technique.value_or("(none)"));
   }
   bench::print_rule(92);
   std::printf(
@@ -71,6 +79,12 @@ int main() {
             "fractions of a percent of data overhead\" on video)\n",
             t->name().c_str(), o.extra_packets, o.extra_bytes, pct,
             app.total_bytes() / 1024, o.extra_seconds);
+        json.metric("deployed_technique", t->name());
+        json.metric("deployed_extra_packets",
+                    static_cast<std::uint64_t>(o.extra_packets));
+        json.metric("deployed_extra_bytes",
+                    static_cast<std::uint64_t>(o.extra_bytes));
+        json.metric("deployed_overhead_pct", pct);
       }
     }
   }
@@ -108,6 +122,11 @@ int main() {
       std::printf("%-26s %8d %10.3f %9.2fx %8.1f%%\n", mode,
                   report.total_rounds, wall, seq_wall / wall,
                   100.0 * scheduler.cache().hit_rate());
+      json.row(mode);
+      json.field("rounds", report.total_rounds);
+      json.field("wall_s", wall);
+      json.field("speedup_vs_sequential", seq_wall / wall);
+      json.field("cache_hit_rate", scheduler.cache().hit_rate());
     }
     bench::print_rule(68);
     std::printf(

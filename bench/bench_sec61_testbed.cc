@@ -13,6 +13,8 @@ using namespace liberate::core;
 
 namespace {
 
+bench::JsonReport json("sec61_testbed");
+
 void report_characterization(const char* label,
                              const CharacterizationReport& r,
                              int paper_rounds) {
@@ -21,6 +23,13 @@ void report_characterization(const char* label,
               label, r.replay_rounds, paper_rounds,
               static_cast<double>(r.bytes_replayed) / 1024.0,
               r.virtual_seconds / 60.0);
+  json.row(label);
+  json.field("rounds", r.replay_rounds);
+  json.field("paper_rounds_max", paper_rounds);
+  json.field("bytes_replayed", static_cast<std::uint64_t>(r.bytes_replayed));
+  json.field("virtual_minutes", r.virtual_seconds / 60.0);
+  json.field("fields_found", static_cast<std::uint64_t>(r.fields.size()));
+  json.field("position_sensitive", r.position_sensitive);
   for (const auto& f : r.fields) {
     std::printf("    field: msg %zu off %zu  \"%s\"\n", f.message_index,
                 f.offset, printable(BytesView(f.content), 48).c_str());
@@ -93,6 +102,8 @@ int main() {
         "result active ~+100 s: %s   ~+130 s: %s   (paper: 120 s timeout)\n",
         classified_now ? "yes" : "no", still_at_100 ? "yes" : "no",
         still_at_130 ? "yes" : "no");
+    json.metric("state_active_at_100s", still_at_100);
+    json.metric("state_active_at_130s", still_at_130);
   }
   {
     // RST reduces the retention to 10 s.
@@ -109,6 +120,7 @@ int main() {
         "TTL-limited RST after match + 12 s pause evades: %s (paper: RST\n"
         "collapses the 120 s timeout to 10 s)\n",
         outcome.evaded ? "yes" : "no");
+    json.metric("rst_flush_evades", outcome.evaded);
   }
   return 0;
 }

@@ -59,6 +59,7 @@ ThroughputResult measure_video(dpi::Environment& env, ReplayRunner& runner,
 }  // namespace
 
 int main() {
+  bench::JsonReport json("sec62_tmus");
   auto env = dpi::make_tmus();
   ReplayRunner runner(*env);
   auto app = trace::amazon_video_trace(220 * 1024);
@@ -79,6 +80,11 @@ int main() {
               "classification)\n  middlebox hops=%d (paper: TTL=3 suffices)\n",
               report.position_sensitive ? "yes" : "no",
               report.middlebox_hops.value_or(-1));
+  json.metric("characterization_rounds", report.replay_rounds);
+  json.metric("bytes_replayed",
+              static_cast<std::uint64_t>(report.bytes_replayed));
+  json.metric("virtual_minutes", report.virtual_seconds / 60.0);
+  json.metric("middlebox_hops", report.middlebox_hops.value_or(-1));
 
   // YouTube via TLS SNI.
   {
@@ -124,5 +130,13 @@ int main() {
   std::printf("selected technique: %s\n", selected.c_str());
   double speedup = without.avg_mbps > 0 ? with.avg_mbps / without.avg_mbps : 0;
   std::printf("speedup: %.1fx (paper: ~2.8x)\n", speedup);
+  json.metric("selected_technique", selected);
+  json.row("without_liberate");
+  json.field("avg_mbps", without.avg_mbps);
+  json.field("peak_mbps", without.peak_mbps);
+  json.row("with_liberate");
+  json.field("avg_mbps", with.avg_mbps);
+  json.field("peak_mbps", with.peak_mbps);
+  json.metric("throughput_speedup", speedup);
   return 0;
 }

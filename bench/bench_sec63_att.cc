@@ -13,6 +13,7 @@ using namespace liberate;
 using namespace liberate::core;
 
 int main() {
+  bench::JsonReport json("sec63_att");
   auto env = dpi::make_att();
   ReplayRunner runner(*env);
   auto app = trace::nbcsports_trace(1536 * 1024);
@@ -38,6 +39,11 @@ int main() {
       response_side_field ? "yes" : "no");
   std::printf("port-sensitive: %s (paper: only port 80 is classified)\n",
               report.port_sensitive ? "yes" : "no");
+  json.metric("characterization_rounds", report.replay_rounds);
+  json.metric("bytes_replayed",
+              static_cast<std::uint64_t>(report.bytes_replayed));
+  json.metric("response_side_field", response_side_field);
+  json.metric("port_sensitive", report.port_sensitive);
 
   bench::print_header("§6.3 — evasion against a TCP-terminating proxy");
   EvasionEvaluator evaluator(runner, report);
@@ -67,5 +73,11 @@ int main() {
               static_cast<unsigned long long>(env->proxy->throttled_sessions()),
               static_cast<unsigned long long>(
                   env->proxy->crafted_packets_absorbed()));
+  json.metric("techniques_attempted", attempted);
+  json.metric("techniques_changed_classification", worked);
+  json.metric("port_8080_completed", outcome.completed);
+  json.metric("port_8080_goodput_mbps", outcome.goodput_mbps);
+  json.metric("proxy_sessions_opened", env->proxy->sessions_opened());
+  json.metric("proxy_sessions_throttled", env->proxy->throttled_sessions());
   return 0;
 }

@@ -38,11 +38,17 @@ int main() {
   }
   probes.push_back({"gaming-like UDP", trace::make_generic_udp_trace()});
 
+  bench::JsonReport json("sec64_sprint");
   double min_tcp_goodput = 1e9, max_tcp_goodput = 0;
   bool any_differentiated = false;
   for (auto& p : probes) {
     auto outcome = runner.run(p.trace);
     any_differentiated |= runner.differentiated(outcome);
+    json.row(p.label);
+    json.field("port", static_cast<std::uint64_t>(p.trace.server_port));
+    json.field("goodput_mbps", outcome.goodput_mbps);
+    json.field("usage_kb", static_cast<double>(outcome.usage_delta) / 1024.0);
+    json.field("blocked", outcome.blocked);
     if (p.trace.transport == trace::Transport::kTcp &&
         p.trace.total_bytes() > 64 * 1024 && outcome.goodput_mbps > 0) {
       min_tcp_goodput = std::min(min_tcp_goodput, outcome.goodput_mbps);
@@ -62,6 +68,9 @@ int main() {
     std::printf("bulk-TCP goodput spread: %.2f-%.2f Mbps (ratio %.2fx)\n",
                 min_tcp_goodput, max_tcp_goodput,
                 max_tcp_goodput / min_tcp_goodput);
+    json.metric("tcp_goodput_spread_ratio",
+                max_tcp_goodput / min_tcp_goodput);
   }
+  json.metric("any_differentiated", any_differentiated);
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace liberate;
 using namespace liberate::core;
 
 int main() {
+  bench::JsonReport json("sec65_gfc");
   auto env = dpi::make_gfc();
   env->loop.run_until(netsim::hours(16));
   ReplayRunner runner(*env);
@@ -26,6 +27,9 @@ int main() {
         "blocked with 3-5 RSTs)\n",
         outcome.blocked ? "yes" : "no",
         static_cast<unsigned long long>(outcome.rsts_at_client));
+    json.metric("http_blocked", outcome.blocked);
+    json.metric("rsts_at_client",
+                static_cast<std::uint64_t>(outcome.rsts_at_client));
   }
 
   bench::print_header("§6.5 — classifier analysis");
@@ -48,6 +52,12 @@ int main() {
       report.position_sensitive ? "yes" : "no",
       report.middlebox_hops.value_or(-1),
       report.port_sensitive ? "yes" : "no");
+  json.metric("characterization_rounds", report.replay_rounds);
+  json.metric("bytes_replayed",
+              static_cast<std::uint64_t>(report.bytes_replayed));
+  json.metric("virtual_minutes", report.virtual_seconds / 60.0);
+  json.metric("position_sensitive", report.position_sensitive);
+  json.metric("middlebox_hops", report.middlebox_hops.value_or(-1));
 
   bench::print_header("§6.5 — endpoint escalation after two classified flows");
   {
@@ -64,6 +74,7 @@ int main() {
         "blocked=%s (paper: \"the GFC blocks all traffic toward a server...\n"
         "after it blocks two replays for that server and port\")\n",
         third.blocked ? "yes" : "no");
+    json.metric("endpoint_escalation", third.blocked);
   }
 
   bench::print_header("§6.5 — UDP is not classified");
@@ -87,6 +98,8 @@ int main() {
         "TTL-limited RST after match evades:  %s (paper: no — classification\n"
         "already triggered blocking)\n",
         b.evaded ? "yes" : "no", a.changed_classification ? "yes" : "no");
+    json.metric("rst_before_evades", b.evaded);
+    json.metric("rst_after_changes_classification", a.changed_classification);
   }
   {
     InertInsertion cks(InertVariant::kWrongTcpChecksum);

@@ -14,6 +14,7 @@ using namespace liberate;
 using namespace liberate::core;
 
 int main() {
+  bench::JsonReport json("sec66_iran");
   auto env = dpi::make_iran();
   ReplayRunner runner(*env);
   auto app = trace::facebook_trace();
@@ -26,6 +27,10 @@ int main() {
         "\"HTTP/1.1 403 Forbidden\" plus two RST packets)\n",
         out.blocked ? "yes" : "no", out.got_403 ? "yes" : "no",
         static_cast<unsigned long long>(out.rsts_at_client));
+    json.metric("http_blocked", out.blocked);
+    json.metric("got_403", out.got_403);
+    json.metric("rsts_at_client",
+                static_cast<std::uint64_t>(out.rsts_at_client));
   }
 
   bench::print_header("§6.6 — classifier analysis");
@@ -46,6 +51,12 @@ int main() {
       "blocked)\nmiddlebox hops=%d (paper: eight hops away)\n",
       report.inspects_all_packets ? "yes" : "no",
       report.port_sensitive ? "yes" : "no", report.middlebox_hops.value_or(-1));
+  json.metric("characterization_rounds", report.replay_rounds);
+  json.metric("bytes_replayed",
+              static_cast<std::uint64_t>(report.bytes_replayed));
+  json.metric("inspects_all_packets", report.inspects_all_packets);
+  json.metric("port_sensitive", report.port_sensitive);
+  json.metric("middlebox_hops", report.middlebox_hops.value_or(-1));
 
   bench::print_header(
       "§6.6 — misclassification: inert packet WITH blocked content");
@@ -88,11 +99,15 @@ int main() {
         s.evaded ? "yes" : "no", r.evaded ? "yes" : "no",
         f.changed_classification ? "yes" : "no",
         f.crafted_reached_server ? "yes" : "no");
+    json.metric("splitting_evades", s.evaded);
+    json.metric("reordering_evades", r.evaded);
+    json.metric("fragmentation_evades", f.changed_classification);
   }
   {
     auto eval = evaluator.evaluate(app, /*run_pruned=*/false);
     std::printf("production suite (after pruning) selected: %s\n",
                 eval.selected.value_or("(none)").c_str());
+    json.metric("selected_technique", eval.selected.value_or("(none)"));
     std::printf(
         "pruning dropped inert insertion and flushing entirely (paper:\n"
         "\"inert packet insertion techniques do not work ... the classifier\n"

@@ -170,6 +170,22 @@ int main() {
   liberate::bench::print_rule(78);
   std::printf("lib.erate selected technique on the GFC: %s\n",
               selected.c_str());
+  {
+    liberate::bench::JsonReport json("table1_comparison");
+    json.metric("selected_technique", selected);
+    json.row("vpn");
+    json.field("overhead", "O(n)");
+    json.field("evades_gfc", vpn.evaded);
+    json.row("obfuscation");
+    json.field("overhead", "O(n)");
+    json.field("evades_gfc", obfs.evaded);
+    json.row("domain_fronting");
+    json.field("overhead", "O(1)");
+    json.field("evades_gfc", front.evaded);
+    json.row("liberate");
+    json.field("overhead", "O(1)");
+    json.field("evades_gfc", lib_measured.evaded);
+  }
   std::printf(
       "paper row: VPN O(n) not-client-only; covert/obfuscation O(n); domain\n"
       "fronting O(1); lib.erate O(1) client-only app-agnostic with rule\n"

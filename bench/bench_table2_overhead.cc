@@ -50,12 +50,19 @@ int main() {
               "pkts", "bytes", "seconds", "evaded");
   bench::print_rule(96);
 
+  bench::JsonReport json("table2_overhead");
   for (auto& row : rows) {
     Overhead o = row.technique->overhead(ctx);
     auto outcome = evaluator.evaluate_one(*row.technique, app);
     std::printf("%-32s %-26s %8zu %8zu %9.1f %7s\n", row.name,
                 row.paper_overhead, o.extra_packets, o.extra_bytes,
                 o.extra_seconds, outcome.evaded ? "Y" : "x");
+    json.row(row.name);
+    json.field("paper_overhead", row.paper_overhead);
+    json.field("extra_packets", static_cast<std::uint64_t>(o.extra_packets));
+    json.field("extra_bytes", static_cast<std::uint64_t>(o.extra_bytes));
+    json.field("extra_seconds", o.extra_seconds);
+    json.field("evaded", outcome.evaded);
   }
   bench::print_rule(96);
   std::printf(

@@ -144,11 +144,14 @@ int main() {
       "columns: Testbed  T-Mobile  GFC  Iran  AT&T    "
       "[measured(paper)]  Y=yes x=no -=n/a");
 
+  bench::JsonReport json("table3_matrix");
   Agreement cc_agree, rs_agree;
   for (const auto& row : kExpected) {
     const bool is_udp_row = std::string(row.technique).find("udp") !=
                             std::string::npos;
     std::printf("%-36s", row.technique);
+    json.row(row.technique);
+    std::string cc_measured, rs_measured;
     for (std::size_t i = 0; i < envs.size(); ++i) {
       const EnvResult& er = results[envs[i]];
       const auto& table = is_udp_row ? er.udp : er.tcp;
@@ -173,7 +176,13 @@ int main() {
                                      : '-');
       if (cc != '?' && cc != '-') cc_agree.tally(row.cc[i], cc);
       if (rs != '?' && rs != '-') rs_agree.tally(row.rs[i], rs);
+      cc_measured.push_back(cc);
+      rs_measured.push_back(rs);
     }
+    json.field("cc_measured", cc_measured);
+    json.field("cc_paper", row.cc);
+    json.field("rs_measured", rs_measured);
+    json.field("rs_paper", row.rs);
     std::printf("\n");
   }
 
@@ -182,5 +191,11 @@ int main() {
               cc_agree.compared, cc_agree.percent());
   std::printf("RS agreement with paper: %d/%d (%.1f%%)\n", rs_agree.matched,
               rs_agree.compared, rs_agree.percent());
+  json.metric("cc_agreement_pct", cc_agree.percent());
+  json.metric("cc_compared", cc_agree.compared);
+  json.metric("cc_matched", cc_agree.matched);
+  json.metric("rs_agreement_pct", rs_agree.percent());
+  json.metric("rs_compared", rs_agree.compared);
+  json.metric("rs_matched", rs_agree.matched);
   return 0;
 }

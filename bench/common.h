@@ -1,10 +1,15 @@
-// common.h — shared helpers for the reproduction benches: table printing and
-// paper-vs-measured agreement accounting.
+// common.h — shared helpers for the reproduction benches: table printing,
+// paper-vs-measured agreement accounting, and the machine-readable
+// BENCH_<name>.json emitter every bench binary writes next to its stdout
+// tables (CI uploads these as artifacts).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/json.h"
 
 namespace liberate::bench {
 
@@ -45,5 +50,108 @@ inline void print_header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   print_rule(78);
 }
+
+/// Machine-readable results file: BENCH_<name>.json in the working
+/// directory. Collects flat metrics plus labelled rows, all in insertion
+/// order, and writes on destruction (or an explicit write()).
+///
+///   bench::JsonReport report("table3_matrix");
+///   report.metric("agreement_pct", agreement.percent());
+///   report.row("inert/ip-low-ttl");
+///   report.field("cc", true);
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  ~JsonReport() { write(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void metric(const std::string& key, double v) { metrics_.push_back({key, Value::num(v)}); }
+  void metric(const std::string& key, std::uint64_t v) { metrics_.push_back({key, Value::uint(v)}); }
+  void metric(const std::string& key, int v) { metrics_.push_back({key, Value::integer(v)}); }
+  void metric(const std::string& key, bool v) { metrics_.push_back({key, Value::boolean(v)}); }
+  void metric(const std::string& key, const std::string& v) { metrics_.push_back({key, Value::str(v)}); }
+  void metric(const std::string& key, const char* v) { metrics_.push_back({key, Value::str(v)}); }
+
+  /// Start a new labelled row; subsequent field() calls attach to it.
+  void row(const std::string& label) { rows_.push_back({label, {}}); }
+  void field(const std::string& key, double v) { rows_.back().fields.push_back({key, Value::num(v)}); }
+  void field(const std::string& key, std::uint64_t v) { rows_.back().fields.push_back({key, Value::uint(v)}); }
+  void field(const std::string& key, int v) { rows_.back().fields.push_back({key, Value::integer(v)}); }
+  void field(const std::string& key, bool v) { rows_.back().fields.push_back({key, Value::boolean(v)}); }
+  void field(const std::string& key, const std::string& v) { rows_.back().fields.push_back({key, Value::str(v)}); }
+  void field(const std::string& key, const char* v) { rows_.back().fields.push_back({key, Value::str(v)}); }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(name_);
+    w.key("metrics").begin_object();
+    for (const auto& m : metrics_) {
+      w.key(m.first);
+      m.second.emit(w);
+    }
+    w.end_object();
+    w.key("rows").begin_array();
+    for (const auto& r : rows_) {
+      w.begin_object();
+      w.key("label").value(r.label);
+      for (const auto& f : r.fields) {
+        w.key(f.first);
+        f.second.emit(w);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) return;  // read-only cwd: stdout tables still stand
+    const std::string& doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path().c_str());
+  }
+
+ private:
+  struct Value {
+    enum class Kind { kNum, kUint, kInt, kBool, kStr } kind = Kind::kNum;
+    double num_v = 0;
+    std::uint64_t uint_v = 0;
+    std::int64_t int_v = 0;
+    bool bool_v = false;
+    std::string str_v;
+
+    static Value num(double v) { Value x; x.kind = Kind::kNum; x.num_v = v; return x; }
+    static Value uint(std::uint64_t v) { Value x; x.kind = Kind::kUint; x.uint_v = v; return x; }
+    static Value integer(std::int64_t v) { Value x; x.kind = Kind::kInt; x.int_v = v; return x; }
+    static Value boolean(bool v) { Value x; x.kind = Kind::kBool; x.bool_v = v; return x; }
+    static Value str(std::string v) { Value x; x.kind = Kind::kStr; x.str_v = std::move(v); return x; }
+
+    void emit(JsonWriter& w) const {
+      switch (kind) {
+        case Kind::kNum: w.value(num_v); break;
+        case Kind::kUint: w.value(uint_v); break;
+        case Kind::kInt: w.value(int_v); break;
+        case Kind::kBool: w.value(bool_v); break;
+        case Kind::kStr: w.value(str_v); break;
+      }
+    }
+  };
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, Value>> fields;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, Value>> metrics_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace liberate::bench

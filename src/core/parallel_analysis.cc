@@ -4,6 +4,7 @@
 
 #include "core/evasion/registry.h"
 #include "dpi/profiles.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace liberate::core {
@@ -112,8 +113,13 @@ CharacterizationReport characterize_classifier_parallel(
   };
 
   // --- Matching fields: breadth-first blinding, one wave per depth level.
+  std::size_t blinding_depth = 0;
   BatchClassificationOracle oracle =
       [&](const std::vector<ApplicationTrace>& probes) {
+        blinding_depth += 1;
+        LIBERATE_COUNTER_ADD("core.blinding_waves", 1);
+        LIBERATE_COUNTER_ADD("core.blinding_probes", probes.size());
+        LIBERATE_GAUGE_SET("core.blinding_depth", blinding_depth);
         std::vector<RoundRequest> wave;
         wave.reserve(probes.size());
         for (const ApplicationTrace& p : probes) {
@@ -309,6 +315,28 @@ EvaluationResult evaluate_parallel(RoundScheduler& scheduler,
           slot.technique->category() == Category::kInertInsertion &&
           r.outcome.blocked;
     }
+    LIBERATE_COUNTER_ADD("core.techniques_evaluated", 1);
+    {
+      const char* verdict = outcome.pruned && slot.round_index < 0 ? "pruned"
+                            : outcome.evaded                       ? "evaded"
+                                                                   : "failed";
+      std::uint64_t ts_us = slot.round_index >= 0
+                                ? static_cast<std::uint64_t>(
+                                      rounds[static_cast<std::size_t>(
+                                                 slot.round_index)]
+                                          .virtual_seconds *
+                                      1e6)
+                                : 0;
+      LIBERATE_OBS_EVENT(
+          ts_us, "core", "technique_evaluated",
+          liberate::obs::fv("technique", outcome.technique),
+          liberate::obs::fv("verdict", verdict),
+          liberate::obs::fv("cost_extra_bytes", outcome.overhead.extra_bytes),
+          liberate::obs::fv("cost_extra_packets",
+                            outcome.overhead.extra_packets));
+      (void)verdict;
+      (void)ts_us;
+    }
     result.outcomes.push_back(outcome);
   }
 
@@ -331,15 +359,35 @@ SessionReport analyze_parallel(RoundScheduler& scheduler,
                                const ApplicationTrace& trace) {
   SessionReport report;
 
-  report.detection = detect_differentiation_parallel(scheduler, trace);
+  // Phase spans are stamped with accumulated virtual time: each phase span
+  // covers [virtual time burned before it, virtual time burned after it],
+  // which is deterministic across pool sizes (unlike wall clock).
+  auto virtual_us = [&report]() {
+    return static_cast<std::uint64_t>((report.detection.virtual_seconds +
+                                       report.characterization.virtual_seconds +
+                                       report.evaluation.virtual_seconds) *
+                                      1e6);
+  };
+  (void)virtual_us;
+
+  {
+    LIBERATE_OBS_SPAN("core.phase.detect", virtual_us);
+    report.detection = detect_differentiation_parallel(scheduler, trace);
+  }
   if (report.detection.content_based) {
     report.ran_characterization = true;
     CharacterizationOptions copts;
     copts.unique_port_per_round = true;  // harmless when not needed
-    report.characterization =
-        characterize_classifier_parallel(scheduler, trace, copts);
-    report.evaluation = evaluate_parallel(scheduler, report.characterization,
-                                          trace, /*run_pruned=*/false);
+    {
+      LIBERATE_OBS_SPAN("core.phase.characterize", virtual_us);
+      report.characterization =
+          characterize_classifier_parallel(scheduler, trace, copts);
+    }
+    {
+      LIBERATE_OBS_SPAN("core.phase.evaluate", virtual_us);
+      report.evaluation = evaluate_parallel(scheduler, report.characterization,
+                                            trace, /*run_pruned=*/false);
+    }
     report.selected_technique = report.evaluation.selected;
   }
 

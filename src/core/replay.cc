@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/obs.h"
+
 namespace liberate::core {
 
 using netsim::Duration;
@@ -111,6 +113,10 @@ ReplayOutcome ReplayRunner::run(const ApplicationTrace& trace,
                                 const ReplayOptions& options) {
   rounds_ += 1;
   bytes_offered_ += trace.total_bytes();
+  LIBERATE_COUNTER_ADD("core.replay_rounds", 1);
+  LIBERATE_COUNTER_ADD("core.replay_bytes_offered", trace.total_bytes());
+  netsim::EventLoop* loop = &env_.loop;
+  LIBERATE_OBS_SPAN("core.replay", [loop]() { return loop->now(); });
   if (trace.transport == trace::Transport::kTcp) {
     return run_tcp(trace, options);
   }

@@ -14,11 +14,26 @@
 #include <string>
 
 #include "core/characterization.h"
+#include "core/liberate.h"
+#include "obs/snapshot.h"
 
 namespace liberate::core {
 
 Bytes serialize_report(const CharacterizationReport& report);
 Result<CharacterizationReport> deserialize_report(BytesView data);
+
+/// Deterministic JSON rendering of a full analysis (detection +
+/// characterization + evaluation + cost accounting). The output depends only
+/// on the report contents — never on the observability level or pool size —
+/// so a level-0 build produces byte-identical analysis JSON.
+std::string analysis_report_json(const SessionReport& report);
+
+/// Same analysis block plus a "telemetry" block rendered from an obs
+/// snapshot (counters, gauges, histograms, spans, events). The analysis
+/// block is rendered by the overload above, so the two sections can be
+/// compared independently.
+std::string analysis_report_json(const SessionReport& report,
+                                 const obs::Snapshot& telemetry);
 
 /// The "well-known public location": any user can publish an analysis and
 /// any other user can adopt it, skipping the (10–35 minute) one-time cost.

@@ -4,6 +4,7 @@
 
 #include "core/evasion/registry.h"
 #include "dpi/profiles.h"
+#include "obs/obs.h"
 
 namespace liberate::core {
 
@@ -79,6 +80,13 @@ RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req) {
       spec.warmup_hours * 3600.0 * 1e6);
   env->loop.run_until(warmup_end);
 
+  // Span over the round's virtual lifetime: start/end are sim-clock stamps
+  // relative to the end of warmup, so nested replay spans line up with the
+  // reported virtual_seconds.
+  netsim::EventLoop* loop = &env->loop;
+  LIBERATE_OBS_SPAN("core.round",
+                    [loop, warmup_end]() { return loop->now() - warmup_end; });
+
   ReplayRunner runner(*env, derive_seed(spec.seed, id, 0x5EED));
 
   std::unique_ptr<Technique> technique;
@@ -149,6 +157,10 @@ RoundResult RoundScheduler::execute(const RoundRequest& req,
                                     const Fingerprint& key) {
   RoundResult result = run_isolated_round(spec_, req);
   executed_.fetch_add(1);
+  LIBERATE_COUNTER_ADD("core.rounds_executed", 1);
+  LIBERATE_HISTOGRAM_OBSERVE("core.round_virtual_seconds",
+                             ({0.5, 1, 2, 5, 10, 30, 60, 120, 300}),
+                             result.virtual_seconds);
   if (options_.cache_capacity > 0) {
     cache_.put(key, result);
     std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -169,6 +181,7 @@ std::shared_future<RoundResult> RoundScheduler::submit(RoundRequest req) {
   if (options_.cache_capacity > 0) {
     if (auto cached = cache_.get(key)) {
       from_cache_.fetch_add(1);
+      LIBERATE_COUNTER_ADD("core.rounds_from_cache", 1);
       cached->from_cache = true;
       return ready(std::move(*cached));
     }
@@ -177,6 +190,7 @@ std::shared_future<RoundResult> RoundScheduler::submit(RoundRequest req) {
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       from_cache_.fetch_add(1);
+      LIBERATE_COUNTER_ADD("core.rounds_coalesced", 1);
       return it->second;
     }
     if (pool_) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace liberate::dpi {
 
 using netsim::Direction;
@@ -18,6 +20,7 @@ std::optional<std::string> active_result(FlowState& fs, TimePoint now) {
     fs.result.reset();
     fs.matched_rule = nullptr;
     fs.result_expires.reset();
+    LIBERATE_COUNTER_ADD("dpi.results_expired", 1);
   }
   return fs.result;
 }
@@ -41,11 +44,13 @@ FlowState* DpiEngine::lookup(const FiveTuple& key, TimePoint now,
       if (now - it->second.last_seen > threshold) {
         flows_.erase(it);
         it = flows_.end();
+        LIBERATE_COUNTER_ADD("dpi.flows_evicted_idle", 1);
       }
     }
   }
   if (it != flows_.end()) return &it->second;
   if (!create) return nullptr;
+  LIBERATE_COUNTER_ADD("dpi.flows_created", 1);
   FlowState& fs = flows_[key];
   fs.created = now;
   fs.last_seen = now;
@@ -124,6 +129,7 @@ Inspection DpiEngine::inspect(const PacketView& pkt, Direction dir,
   // Anomaly validation gate.
   netsim::AnomalySet anomalies = netsim::anomalies_of(pkt);
   if (config_.validated_anomalies & anomalies) {
+    LIBERATE_COUNTER_ADD("dpi.packets_skipped_invalid", 1);
     Inspection out;
     out.skipped_invalid = true;
     return out;
@@ -163,6 +169,7 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
                                   const FiveTuple& key, TimePoint now) {
   Inspection out;
   out.processed = true;
+  LIBERATE_COUNTER_ADD("dpi.packets_inspected", 1);
 
   // --- RST: flush semantics --------------------------------------------
   if (tcp.rst()) {
@@ -178,6 +185,7 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
         result_cache_[key] = CachedResult{*fs->result, expires};
       }
       flows_.erase(key);
+      LIBERATE_COUNTER_ADD("dpi.flows_flushed_rst", 1);
       return finish(nullptr, key, now, out);
     }
     if (fs != nullptr) {
@@ -330,6 +338,7 @@ Inspection DpiEngine::inspect_udp(const PacketView& pkt, bool c2s,
                                   const FiveTuple& key, TimePoint now) {
   Inspection out;
   out.processed = true;
+  LIBERATE_COUNTER_ADD("dpi.packets_inspected", 1);
   FlowState* fs = lookup(key, now, /*create=*/true);
   fs->last_seen = now;
   FlowState::DirState& ds = fs->dirs[c2s ? 0 : 1];
@@ -361,8 +370,15 @@ void DpiEngine::run_match(FlowState& fs, FlowState::DirState& ds,
                           Inspection* out) {
   (void)ds;
   RuleHit hit = match_rules(rules_, content, ctx);
-  if (!hit) return;
+  if (!hit) {
+    LIBERATE_COUNTER_ADD("dpi.match_misses", 1);
+    return;
+  }
 
+  LIBERATE_COUNTER_ADD("dpi.classifications", 1);
+  LIBERATE_OBS_EVENT(now, "dpi", "classified",
+                     liberate::obs::fv("class", hit.rule->traffic_class),
+                     liberate::obs::fv("rule", hit.rule->name));
   out->newly_classified = true;
   out->traffic_class = hit.rule->traffic_class;
   out->rule = hit.rule;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dpi/http_parser.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace liberate::dpi {
@@ -49,6 +50,7 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
         inject_rsts(pkt, dir, io, 3 + static_cast<int>(rng_.below(3)),
                     /*packet_forwarded=*/false, 0);
         ++packets_dropped_;
+        LIBERATE_COUNTER_ADD("dpi.middlebox_packets_dropped", 1);
         return;
       }
       endpoint_blocklist_.erase(it);
@@ -64,6 +66,7 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
       inject_rsts(pkt, dir, io, 1, /*packet_forwarded=*/false, 0);
     }
     ++packets_dropped_;
+    LIBERATE_COUNTER_ADD("dpi.middlebox_packets_dropped", 1);
     return;
   }
 
@@ -87,15 +90,20 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
     bool drop = action->drop_matching_packet;
     if (!drop) io.forward(Bytes(datagram));
     apply_block(pkt, dir, io, *action, drop);
-    if (drop) ++packets_dropped_;
+    if (drop) {
+      ++packets_dropped_;
+      LIBERATE_COUNTER_ADD("dpi.middlebox_packets_dropped", 1);
+    }
     return;
   }
 
   // Accounting: zero-rated classes don't count against the user's quota.
   if (action != nullptr && action->zero_rate) {
     zero_rated_bytes_ += datagram.size();
+    LIBERATE_COUNTER_ADD("dpi.zero_rated_bytes", datagram.size());
   } else {
     usage_counter_bytes_ += datagram.size();
+    LIBERATE_COUNTER_ADD("dpi.usage_counted_bytes", datagram.size());
   }
 
   if (action != nullptr && action->throttle_bytes_per_sec) {
@@ -103,6 +111,7 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
       return;
     }
     ++packets_dropped_;
+    LIBERATE_COUNTER_ADD("dpi.middlebox_packets_dropped", 1);
     return;
   }
 
@@ -203,6 +212,7 @@ void DpiMiddlebox::inject_rsts(const PacketView& pkt, Direction dir,
       io.send_back(make_tcp_datagram(ip, h, {}));
     }
     rsts_injected_ += 2;
+    LIBERATE_COUNTER_ADD("dpi.rsts_injected", 2);
   }
 }
 
@@ -214,12 +224,14 @@ void ConntrackFilter::process(Bytes datagram, Direction dir, ElementIo& io) {
   auto parsed = netsim::parse_packet(datagram);
   if (!parsed.ok()) {
     ++dropped_;
+    LIBERATE_COUNTER_ADD("dpi.conntrack_drops", 1);
     return;
   }
   const PacketView& pkt = parsed.value();
   netsim::AnomalySet anomalies = netsim::anomalies_of(pkt);
   if (policy_.rejects(anomalies)) {
     ++dropped_;
+    LIBERATE_COUNTER_ADD("dpi.conntrack_drops", 1);
     return;
   }
 
@@ -236,6 +248,7 @@ void ConntrackFilter::process(Bytes datagram, Direction dir, ElementIo& io) {
       std::int32_t delta = static_cast<std::int32_t>(tcp.seq - st.next[d]);
       if (delta < -65536 || delta > 65536) {
         ++dropped_;  // out-of-window: stateful firewall eats it
+        LIBERATE_COUNTER_ADD("dpi.conntrack_drops", 1);
         return;
       }
       std::uint32_t end =
@@ -318,6 +331,7 @@ void TransparentHttpProxy::process(Bytes datagram, Direction dir,
       (void)ok;
       Session& sess = sit->second;
       ++sessions_opened_;
+      LIBERATE_COUNTER_ADD("dpi.proxy_sessions_opened", 1);
       // SYN|ACK to the client immediately; SYN toward the real server.
       send_to_client(sess, TcpFlags::kSyn | TcpFlags::kAck, {}, io,
                      Direction::kClientToServer);
@@ -448,6 +462,7 @@ void TransparentHttpProxy::handle_server_packet(Session& s,
                 std::string_view::npos) {
           s.throttled = true;
           ++throttled_sessions_;
+          LIBERATE_COUNTER_ADD("dpi.proxy_sessions_throttled", 1);
         }
       }
     }

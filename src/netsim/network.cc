@@ -2,6 +2,7 @@
 
 #include "netsim/checksum.h"
 
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace liberate::netsim {
@@ -41,10 +42,12 @@ TimePoint ElementIo::now() const { return net_.loop_.now(); }
 EventLoop& ElementIo::loop() const { return net_.loop_; }
 
 void Network::send_from_client(Bytes datagram) {
+  LIBERATE_COUNTER_ADD("netsim.packets_tx_client", 1);
   walk(std::move(datagram), Direction::kClientToServer, 0);
 }
 
 void Network::send_from_server(Bytes datagram) {
+  LIBERATE_COUNTER_ADD("netsim.packets_tx_server", 1);
   walk(std::move(datagram), Direction::kServerToClient, elements_.size());
 }
 
@@ -82,13 +85,21 @@ void Network::walk(Bytes datagram, Direction dir, std::size_t index) {
 
 void Network::deliver_to_endpoint(Bytes datagram, Direction dir) {
   HostIface* host = dir == Direction::kClientToServer ? server_ : client_;
-  if (host != nullptr) host->receive(std::move(datagram));
+  if (host != nullptr) {
+    LIBERATE_COUNTER_ADD("netsim.packets_delivered", 1);
+    host->receive(std::move(datagram));
+  } else {
+    LIBERATE_COUNTER_ADD("netsim.packets_dropped_no_endpoint", 1);
+  }
 }
 
 void RouterHop::process(Bytes datagram, Direction dir, ElementIo& io) {
   (void)dir;
   auto parsed = parse_packet(datagram);
-  if (!parsed.ok()) return;  // unparseable garbage: drop
+  if (!parsed.ok()) {  // unparseable garbage: drop
+    LIBERATE_COUNTER_ADD("netsim.router_dropped_unparseable", 1);
+    return;
+  }
 
   const PacketView& pkt = parsed.value();
 
@@ -96,6 +107,7 @@ void RouterHop::process(Bytes datagram, Direction dir, ElementIo& io) {
   if (pkt.ip.ttl <= 1) {
     // Expired: drop, and send ICMP time-exceeded back to the source (unless
     // the expiring packet is itself ICMP, to avoid storms).
+    LIBERATE_COUNTER_ADD("netsim.router_ttl_expired", 1);
     if (pkt.ip.protocol != static_cast<std::uint8_t>(IpProto::kIcmp)) {
       IcmpMessage msg;
       msg.type = IcmpType::kTimeExceeded;
@@ -111,7 +123,14 @@ void RouterHop::process(Bytes datagram, Direction dir, ElementIo& io) {
   }
 
   AnomalySet anomalies = anomalies_of(pkt);
-  if (filter_.rejects(anomalies)) return;  // silently filtered
+  if (has_anomaly(anomalies, Anomaly::kBadTcpChecksum) ||
+      has_anomaly(anomalies, Anomaly::kBadUdpChecksum)) {
+    LIBERATE_COUNTER_ADD("netsim.checksum_failures_seen", 1);
+  }
+  if (filter_.rejects(anomalies)) {  // silently filtered
+    LIBERATE_COUNTER_ADD("netsim.router_dropped_filtered", 1);
+    return;
+  }
 
   Bytes out = std::move(datagram);
   set_ttl_in_place(out, static_cast<std::uint8_t>(pkt.ip.ttl - 1));
@@ -120,6 +139,7 @@ void RouterHop::process(Bytes datagram, Direction dir, ElementIo& io) {
       has_anomaly(anomalies, Anomaly::kBadTcpChecksum)) {
     // Normalizer: recompute the TCP checksum so the segment arrives valid
     // (GFC path behaviour, Table 3 note 4).
+    LIBERATE_COUNTER_ADD("netsim.router_checksum_fixups", 1);
     auto reparsed = parse_ipv4(out);
     if (reparsed.ok()) {
       const Ipv4View& ip = reparsed.value();
@@ -165,6 +185,7 @@ void BandwidthElement::process(Bytes datagram, Direction dir, ElementIo& io) {
   }
   if (queued_bytes_[d] + datagram.size() > queue_limit_) {
     ++dropped_;
+    LIBERATE_COUNTER_ADD("netsim.bandwidth_drops", 1);
     return;
   }
   const Duration transmit =

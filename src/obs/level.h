@@ -1,0 +1,23 @@
+// level.h — compile-time observability level.
+//
+// LIBERATE_OBS_LEVEL gates how much instrumentation is compiled in:
+//
+//   0  off      — every obs macro expands to a no-op; a disabled build
+//                 carries no atomics, no registry lookups, no strings.
+//   1  metrics  — counters, gauges and histograms (relaxed atomic adds).
+//   2  full     — metrics plus sim-clock spans and the structured event log.
+//
+// The level is normally injected project-wide by CMake
+// (-DLIBERATE_OBS_LEVEL=N, default 2). A single translation unit may opt
+// out by #undef/#define-ing the macro before its first include of any obs
+// header — only the *macros* change meaning per TU; every inline function
+// in these headers is level-independent, so mixed-level TUs stay ODR-clean.
+#pragma once
+
+#ifndef LIBERATE_OBS_LEVEL
+#define LIBERATE_OBS_LEVEL 2
+#endif
+
+#define LIBERATE_OBS_LEVEL_OFF 0
+#define LIBERATE_OBS_LEVEL_METRICS 1
+#define LIBERATE_OBS_LEVEL_FULL 2

@@ -1,0 +1,238 @@
+// metrics.h — the process-wide metrics registry.
+//
+// Counters, gauges and fixed-bucket histograms, addressed by name. The hot
+// path is a single relaxed atomic add into a per-worker shard (indexed by
+// ThreadPool's stable worker index, padded to a cache line each), so
+// instrumented code never contends on a lock and never serializes workers;
+// shards are summed only when a snapshot is taken. Registration (the
+// name -> metric lookup) happens once per instrumentation site via a
+// function-local static, behind the registry mutex.
+//
+// Nothing here reads LIBERATE_OBS_LEVEL: level gating lives entirely in the
+// macros of obs.h, so these definitions are identical in every translation
+// unit regardless of its level (no ODR hazards), and a fully disabled build
+// simply never references them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace liberate::obs {
+
+/// Shard 0 belongs to threads outside any pool; workers hash their stable
+/// pool index into shards 1..kShards-1. 32 workers map collision-free.
+inline constexpr std::size_t kShards = 33;
+
+inline std::size_t shard_index() {
+  int w = ThreadPool::current_worker_index();
+  return w < 0 ? 0
+               : 1 + static_cast<std::size_t>(w) % (kShards - 1);
+}
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Monotonic counter. add() is one relaxed fetch_add on the caller's shard.
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const ShardCell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (ShardCell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<ShardCell, kShards> cells_{};
+};
+
+/// Point-in-time value with a high-water mark. set() races are benign (last
+/// writer wins); the high-water mark is maintained with a CAS loop.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t hwm = high_water_.load(std::memory_order_relaxed);
+    while (v > hwm &&
+           !high_water_.compare_exchange_weak(hwm, v,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::int64_t delta) {
+    set(value_.load(std::memory_order_relaxed) + delta);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// overflow bucket catches the rest. The sum is accumulated in integer
+/// microunits (value * 1e6) so concurrent observation totals are exactly
+/// conserved — no floating-point atomics, no lost precision under TSan.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxBuckets = 16;
+
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (bounds_.size() > kMaxBuckets) bounds_.resize(kMaxBuckets);
+  }
+
+  void observe(double v) {
+    Shard& s = shards_[shard_index()];
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    s.sum_microunits.fetch_add(static_cast<std::int64_t>(v * 1e6),
+                               std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Merged per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const {
+    std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+    for (const Shard& s : shards_) {
+      for (std::size_t b = 0; b < merged.size(); ++b) {
+        merged[b] += s.counts[b].load(std::memory_order_relaxed);
+      }
+    }
+    return merged;
+  }
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : bucket_counts()) n += c;
+    return n;
+  }
+  double sum() const {
+    std::int64_t micro = 0;
+    for (const Shard& s : shards_) {
+      micro += s.sum_microunits.load(std::memory_order_relaxed);
+    }
+    return static_cast<double>(micro) / 1e6;
+  }
+  void reset() {
+    for (Shard& s : shards_) {
+      for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+      s.sum_microunits.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxBuckets + 1> counts{};
+    std::atomic<std::int64_t> sum_microunits{0};
+  };
+
+  std::vector<double> bounds_;  // immutable after construction
+  std::array<Shard, kShards> shards_{};
+};
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+  /// First registration fixes the bucket bounds; later calls with a
+  /// different list reuse the existing buckets.
+  Histogram& histogram(const std::string& name,
+                       std::initializer_list<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::vector<double>(bounds));
+    return *slot;
+  }
+
+  MetricsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->total();
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges[name] = GaugeSnapshot{g->value(), g->high_water()};
+    }
+    for (const auto& [name, h] : histograms_) {
+      HistogramSnapshot hs;
+      hs.bounds = h->bounds();
+      hs.counts = h->bucket_counts();
+      for (std::uint64_t c : hs.counts) hs.count += c;
+      hs.sum = h->sum();
+      snap.histograms[name] = std::move(hs);
+    }
+    return snap;
+  }
+
+  /// Zero every metric in place. Handles cached at instrumentation sites
+  /// (function-local statics) stay valid — metrics are never deallocated.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace liberate::obs

@@ -1,0 +1,107 @@
+// obs.h — the instrumentation macros (the only thing instrumented code
+// includes).
+//
+//   LIBERATE_COUNTER_ADD("dpi.classifications", 1);
+//   LIBERATE_GAUGE_SET("util.pool_queue_depth", depth);
+//   LIBERATE_HISTOGRAM_OBSERVE("core.round_virtual_seconds",
+//                              ({0.5, 1, 2, 5}), seconds);
+//   LIBERATE_OBS_SPAN("core.round", [&] { return loop.now(); });
+//   LIBERATE_OBS_EVENT(now_us, "dpi", "classified",
+//                      liberate::obs::fv("class", name));
+//
+// Level gating happens HERE and only here (see level.h): below the level,
+// a macro expands to an empty statement — arguments are not evaluated, no
+// registry is touched, no atomics exist in the emitted code. The metric
+// handle lookup is a function-local static, so the name -> metric map is
+// consulted once per site, not once per call.
+//
+// Histogram bounds are written as a parenthesized brace list — the extra
+// parens keep the commas inside one macro argument.
+#pragma once
+
+#include "obs/level.h"
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+#include "obs/metrics.h"
+#endif
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+#include "obs/event_log.h"
+#include "obs/span.h"
+#endif
+
+#define LIBERATE_OBS_CONCAT_INNER(a, b) a##b
+#define LIBERATE_OBS_CONCAT(a, b) LIBERATE_OBS_CONCAT_INNER(a, b)
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+
+#define LIBERATE_COUNTER_ADD(name, n)                                         \
+  do {                                                                        \
+    static ::liberate::obs::Counter& liberate_obs_c =                         \
+        ::liberate::obs::MetricsRegistry::instance().counter(name);           \
+    liberate_obs_c.add(static_cast<std::uint64_t>(n));                        \
+  } while (0)
+
+#define LIBERATE_GAUGE_SET(name, v)                                           \
+  do {                                                                        \
+    static ::liberate::obs::Gauge& liberate_obs_g =                           \
+        ::liberate::obs::MetricsRegistry::instance().gauge(name);             \
+    liberate_obs_g.set(static_cast<std::int64_t>(v));                         \
+  } while (0)
+
+#define LIBERATE_GAUGE_ADD(name, v)                                           \
+  do {                                                                        \
+    static ::liberate::obs::Gauge& liberate_obs_g =                           \
+        ::liberate::obs::MetricsRegistry::instance().gauge(name);             \
+    liberate_obs_g.add(static_cast<std::int64_t>(v));                         \
+  } while (0)
+
+/// `bounds` is a parenthesized brace list: (({0.5, 1, 5})).
+#define LIBERATE_HISTOGRAM_OBSERVE(name, bounds, v)                           \
+  do {                                                                        \
+    static ::liberate::obs::Histogram& liberate_obs_h =                       \
+        ::liberate::obs::MetricsRegistry::instance().histogram(               \
+            name, std::initializer_list<double> bounds);                      \
+    liberate_obs_h.observe(static_cast<double>(v));                           \
+  } while (0)
+
+#else  // level 0: true no-ops, arguments unevaluated
+
+#define LIBERATE_COUNTER_ADD(name, n) \
+  do {                                \
+  } while (0)
+#define LIBERATE_GAUGE_SET(name, v) \
+  do {                              \
+  } while (0)
+#define LIBERATE_GAUGE_ADD(name, v) \
+  do {                              \
+  } while (0)
+#define LIBERATE_HISTOGRAM_OBSERVE(name, bounds, v) \
+  do {                                              \
+  } while (0)
+
+#endif
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+
+/// Declares a scoped span alive until the end of the enclosing block.
+/// The trailing arguments form the clock: any callable returning sim-clock
+/// microseconds (variadic so lambda captures may contain commas).
+#define LIBERATE_OBS_SPAN(name, ...)                        \
+  ::liberate::obs::ScopedSpan LIBERATE_OBS_CONCAT(          \
+      liberate_obs_span_, __COUNTER__)((name), (__VA_ARGS__))
+
+/// Trailing arguments are obs::fv(key, value) fields.
+#define LIBERATE_OBS_EVENT(ts_us, layer, kind, ...)                           \
+  ::liberate::obs::EventLog::instance().record((ts_us), (layer), (kind),      \
+                                               {__VA_ARGS__})
+
+#else  // spans/events compiled out below "full"
+
+#define LIBERATE_OBS_SPAN(name, ...) \
+  do {                               \
+  } while (0)
+#define LIBERATE_OBS_EVENT(ts_us, layer, kind, ...) \
+  do {                                              \
+  } while (0)
+
+#endif

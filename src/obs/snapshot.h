@@ -1,0 +1,183 @@
+// snapshot.h — point-in-time capture of every obs sink, plus exporters.
+//
+// capture() merges the per-shard metric cells and copies the span/event
+// rings under their locks; the result is a plain value safe to serialize or
+// diff. Two export formats:
+//
+//   * to_prometheus_text() — the Prometheus text exposition format
+//     (counters, gauges + _high_water, histograms as cumulative _bucket
+//     series), ready for a scrape endpoint or a textfile collector.
+//   * write_json()/to_json() — the JSON telemetry block carried by analysis
+//     reports (core/report_io) and the BENCH_*.json files.
+#pragma once
+
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/json.h"
+
+namespace liberate::obs {
+
+struct Snapshot {
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+  std::uint64_t spans_dropped = 0;
+  EventLogSnapshot events;
+};
+
+inline Snapshot capture() {
+  Snapshot snap;
+  snap.metrics = MetricsRegistry::instance().snapshot();
+  snap.spans = SpanLog::instance().snapshot();
+  snap.spans_dropped = SpanLog::instance().dropped();
+  snap.events = EventLog::instance().snapshot();
+  return snap;
+}
+
+/// Zero every sink (tests and per-run isolation in long-lived processes).
+inline void reset_all() {
+  MetricsRegistry::instance().reset();
+  SpanLog::instance().reset();
+  EventLog::instance().reset();
+}
+
+/// Prometheus-style metric names: dots become underscores.
+inline std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+inline std::string to_prometheus_text(const MetricsSnapshot& m) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, total] : m.counters) {
+    std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(total) + "\n";
+  }
+  for (const auto& [name, g] : m.gauges) {
+    std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(g.value) + "\n";
+    out += p + "_high_water " + std::to_string(g.high_water) + "\n";
+  }
+  for (const auto& [name, h] : m.histograms) {
+    std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      if (b < h.bounds.size()) {
+        std::snprintf(buf, sizeof(buf), "%g", h.bounds[b]);
+        out += p + "_bucket{le=\"" + buf + "\"} " +
+               std::to_string(cumulative) + "\n";
+      } else {
+        out += p + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+      }
+    }
+    std::snprintf(buf, sizeof(buf), "%.6f", h.sum);
+    out += p + "_sum " + std::string(buf) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+/// Writes the snapshot as one JSON object (caller brackets it with key()
+/// or uses to_json() for a standalone document). `max_spans`/`max_events`
+/// cap the ring dumps so report files stay small; totals are never capped.
+inline void write_json(JsonWriter& w, const Snapshot& snap,
+                       std::size_t max_spans = 256,
+                       std::size_t max_events = 256) {
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, total] : snap.metrics.counters) {
+    w.key(name).value(total);
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : snap.metrics.gauges) {
+    w.key(name).begin_object();
+    w.key("value").value(g.value);
+    w.key("high_water").value(g.high_water);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.metrics.histograms) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("spans").begin_array();
+  {
+    std::size_t start =
+        snap.spans.size() > max_spans ? snap.spans.size() - max_spans : 0;
+    for (std::size_t i = start; i < snap.spans.size(); ++i) {
+      const SpanRecord& s = snap.spans[i];
+      w.begin_object();
+      w.key("id").value(s.id);
+      w.key("parent").value(s.parent_id);
+      w.key("name").value(s.name);
+      w.key("start_us").value(s.start_us);
+      w.key("end_us").value(s.end_us);
+      w.key("worker").value(s.worker);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("spans_dropped").value(snap.spans_dropped);
+
+  w.key("events").begin_object();
+  w.key("totals").begin_object();
+  for (const auto& [kind, n] : snap.events.totals) w.key(kind).value(n);
+  w.end_object();
+  w.key("recent").begin_array();
+  {
+    std::size_t start = snap.events.recent.size() > max_events
+                            ? snap.events.recent.size() - max_events
+                            : 0;
+    for (std::size_t i = start; i < snap.events.recent.size(); ++i) {
+      const Event& e = snap.events.recent[i];
+      w.begin_object();
+      w.key("ts_us").value(e.ts_us);
+      w.key("layer").value(e.layer);
+      w.key("kind").value(e.kind);
+      w.key("worker").value(e.worker);
+      w.key("fields").begin_object();
+      for (const EventField& f : e.fields) w.key(f.key).value(f.value);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("dropped").value(snap.events.dropped);
+  w.end_object();
+
+  w.end_object();
+}
+
+inline std::string to_json(const Snapshot& snap, std::size_t max_spans = 256,
+                           std::size_t max_events = 256) {
+  JsonWriter w;
+  write_json(w, snap, max_spans, max_events);
+  return w.take();
+}
+
+}  // namespace liberate::obs

@@ -1,0 +1,121 @@
+// span.h — sim-clock span tracing.
+//
+// A ScopedSpan brackets a region of work with timestamps read from a
+// caller-supplied clock — by convention the *simulation* clock of the world
+// doing the work (netsim::EventLoop::now()), never the wall clock, so spans
+// of a deterministic replay are themselves deterministic and replayable.
+// Parent/child nesting is tracked per thread: a span opened while another
+// span is open on the same thread becomes its child, which gives each
+// analysis round a natural round -> replay -> ... tree on whichever worker
+// ran it. Completed spans land in a bounded global ring (oldest dropped).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace liberate::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::uint64_t start_us = 0;  // sim-clock microseconds
+  std::uint64_t end_us = 0;
+  int worker = -1;  // pool worker index, -1 = off-pool thread
+};
+
+class SpanLog {
+ public:
+  static SpanLog& instance() {
+    static SpanLog log;
+    return log;
+  }
+
+  std::uint64_t next_id() {
+    return id_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void record(SpanRecord span) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) return;
+    if (ring_.size() >= capacity_) {
+      ring_.pop_front();
+      dropped_ += 1;
+    }
+    ring_.push_back(std::move(span));
+  }
+
+  std::vector<SpanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+  }
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+  void set_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    while (ring_.size() > capacity_) ring_.pop_front();
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  SpanLog() = default;
+
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;
+  std::size_t capacity_ = 4096;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> id_counter_{0};
+};
+
+using SimClockFn = std::function<std::uint64_t()>;
+
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, SimClockFn clock)
+      : clock_(std::move(clock)), parent_(current()) {
+    record_.id = SpanLog::instance().next_id();
+    record_.parent_id = parent_ != nullptr ? parent_->record_.id : 0;
+    record_.name = std::move(name);
+    record_.start_us = clock_ ? clock_() : 0;
+    record_.worker = ThreadPool::current_worker_index();
+    current() = this;
+  }
+
+  ~ScopedSpan() {
+    record_.end_us = clock_ ? clock_() : record_.start_us;
+    current() = parent_;
+    SpanLog::instance().record(std::move(record_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return record_.id; }
+
+ private:
+  // The innermost open span on this thread (parent for new spans).
+  static ScopedSpan*& current() {
+    thread_local ScopedSpan* t_current = nullptr;
+    return t_current;
+  }
+
+  SimClockFn clock_;
+  ScopedSpan* parent_;
+  SpanRecord record_;
+};
+
+}  // namespace liberate::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace liberate::stack {
 
 using netsim::Ipv4Header;
@@ -17,6 +19,7 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
     return Bytes(datagram.begin(), datagram.end());
   }
 
+  LIBERATE_COUNTER_ADD("stack.fragments_received", 1);
   Key key{v.src, v.dst, v.protocol, v.identification};
   Buffer& buf = buffers_[key];
   if (buf.pieces.empty()) buf.first_seen = now;
@@ -64,12 +67,14 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
   }
   Bytes whole = serialize_ipv4(*buf.header, payload);
   buffers_.erase(key);
+  LIBERATE_COUNTER_ADD("stack.datagrams_reassembled", 1);
   return whole;
 }
 
 void IpReassembler::expire(netsim::TimePoint now) {
   for (auto it = buffers_.begin(); it != buffers_.end();) {
     if (now - it->second.first_seen > timeout_) {
+      LIBERATE_COUNTER_ADD("stack.reassembly_expired", 1);
       it = buffers_.erase(it);
     } else {
       ++it;

@@ -1,0 +1,150 @@
+// json.h — minimal streaming JSON writer (no external deps).
+//
+// Used by the observability exporters (obs/snapshot.h), the analysis-report
+// JSON in core/report_io, and the bench BENCH_<name>.json emitters. Output
+// is deterministic for deterministic inputs: doubles are formatted with a
+// fixed %.10g, object keys are written in caller order, and there is no
+// locale dependence.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liberate {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separate();
+    out_ += '{';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_ += '[';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Object member key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view name) {
+    separate();
+    append_escaped(name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separate();
+    append_escaped(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    separate();
+    char buf[32];
+    // NaN/inf are not valid JSON; degrade to null rather than emit garbage.
+    if (d != d || d > 1e308 || d < -1e308) {
+      out_ += "null";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.10g", d);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  // No std::size_t overload: on LP64 it IS std::uint64_t.
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  // Emit the separating comma when this token follows a sibling value.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back()) {
+      stack_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  void append_escaped(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "next token is the first"
+  bool pending_key_ = false;
+};
+
+}  // namespace liberate

@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace liberate {
 
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
@@ -40,6 +42,7 @@ class LruCache {
     if (order_.size() >= capacity_) {
       index_.erase(order_.back().first);
       order_.pop_back();
+      LIBERATE_COUNTER_ADD("util.lru_evictions", 1);
     }
     order_.emplace_front(key, std::move(value));
     index_[key] = order_.begin();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace liberate {
 
 namespace {
@@ -27,6 +29,8 @@ void ThreadPool::enqueue(std::function<void()> fn) {
       throw std::runtime_error("ThreadPool::submit after shutdown");
     }
     queue_.push_back(std::move(fn));
+    LIBERATE_COUNTER_ADD("util.pool_tasks_submitted", 1);
+    LIBERATE_GAUGE_SET("util.pool_queue_depth", queue_.size() - queue_head_);
   }
   wake_.notify_one();
 }
@@ -47,6 +51,9 @@ void ThreadPool::worker_loop(int index) {
       if (queue_head_ < queue_.size() && !discard_pending_) {
         task = std::move(queue_[queue_head_]);
         queue_head_ += 1;
+        LIBERATE_COUNTER_ADD("util.pool_tasks_executed", 1);
+        LIBERATE_GAUGE_SET("util.pool_queue_depth",
+                           queue_.size() - queue_head_);
         // Periodically compact the consumed prefix.
         if (queue_head_ > 1024 && queue_head_ * 2 > queue_.size()) {
           queue_.erase(queue_.begin(),

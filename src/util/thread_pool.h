@@ -53,10 +53,17 @@ class ThreadPool {
   std::size_t worker_count() const { return threads_.size(); }
   /// Queued-but-unstarted tasks (snapshot).
   std::size_t pending() const;
+  /// Alias of pending() — the queue-depth accessor observability consumers
+  /// (sharded metrics, schedulers) read.
+  std::size_t queue_depth() const { return pending(); }
 
   /// Index of the pool worker executing the caller, or -1 when called from
-  /// a thread that is not a pool worker.
+  /// a thread that is not a pool worker. Indices are stable for the life of
+  /// the pool (a worker keeps its index) and dense (a pool of N workers
+  /// uses exactly 0..N-1) — per-worker sharded state can index arrays by it.
   static int current_worker_index();
+  /// Alias of current_worker_index().
+  static int worker_index() { return current_worker_index(); }
 
  private:
   void enqueue(std::function<void()> fn);

@@ -1,0 +1,181 @@
+// Snapshot correctness under concurrency: pool workers hammer counters and
+// histograms while an off-pool reader takes snapshots the whole time. After
+// the writers join, totals must be exactly conserved (relaxed atomics lose
+// nothing), and every mid-flight snapshot must be internally consistent
+// (histogram count == sum of its buckets). Run under
+// -DLIBERATE_SANITIZE=thread for the TSan leg of the matrix.
+//
+// Pinned to full level so the contention tests run even in a level-0 build.
+#undef LIBERATE_OBS_LEVEL
+#define LIBERATE_OBS_LEVEL 2
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace liberate::obs {
+namespace {
+
+TEST(ObsConcurrency, CounterTotalsConservedUnderContention) {
+  Counter& c =
+      MetricsRegistry::instance().counter("test.concurrency.counter");
+  c.reset();
+  constexpr int kWorkers = 8;
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 5000;
+
+  std::atomic<bool> done{false};
+  // Reader thread: snapshot continuously while writers run. Totals are
+  // monotone, so each observation must be >= the previous one.
+  auto reader = std::async(std::launch::async, [&]() {
+    std::uint64_t last = 0;
+    std::uint64_t snapshots = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::uint64_t now = c.total();
+      EXPECT_GE(now, last);
+      last = now;
+      snapshots += 1;
+    }
+    return snapshots;
+  });
+
+  {
+    ThreadPool pool(kWorkers);
+    std::vector<std::future<void>> fs;
+    for (int t = 0; t < kTasks; ++t) {
+      fs.push_back(pool.submit([]() {
+        for (int i = 0; i < kAddsPerTask; ++i) {
+          LIBERATE_COUNTER_ADD("test.concurrency.counter", 1);
+        }
+      }));
+    }
+    for (auto& f : fs) f.get();
+  }
+  done.store(true, std::memory_order_release);
+  EXPECT_GT(reader.get(), 0u);
+  EXPECT_EQ(c.total(),
+            static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST(ObsConcurrency, HistogramCountAndBucketsConsistent) {
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "test.concurrency.hist", {1.0, 2.0, 4.0});
+  h.reset();
+  constexpr int kWorkers = 8;
+  constexpr int kTasks = 32;
+  constexpr int kObsPerTask = 2000;
+
+  std::atomic<bool> done{false};
+  auto reader = std::async(std::launch::async, [&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      auto counts = h.bucket_counts();
+      std::uint64_t bucket_sum = 0;
+      for (std::uint64_t b : counts) bucket_sum += b;
+      // count() recomputes from the same cells; both are sums of relaxed
+      // loads, so they can only disagree transiently by in-flight adds —
+      // never exceed the true total.
+      EXPECT_LE(bucket_sum,
+                static_cast<std::uint64_t>(kTasks) * kObsPerTask);
+    }
+  });
+
+  {
+    ThreadPool pool(kWorkers);
+    std::vector<std::future<void>> fs;
+    for (int t = 0; t < kTasks; ++t) {
+      fs.push_back(pool.submit([t]() {
+        for (int i = 0; i < kObsPerTask; ++i) {
+          // Deterministic spread across buckets, including overflow.
+          double v = static_cast<double>((t + i) % 6);
+          LIBERATE_HISTOGRAM_OBSERVE("test.concurrency.hist",
+                                     ({1.0, 2.0, 4.0}), v);
+        }
+      }));
+    }
+    for (auto& f : fs) f.get();
+  }
+  done.store(true, std::memory_order_release);
+  reader.get();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kTasks) * kObsPerTask;
+  EXPECT_EQ(h.count(), kTotal);
+  auto counts = h.bucket_counts();
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : counts) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, kTotal);
+  // The sum is kept in integer microunits, so it is exactly the sum of the
+  // observed values: each task observes (t+i)%6 for i in [0,kObsPerTask).
+  double expected_sum = 0;
+  for (int t = 0; t < kTasks; ++t) {
+    for (int i = 0; i < kObsPerTask; ++i) expected_sum += (t + i) % 6;
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+}
+
+TEST(ObsConcurrency, GaugeHighWaterNeverBelowAnySetValue) {
+  Gauge& g = MetricsRegistry::instance().gauge("test.concurrency.gauge");
+  g.reset();
+  constexpr int kWorkers = 4;
+  constexpr int kMax = 10000;
+  {
+    ThreadPool pool(kWorkers);
+    std::vector<std::future<void>> fs;
+    for (int t = 0; t < kWorkers * 4; ++t) {
+      fs.push_back(pool.submit([t]() {
+        for (int i = 0; i <= kMax; ++i) {
+          LIBERATE_GAUGE_SET("test.concurrency.gauge", (i + t) % (kMax + 1));
+        }
+      }));
+    }
+    for (auto& f : fs) f.get();
+  }
+  EXPECT_EQ(g.high_water(), kMax);
+  EXPECT_GE(g.high_water(), g.value());
+}
+
+TEST(ObsConcurrency, SnapshotDuringEventAndSpanTraffic) {
+  reset_all();
+  constexpr int kWorkers = 4;
+  constexpr int kEventsPerTask = 500;
+  std::atomic<bool> done{false};
+  auto reader = std::async(std::launch::async, [&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      Snapshot snap = capture();
+      // Ring + dropped always accounts for every recorded span.
+      EXPECT_LE(snap.spans.size(), 4096u);
+    }
+  });
+  {
+    ThreadPool pool(kWorkers);
+    std::vector<std::future<void>> fs;
+    for (int t = 0; t < kWorkers * 2; ++t) {
+      fs.push_back(pool.submit([]() {
+        for (int i = 0; i < kEventsPerTask; ++i) {
+          LIBERATE_OBS_SPAN("test.concurrency.span",
+                            []() { return std::uint64_t{7}; });
+          LIBERATE_OBS_EVENT(static_cast<std::uint64_t>(i), "test",
+                             "concurrent", fv("i", i));
+        }
+      }));
+    }
+    for (auto& f : fs) f.get();
+  }
+  done.store(true, std::memory_order_release);
+  reader.get();
+  Snapshot snap = capture();
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kWorkers) * 2 * kEventsPerTask;
+  EXPECT_EQ(snap.events.totals.at("test.concurrent"), kTotal);
+  EXPECT_EQ(snap.spans.size() + snap.spans_dropped, kTotal);
+  reset_all();
+}
+
+}  // namespace
+}  // namespace liberate::obs

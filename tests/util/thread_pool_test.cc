@@ -5,8 +5,11 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/lru_cache.h"
@@ -54,6 +57,73 @@ TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
     EXPECT_GE(idx, 0);
     EXPECT_LT(idx, 3);
   }
+}
+
+TEST(ThreadPool, WorkerIndicesAreDenseAndStablePerThread) {
+  // The obs layer shards metrics by worker index, which is only sound if
+  // the indices are dense (0..N-1, no gaps) and stable (a given worker
+  // thread always reports the same index).
+  constexpr int kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  // Hold all workers at a barrier so each of the four tasks runs on a
+  // distinct thread, then have every worker report (thread id, index).
+  std::atomic<int> arrived{0};
+  std::promise<void> release;
+  std::shared_future<void> go(release.get_future());
+  std::vector<std::future<std::pair<std::thread::id, int>>> first;
+  for (int i = 0; i < kWorkers; ++i) {
+    first.push_back(pool.submit([&arrived, go]() {
+      arrived.fetch_add(1);
+      go.wait();
+      return std::make_pair(std::this_thread::get_id(),
+                            ThreadPool::worker_index());
+    }));
+  }
+  while (arrived.load() < kWorkers) std::this_thread::yield();
+  release.set_value();
+
+  std::map<std::thread::id, int> index_of;
+  std::set<int> indices;
+  for (auto& f : first) {
+    auto [tid, idx] = f.get();
+    index_of[tid] = idx;
+    indices.insert(idx);
+  }
+  // Dense: exactly the set {0, 1, ..., N-1}.
+  ASSERT_EQ(indices.size(), static_cast<std::size_t>(kWorkers));
+  EXPECT_EQ(*indices.begin(), 0);
+  EXPECT_EQ(*indices.rbegin(), kWorkers - 1);
+
+  // Stable: later tasks on the same thread see the same index.
+  std::vector<std::future<std::pair<std::thread::id, int>>> later;
+  for (int i = 0; i < 256; ++i) {
+    later.push_back(pool.submit([]() {
+      return std::make_pair(std::this_thread::get_id(),
+                            ThreadPool::worker_index());
+    }));
+  }
+  for (auto& f : later) {
+    auto [tid, idx] = f.get();
+    ASSERT_TRUE(index_of.count(tid));
+    EXPECT_EQ(index_of[tid], idx);
+  }
+}
+
+TEST(ThreadPool, QueueDepthReflectsPendingTasks) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto blocker = pool.submit([f = release.get_future().share()]() mutable {
+    f.wait();
+  });
+  // Give the single worker a moment to pick up the blocker, then queue more.
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 10; ++i) queued.push_back(pool.submit([]() {}));
+  EXPECT_EQ(pool.queue_depth(), 10u);
+  EXPECT_EQ(pool.queue_depth(), pool.pending());
+  release.set_value();
+  for (auto& f : queued) f.get();
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(ThreadPool, ExceptionFromWorkerPropagatesThroughFuture) {
