@@ -6,10 +6,18 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"  // LIBERATE_OBS_LEVEL (defaulted if CMake didn't set it)
 #include "util/json.h"
+
+// Short git SHA baked in by bench/CMakeLists.txt at configure time; a tarball
+// build (no .git) reports "unknown".
+#ifndef LIBERATE_GIT_SHA
+#define LIBERATE_GIT_SHA "unknown"
+#endif
 
 namespace liberate::bench {
 
@@ -85,12 +93,25 @@ class JsonReport {
 
   std::string path() const { return "BENCH_" + name_ + ".json"; }
 
+  /// Worker-thread count recorded in the context block. Benches that run a
+  /// parallel scheduler should set this to the pool size they actually used;
+  /// the default is the machine's concurrency (what a serial bench competes
+  /// with for turbo headroom — still relevant when comparing runs).
+  void set_workers(int workers) { workers_ = workers; }
+
   void write() {
     if (written_) return;
     written_ = true;
     JsonWriter w;
     w.begin_object();
     w.key("bench").value(name_);
+    // Build/run context: lets scripts/bench_compare.py reject comparisons
+    // across different commits, obs levels, or worker counts.
+    w.key("context").begin_object();
+    w.key("git_sha").value(LIBERATE_GIT_SHA);
+    w.key("obs_level").value(static_cast<int>(LIBERATE_OBS_LEVEL));
+    w.key("workers").value(workers_);
+    w.end_object();
     w.key("metrics").begin_object();
     for (const auto& m : metrics_) {
       w.key(m.first);
@@ -149,6 +170,7 @@ class JsonReport {
   };
 
   std::string name_;
+  int workers_ = static_cast<int>(std::thread::hardware_concurrency());
   std::vector<std::pair<std::string, Value>> metrics_;
   std::vector<Row> rows_;
   bool written_ = false;

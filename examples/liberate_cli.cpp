@@ -12,6 +12,7 @@
 // pcap of the evasion round's wire traffic (written next to the binary).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "core/liberate.h"
@@ -129,8 +130,10 @@ int main(int argc, char** argv) {
       if (!c.port_sensitive) opts.server_port_override = 36000;
       (void)runner.run(app, opts);
       Bytes pcap = trace::tap_to_pcap(*env->pre_middlebox_tap);
-      std::string path = std::string("liberate_") + argv[1] + "_" + argv[2] +
-                         "_evasion.pcap";
+      // Artifacts go under examples/out/ (gitignored), never the repo root.
+      std::filesystem::create_directories("examples/out");
+      std::string path = std::string("examples/out/liberate_") + argv[1] +
+                         "_" + argv[2] + "_evasion.pcap";
       std::ofstream out(path, std::ios::binary);
       out.write(reinterpret_cast<const char*>(pcap.data()),
                 static_cast<std::streamsize>(pcap.size()));

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
+
+Each directory holds BENCH_<name>.json files as written by bench::JsonReport
+(bench/common.h). Benches are paired by name; numeric metrics are compared
+and any change worse than --threshold percent (default 10) in the metric's
+bad direction is a regression. The exit status is 1 if any regression was
+found, so CI can gate on it.
+
+Direction is inferred from the metric name:
+  lower is better:  *seconds*, *time*, *latency*, *_s, *_us, *_ms, bytes,
+                    rounds, misses
+  higher is better: *rate*, *hit*, *pct*, *percent*, *goodput*, *mbps*,
+                    *speedup*, *agreement*, matched
+Metrics whose direction cannot be inferred are reported but never fail the
+comparison. Context blocks (git_sha / obs_level / workers) are printed, and
+mismatched obs_level or workers makes the comparison an error: those numbers
+are not comparable.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+LOWER_IS_BETTER = ("seconds", "time", "latency", "_s", "_us", "_ms",
+                   "bytes", "rounds", "misses")
+HIGHER_IS_BETTER = ("rate", "hit", "pct", "percent", "goodput", "mbps",
+                    "speedup", "agreement", "matched")
+
+
+def direction(name: str):
+    """-1 = lower is better, +1 = higher is better, 0 = unknown."""
+    low = name.lower()
+    for suffix in HIGHER_IS_BETTER:
+        if suffix in low:
+            return 1
+    for suffix in LOWER_IS_BETTER:
+        if low.endswith(suffix) or suffix.strip("_") == low:
+            return -1
+    return 0
+
+
+def load_dir(path: Path):
+    out = {}
+    for f in sorted(path.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable {f}: {e}", file=sys.stderr)
+            continue
+        out[doc.get("bench", f.stem)] = doc
+    return out
+
+
+def numeric_metrics(doc):
+    """Flatten metrics plus per-row numeric fields into {key: value}."""
+    out = {}
+    for k, v in doc.get("metrics", {}).items():
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            out[k] = float(v)
+    for row in doc.get("rows", []):
+        label = row.get("label", "?")
+        for k, v in row.items():
+            if k == "label":
+                continue
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[f"{label}/{k}"] = float(v)
+    return out
+
+
+def compare(base_doc, cand_doc, threshold, bench):
+    regressions = []
+    base = numeric_metrics(base_doc)
+    cand = numeric_metrics(cand_doc)
+    for key in sorted(base.keys() & cand.keys()):
+        b, c = base[key], cand[key]
+        if not (math.isfinite(b) and math.isfinite(c)):
+            continue
+        if b == 0:
+            delta_pct = 0.0 if c == 0 else math.inf
+        else:
+            delta_pct = 100.0 * (c - b) / abs(b)
+        sign = direction(key)
+        worse = (sign < 0 and delta_pct > threshold) or \
+                (sign > 0 and delta_pct < -threshold)
+        marker = " "
+        if worse:
+            marker = "R"
+            regressions.append((bench, key, b, c, delta_pct))
+        elif sign == 0 and abs(delta_pct) > threshold:
+            marker = "?"  # big change, direction unknown — informational
+        if marker != " " or abs(delta_pct) > threshold:
+            print(f"  [{marker}] {bench}/{key}: {b:g} -> {c:g} "
+                  f"({delta_pct:+.1f}%)")
+    return regressions
+
+
+def context_mismatch(base_doc, cand_doc):
+    b = base_doc.get("context", {})
+    c = cand_doc.get("context", {})
+    bad = []
+    for key in ("obs_level", "workers"):
+        if key in b and key in c and b[key] != c[key]:
+            bad.append(f"{key} {b[key]} vs {c[key]}")
+    return bad
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("candidate", type=Path)
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    base = load_dir(args.baseline)
+    cand = load_dir(args.candidate)
+    if not base or not cand:
+        print("error: no BENCH_*.json files found "
+              f"(baseline: {len(base)}, candidate: {len(cand)})",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    errors = 0
+    for bench in sorted(base.keys() & cand.keys()):
+        b_doc, c_doc = base[bench], cand[bench]
+        b_ctx, c_ctx = b_doc.get("context", {}), c_doc.get("context", {})
+        print(f"{bench}: "
+              f"{b_ctx.get('git_sha', '?')} -> {c_ctx.get('git_sha', '?')}")
+        bad = context_mismatch(b_doc, c_doc)
+        if bad:
+            print(f"  error: incomparable context ({'; '.join(bad)})")
+            errors += 1
+            continue
+        regressions += compare(b_doc, c_doc, args.threshold, bench)
+
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+    if only_base:
+        print(f"only in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand)}")
+
+    if errors:
+        print(f"\n{errors} incomparable bench(es)")
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) worse than "
+              f"{args.threshold:g}%:")
+        for bench, key, b, c, pct in regressions:
+            print(f"  {bench}/{key}: {b:g} -> {c:g} ({pct:+.1f}%)")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

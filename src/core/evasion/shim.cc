@@ -1,10 +1,55 @@
 #include "core/evasion/shim.h"
 
+#include "obs/obs.h"
+#include "util/strings.h"
+
 namespace liberate::core {
 
 using netsim::Direction;
 using netsim::FiveTuple;
 using netsim::PacketView;
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+namespace {
+
+/// Provenance hop kind for a technique's mutations.
+const char* hop_kind(Category c) {
+  switch (c) {
+    case Category::kInertInsertion:
+      return "insert";
+    case Category::kPayloadSplitting:
+      return "split";
+    case Category::kPayloadReordering:
+      return "reorder";
+    case Category::kClassificationFlushing:
+      return "flush";
+  }
+  return "rewrite";
+}
+
+/// Locate a transformed piece's bytes within its parent packet. Only header
+/// scalars of `parent` are read — its payload spans may already dangle once
+/// the parent buffer has been moved into the technique.
+std::string piece_detail(const PacketView& parent, const Bytes& piece) {
+  auto parsed = netsim::parse_packet(piece);
+  if (!parsed.ok()) return {};
+  const PacketView& pv = parsed.value();
+  if (pv.ip.fragment_offset_words != 0 || pv.ip.flag_more_fragments) {
+    return format("ip-frag offset=%zu",
+                  static_cast<std::size_t>(pv.ip.fragment_offset_words) * 8);
+  }
+  if (parent.tcp && pv.tcp && !pv.tcp->payload.empty()) {
+    std::uint32_t off = pv.tcp->seq - parent.tcp->seq;
+    if (off < parent.tcp->payload.size()) {
+      return format("payload[%u..%zu) of parent", off,
+                    static_cast<std::size_t>(off) + pv.tcp->payload.size());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+#endif
 
 void EvasionShim::emit(std::vector<TimedDatagram> datagrams) {
   for (auto& td : datagrams) {
@@ -61,6 +106,10 @@ void EvasionShim::send(Bytes datagram) {
       Bytes first = std::move(*held_udp_packet_);
       held_udp_packet_.reset();
       state.payload_packets_sent += 1;
+      LIBERATE_PROV_NOTE_PKT(inner_.loop().now(), first, "mutation",
+                             obs::fv("hop", "reorder"),
+                             obs::fv("actor", technique_->name()),
+                             obs::fv("detail", "udp-swap-first-two"));
       inner_.send(std::move(datagram));
       inner_.send(std::move(first));
       return;
@@ -79,28 +128,85 @@ void EvasionShim::send(Bytes datagram) {
   // Injections that precede the first payload-carrying packet.
   if (state.payload_packets_sent == 0) {
     auto inj = technique_->inject_before_first_payload(pkt, state, context_);
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+    for (const TimedDatagram& td : inj) {
+      obs::prov::ProvenanceRecorder::instance().edge(
+          inner_.loop().now(), datagram, td.datagram,
+          hop_kind(technique_->category()), technique_->name(),
+          "before-first-payload");
+    }
+    if (!inj.empty()) {
+      // Ledger entry so the injection shows up in the flow's decision path
+      // (the edges alone only live in the lineage graph).
+      obs::prov::ProvenanceRecorder::instance().note(
+          inner_.loop().now(), obs::prov::flow_key_of(datagram), "mutation",
+          {obs::fv("hop", hop_kind(technique_->category())),
+           obs::fv("technique", technique_->name()),
+           obs::fv("injected", static_cast<std::uint64_t>(inj.size())),
+           obs::fv("position", "before-first-payload")},
+          obs::prov::packet_id(inj.front().datagram));
+    }
+#endif
     packets_injected_ += inj.size();
     emit(std::move(inj));
   }
   state.payload_packets_sent += 1;
 
-  if (is_match && !state.match_packet_seen) {
+  if (is_match) {
+    const bool first_match = !state.match_packet_seen;
     state.match_packet_seen = true;
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+    // Digest the matching packet before its buffer moves into the
+    // technique; every produced piece records a causal hop back to it.
+    auto& prov_rec = obs::prov::ProvenanceRecorder::instance();
+    const std::uint64_t parent_id = prov_rec.packet(datagram, "wire");
+    const auto parent_size = static_cast<std::uint32_t>(datagram.size());
+    const std::uint64_t prov_now = inner_.loop().now();
+    const obs::prov::FlowKey parent_flow = obs::prov::flow_key_of(datagram);
+#endif
     auto pieces = technique_->transform_matching_packet(std::move(datagram),
                                                         pkt, state, context_);
-    if (pieces.size() != 1) packets_rewritten_ += pieces.size();
+    if (first_match && pieces.size() != 1) packets_rewritten_ += pieces.size();
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+    for (const TimedDatagram& td : pieces) {
+      prov_rec.edge_ids(prov_now, parent_id, parent_size,
+                        obs::prov::packet_id(td.datagram),
+                        static_cast<std::uint32_t>(td.datagram.size()),
+                        hop_kind(technique_->category()), technique_->name(),
+                        piece_detail(pkt, td.datagram));
+    }
+    if (pieces.size() > 1) {
+      prov_rec.note(prov_now, parent_flow, "mutation",
+                    {obs::fv("hop", hop_kind(technique_->category())),
+                     obs::fv("technique", technique_->name()),
+                     obs::fv("pieces",
+                             static_cast<std::uint64_t>(pieces.size()))},
+                    obs::prov::packet_id(pieces.front().datagram));
+    }
+#endif
     emit(std::move(pieces));
+    if (!first_match) return;  // retransmission: transform only, no inject
     auto after = technique_->inject_after_match(pkt, state, context_);
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+    for (const TimedDatagram& td : after) {
+      prov_rec.edge_ids(prov_now, parent_id, parent_size,
+                        obs::prov::packet_id(td.datagram),
+                        static_cast<std::uint32_t>(td.datagram.size()),
+                        hop_kind(technique_->category()), technique_->name(),
+                        "after-match");
+    }
+    if (!after.empty()) {
+      prov_rec.note(prov_now, parent_flow, "mutation",
+                    {obs::fv("hop", hop_kind(technique_->category())),
+                     obs::fv("technique", technique_->name()),
+                     obs::fv("injected",
+                             static_cast<std::uint64_t>(after.size())),
+                     obs::fv("position", "after-match")},
+                    obs::prov::packet_id(after.front().datagram));
+    }
+#endif
     packets_injected_ += after.size();
     emit(std::move(after));
-    return;
-  }
-  if (is_match) {
-    // Retransmission of the matching payload: apply the same transform so
-    // the wire never carries the intact field.
-    auto pieces = technique_->transform_matching_packet(std::move(datagram),
-                                                        pkt, state, context_);
-    emit(std::move(pieces));
     return;
   }
 

@@ -115,7 +115,7 @@ ReplayOutcome ReplayRunner::run(const ApplicationTrace& trace,
   bytes_offered_ += trace.total_bytes();
   LIBERATE_COUNTER_ADD("core.replay_rounds", 1);
   LIBERATE_COUNTER_ADD("core.replay_bytes_offered", trace.total_bytes());
-  netsim::EventLoop* loop = &env_.loop;
+  [[maybe_unused]] netsim::EventLoop* loop = &env_.loop;
   LIBERATE_OBS_SPAN("core.replay", [loop]() { return loop->now(); });
   if (trace.transport == trace::Transport::kTcp) {
     return run_tcp(trace, options);

@@ -83,9 +83,14 @@ RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req) {
   // Span over the round's virtual lifetime: start/end are sim-clock stamps
   // relative to the end of warmup, so nested replay spans line up with the
   // reported virtual_seconds.
-  netsim::EventLoop* loop = &env->loop;
+  [[maybe_unused]] netsim::EventLoop* loop = &env->loop;
   LIBERATE_OBS_SPAN("core.round",
                     [loop, warmup_end]() { return loop->now() - warmup_end; });
+
+  // Provenance scope for everything this round records: the content-defined
+  // round fingerprint, so parallel replays of the identical flow tuple keep
+  // separate ledgers and serial/parallel runs agree byte-for-byte.
+  LIBERATE_PROV_SCOPE(id.lo);
 
   ReplayRunner runner(*env, derive_seed(spec.seed, id, 0x5EED));
 

@@ -32,6 +32,14 @@ bool seq_within(std::uint32_t seq, std::uint32_t expected,
          delta <= static_cast<std::int64_t>(window);
 }
 
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+/// Canonical provenance flow key for a classifier five-tuple.
+obs::prov::FlowKey pkey(const FiveTuple& t) {
+  return obs::prov::flow_key(t.src_ip, t.src_port, t.dst_ip, t.dst_port,
+                             t.protocol);
+}
+#endif
+
 }  // namespace
 
 FlowState* DpiEngine::lookup(const FiveTuple& key, TimePoint now,
@@ -130,6 +138,8 @@ Inspection DpiEngine::inspect(const PacketView& pkt, Direction dir,
   netsim::AnomalySet anomalies = netsim::anomalies_of(pkt);
   if (config_.validated_anomalies & anomalies) {
     LIBERATE_COUNTER_ADD("dpi.packets_skipped_invalid", 1);
+    LIBERATE_PROV_NOTE(now, pkey(pkt.five_tuple()), "dpi-skip",
+                       obs::fv("reason", "invalid-packet"));
     Inspection out;
     out.skipped_invalid = true;
     return out;
@@ -186,6 +196,8 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
       }
       flows_.erase(key);
       LIBERATE_COUNTER_ADD("dpi.flows_flushed_rst", 1);
+      LIBERATE_PROV_NOTE(now, pkey(key), "dpi-flush",
+                         obs::fv("trigger", "rst"));
       return finish(nullptr, key, now, out);
     }
     if (fs != nullptr) {
@@ -203,6 +215,8 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
     if (!may_create) {
       // Mid-flow packet on an unknown flow: ignored (GFC resync behaviour).
       out.processed = false;
+      LIBERATE_PROV_NOTE(now, pkey(key), "dpi-skip",
+                         obs::fv("reason", "mid-flow-unknown"));
       return finish(nullptr, key, now, out);
     }
     fs = lookup(key, now, /*create=*/true);
@@ -224,6 +238,10 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
              !seq_within(tcp.seq, ds.next_seq, config_.seq_window)) {
     out.processed = false;
     out.skipped_invalid = true;
+    LIBERATE_PROV_NOTE(now, pkey(key), "dpi-skip",
+                       obs::fv("reason", "seq-out-of-window"),
+                       obs::fv("seq", std::uint64_t{tcp.seq}),
+                       obs::fv("expected", std::uint64_t{ds.next_seq}));
     return finish(fs, key, now, out);
   }
 
@@ -318,7 +336,11 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
             break;
           }
         }
-        if (!ds.anchor_ok) ds.gave_up = true;
+        if (!ds.anchor_ok) {
+          ds.gave_up = true;
+          LIBERATE_PROV_NOTE(now, pkey(key), "dpi-gave-up",
+                             obs::fv("reason", "anchor-mismatch"));
+        }
       }
     }
 
@@ -369,7 +391,46 @@ void DpiEngine::run_match(FlowState& fs, FlowState::DirState& ds,
                           const FiveTuple& key, TimePoint now,
                           Inspection* out) {
   (void)ds;
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+  // Traced evaluation shares the exact code path with match_rules() (the
+  // plain overload delegates to the traced one), so recording the decision
+  // path can never change the verdict.
+  std::vector<RuleStep> steps;
+  RuleHit hit = match_rules_traced(rules_, content, ctx, &steps);
+  {
+    std::uint64_t inspected = 0;
+    for (const RuleStep& s : steps) {
+      if (s.outcome == RuleStep::Outcome::kNoMatch ||
+          s.outcome == RuleStep::Outcome::kMatched) {
+        inspected += 1;
+      }
+    }
+    if (hit) {
+      std::string offsets;
+      for (std::size_t off : steps.back().content.keyword_offsets) {
+        if (!offsets.empty()) offsets += ",";
+        offsets += std::to_string(off);
+      }
+      LIBERATE_PROV_NOTE(
+          now, pkey(key), "rules-evaluated",
+          obs::fv("tried", std::uint64_t{steps.size()}),
+          obs::fv("inspected", inspected),
+          obs::fv("class", hit.rule->traffic_class),
+          obs::fv("rule", hit.rule->name),
+          obs::fv("depth", std::uint64_t{steps.size()}),
+          obs::fv("offsets", offsets),
+          obs::fv("content_len", std::uint64_t{content.size()}));
+    } else {
+      LIBERATE_PROV_NOTE(now, pkey(key), "rules-evaluated",
+                         obs::fv("tried", std::uint64_t{steps.size()}),
+                         obs::fv("inspected", inspected),
+                         obs::fv("outcome", "no-match"),
+                         obs::fv("content_len", std::uint64_t{content.size()}));
+    }
+  }
+#else
   RuleHit hit = match_rules(rules_, content, ctx);
+#endif
   if (!hit) {
     LIBERATE_COUNTER_ADD("dpi.match_misses", 1);
     return;

@@ -47,6 +47,8 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
     auto it = endpoint_blocklist_.find(ep);
     if (it != endpoint_blocklist_.end()) {
       if (io.now() < it->second) {
+        LIBERATE_PROV_NOTE_PKT(io.now(), datagram, "policy-drop",
+                               obs::fv("reason", "endpoint-escalation"));
         inject_rsts(pkt, dir, io, 3 + static_cast<int>(rng_.below(3)),
                     /*packet_forwarded=*/false, 0);
         ++packets_dropped_;
@@ -62,6 +64,8 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
 
   // Flows previously subjected to a block action stay dead.
   if (insp.flow_blocked && !insp.newly_classified) {
+    LIBERATE_PROV_NOTE_PKT(io.now(), datagram, "policy-drop",
+                           obs::fv("reason", "flow-blocked"));
     if (pkt.is_tcp() && !pkt.tcp->rst()) {
       inject_rsts(pkt, dir, io, 1, /*packet_forwarded=*/false, 0);
     }
@@ -76,6 +80,29 @@ void DpiMiddlebox::process(Bytes datagram, Direction dir, ElementIo& io) {
     auto it = config_.actions.find(*insp.traffic_class);
     if (it != config_.actions.end()) action = &it->second;
   }
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+  // The verdict record ties the classification to the policy applied and to
+  // the lineage node of the packet that triggered it (note_pkt digests the
+  // datagram before any branch moves it).
+  if (insp.newly_classified && insp.traffic_class) {
+    const char* act = "forward";
+    if (action != nullptr) {
+      if (action->block) {
+        act = "block";
+      } else if (action->throttle_bytes_per_sec) {
+        act = "throttle";
+      } else if (action->zero_rate) {
+        act = "zero-rate";
+      }
+    }
+    LIBERATE_PROV_NOTE_PKT(
+        io.now(), datagram, "verdict",
+        obs::fv("class", *insp.traffic_class),
+        obs::fv("rule", insp.rule != nullptr ? insp.rule->name.c_str() : ""),
+        obs::fv("action", act));
+  }
+#endif
 
   if (action != nullptr && action->block && insp.newly_classified) {
     if (insp.has_flow) {

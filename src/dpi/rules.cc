@@ -6,36 +6,103 @@
 namespace liberate::dpi {
 
 bool MatchRule::matches_content(BytesView content) const {
+  return matches_content_traced(content, nullptr);
+}
+
+bool MatchRule::matches_content_traced(BytesView content,
+                                       ContentTrace* trace) const {
   if (stun_attribute) {
     auto msg = parse_stun(content);
-    if (!msg || !msg->has_attribute(*stun_attribute)) return false;
+    if (!msg || !msg->has_attribute(*stun_attribute)) {
+      if (trace != nullptr) trace->stun_failed = true;
+      return false;
+    }
+    if (trace != nullptr) {
+      // Record the matched attribute's byte offset so the provenance ledger
+      // can name it: 20-byte STUN header, then 4-byte-aligned TLVs.
+      std::size_t off = 20;
+      for (const StunAttribute& a : msg->attributes) {
+        if (a.type == *stun_attribute) break;
+        off += 4 + ((a.value.size() + 3) & ~std::size_t{3});
+      }
+      trace->keyword_offsets.push_back(off);
+    }
     // Fall through: any keywords must also match.
   }
   std::string text = to_string(content);
   for (std::size_t i = 0; i < keywords.size(); ++i) {
     std::size_t pos = ifind(text, keywords[i]);
-    if (pos == std::string_view::npos) return false;
+    if (pos == std::string_view::npos) {
+      if (trace != nullptr) trace->failed_keyword = i;
+      return false;
+    }
     if (i == 0 && anchored && pos != 0) {
       // Anchored: the first keyword must open the content. ifind returns the
       // first occurrence, so pos != 0 means the content does not begin with
       // it.
+      if (trace != nullptr) {
+        trace->keyword_offsets.push_back(pos);
+        trace->anchor_failed = true;
+      }
       return false;
     }
+    if (trace != nullptr) trace->keyword_offsets.push_back(pos);
   }
   return true;
 }
 
+const char* rule_step_outcome_name(RuleStep::Outcome o) {
+  switch (o) {
+    case RuleStep::Outcome::kSkippedTransport:
+      return "skipped-transport";
+    case RuleStep::Outcome::kSkippedPort:
+      return "skipped-port";
+    case RuleStep::Outcome::kSkippedPacketIndex:
+      return "skipped-packet-index";
+    case RuleStep::Outcome::kNoMatch:
+      return "no-match";
+    case RuleStep::Outcome::kMatched:
+      return "matched";
+  }
+  return "?";
+}
+
 RuleHit match_rules(const std::vector<MatchRule>& rules, BytesView content,
                     const RuleContext& ctx) {
+  return match_rules_traced(rules, content, ctx, nullptr);
+}
+
+RuleHit match_rules_traced(const std::vector<MatchRule>& rules,
+                           BytesView content, const RuleContext& ctx,
+                           std::vector<RuleStep>* steps) {
+  auto step = [&](const MatchRule& rule, RuleStep::Outcome outcome,
+                  MatchRule::ContentTrace&& trace = {}) {
+    if (steps != nullptr) {
+      steps->push_back(RuleStep{&rule, outcome, std::move(trace)});
+    }
+  };
   for (const auto& rule : rules) {
-    if (rule.udp != ctx.udp) continue;
-    if (rule.dst_port && *rule.dst_port != ctx.dst_port) continue;
+    if (rule.udp != ctx.udp) {
+      step(rule, RuleStep::Outcome::kSkippedTransport);
+      continue;
+    }
+    if (rule.dst_port && *rule.dst_port != ctx.dst_port) {
+      step(rule, RuleStep::Outcome::kSkippedPort);
+      continue;
+    }
     if (rule.only_packet_index) {
       if (!ctx.packet_index || *ctx.packet_index != *rule.only_packet_index) {
+        step(rule, RuleStep::Outcome::kSkippedPacketIndex);
         continue;
       }
     }
-    if (rule.matches_content(content)) return RuleHit{&rule};
+    MatchRule::ContentTrace trace;
+    bool matched = rule.matches_content_traced(
+        content, steps != nullptr ? &trace : nullptr);
+    step(rule,
+         matched ? RuleStep::Outcome::kMatched : RuleStep::Outcome::kNoMatch,
+         std::move(trace));
+    if (matched) return RuleHit{&rule};
   }
   return RuleHit{};
 }

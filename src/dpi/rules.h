@@ -49,6 +49,16 @@ struct MatchRule {
   /// Evaluate against a chunk of content (one packet's payload or the
   /// reassembled stream prefix).
   bool matches_content(BytesView content) const;
+
+  /// Same evaluation, additionally reporting per-keyword match offsets (or
+  /// the index of the first keyword that failed) into `trace` when non-null.
+  struct ContentTrace {
+    std::vector<std::size_t> keyword_offsets;  // one per keyword found
+    std::optional<std::size_t> failed_keyword;  // first keyword not found
+    bool anchor_failed = false;  // first keyword present but not at offset 0
+    bool stun_failed = false;    // STUN attribute requirement not met
+  };
+  bool matches_content_traced(BytesView content, ContentTrace* trace) const;
 };
 
 /// Result of evaluating a rule set.
@@ -67,5 +77,28 @@ struct RuleContext {
 
 RuleHit match_rules(const std::vector<MatchRule>& rules, BytesView content,
                     const RuleContext& ctx);
+
+/// One rule's outcome within a match_rules_traced() sweep — the classifier's
+/// decision path, consumed by the provenance flight recorder.
+struct RuleStep {
+  const MatchRule* rule = nullptr;
+  enum class Outcome {
+    kSkippedTransport,    // udp/tcp mismatch, content never inspected
+    kSkippedPort,         // dst_port constraint
+    kSkippedPacketIndex,  // only_packet_index constraint
+    kNoMatch,             // content inspected, keywords/STUN/anchor failed
+    kMatched,
+  } outcome = Outcome::kNoMatch;
+  MatchRule::ContentTrace content;  // offsets / failure cause when inspected
+};
+
+const char* rule_step_outcome_name(RuleStep::Outcome o);
+
+/// match_rules() plus the full decision path: one RuleStep per rule in
+/// evaluation order (the plain overload delegates here with steps=nullptr,
+/// so traced and untraced evaluation can never diverge).
+RuleHit match_rules_traced(const std::vector<MatchRule>& rules,
+                           BytesView content, const RuleContext& ctx,
+                           std::vector<RuleStep>* steps);
 
 }  // namespace liberate::dpi

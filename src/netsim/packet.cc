@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace liberate::netsim {
@@ -39,7 +40,9 @@ Bytes make_tcp_datagram(Ipv4Header ip, const TcpHeader& tcp,
     ip.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
   }
   Bytes segment = serialize_tcp(tcp, payload, ip.src, ip.dst);
-  return serialize_ipv4(ip, segment);
+  Bytes datagram = serialize_ipv4(ip, segment);
+  LIBERATE_PROV_PACKET(datagram, "tcp");
+  return datagram;
 }
 
 Bytes make_udp_datagram(Ipv4Header ip, const UdpHeader& udp,
@@ -48,7 +51,9 @@ Bytes make_udp_datagram(Ipv4Header ip, const UdpHeader& udp,
     ip.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
   }
   Bytes dgram = serialize_udp(udp, payload, ip.src, ip.dst);
-  return serialize_ipv4(ip, dgram);
+  Bytes datagram = serialize_ipv4(ip, dgram);
+  LIBERATE_PROV_PACKET(datagram, "udp");
+  return datagram;
 }
 
 Bytes make_icmp_datagram(Ipv4Header ip, const IcmpMessage& msg) {
@@ -56,7 +61,9 @@ Bytes make_icmp_datagram(Ipv4Header ip, const IcmpMessage& msg) {
     ip.protocol = static_cast<std::uint8_t>(IpProto::kIcmp);
   }
   Bytes body = serialize_icmp(msg);
-  return serialize_ipv4(ip, body);
+  Bytes datagram = serialize_ipv4(ip, body);
+  LIBERATE_PROV_PACKET(datagram, "icmp");
+  return datagram;
 }
 
 std::vector<Bytes> fragment_datagram(BytesView datagram, std::size_t pieces) {
@@ -96,6 +103,10 @@ std::vector<Bytes> fragment_datagram(BytesView datagram, std::size_t pieces) {
     h.dst = v.dst;
     h.options = v.options;
     out.push_back(serialize_ipv4(h, payload.subspan(begin, end - begin)));
+    // Fragmentation has no clock; lineage timestamps start at 0 and the
+    // consuming hop (shim/reassembler) carries the sim time.
+    LIBERATE_PROV_EDGE(0, datagram, out.back(), "ip-fragment",
+                       "fragment_datagram");
     offset_units += (end - begin) / 8 + (((end - begin) % 8) ? 1 : 0);
     if (end == payload.size()) break;
   }

@@ -26,6 +26,7 @@
 #endif
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
 #include "obs/event_log.h"
+#include "obs/provenance/recorder.h"
 #include "obs/span.h"
 #endif
 
@@ -95,13 +96,60 @@
   ::liberate::obs::EventLog::instance().record((ts_us), (layer), (kind),      \
                                                {__VA_ARGS__})
 
-#else  // spans/events compiled out below "full"
+// ---- provenance flight recorder (obs/provenance/recorder.h) ----
+
+/// Binds the calling thread to a provenance scope (a round fingerprint)
+/// until the end of the enclosing block.
+#define LIBERATE_PROV_SCOPE(scope_id)                 \
+  ::liberate::obs::prov::ScopedProvScope LIBERATE_OBS_CONCAT( \
+      liberate_prov_scope_, __COUNTER__)((scope_id))
+
+/// Registers a packet's lineage node at creation. `datagram` is the
+/// serialized bytes (Bytes/BytesView); `kind` names the origin ("tcp",
+/// "udp", "icmp", "crafted").
+#define LIBERATE_PROV_PACKET(datagram, kind)                         \
+  ::liberate::obs::prov::ProvenanceRecorder::instance().packet(      \
+      (datagram), (kind))
+
+/// Records a causal hop: `child` was produced from `parent` by `actor`.
+#define LIBERATE_PROV_EDGE(ts_us, parent, child, kind, actor)        \
+  ::liberate::obs::prov::ProvenanceRecorder::instance().edge(        \
+      (ts_us), (parent), (child), (kind), (actor))
+
+/// Appends a decision record to the flow's ledger; trailing arguments are
+/// obs::fv(key, value) fields. `flow` is an obs::prov::FlowKey.
+#define LIBERATE_PROV_NOTE(ts_us, flow, kind, ...)                   \
+  ::liberate::obs::prov::ProvenanceRecorder::instance().note(        \
+      (ts_us), (flow), (kind), {__VA_ARGS__})
+
+/// LIBERATE_PROV_NOTE for sites holding the serialized datagram: the flow
+/// key is derived from the packet and the record links to its lineage node.
+#define LIBERATE_PROV_NOTE_PKT(ts_us, datagram, kind, ...)           \
+  ::liberate::obs::prov::ProvenanceRecorder::instance().note_pkt(    \
+      (ts_us), (datagram), (kind), {__VA_ARGS__})
+
+#else  // spans/events/provenance compiled out below "full"
 
 #define LIBERATE_OBS_SPAN(name, ...) \
   do {                               \
   } while (0)
 #define LIBERATE_OBS_EVENT(ts_us, layer, kind, ...) \
   do {                                              \
+  } while (0)
+#define LIBERATE_PROV_SCOPE(scope_id) \
+  do {                                \
+  } while (0)
+#define LIBERATE_PROV_PACKET(datagram, kind) \
+  do {                                       \
+  } while (0)
+#define LIBERATE_PROV_EDGE(ts_us, parent, child, kind, actor) \
+  do {                                                        \
+  } while (0)
+#define LIBERATE_PROV_NOTE(ts_us, flow, kind, ...) \
+  do {                                             \
+  } while (0)
+#define LIBERATE_PROV_NOTE_PKT(ts_us, datagram, kind, ...) \
+  do {                                                     \
   } while (0)
 
 #endif

@@ -1,0 +1,123 @@
+// chrome_trace.h — export a Snapshot as Chrome trace-event JSON.
+//
+// The output is the "JSON Object Format" understood by chrome://tracing and
+// Perfetto: {"traceEvents":[...]}. PR 2's sim-clock spans become complete
+// ("ph":"X") events on one track per pool worker; provenance decision
+// records and lineage edges become instant ("ph":"i") events on a per-scope
+// track, so a parallel run's rounds line up side by side with the packet
+// mutations and rule evaluations that happened inside them. Timestamps are
+// simulation microseconds — the trace is a replayable artifact, not a wall
+// clock profile.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/snapshot.h"
+#include "util/json.h"
+
+namespace liberate::obs::prov {
+
+inline void write_chrome_trace(JsonWriter& w, const Snapshot& snap) {
+  // Scope ids are 64-bit fingerprints; tracks ("tid") are small ints. Map
+  // scopes to tracks in sorted order so numbering is deterministic.
+  std::map<std::uint64_t, int> scope_tid;
+  for (const LedgerSnapshot& led : snap.provenance.ledgers) {
+    scope_tid.emplace(led.scope, 0);
+  }
+  int next_tid = 1000;  // provenance tracks start above worker tracks
+  for (auto& [scope, tid] : scope_tid) tid = next_tid++;
+
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Track-naming metadata.
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(1);
+  w.key("args").begin_object().key("name").value("liberate").end_object();
+  w.end_object();
+  for (const auto& [scope, tid] : scope_tid) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(tid);
+    w.key("args")
+        .begin_object()
+        .key("name")
+        .value("prov scope " + id_hex(scope))
+        .end_object();
+    w.end_object();
+  }
+
+  // Spans: complete events, one track per worker (-1 = main thread -> 0).
+  for (const SpanRecord& s : snap.spans) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("cat").value("span");
+    w.key("ph").value("X");
+    w.key("ts").value(s.start_us);
+    w.key("dur").value(s.end_us - s.start_us);
+    w.key("pid").value(1);
+    w.key("tid").value(s.worker + 1);
+    w.key("args").begin_object();
+    w.key("id").value(s.id);
+    w.key("parent").value(s.parent_id);
+    w.end_object();
+    w.end_object();
+  }
+
+  // Provenance decision records: instants on their scope's track.
+  for (const LedgerSnapshot& led : snap.provenance.ledgers) {
+    int tid = scope_tid[led.scope];
+    for (const ProvRecord& r : led.records) {
+      w.begin_object();
+      w.key("name").value(r.kind);
+      w.key("cat").value("prov");
+      w.key("ph").value("i");
+      w.key("s").value("t");  // thread-scoped instant
+      w.key("ts").value(r.ts_us);
+      w.key("pid").value(1);
+      w.key("tid").value(tid);
+      w.key("args").begin_object();
+      w.key("flow").value(led.flow.to_string());
+      if (r.pkt != 0) w.key("pkt").value(id_hex(r.pkt));
+      for (const EventField& f : r.fields) w.key(f.key).value(f.value);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  // Lineage edges: process-scoped instants (they belong to no one track).
+  for (const EdgeInfo& e : snap.provenance.edges) {
+    w.begin_object();
+    w.key("name").value("hop:" + e.kind);
+    w.key("cat").value("prov");
+    w.key("ph").value("i");
+    w.key("s").value("p");
+    w.key("ts").value(e.ts_us);
+    w.key("pid").value(1);
+    w.key("tid").value(0);
+    w.key("args").begin_object();
+    w.key("parent").value(id_hex(e.parent));
+    w.key("child").value(id_hex(e.child));
+    w.key("actor").value(e.actor);
+    if (!e.detail.empty()) w.key("detail").value(e.detail);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+}
+
+inline std::string to_chrome_trace_json(const Snapshot& snap) {
+  JsonWriter w;
+  write_chrome_trace(w, snap);
+  return w.take();
+}
+
+}  // namespace liberate::obs::prov

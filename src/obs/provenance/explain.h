@@ -1,0 +1,252 @@
+// explain.h — turn a flow's provenance into a causal story.
+//
+// explain_verdict(flow) picks the flow's most decisive ledger (the one whose
+// latest verdict record is newest; ties broken by scope so parallel and
+// serial runs agree), then renders two views of the same data:
+//
+//   * text — a human-readable chain for terminals:
+//       verdict: classified as skype by rule testbed-skype-stun
+//       pkt 77bb.. (len 52, udp) <- reorder of pkt 9f3a.. by reorder/udp
+//   * json — the machine-readable schema documented in docs/tracing.md.
+//
+// Both renderings are pure functions of recorder state: no clocks, no
+// worker indices, no iteration-order dependence — the property the
+// explain-determinism regression test (tests/core) pins across pool sizes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/provenance/recorder.h"
+#include "util/json.h"
+
+namespace liberate::obs::prov {
+
+struct Explanation {
+  bool found = false;
+  FlowKey flow;
+  std::uint64_t scope = 0;
+  std::string verdict_class;   // traffic class, "" if never classified
+  std::string verdict_rule;    // matched rule name
+  std::string verdict_action;  // middlebox action ("block", "forward", ...)
+  std::string text;
+  std::string json;
+};
+
+namespace detail {
+
+inline const char* field(const ProvRecord& r, std::string_view key) {
+  for (const EventField& f : r.fields) {
+    if (f.key == key) return f.value.c_str();
+  }
+  return nullptr;
+}
+
+/// Depth-first lineage walk (child -> parents), bounded and cycle-safe.
+inline void walk_lineage_text(const ProvenanceRecorder& rec, std::uint64_t id,
+                              int depth, int max_depth,
+                              std::set<std::uint64_t>& seen,
+                              std::string& out) {
+  if (depth > max_depth) return;
+  for (const EdgeInfo& e : rec.parents_of(id)) {
+    out.append(static_cast<std::size_t>(4 + depth * 2), ' ');
+    out += "<- " + e.kind + " of pkt " + id_hex(e.parent);
+    if (auto n = rec.node(e.parent)) {
+      out += " (len " + std::to_string(n->size) + ", " + n->kind + ")";
+    }
+    if (!e.detail.empty()) out += " [" + e.detail + "]";
+    if (!e.actor.empty()) out += " by " + e.actor;
+    out += "\n";
+    if (seen.insert(e.parent).second) {
+      walk_lineage_text(rec, e.parent, depth + 1, max_depth, seen, out);
+    }
+  }
+}
+
+inline void walk_lineage_json(const ProvenanceRecorder& rec, std::uint64_t id,
+                              int depth, int max_depth,
+                              std::set<std::uint64_t>& seen, JsonWriter& w) {
+  w.begin_array();
+  if (depth <= max_depth) {
+    for (const EdgeInfo& e : rec.parents_of(id)) {
+      w.begin_object();
+      w.key("pkt").value(id_hex(e.parent));
+      w.key("hop").value(e.kind);
+      w.key("actor").value(e.actor);
+      if (!e.detail.empty()) w.key("detail").value(e.detail);
+      w.key("ts_us").value(e.ts_us);
+      if (auto n = rec.node(e.parent)) {
+        w.key("len").value(static_cast<std::uint64_t>(n->size));
+        w.key("kind").value(n->kind);
+      }
+      w.key("parents");
+      if (seen.insert(e.parent).second) {
+        walk_lineage_json(rec, e.parent, depth + 1, max_depth, seen, w);
+      } else {
+        w.begin_array();
+        w.end_array();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+}
+
+}  // namespace detail
+
+/// Render one ledger (records + packet lineage) as an Explanation.
+inline Explanation explain_ledger(const LedgerSnapshot& led,
+                                  const ProvenanceRecorder& rec =
+                                      ProvenanceRecorder::instance(),
+                                  int max_depth = 8) {
+  Explanation ex;
+  ex.found = true;
+  ex.flow = led.flow;
+  ex.scope = led.scope;
+
+  // The verdict is the newest record that names a traffic class.
+  for (auto it = led.records.rbegin(); it != led.records.rend(); ++it) {
+    const char* cls = detail::field(*it, "class");
+    if (cls == nullptr) continue;
+    ex.verdict_class = cls;
+    if (const char* rule = detail::field(*it, "rule")) ex.verdict_rule = rule;
+    if (const char* act = detail::field(*it, "action")) {
+      ex.verdict_action = act;
+    }
+    if (it->kind == "verdict") break;  // prefer middlebox verdicts
+  }
+
+  // --- text rendering -----------------------------------------------------
+  std::string& t = ex.text;
+  t += "flow " + led.flow.to_string() + "  (scope " + id_hex(led.scope) +
+       ", " + std::to_string(led.total) + " records";
+  if (led.dropped > 0) t += ", " + std::to_string(led.dropped) + " dropped";
+  t += ")\n";
+  if (!ex.verdict_class.empty()) {
+    t += "verdict: classified as " + ex.verdict_class;
+    if (!ex.verdict_rule.empty()) t += " by rule " + ex.verdict_rule;
+    if (!ex.verdict_action.empty()) t += " (action: " + ex.verdict_action + ")";
+    t += "\n";
+  } else {
+    t += "verdict: never classified (middlebox blind)\n";
+  }
+  t += "decision path:\n";
+  std::vector<std::uint64_t> pkts;  // distinct, in record order
+  for (const ProvRecord& r : led.records) {
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%8llu",
+                  static_cast<unsigned long long>(r.ts_us));
+    t += "  [" + std::string(ts) + "us] " + r.kind;
+    if (r.pkt != 0) {
+      t += " pkt " + id_hex(r.pkt);
+      bool fresh = true;
+      for (std::uint64_t p : pkts) fresh = fresh && p != r.pkt;
+      if (fresh) pkts.push_back(r.pkt);
+    }
+    for (const EventField& f : r.fields) {
+      t += " " + f.key + "=" + f.value;
+    }
+    t += "\n";
+  }
+  t += "packet lineage:\n";
+  bool any_lineage = false;
+  for (std::uint64_t id : pkts) {
+    std::string sub;
+    std::set<std::uint64_t> seen{id};
+    detail::walk_lineage_text(rec, id, 0, max_depth, seen, sub);
+    if (sub.empty()) continue;
+    any_lineage = true;
+    t += "  pkt " + id_hex(id);
+    if (auto n = rec.node(id)) {
+      t += " (len " + std::to_string(n->size) + ", " + n->kind + ")";
+    }
+    t += "\n" + sub;
+  }
+  if (!any_lineage) t += "  (all packets original — no mutations recorded)\n";
+
+  // --- json rendering -----------------------------------------------------
+  JsonWriter w;
+  w.begin_object();
+  w.key("flow").value(led.flow.to_string());
+  w.key("found").value(true);
+  w.key("scope").value(id_hex(led.scope));
+  w.key("verdict").begin_object();
+  w.key("class").value(ex.verdict_class);
+  w.key("rule").value(ex.verdict_rule);
+  w.key("action").value(ex.verdict_action);
+  w.end_object();
+  w.key("records").begin_array();
+  for (const ProvRecord& r : led.records) {
+    w.begin_object();
+    w.key("ts_us").value(r.ts_us);
+    w.key("seq").value(r.seq);
+    w.key("kind").value(r.kind);
+    if (r.pkt != 0) w.key("pkt").value(id_hex(r.pkt));
+    w.key("fields").begin_object();
+    for (const EventField& f : r.fields) w.key(f.key).value(f.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("records_dropped").value(led.dropped);
+  w.key("lineage").begin_array();
+  for (std::uint64_t id : pkts) {
+    w.begin_object();
+    w.key("pkt").value(id_hex(id));
+    if (auto n = rec.node(id)) {
+      w.key("len").value(static_cast<std::uint64_t>(n->size));
+      w.key("kind").value(n->kind);
+    }
+    w.key("parents");
+    std::set<std::uint64_t> seen{id};
+    detail::walk_lineage_json(rec, id, 0, max_depth, seen, w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  ex.json = w.take();
+  return ex;
+}
+
+/// Explain a flow's verdict from whatever the recorder currently holds.
+/// When the flow was replayed in several scopes (parallel rounds), the
+/// ledger whose newest classifying record has the largest (ts, seq) wins;
+/// remaining ties fall to the lowest scope id — all content-derived, so the
+/// winner is the same no matter how many workers ran the rounds.
+inline Explanation explain_verdict(const FlowKey& flow,
+                                   const ProvenanceRecorder& rec =
+                                       ProvenanceRecorder::instance(),
+                                   int max_depth = 8) {
+  std::vector<LedgerSnapshot> ledgers = rec.ledgers_for(flow);
+  if (ledgers.empty()) {
+    Explanation ex;
+    ex.flow = flow;
+    ex.text = "flow " + flow.to_string() + ": no provenance recorded\n";
+    ex.json = "{\"flow\":\"" + flow.to_string() + "\",\"found\":false}";
+    return ex;
+  }
+  auto decisiveness = [](const LedgerSnapshot& led) {
+    // (has verdict, ts, seq) of the newest classifying record.
+    for (auto it = led.records.rbegin(); it != led.records.rend(); ++it) {
+      if (detail::field(*it, "class") != nullptr) {
+        return std::tuple<int, std::uint64_t, std::uint64_t>(1, it->ts_us,
+                                                             it->seq);
+      }
+    }
+    return std::tuple<int, std::uint64_t, std::uint64_t>(0, 0, 0);
+  };
+  const LedgerSnapshot* best = &ledgers.front();
+  auto best_score = decisiveness(*best);
+  for (const LedgerSnapshot& led : ledgers) {
+    auto score = decisiveness(led);
+    if (score > best_score) {  // ledgers are scope-ascending: first wins ties
+      best = &led;
+      best_score = score;
+    }
+  }
+  return explain_ledger(*best, rec, max_depth);
+}
+
+}  // namespace liberate::obs::prov

@@ -1,0 +1,472 @@
+// recorder.h — the per-packet provenance flight recorder.
+//
+// Packets are identified by a content digest of their serialized bytes
+// (util/digest FNV lane, 64 bits): identity is derived from the datagram
+// itself, so ids are stable across threads, worker counts, and re-runs of
+// the same seed — the property the explain-determinism regression test
+// pins. Registration is idempotent; a retransmission maps onto the node it
+// already has.
+//
+// Three stores, all bounded:
+//   * nodes   — id -> {size, kind}; FIFO eviction past the cap.
+//   * edges   — child id -> parent hops ({parent, ts, kind, actor, detail});
+//               deduplicated, capped per child. "pkt 7 <- split of pkt 3".
+//   * ledgers — per (scope, canonical flow) rings of decision records
+//               (rules tried, match offsets, verdicts), bounded like
+//               EventLog's ring with exact drop counters.
+//
+// The *scope* disambiguates parallel replay: every isolated round replays
+// the same 10.0.0.1 flow tuple, so a thread-local scope id — set by the
+// round scheduler to the content-defined round fingerprint — keeps
+// concurrent worlds from interleaving one flow's story. Scope 0 is the
+// ambient (serial, non-round) scope.
+//
+// Like the rest of obs, everything here is level-independent inline code —
+// gating lives only in the LIBERATE_PROV_* macros (obs/obs.h), so TUs
+// compiled at different levels never disagree on these types.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "util/digest.h"
+
+namespace liberate::obs::prov {
+
+/// Canonical (direction-free) flow key: endpoints are sorted numerically so
+/// client->server and server->client packets land in the same ledger.
+struct FlowKey {
+  std::uint32_t ip_a = 0;
+  std::uint32_t ip_b = 0;
+  std::uint16_t port_a = 0;
+  std::uint16_t port_b = 0;
+  std::uint8_t proto = 0;
+  bool valid = false;
+
+  bool operator==(const FlowKey& o) const {
+    return ip_a == o.ip_a && ip_b == o.ip_b && port_a == o.port_a &&
+           port_b == o.port_b && proto == o.proto && valid == o.valid;
+  }
+  bool operator<(const FlowKey& o) const {
+    auto t = [](const FlowKey& k) {
+      return std::tuple(k.valid, k.ip_a, k.port_a, k.ip_b, k.port_b, k.proto);
+    };
+    return t(*this) < t(o);
+  }
+
+  std::string to_string() const {
+    if (!valid) return "<no-flow>";
+    char buf[96];
+    auto ip = [](std::uint32_t v, char* out) {
+      std::snprintf(out, 16, "%u.%u.%u.%u", (v >> 24) & 0xff, (v >> 16) & 0xff,
+                    (v >> 8) & 0xff, v & 0xff);
+    };
+    char a[16], b[16];
+    ip(ip_a, a);
+    ip(ip_b, b);
+    const char* p = proto == 6    ? "tcp"
+                    : proto == 17 ? "udp"
+                    : proto == 1  ? "icmp"
+                                  : "?";
+    std::snprintf(buf, sizeof(buf), "%s:%u<->%s:%u/%s", a, port_a, b, port_b,
+                  p);
+    return buf;
+  }
+};
+
+/// Build a canonical key from one direction's endpoints.
+inline FlowKey flow_key(std::uint32_t src_ip, std::uint16_t src_port,
+                        std::uint32_t dst_ip, std::uint16_t dst_port,
+                        std::uint8_t proto) {
+  FlowKey k;
+  k.valid = true;
+  k.proto = proto;
+  if (std::tuple(src_ip, src_port) <= std::tuple(dst_ip, dst_port)) {
+    k.ip_a = src_ip;
+    k.port_a = src_port;
+    k.ip_b = dst_ip;
+    k.port_b = dst_port;
+  } else {
+    k.ip_a = dst_ip;
+    k.port_a = dst_port;
+    k.ip_b = src_ip;
+    k.port_b = src_port;
+  }
+  return k;
+}
+
+/// Minimal raw-IPv4 flow extraction (version/IHL + addresses + transport
+/// ports when the header is intact). Deliberately self-contained: obs is
+/// below netsim in the layering and must not include its parsers. Returns
+/// an invalid key for anything that does not look like a whole IPv4 packet.
+inline FlowKey flow_key_of(BytesView datagram) {
+  if (datagram.size() < 20) return FlowKey{};
+  if ((datagram[0] >> 4) != 4) return FlowKey{};
+  std::size_t ihl = static_cast<std::size_t>(datagram[0] & 0x0f) * 4;
+  if (ihl < 20 || datagram.size() < ihl) return FlowKey{};
+  auto rd32 = [&](std::size_t off) {
+    return (static_cast<std::uint32_t>(datagram[off]) << 24) |
+           (static_cast<std::uint32_t>(datagram[off + 1]) << 16) |
+           (static_cast<std::uint32_t>(datagram[off + 2]) << 8) |
+           static_cast<std::uint32_t>(datagram[off + 3]);
+  };
+  std::uint8_t proto = datagram[9];
+  std::uint32_t src = rd32(12), dst = rd32(16);
+  std::uint16_t sport = 0, dport = 0;
+  // Ports only from the first fragment of TCP/UDP (offset 0, payload >= 4).
+  std::uint16_t frag = static_cast<std::uint16_t>((datagram[6] << 8) |
+                                                  datagram[7]);
+  bool first_fragment = (frag & 0x1fff) == 0;
+  if ((proto == 6 || proto == 17) && first_fragment &&
+      datagram.size() >= ihl + 4) {
+    sport = static_cast<std::uint16_t>((datagram[ihl] << 8) |
+                                       datagram[ihl + 1]);
+    dport = static_cast<std::uint16_t>((datagram[ihl + 2] << 8) |
+                                       datagram[ihl + 3]);
+  }
+  return flow_key(src, sport, dst, dport, proto);
+}
+
+/// Content-derived packet lineage id.
+inline std::uint64_t packet_id(BytesView datagram) {
+  Digest d;
+  d.update(datagram);
+  return d.finish().lo;
+}
+
+inline std::string id_hex(std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+struct NodeInfo {
+  std::uint64_t id = 0;
+  std::uint32_t size = 0;   // serialized datagram length
+  std::string kind;         // "tcp" | "udp" | "icmp" | "wire" | ...
+};
+
+/// One causal hop: `child` was produced from `parent` by `actor` via `kind`.
+struct EdgeInfo {
+  std::uint64_t child = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t ts_us = 0;
+  std::string kind;    // "split" | "insert" | "reorder" | "flush" |
+                       // "ip-fragment" | "reassembly" | "rewrite"
+  std::string actor;   // technique or component name
+  std::string detail;  // e.g. "payload[0..8) of parent"
+};
+
+/// One decision-path record in a flow's ledger (rule evaluation, skip,
+/// verdict, mutation marker). `pkt` links the record to a lineage node when
+/// the emitting site had the datagram in hand; 0 means flow-level only.
+struct ProvRecord {
+  std::uint64_t ts_us = 0;
+  std::uint64_t seq = 0;  // arrival order within the ledger
+  std::string kind;
+  std::uint64_t pkt = 0;
+  std::vector<EventField> fields;
+};
+
+struct LedgerSnapshot {
+  std::uint64_t scope = 0;
+  FlowKey flow;
+  std::vector<ProvRecord> records;  // oldest -> newest surviving
+  std::uint64_t dropped = 0;
+  std::uint64_t total = 0;  // exact count including dropped
+};
+
+struct ProvSnapshot {
+  std::vector<NodeInfo> nodes;       // sorted by id
+  std::vector<EdgeInfo> edges;       // sorted by (child, parent, kind)
+  std::vector<LedgerSnapshot> ledgers;  // sorted by (scope, flow)
+  std::uint64_t nodes_evicted = 0;
+  std::uint64_t ledgers_evicted = 0;
+  std::uint64_t total_records = 0;
+};
+
+class ProvenanceRecorder {
+ public:
+  static ProvenanceRecorder& instance() {
+    static ProvenanceRecorder rec;
+    return rec;
+  }
+
+  /// The active scope for this thread (0 = ambient). Set via ScopedProvScope.
+  static std::uint64_t current_scope() { return scope_slot(); }
+
+  /// Idempotently register a packet node. Returns the lineage id.
+  std::uint64_t packet(BytesView datagram, std::string_view kind) {
+    std::uint64_t id = packet_id(datagram);
+    std::lock_guard<std::mutex> lock(mutex_);
+    register_node_locked(id, static_cast<std::uint32_t>(datagram.size()),
+                         kind);
+    return id;
+  }
+
+  /// Record parent -> child causality, digesting both datagrams.
+  void edge(std::uint64_t ts_us, BytesView parent, BytesView child,
+            std::string_view kind, std::string_view actor,
+            std::string_view detail = {}) {
+    edge_ids(ts_us, packet_id(parent), static_cast<std::uint32_t>(parent.size()),
+             packet_id(child), static_cast<std::uint32_t>(child.size()), kind,
+             actor, detail);
+  }
+
+  /// Same, for call sites that digested the parent before it was moved.
+  void edge_ids(std::uint64_t ts_us, std::uint64_t parent,
+                std::uint32_t parent_size, std::uint64_t child,
+                std::uint32_t child_size, std::string_view kind,
+                std::string_view actor, std::string_view detail = {}) {
+    if (parent == child) return;  // pass-through, not a hop
+    std::lock_guard<std::mutex> lock(mutex_);
+    register_node_locked(parent, parent_size, "wire");
+    register_node_locked(child, child_size, "wire");
+    auto& hops = edges_[child];
+    for (const EdgeInfo& e : hops) {
+      if (e.parent == parent && e.kind == kind && e.actor == actor) return;
+    }
+    if (hops.size() >= kMaxEdgesPerChild) return;
+    EdgeInfo e;
+    e.child = child;
+    e.parent = parent;
+    e.ts_us = ts_us;
+    e.kind = kind;
+    e.actor = actor;
+    e.detail = detail;
+    hops.push_back(std::move(e));
+  }
+
+  /// Append a decision record to the (current scope, flow) ledger.
+  void note(std::uint64_t ts_us, const FlowKey& flow, std::string_view kind,
+            std::initializer_list<EventField> fields, std::uint64_t pkt = 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_flows_ == 0) return;
+    Ledger& led = ledger_locked(current_scope(), flow);
+    ProvRecord r;
+    r.ts_us = ts_us;
+    r.seq = led.next_seq++;
+    r.kind = kind;
+    r.pkt = pkt;
+    r.fields.assign(fields.begin(), fields.end());
+    if (ledger_capacity_ == 0) return;
+    if (led.ring.size() >= ledger_capacity_) {
+      led.ring.pop_front();
+      led.dropped += 1;
+    }
+    led.ring.push_back(std::move(r));
+  }
+
+  /// note() for sites holding the serialized datagram: derives the flow key
+  /// and links the record to the packet's lineage node.
+  void note_pkt(std::uint64_t ts_us, BytesView datagram, std::string_view kind,
+                std::initializer_list<EventField> fields) {
+    std::uint64_t id = packet(datagram, "wire");
+    note(ts_us, flow_key_of(datagram), kind, fields, id);
+  }
+
+  std::optional<NodeInfo> node(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Causal hops into `child`, deterministic order.
+  std::vector<EdgeInfo> parents_of(std::uint64_t child) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = edges_.find(child);
+    if (it == edges_.end()) return {};
+    std::vector<EdgeInfo> out = it->second;
+    std::sort(out.begin(), out.end(), edge_less);
+    return out;
+  }
+
+  /// Every ledger recorded for `flow`, across all scopes, sorted by scope.
+  std::vector<LedgerSnapshot> ledgers_for(const FlowKey& flow) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<LedgerSnapshot> out;
+    for (const auto& [key, led] : ledgers_) {
+      if (!(key.second == flow)) continue;
+      out.push_back(snapshot_ledger_locked(key, led));
+    }
+    return out;  // std::map iteration is already (scope, flow)-ordered
+  }
+
+  ProvSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ProvSnapshot snap;
+    snap.nodes.reserve(nodes_.size());
+    for (const auto& [id, n] : nodes_) snap.nodes.push_back(n);
+    std::sort(snap.nodes.begin(), snap.nodes.end(),
+              [](const NodeInfo& a, const NodeInfo& b) { return a.id < b.id; });
+    for (const auto& [child, hops] : edges_) {
+      snap.edges.insert(snap.edges.end(), hops.begin(), hops.end());
+    }
+    std::sort(snap.edges.begin(), snap.edges.end(), edge_less);
+    for (const auto& [key, led] : ledgers_) {
+      LedgerSnapshot ls = snapshot_ledger_locked(key, led);
+      snap.total_records += ls.total;
+      snap.ledgers.push_back(std::move(ls));
+    }
+    snap.nodes_evicted = nodes_evicted_;
+    snap.ledgers_evicted = ledgers_evicted_;
+    return snap;
+  }
+
+  void set_node_capacity(std::size_t cap) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    node_capacity_ = cap;
+    evict_nodes_locked();
+  }
+  void set_ledger_capacity(std::size_t cap) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ledger_capacity_ = cap;
+    for (auto& [key, led] : ledgers_) {
+      while (led.ring.size() > ledger_capacity_) {
+        led.ring.pop_front();
+        led.dropped += 1;
+      }
+    }
+  }
+  void set_max_flows(std::size_t cap) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_flows_ = cap;
+    evict_ledgers_locked();
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nodes_.clear();
+    node_order_.clear();
+    edges_.clear();
+    ledgers_.clear();
+    ledger_order_.clear();
+    nodes_evicted_ = 0;
+    ledgers_evicted_ = 0;
+  }
+
+ private:
+  using LedgerKey = std::pair<std::uint64_t, FlowKey>;
+
+  struct Ledger {
+    std::deque<ProvRecord> ring;
+    std::uint64_t dropped = 0;
+    std::uint64_t next_seq = 0;
+  };
+
+  ProvenanceRecorder() = default;
+
+  static std::uint64_t& scope_slot() {
+    thread_local std::uint64_t t_scope = 0;
+    return t_scope;
+  }
+  friend class ScopedProvScope;
+
+  static bool edge_less(const EdgeInfo& a, const EdgeInfo& b) {
+    return std::tuple(a.child, a.parent, a.kind, a.actor) <
+           std::tuple(b.child, b.parent, b.kind, b.actor);
+  }
+
+  void register_node_locked(std::uint64_t id, std::uint32_t size,
+                            std::string_view kind) {
+    auto [it, inserted] = nodes_.try_emplace(id);
+    if (inserted) {
+      it->second.id = id;
+      it->second.size = size;
+      it->second.kind = kind;
+      node_order_.push_back(id);
+      evict_nodes_locked();
+    } else if (it->second.kind == "wire" && kind != "wire") {
+      it->second.kind = kind;  // upgrade a stub to its real origin kind
+    }
+  }
+
+  void evict_nodes_locked() {
+    while (nodes_.size() > node_capacity_ && !node_order_.empty()) {
+      std::uint64_t victim = node_order_.front();
+      node_order_.pop_front();
+      nodes_.erase(victim);
+      edges_.erase(victim);
+      nodes_evicted_ += 1;
+    }
+  }
+
+  Ledger& ledger_locked(std::uint64_t scope, const FlowKey& flow) {
+    LedgerKey key{scope, flow};
+    auto it = ledgers_.find(key);
+    if (it == ledgers_.end()) {
+      ledgers_.emplace(key, Ledger{});
+      ledger_order_.push_back(key);
+      evict_ledgers_locked();  // with max_flows_ >= 1 the victim is older
+      it = ledgers_.find(key);
+    }
+    return it->second;
+  }
+
+  void evict_ledgers_locked() {
+    while (ledgers_.size() > max_flows_ && !ledger_order_.empty()) {
+      LedgerKey victim = ledger_order_.front();
+      ledger_order_.pop_front();
+      if (ledgers_.erase(victim) > 0) ledgers_evicted_ += 1;
+    }
+  }
+
+  LedgerSnapshot snapshot_ledger_locked(const LedgerKey& key,
+                                        const Ledger& led) const {
+    LedgerSnapshot ls;
+    ls.scope = key.first;
+    ls.flow = key.second;
+    ls.records.assign(led.ring.begin(), led.ring.end());
+    ls.dropped = led.dropped;
+    ls.total = led.next_seq;
+    return ls;
+  }
+
+  static constexpr std::size_t kMaxEdgesPerChild = 16;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, NodeInfo> nodes_;
+  std::deque<std::uint64_t> node_order_;  // FIFO for eviction
+  std::unordered_map<std::uint64_t, std::vector<EdgeInfo>> edges_;
+  std::map<LedgerKey, Ledger> ledgers_;
+  std::deque<LedgerKey> ledger_order_;
+  std::size_t node_capacity_ = 65536;
+  std::size_t ledger_capacity_ = 512;
+  std::size_t max_flows_ = 1024;
+  std::uint64_t nodes_evicted_ = 0;
+  std::uint64_t ledgers_evicted_ = 0;
+};
+
+/// RAII scope binding for the calling thread; the round scheduler opens one
+/// per isolated round with the round's content-defined fingerprint.
+class ScopedProvScope {
+ public:
+  explicit ScopedProvScope(std::uint64_t scope)
+      : prev_(ProvenanceRecorder::scope_slot()) {
+    ProvenanceRecorder::scope_slot() = scope;
+  }
+  ~ScopedProvScope() { ProvenanceRecorder::scope_slot() = prev_; }
+
+  ScopedProvScope(const ScopedProvScope&) = delete;
+  ScopedProvScope& operator=(const ScopedProvScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace liberate::obs::prov

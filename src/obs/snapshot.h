@@ -15,6 +15,7 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/provenance/recorder.h"
 #include "obs/span.h"
 #include "util/json.h"
 
@@ -25,6 +26,7 @@ struct Snapshot {
   std::vector<SpanRecord> spans;
   std::uint64_t spans_dropped = 0;
   EventLogSnapshot events;
+  prov::ProvSnapshot provenance;
 };
 
 inline Snapshot capture() {
@@ -33,6 +35,7 @@ inline Snapshot capture() {
   snap.spans = SpanLog::instance().snapshot();
   snap.spans_dropped = SpanLog::instance().dropped();
   snap.events = EventLog::instance().snapshot();
+  snap.provenance = prov::ProvenanceRecorder::instance().snapshot();
   return snap;
 }
 
@@ -41,6 +44,7 @@ inline void reset_all() {
   MetricsRegistry::instance().reset();
   SpanLog::instance().reset();
   EventLog::instance().reset();
+  prov::ProvenanceRecorder::instance().reset();
 }
 
 /// Prometheus-style metric names: dots become underscores.
@@ -168,6 +172,19 @@ inline void write_json(JsonWriter& w, const Snapshot& snap,
   }
   w.end_array();
   w.key("dropped").value(snap.events.dropped);
+  w.end_object();
+
+  // Provenance stays a summary here — the full graph is exported on demand
+  // by explain_verdict / the Chrome trace / pcapng comments, not dumped
+  // into every telemetry block.
+  w.key("provenance").begin_object();
+  w.key("nodes").value(static_cast<std::uint64_t>(snap.provenance.nodes.size()));
+  w.key("edges").value(static_cast<std::uint64_t>(snap.provenance.edges.size()));
+  w.key("flows").value(
+      static_cast<std::uint64_t>(snap.provenance.ledgers.size()));
+  w.key("records").value(snap.provenance.total_records);
+  w.key("nodes_evicted").value(snap.provenance.nodes_evicted);
+  w.key("ledgers_evicted").value(snap.provenance.ledgers_evicted);
   w.end_object();
 
   w.end_object();

@@ -27,6 +27,10 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
   std::size_t offset = v.fragment_offset_bytes();
   buf.pieces.push_back(
       Piece{offset, Bytes(v.payload.begin(), v.payload.end())});
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+  buf.piece_ids.push_back(
+      obs::prov::ProvenanceRecorder::instance().packet(datagram, "wire"));
+#endif
   if (!v.flag_more_fragments) {
     buf.total_size = offset + v.payload.size();
   }
@@ -66,6 +70,17 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
                 payload.begin() + static_cast<std::ptrdiff_t>(p.offset));
   }
   Bytes whole = serialize_ipv4(*buf.header, payload);
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+  {
+    auto& rec = obs::prov::ProvenanceRecorder::instance();
+    std::uint64_t whole_id = rec.packet(whole, "wire");
+    for (std::uint64_t piece : buf.piece_ids) {
+      rec.edge_ids(now, piece, 0, whole_id,
+                   static_cast<std::uint32_t>(whole.size()), "reassembly",
+                   "ip-reassembler");
+    }
+  }
+#endif
   buffers_.erase(key);
   LIBERATE_COUNTER_ADD("stack.datagrams_reassembled", 1);
   return whole;

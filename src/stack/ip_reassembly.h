@@ -50,6 +50,10 @@ class IpReassembler {
     netsim::TimePoint first_seen;
     // Header template taken from the offset-0 fragment.
     std::optional<netsim::Ipv4Header> header;
+    // Lineage ids of the buffered fragments, recorded only when the
+    // provenance recorder is compiled in (layout is level-independent so
+    // mixed-level TUs stay ODR-safe).
+    std::vector<std::uint64_t> piece_ids;
   };
 
   netsim::Duration timeout_;

@@ -1,0 +1,39 @@
+// pcapng.h — pcapng (pcap next generation) export/import with per-packet
+// comments.
+//
+// The classic pcap format (trace/pcap.h) has no per-packet metadata, so a
+// capture can show *what* crossed the wire but not *why*. pcapng Enhanced
+// Packet Blocks carry an opt_comment option; the provenance flight recorder
+// uses it to annotate every packet with its lineage and verdict ("split of
+// 77bb.. by split/tcp-segmentation; rule testbed-http-video matched"), and
+// Wireshark renders the comment right in the packet list. Link type is
+// LINKTYPE_RAW like the pcap writer: each record is one IPv4 datagram, and
+// timestamps are virtual-simulation microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/simclock.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace liberate::trace {
+
+struct PcapngRecord {
+  netsim::TimePoint at = 0;  // microseconds
+  Bytes datagram;
+  std::string comment;  // empty = no opt_comment emitted
+};
+
+/// Serialize records as a pcapng stream: one Section Header Block, one
+/// Interface Description Block (LINKTYPE_RAW=101, microsecond resolution),
+/// then one Enhanced Packet Block per record.
+Bytes write_pcapng(const std::vector<PcapngRecord>& records);
+
+/// Parse a pcapng stream produced by write_pcapng (or any little-endian
+/// single-section pcapng whose EPBs reference interface 0); unknown block
+/// types are skipped, per the spec.
+Result<std::vector<PcapngRecord>> read_pcapng(BytesView data);
+
+}  // namespace liberate::trace

@@ -1,0 +1,98 @@
+// Regression: explain_verdict output is a pure function of (WorldSpec,
+// RoundRequest) — running the identical rounds serially or on 2- and
+// 8-worker pools must render byte-identical explanation text and JSON.
+// Packet ids are content digests, scopes are round fingerprints, and the
+// renderer never consults worker indices or iteration order, so any
+// divergence here means scheduling leaked into the provenance story.
+#include "obs/provenance/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/evasion/registry.h"
+#include "core/round_scheduler.h"
+#include "obs/snapshot.h"
+#include "trace/generators.h"
+#include "util/strings.h"
+
+namespace liberate::core {
+namespace {
+
+obs::prov::FlowKey key_of(const netsim::FiveTuple& t) {
+  return obs::prov::flow_key(t.src_ip, t.src_port, t.dst_ip, t.dst_port,
+                             t.protocol);
+}
+
+/// Run a fixed mix of rounds (plain, splitting, inert insertion, plus
+/// port-varied repeats to keep a wide pool busy) and render every resulting
+/// flow's explanation into one string.
+std::string explain_under(std::size_t workers) {
+  obs::reset_all();
+
+  WorldSpec spec;  // testbed, seed 1
+  RoundScheduler scheduler(spec, {.workers = workers, .cache_capacity = 0});
+
+  auto video = trace::amazon_video_trace(8 * 1024);
+  TechniqueContext ctx;
+  ctx.matching_snippets = {to_bytes(std::string("cloudfront"))};
+  ctx.decoy_payload = decoy_request_payload();
+  ctx.middlebox_ttl = 1;
+
+  std::vector<RoundRequest> reqs;
+  {
+    RoundRequest plain;
+    plain.trace = video;
+    reqs.push_back(plain);
+  }
+  {
+    RoundRequest split;
+    split.trace = video;
+    split.technique = "split/tcp-segmentation";
+    split.context = ctx;
+    reqs.push_back(split);
+    for (std::uint16_t port : {std::uint16_t{30001}, std::uint16_t{30002},
+                               std::uint16_t{30003}}) {
+      RoundRequest varied = split;
+      varied.server_port_override = port;
+      reqs.push_back(varied);
+    }
+  }
+  {
+    RoundRequest inert;
+    inert.trace = video;
+    inert.technique = "inert/ip-low-ttl";
+    inert.context = ctx;
+    reqs.push_back(inert);
+  }
+
+  std::vector<RoundResult> results = scheduler.run_batch(reqs);
+  std::string out;
+  for (const RoundResult& r : results) {
+    obs::prov::Explanation ex = obs::prov::explain_verdict(key_of(
+        r.outcome.flow));
+    out += ex.text + "\n" + ex.json + "\n";
+  }
+  return out;
+}
+
+TEST(ExplainDeterminism, IdenticalAcrossWorkerCounts) {
+  const std::string serial = explain_under(0);
+
+  // The serial reference must actually have a story to tell at full
+  // observability: a verdict naming the testbed rule, and (from the split
+  // rounds) mutation lineage. At level 0 the instrumentation is compiled
+  // out and every flow reads "no provenance recorded" — equally valid, the
+  // invariant under test is worker-count independence either way.
+#if LIBERATE_OBS_LEVEL >= 2
+  EXPECT_NE(serial.find("classified as"), std::string::npos);
+  EXPECT_NE(serial.find("<- split of pkt"), std::string::npos);
+#endif
+
+  EXPECT_EQ(serial, explain_under(2));
+  EXPECT_EQ(serial, explain_under(8));
+}
+
+}  // namespace
+}  // namespace liberate::core

@@ -63,5 +63,44 @@ TEST(ObsNoop, MacrosAreSingleStatements) {
   SUCCEED();
 }
 
+TEST(ObsNoop, ProvenanceMacrosDoNotEvaluateArguments) {
+  int evals = 0;
+  auto touch = [&evals]() {
+    ++evals;
+    return Bytes{0x45, 0x00};
+  };
+  static_cast<void>(touch);  // only the macros below reference it
+  LIBERATE_PROV_SCOPE(static_cast<std::uint64_t>(evals++));
+  LIBERATE_PROV_PACKET(touch(), "noop");
+  LIBERATE_PROV_EDGE(0, touch(), touch(), "split", "noop");
+  LIBERATE_PROV_NOTE(0, prov::FlowKey{}, "noop", fv("n", evals++));
+  LIBERATE_PROV_NOTE_PKT(0, touch(), "noop", fv("n", evals++));
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(ObsNoop, ProvenanceRecorderNeverSeesLevelZeroTraffic) {
+  Bytes datagram{0x45, 0x00, 0x00, 0x14};
+  LIBERATE_PROV_PACKET(datagram, "noop");
+  LIBERATE_PROV_NOTE_PKT(0, datagram, "noop-kind");
+  Snapshot snap = capture();
+  EXPECT_EQ(snap.provenance.nodes.size(), 0u);
+  EXPECT_EQ(snap.provenance.ledgers.size(), 0u);
+  EXPECT_EQ(snap.provenance.total_records, 0u);
+}
+
+TEST(ObsNoop, ProvenanceMacrosAreSingleStatements) {
+  bool flag = true;
+  Bytes d{0x45};
+  if (flag)
+    LIBERATE_PROV_PACKET(d, "if");
+  else
+    LIBERATE_PROV_EDGE(0, d, d, "split", "else");
+  if (!flag)
+    LIBERATE_PROV_NOTE(0, prov::FlowKey{}, "if_shape");
+  else
+    LIBERATE_PROV_NOTE_PKT(0, d, "else_shape");
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace liberate::obs

@@ -1,0 +1,109 @@
+// pcapng writer/reader: the annotated-capture format must round-trip
+// byte-exactly (headers, timestamps, per-packet comments) so Wireshark and
+// our own reader agree on what was captured.
+#include "trace/pcapng.h"
+
+#include <gtest/gtest.h>
+
+namespace liberate::trace {
+namespace {
+
+std::vector<PcapngRecord> sample_records() {
+  std::vector<PcapngRecord> recs;
+  recs.push_back({1000, Bytes{0x45, 0x00, 0x00, 0x14, 0xAA}, "first packet"});
+  // Timestamp above 32 bits exercises the high/low split.
+  recs.push_back({(std::uint64_t{7} << 32) | 42,
+                  Bytes{0x45, 0x00, 0x00, 0x18, 0x01, 0x02, 0x03},
+                  "split of pkt 77bb.. by tcp-segmentation"});
+  recs.push_back({2000, Bytes{0x45, 0x01}, ""});  // no comment
+  return recs;
+}
+
+TEST(Pcapng, RoundTripPreservesEverything) {
+  std::vector<PcapngRecord> in = sample_records();
+  Bytes wire = write_pcapng(in);
+
+  auto out = read_pcapng(wire);
+  ASSERT_TRUE(out.ok()) << out.error().message;
+  ASSERT_EQ(out.value().size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out.value()[i].at, in[i].at) << "record " << i;
+    EXPECT_EQ(out.value()[i].datagram, in[i].datagram) << "record " << i;
+    EXPECT_EQ(out.value()[i].comment, in[i].comment) << "record " << i;
+  }
+
+  // Re-serializing the parse must reproduce the stream byte-exactly.
+  EXPECT_EQ(write_pcapng(out.value()), wire);
+}
+
+TEST(Pcapng, EmptyCaptureIsJustHeaders) {
+  Bytes wire = write_pcapng({});
+  auto out = read_pcapng(wire);
+  ASSERT_TRUE(out.ok()) << out.error().message;
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(Pcapng, HeaderStructure) {
+  Bytes wire = write_pcapng(sample_records());
+  // Section Header Block type, then total length, then byte-order magic.
+  ASSERT_GE(wire.size(), 12u);
+  EXPECT_EQ(wire[0], 0x0a);  // 0x0a0d0d0a little-endian on the wire
+  EXPECT_EQ(wire[1], 0x0d);
+  EXPECT_EQ(wire[2], 0x0d);
+  EXPECT_EQ(wire[3], 0x0a);
+  EXPECT_EQ(wire[8], 0x4d);  // 0x1a2b3c4d little-endian
+  EXPECT_EQ(wire[9], 0x3c);
+  EXPECT_EQ(wire[10], 0x2b);
+  EXPECT_EQ(wire[11], 0x1a);
+  // Every block length is 32-bit aligned; total stream consumed exactly.
+  std::size_t off = 0;
+  int blocks = 0;
+  while (off + 12 <= wire.size()) {
+    std::uint32_t total = static_cast<std::uint32_t>(wire[off + 4]) |
+                          (static_cast<std::uint32_t>(wire[off + 5]) << 8) |
+                          (static_cast<std::uint32_t>(wire[off + 6]) << 16) |
+                          (static_cast<std::uint32_t>(wire[off + 7]) << 24);
+    EXPECT_EQ(total % 4, 0u);
+    off += total;
+    ++blocks;
+  }
+  EXPECT_EQ(off, wire.size());
+  EXPECT_EQ(blocks, 2 + 3);  // SHB + IDB + one EPB per record
+}
+
+TEST(Pcapng, RejectsCorruptStreams) {
+  EXPECT_FALSE(read_pcapng(Bytes{}).ok());
+  EXPECT_FALSE(read_pcapng(Bytes{0x45, 0x00, 0x00}).ok());
+
+  Bytes wire = write_pcapng(sample_records());
+  Bytes bad_magic = wire;
+  bad_magic[8] ^= 0xFF;
+  EXPECT_FALSE(read_pcapng(bad_magic).ok());
+
+  Bytes bad_len = wire;
+  bad_len[4] ^= 0x01;  // SHB total length no longer matches trailer
+  EXPECT_FALSE(read_pcapng(bad_len).ok());
+
+  Bytes truncated(wire.begin(), wire.end() - 2);
+  EXPECT_FALSE(read_pcapng(truncated).ok());
+}
+
+TEST(Pcapng, SkipsUnknownBlockTypes) {
+  Bytes wire = write_pcapng(sample_records());
+  // Append a minimal unknown block (type 0x0BAD, empty body): the reader
+  // must skip it per the spec, not error.
+  auto le32 = [](Bytes& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  le32(wire, 0x0BAD);
+  le32(wire, 12);
+  le32(wire, 12);
+  auto out = read_pcapng(wire);
+  ASSERT_TRUE(out.ok()) << out.error().message;
+  EXPECT_EQ(out.value().size(), sample_records().size());
+}
+
+}  // namespace
+}  // namespace liberate::trace
