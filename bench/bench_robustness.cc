@@ -1,0 +1,90 @@
+// bench_robustness — throughput of the robustness subsystem: seeded fuzz
+// iterations per second (codec and stateful campaigns) and the overhead a
+// FaultyLink adds to an isolated replay round. Emits BENCH_robustness.json.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/round_scheduler.h"
+#include "fuzz/fuzz.h"
+#include "trace/generators.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace liberate;
+  bench::JsonReport report("robustness");
+  report.set_workers(1);
+
+  bench::print_header("Robustness: seeded fuzz throughput");
+  {
+    constexpr std::uint64_t kIters = 2000;
+    auto t0 = Clock::now();
+    fuzz::FuzzStats stats = fuzz::run_codec_campaign(1, kIters);
+    double dt = seconds_since(t0);
+    std::printf("codec campaign:    %6llu iters in %6.2fs  (%8.0f iters/s, "
+                "%llu inputs, %llu roundtrips, %llu mismatches)\n",
+                static_cast<unsigned long long>(stats.iterations), dt,
+                static_cast<double>(stats.iterations) / dt,
+                static_cast<unsigned long long>(stats.inputs),
+                static_cast<unsigned long long>(stats.roundtrips_checked),
+                static_cast<unsigned long long>(stats.roundtrip_mismatches));
+    report.metric("codec_iters_per_s",
+                  static_cast<double>(stats.iterations) / dt);
+    report.metric("codec_roundtrip_mismatches", stats.roundtrip_mismatches);
+  }
+  {
+    constexpr std::uint64_t kIters = 300;
+    auto t0 = Clock::now();
+    fuzz::FuzzStats stats = fuzz::run_stateful_campaign(1, kIters);
+    double dt = seconds_since(t0);
+    std::printf("stateful campaign: %6llu iters in %6.2fs  (%8.0f iters/s, "
+                "%llu fragments, %llu segments, %llu stream bytes)\n",
+                static_cast<unsigned long long>(stats.iterations), dt,
+                static_cast<double>(stats.iterations) / dt,
+                static_cast<unsigned long long>(stats.fragments_pushed),
+                static_cast<unsigned long long>(stats.segments_injected),
+                static_cast<unsigned long long>(stats.stream_bytes_delivered));
+    report.metric("stateful_iters_per_s",
+                  static_cast<double>(stats.iterations) / dt);
+    report.metric("stateful_mismatches", stats.roundtrip_mismatches);
+  }
+
+  bench::print_header("Robustness: FaultyLink overhead per replay round");
+  {
+    core::RoundRequest req;
+    req.trace = trace::amazon_video_trace(32 * 1024);
+    core::WorldSpec clean;
+    clean.seed = 5;
+    core::WorldSpec faulted = clean;
+    faulted.faults = netsim::FaultPolicy::reorder_heavy();
+
+    constexpr int kRounds = 40;
+    auto time_rounds = [&](const core::WorldSpec& spec) {
+      auto t0 = Clock::now();
+      for (int i = 0; i < kRounds; ++i) {
+        (void)core::run_isolated_round(spec, req);
+      }
+      return seconds_since(t0) / kRounds;
+    };
+    double clean_s = time_rounds(clean);
+    double faulted_s = time_rounds(faulted);
+    std::printf("clean round:   %8.2f ms\n", clean_s * 1e3);
+    std::printf("faulted round: %8.2f ms  (%.2fx)\n", faulted_s * 1e3,
+                faulted_s / clean_s);
+    report.metric("clean_round_ms", clean_s * 1e3);
+    report.metric("faulted_round_ms", faulted_s * 1e3);
+    report.metric("faulty_link_overhead_x", faulted_s / clean_s);
+  }
+
+  report.write();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "obs/obs.h"
 
@@ -49,6 +50,11 @@ struct TcpReplaySide {
   bool send_scheduled = false;
   bool established = false;
 
+  // Liveness token for delayed sends: the loop outlives this round, so a
+  // timer still pending when the round ends (reset, deadline) must expire
+  // with the side, not fire into a dead frame next round.
+  std::shared_ptr<char> alive = std::make_shared<char>(0);
+
   // s2c goodput bookkeeping (client side only).
   TimePoint first_peer_byte = 0;
   TimePoint last_peer_byte = 0;
@@ -77,7 +83,9 @@ struct TcpReplaySide {
         if (delay > 0) {
           send_scheduled = true;
           std::size_t idx = next;
-          loop->schedule(delay, [this, idx]() {
+          loop->schedule(delay, [this, idx,
+                                 alive_w = std::weak_ptr<char>(alive)]() {
+            if (alive_w.expired()) return;
             send_scheduled = false;
             if (next == idx && !done() && conn != nullptr &&
                 conn->state() != TcpConnection::State::kClosed) {

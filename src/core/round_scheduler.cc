@@ -54,6 +54,16 @@ Fingerprint round_fingerprint(const WorldSpec& spec, const RoundRequest& req) {
   d.update_sized(spec.environment);
   d.update_u64(spec.seed);
   d.update_double(spec.warmup_hours);
+  // Fault policy is part of the path: two rounds differing only in faults
+  // must never share a memoized result.
+  d.update_double(spec.faults.loss);
+  d.update_double(spec.faults.duplicate);
+  d.update_double(spec.faults.truncate);
+  d.update_double(spec.faults.corrupt);
+  d.update_u64(static_cast<std::uint64_t>(spec.faults.corrupt_max_bits));
+  d.update_double(spec.faults.reorder);
+  d.update_u64(static_cast<std::uint64_t>(spec.faults.reorder_hold));
+  d.update_u64(static_cast<std::uint64_t>(spec.faults.max_jitter));
   // Trace digest (the exact bytes that go on the wire).
   fold_trace(d, req.trace);
   // Mutation: technique + context + replay knobs.
@@ -76,6 +86,12 @@ RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req) {
   // from (seed, round_id); nothing here depends on scheduling.
   auto env = dpi::make_environment(spec.environment,
                                    derive_seed(spec.seed, id, 0xE17));
+  if (spec.faults.any()) {
+    // Client-side hostile link, seeded per round: deterministic for a given
+    // (seed, fingerprint) no matter which worker runs the round.
+    env->net.emplace_at<netsim::FaultyLink>(
+        0, spec.faults, derive_seed(spec.seed, id, 0xFA017));
+  }
   const netsim::TimePoint warmup_end = static_cast<netsim::TimePoint>(
       spec.warmup_hours * 3600.0 * 1e6);
   env->loop.run_until(warmup_end);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/replay.h"
+#include "netsim/faulty.h"
 #include "util/digest.h"
 #include "util/lru_cache.h"
 #include "util/thread_pool.h"
@@ -48,6 +49,12 @@ struct WorldSpec {
   /// Virtual warm-up before the round starts (diurnal-load models — e.g.
   /// the GFC's load-dependent eviction — care what time of day it is).
   double warmup_hours = 0;
+  /// Fault injection on the client side of the path (all-off by default).
+  /// When any fault is enabled, a netsim::FaultyLink seeded from (seed,
+  /// round fingerprint) is inserted in front of the environment, so the
+  /// whole analysis pipeline can be exercised over hostile links — still
+  /// byte-identical across worker counts.
+  netsim::FaultPolicy faults{};
 };
 
 /// One replay round: a (possibly mutated) trace plus the replay knobs of

@@ -1,0 +1,73 @@
+// corpus.cc — loader for the checked-in seed corpus (tests/fuzz/corpus).
+//
+// Corpus files are hex text: pairs of hex digits, whitespace ignored, '#'
+// starts a comment to end of line. Text keeps the wire bytes reviewable in
+// diffs — every entry documents the malformation it carries.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/fuzz.h"
+
+namespace liberate::fuzz {
+
+namespace {
+
+Bytes decode_hex(const std::string& text) {
+  Bytes out;
+  int hi = -1;
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '\n') {
+      in_comment = false;
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      continue;  // tolerate stray characters: corpus must never crash tools
+    }
+    if (hi < 0) {
+      hi = nibble;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | nibble));
+      hi = -1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file()) continue;
+    std::ifstream in(de.path(), std::ios::binary);
+    if (!in) continue;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    entries.push_back(
+        CorpusEntry{de.path().filename().string(), decode_hex(text)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+}  // namespace liberate::fuzz

@@ -1,0 +1,204 @@
+// stateful_fuzz.cc — the stateful campaign: adversarial fragment streams
+// through IpReassembler and adversarial segment streams through a live
+// TcpConnection, all derived from one seed.
+#include <cassert>
+
+#include "fuzz/fuzz.h"
+#include "netsim/event_loop.h"
+#include "netsim/packet.h"
+#include "stack/host.h"
+#include "stack/ip_reassembly.h"
+#include "util/rng.h"
+
+namespace liberate::fuzz {
+
+namespace {
+
+using namespace netsim;
+using stack::Host;
+using stack::IpReassembler;
+using stack::OsProfile;
+using stack::ReassemblyLimits;
+using stack::TcpConnection;
+
+/// NetworkPort stub: collects whatever the host under test transmits, so a
+/// single Host can be driven with hand-crafted datagrams (no peer, no path).
+class SinkPort : public NetworkPort {
+ public:
+  explicit SinkPort(EventLoop& loop) : loop_(loop) {}
+  void send(Bytes datagram) override { sent_.push_back(std::move(datagram)); }
+  EventLoop& loop() override { return loop_; }
+  const std::vector<Bytes>& sent() const { return sent_; }
+
+ private:
+  EventLoop& loop_;
+  std::vector<Bytes> sent_;
+};
+
+/// Hostile fragment streams: overlaps, duplicate offsets, conflicting last
+/// fragments, strays past the end, oversize offsets — across several
+/// interleaved flows, against deliberately tiny limits so every cap is hit.
+void fuzz_reassembler(Rng& rng, FuzzStats& stats) {
+  ReassemblyLimits limits;
+  limits.max_buffers = 4;
+  limits.max_pieces_per_buffer = 16;
+  IpReassembler reasm(seconds(30), limits);
+
+  const std::size_t rounds = 8 + rng.below(40);
+  TimePoint now = 0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    Ipv4Header ip;
+    ip.src = 0x0a000001 + static_cast<std::uint32_t>(rng.below(3));
+    ip.dst = 0x0a000002;
+    ip.identification = static_cast<std::uint16_t>(rng.below(6));
+    ip.protocol = 6;
+    // Mostly plausible offsets, occasionally hostile ones (beyond any
+    // plausible total, near the 13-bit maximum).
+    if (rng.chance(0.1)) {
+      ip.fragment_offset_words = static_cast<std::uint16_t>(
+          0x1ff0 + rng.below(16));
+    } else {
+      ip.fragment_offset_words = static_cast<std::uint16_t>(rng.below(64));
+    }
+    ip.flag_more_fragments = rng.chance(0.6);
+    Bytes payload = rng.bytes(rng.chance(0.05) ? 1000 + rng.below(1000)
+                                               : rng.below(256));
+    Bytes frag = serialize_ipv4(ip, payload);
+    ++stats.fragments_pushed;
+    auto out = reasm.push(frag, now);
+    if (out) {
+      ++stats.datagrams_reassembled;
+      // Bounded output: header (<= 60 bytes) + capped payload.
+      if (out->size() > 60 + limits.max_datagram_bytes) {
+        ++stats.roundtrip_mismatches;
+      }
+    }
+    // Buffer cap must hold at every step, not just at the end.
+    if (reasm.pending() > limits.max_buffers) ++stats.roundtrip_mismatches;
+    now += rng.below(milliseconds(200));
+    if (rng.chance(0.05)) reasm.expire(now);
+  }
+}
+
+/// Adversarial segment injection into a live passive-open connection:
+/// wrap-adjacent ISNs, random in/out-of-window seqs, overlaps, floods,
+/// invalid flag combos, truncated datagrams.
+void fuzz_tcp_endpoint(Rng& rng, FuzzStats& stats) {
+  EventLoop loop;
+  SinkPort port(loop);
+  Host server(port, 0x0a090909, OsProfile::linux_profile());
+  TcpConnection* conn = nullptr;
+  std::uint64_t delivered = 0;
+  server.tcp_listen(80, [&](TcpConnection& c) {
+    conn = &c;
+    c.on_data([&](BytesView d) { delivered += d.size(); });
+  });
+
+  const std::uint32_t client_ip = 0x0a000001;
+  const std::uint16_t client_port = 40000;
+  // Half the sessions start wrap-adjacent so the out-of-order queue crosses
+  // the 2^32 boundary.
+  const std::uint32_t irs =
+      rng.chance(0.5) ? 0xFFFFF000u + static_cast<std::uint32_t>(rng.below(0x2000))
+                      : static_cast<std::uint32_t>(rng.next());
+
+  auto send_segment = [&](std::uint32_t seq, std::uint8_t flags,
+                          BytesView payload, std::uint32_t ack) {
+    Ipv4Header ip;
+    ip.src = client_ip;
+    ip.dst = 0x0a090909;
+    TcpHeader tcp;
+    tcp.src_port = client_port;
+    tcp.dst_port = 80;
+    tcp.seq = seq;
+    tcp.ack = ack;
+    tcp.flags = flags;
+    Bytes dgram = make_tcp_datagram(ip, tcp, payload);
+    if (rng.chance(0.05) && dgram.size() > 2) {
+      dgram.resize(1 + rng.below(dgram.size() - 1));  // wire truncation
+    }
+    ++stats.segments_injected;
+    server.receive(std::move(dgram));
+  };
+
+  // Handshake: SYN, then ACK of the server's SYN-ACK.
+  send_segment(irs, TcpFlags::kSyn, {}, 0);
+  loop.run_for(milliseconds(1));
+  std::uint32_t server_iss = 0;
+  for (const Bytes& out : port.sent()) {
+    auto pkt = parse_packet(out);
+    if (pkt.ok() && pkt.value().tcp && pkt.value().tcp->syn()) {
+      server_iss = pkt.value().tcp->seq;
+    }
+  }
+  send_segment(irs + 1, TcpFlags::kAck, {}, server_iss + 1);
+  loop.run_for(milliseconds(1));
+
+  const std::size_t segments = 10 + rng.below(50);
+  std::uint32_t cursor = irs + 1;  // roughly tracks the stream head
+  for (std::size_t i = 0; i < segments; ++i) {
+    // Offsets around the cursor: before it (stale/overlap), inside the
+    // window, or far past it (out-of-window anomaly path).
+    std::int64_t off;
+    switch (rng.below(4)) {
+      case 0:
+        off = -static_cast<std::int64_t>(rng.below(2000));
+        break;
+      case 1:
+        off = static_cast<std::int64_t>(rng.below(1000));
+        break;
+      case 2:
+        off = static_cast<std::int64_t>(rng.below(60000));
+        break;
+      default:
+        off = static_cast<std::int64_t>(rng.below(200000));
+        break;
+    }
+    std::uint32_t seq = cursor + static_cast<std::uint32_t>(off);
+    Bytes payload = rng.bytes(rng.below(1800));
+    std::uint8_t flags = TcpFlags::kAck;
+    if (rng.chance(0.1)) flags |= TcpFlags::kPsh;
+    if (rng.chance(0.03)) flags |= TcpFlags::kFin;
+    if (rng.chance(0.02)) flags |= TcpFlags::kSyn;   // invalid combo path
+    if (rng.chance(0.02)) flags = TcpFlags::kRst;    // teardown path
+    if (rng.chance(0.02)) flags = 0;                 // null flags
+    send_segment(seq, flags, payload,
+                 server_iss + 1 + static_cast<std::uint32_t>(rng.below(4)));
+    if (off >= 0 && off < 1000) {
+      cursor = seq + static_cast<std::uint32_t>(payload.size());
+    }
+    if (rng.chance(0.2)) loop.run_for(milliseconds(1 + rng.below(50)));
+    // The out-of-order queue must stay under its cap at every step.
+    if (conn && conn->out_of_order_bytes() > TcpConnection::kMaxOutOfOrderBytes) {
+      ++stats.roundtrip_mismatches;
+    }
+  }
+  // Let retransmission/teardown timers quiesce within a bounded horizon.
+  loop.run_for(seconds(5));
+  stats.stream_bytes_delivered += delivered;
+  // Feed raw junk at the host for good measure (pre-TCP demux paths).
+  server.receive(rng.bytes(rng.below(100)));
+}
+
+}  // namespace
+
+void run_stateful_iteration(std::uint64_t seed, FuzzStats& stats) {
+  Rng rng(seed);
+  ++stats.iterations;
+  fuzz_reassembler(rng, stats);
+  fuzz_tcp_endpoint(rng, stats);
+  if (stats.roundtrip_mismatches > 0 && stats.first_failure_seed == 0) {
+    stats.first_failure_seed = seed;
+  }
+}
+
+FuzzStats run_stateful_campaign(std::uint64_t base_seed,
+                                std::uint64_t iterations) {
+  FuzzStats stats;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    run_stateful_iteration(iteration_seed(base_seed, i), stats);
+  }
+  return stats;
+}
+
+}  // namespace liberate::fuzz

@@ -9,6 +9,7 @@
 // another element.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -168,6 +169,20 @@ class Network {
     auto elem = std::make_unique<T>(std::forward<Args>(args)...);
     T& ref = *elem;
     elements_.push_back(std::move(elem));
+    return ref;
+  }
+
+  /// Insert an element at `index` (0 = client side) into an already-built
+  /// path — how fault-injection links are slotted in front of existing
+  /// environments. Only valid before traffic flows: an in-flight walk holds
+  /// element indices.
+  template <typename T, typename... Args>
+  T& emplace_at(std::size_t index, Args&&... args) {
+    auto elem = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *elem;
+    index = std::min(index, elements_.size());
+    elements_.insert(elements_.begin() + static_cast<std::ptrdiff_t>(index),
+                     std::move(elem));
     return ref;
   }
 

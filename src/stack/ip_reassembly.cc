@@ -9,6 +9,15 @@ namespace liberate::stack {
 using netsim::Ipv4Header;
 using netsim::Ipv4View;
 
+void IpReassembler::evict_oldest() {
+  auto oldest = buffers_.begin();
+  for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+    if (it->second.first_seen < oldest->second.first_seen) oldest = it;
+  }
+  buffers_.erase(oldest);
+  LIBERATE_COUNTER_ADD("stack.reassembly_buffer_evicted", 1);
+}
+
 std::optional<Bytes> IpReassembler::push(BytesView datagram,
                                          netsim::TimePoint now) {
   auto parsed = netsim::parse_ipv4(datagram);
@@ -20,19 +29,45 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
   }
 
   LIBERATE_COUNTER_ADD("stack.fragments_received", 1);
+  std::size_t offset = v.fragment_offset_bytes();
+  if (offset >= limits_.max_datagram_bytes) {
+    LIBERATE_COUNTER_ADD("stack.reassembly_oversize_fragment", 1);
+    return std::nullopt;
+  }
+
   Key key{v.src, v.dst, v.protocol, v.identification};
+  auto found = buffers_.find(key);
+  if (found == buffers_.end() && buffers_.size() >= limits_.max_buffers) {
+    evict_oldest();
+  }
   Buffer& buf = buffers_[key];
   if (buf.pieces.empty()) buf.first_seen = now;
 
-  std::size_t offset = v.fragment_offset_bytes();
-  buf.pieces.push_back(
-      Piece{offset, Bytes(v.payload.begin(), v.payload.end())});
+  if (buf.pieces.size() >= limits_.max_pieces_per_buffer) {
+    LIBERATE_COUNTER_ADD("stack.reassembly_piece_overflow", 1);
+    return std::nullopt;
+  }
+  // Clamp piece data so no buffer can grow past the IPv4 maximum even when
+  // fed fragments whose actual payload exceeds their declared length.
+  BytesView payload = v.payload;
+  if (offset + payload.size() > limits_.max_datagram_bytes) {
+    payload = payload.subspan(0, limits_.max_datagram_bytes - offset);
+    LIBERATE_COUNTER_ADD("stack.reassembly_oversize_fragment", 1);
+  }
+  buf.pieces.push_back(Piece{offset, Bytes(payload.begin(), payload.end())});
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
   buf.piece_ids.push_back(
       obs::prov::ProvenanceRecorder::instance().packet(datagram, "wire"));
 #endif
   if (!v.flag_more_fragments) {
-    buf.total_size = offset + v.payload.size();
+    std::size_t claimed = offset + payload.size();
+    if (buf.total_size && *buf.total_size != claimed) {
+      // A second, disagreeing last fragment must not silently shrink or grow
+      // the datagram; the first claim stands.
+      LIBERATE_COUNTER_ADD("stack.reassembly_conflicting_last_fragment", 1);
+    } else {
+      buf.total_size = claimed;
+    }
   }
   if (offset == 0) {
     Ipv4Header h;
@@ -48,28 +83,39 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
   }
 
   // Completion check: we need the last piece, the first piece, and full
-  // coverage of [0, total_size).
+  // coverage of [0, total_size). Pieces lying (partly) outside that window —
+  // stray offsets past the last fragment — contribute nothing and must not
+  // be written into the reassembled buffer below.
   if (!buf.total_size || !buf.header) return std::nullopt;
+  const std::size_t total = *buf.total_size;
   std::vector<Piece> sorted = buf.pieces;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Piece& a, const Piece& b) { return a.offset < b.offset; });
+  // stable_sort: equal-offset fragments keep arrival order, so "last
+  // arrival wins" below is deterministic across STL implementations.
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const Piece& a, const Piece& b) { return a.offset < b.offset; });
   std::size_t covered = 0;
   for (const Piece& p : sorted) {
+    if (p.offset >= total) break;  // sorted: everything after is stray too
     if (p.offset > covered) return std::nullopt;  // gap
     covered = std::max(covered, p.offset + p.data.size());
   }
-  if (covered < *buf.total_size) return std::nullopt;
+  if (covered < total) return std::nullopt;
 
-  // Reassemble; later bytes win on overlap (first-writer order preserved by
-  // writing in sorted order, which matches "last fragment wins" semantics of
+  // Reassemble; on overlap, later offsets then later arrivals win (writing
+  // in stable-sorted order matches the "last fragment wins" semantics of
   // common stacks closely enough for our experiments).
-  Bytes payload(*buf.total_size, 0);
+  Bytes payload_out(total, 0);
   for (const Piece& p : sorted) {
-    std::size_t n = std::min(p.data.size(), payload.size() - p.offset);
+    if (p.offset >= total) {
+      LIBERATE_COUNTER_ADD("stack.reassembly_stray_piece", 1);
+      continue;
+    }
+    std::size_t n = std::min(p.data.size(), total - p.offset);
     std::copy_n(p.data.begin(), n,
-                payload.begin() + static_cast<std::ptrdiff_t>(p.offset));
+                payload_out.begin() + static_cast<std::ptrdiff_t>(p.offset));
   }
-  Bytes whole = serialize_ipv4(*buf.header, payload);
+  Bytes whole = serialize_ipv4(*buf.header, payload_out);
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
   {
     auto& rec = obs::prov::ProvenanceRecorder::instance();

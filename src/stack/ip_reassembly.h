@@ -5,6 +5,13 @@
 // endpoint stacks and (some) classifiers reassemble — whether a middlebox does
 // is one of the implementation quirks Table 3 probes (the testbed classifies
 // reassembled fragments; TMUS/GFC pass them; Iran's path drops them).
+//
+// Fragments are adversarial input here (the evasion shim *crafts* overlapping
+// and stray fragments), so every resource is bounded: tracked buffers, pieces
+// per buffer, and the reassembled datagram size. Pieces lying outside the
+// final [0, total_size) window are ignored rather than written (they used to
+// be an out-of-bounds write), and duplicate-offset overlaps resolve
+// deterministically (last arrival wins). See docs/robustness.md.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +25,26 @@
 
 namespace liberate::stack {
 
+/// Hard caps on reassembly state. Exceeding a cap never aborts — the
+/// offending fragment (or the oldest buffer) is dropped and an obs counter
+/// ticks, which is what a production stack under attack must do.
+struct ReassemblyLimits {
+  /// Concurrently tracked (incomplete) reassembly buffers; the oldest is
+  /// evicted to make room ("stack.reassembly_buffer_evicted").
+  std::size_t max_buffers = 1024;
+  /// Fragments buffered per datagram ("stack.reassembly_piece_overflow").
+  std::size_t max_pieces_per_buffer = 256;
+  /// Upper bound on any reassembled datagram payload — the IPv4 maximum.
+  /// Fragments starting at or past it are dropped
+  /// ("stack.reassembly_oversize_fragment").
+  std::size_t max_datagram_bytes = 65535;
+};
+
 class IpReassembler {
  public:
-  explicit IpReassembler(netsim::Duration timeout = netsim::seconds(30))
-      : timeout_(timeout) {}
+  explicit IpReassembler(netsim::Duration timeout = netsim::seconds(30),
+                         ReassemblyLimits limits = {})
+      : timeout_(timeout), limits_(limits) {}
 
   /// Feed one datagram. Non-fragments pass through unchanged. Fragments are
   /// buffered; when the set completes, the reassembled full datagram (with a
@@ -32,6 +55,7 @@ class IpReassembler {
   void expire(netsim::TimePoint now);
 
   std::size_t pending() const { return buffers_.size(); }
+  const ReassemblyLimits& limits() const { return limits_; }
 
  private:
   struct Key {
@@ -45,7 +69,7 @@ class IpReassembler {
     Bytes data;
   };
   struct Buffer {
-    std::vector<Piece> pieces;
+    std::vector<Piece> pieces;  // in arrival order (overlap tiebreak)
     std::optional<std::size_t> total_size;  // known once the MF=0 piece arrives
     netsim::TimePoint first_seen;
     // Header template taken from the offset-0 fragment.
@@ -56,7 +80,10 @@ class IpReassembler {
     std::vector<std::uint64_t> piece_ids;
   };
 
+  void evict_oldest();
+
   netsim::Duration timeout_;
+  ReassemblyLimits limits_;
   std::map<Key, Buffer> buffers_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "stack/host.h"
 
 namespace liberate::stack {
@@ -153,6 +154,8 @@ void TcpConnection::teardown(bool reset) {
   ++timer_generation_;  // cancel timers
   unacked_.clear();
   send_buffer_.clear();
+  out_of_order_.clear();
+  ooo_buffered_ = 0;
   if (reset) {
     if (on_reset_) on_reset_();
   } else {
@@ -280,11 +283,16 @@ void TcpConnection::handle_segment(const netsim::PacketView& pkt) {
     if (!seq_lt(seq, rcv_nxt_ + kRcvWindow)) {
       // Out of window: stateful anomaly. Drop (and re-ACK, like real stacks).
       send_ack();
+    } else if (ooo_buffered_ + payload.size() > kMaxOutOfOrderBytes) {
+      // Queue full: drop the segment (the sender will retransmit once the
+      // gap closes) instead of buffering unbounded adversarial floods.
+      LIBERATE_COUNTER_ADD("stack.tcp_ooo_overflow_drops", 1);
+      send_ack();
     } else {
       auto [it, inserted] = out_of_order_.emplace(
           seq, Bytes(payload.begin(), payload.end()));
       (void)it;
-      (void)inserted;
+      if (inserted) ooo_buffered_ += payload.size();
       deliver_in_order();
       send_ack();
     }
@@ -311,32 +319,32 @@ void TcpConnection::handle_segment(const netsim::PacketView& pkt) {
 }
 
 void TcpConnection::deliver_in_order() {
-  while (true) {
+  // The map is ordered by sequence offset from irs_, so begin() is always
+  // the stream-wise earliest segment: if it cannot be delivered (and is not
+  // stale), nothing later can either.
+  while (!out_of_order_.empty()) {
     auto it = out_of_order_.begin();
-    bool advanced = false;
-    for (; it != out_of_order_.end(); ++it) {
-      std::uint32_t seq = it->first;
-      Bytes& data = it->second;
-      if (seq_le(seq, rcv_nxt_) &&
-          seq_lt(rcv_nxt_, seq + static_cast<std::uint32_t>(data.size()))) {
-        std::uint32_t skip = rcv_nxt_ - seq;
-        BytesView fresh =
-            BytesView(data).subspan(skip);
-        bytes_delivered_ += fresh.size();
-        rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
-        if (on_data_) on_data_(fresh);
-        out_of_order_.erase(it);
-        advanced = true;
-        break;
-      }
-      if (seq_le(seq + static_cast<std::uint32_t>(data.size()), rcv_nxt_)) {
-        // Entirely stale.
-        out_of_order_.erase(it);
-        advanced = true;
-        break;
-      }
+    std::uint32_t seq = it->first;
+    Bytes& data = it->second;
+    const std::size_t held = data.size();
+    if (seq_le(seq + static_cast<std::uint32_t>(data.size()), rcv_nxt_)) {
+      // Entirely stale.
+      out_of_order_.erase(it);
+      ooo_buffered_ -= held;
+      continue;
     }
-    if (!advanced) break;
+    if (seq_le(seq, rcv_nxt_) &&
+        seq_lt(rcv_nxt_, seq + static_cast<std::uint32_t>(data.size()))) {
+      std::uint32_t skip = rcv_nxt_ - seq;
+      BytesView fresh = BytesView(data).subspan(skip);
+      bytes_delivered_ += fresh.size();
+      rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
+      if (on_data_) on_data_(fresh);
+      out_of_order_.erase(it);
+      ooo_buffered_ -= held;
+      continue;
+    }
+    break;  // gap before the earliest segment
   }
 }
 

@@ -67,6 +67,13 @@ class TcpConnection {
 
   static constexpr std::size_t kMss = 1400;
   static constexpr std::size_t kMaxInFlight = 64 * 1024;
+  /// Cap on buffered out-of-order payload bytes. Segments beyond it are
+  /// dropped (and re-ACKed) instead of growing the queue without bound —
+  /// crafted gap-never-closes floods would otherwise pin memory forever.
+  static constexpr std::size_t kMaxOutOfOrderBytes = 256 * 1024;
+
+  /// Bytes currently buffered in the out-of-order queue (tests/obs).
+  std::size_t out_of_order_bytes() const { return ooo_buffered_; }
 
  private:
   void transmit_data_segment(std::uint32_t seq, BytesView payload,
@@ -103,7 +110,21 @@ class TcpConnection {
   // Receive side.
   std::uint32_t irs_ = 0;
   std::uint32_t rcv_nxt_ = 0;
-  std::map<std::uint32_t, Bytes> out_of_order_;  // seq -> payload
+  // Orders sequence numbers by their unsigned offset from the initial
+  // receive sequence number, so segments just past a 2^32 wrap sort *after*
+  // pre-wrap segments (raw integer order would put them first and make the
+  // drain loop's winner depend on where the ISN happened to fall). irs_ is
+  // fixed for the life of the connection, so the ordering is stable while
+  // the map holds elements.
+  struct SeqOrder {
+    const std::uint32_t* base;
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      return a - *base < b - *base;
+    }
+  };
+  std::map<std::uint32_t, Bytes, SeqOrder> out_of_order_{
+      SeqOrder{&irs_}};  // seq -> payload
+  std::size_t ooo_buffered_ = 0;  // payload bytes held in out_of_order_
   static constexpr std::uint32_t kRcvWindow = 65535;
   bool peer_fin_received_ = false;
   std::uint32_t peer_fin_seq_ = 0;

@@ -1,0 +1,188 @@
+#include "netsim/faulty.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/packet.h"
+#include "stack/host.h"
+#include "util/rng.h"
+
+namespace liberate::netsim {
+namespace {
+
+struct RecordingHost : HostIface {
+  std::vector<Bytes> received;
+  void receive(Bytes datagram) override {
+    received.push_back(std::move(datagram));
+  }
+};
+
+struct Testbed {
+  EventLoop loop;
+  Network net{loop};
+  RecordingHost client, server;
+  Testbed() {
+    net.attach_client(&client);
+    net.attach_server(&server);
+  }
+};
+
+Bytes tcp_packet(std::uint16_t id, std::string_view payload) {
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.9.9.9");
+  ip.identification = id;
+  TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kAck;
+  return make_tcp_datagram(ip, tcp, to_bytes(payload));
+}
+
+// Counters copied out of a FaultyLink before its Network dies.
+struct FaultCounts {
+  std::uint64_t seen = 0, dropped = 0, duplicated = 0, truncated = 0,
+                corrupted = 0, reordered = 0;
+};
+
+// Pushes `count` distinct packets through a FaultyLink and returns the
+// delivered stream in arrival order.
+std::vector<Bytes> run_stream(const FaultPolicy& policy, std::uint64_t seed,
+                              int count, FaultCounts* counts_out = nullptr) {
+  Testbed tb;
+  auto& link = tb.net.emplace<FaultyLink>(policy, seed);
+  for (int i = 0; i < count; ++i) {
+    tb.net.send_from_client(
+        tcp_packet(static_cast<std::uint16_t>(i), "payload-" + std::to_string(i)));
+  }
+  tb.loop.run_until_idle();
+  if (counts_out) {
+    *counts_out = {link.seen(),      link.dropped(),   link.duplicated(),
+                   link.truncated(), link.corrupted(), link.reordered()};
+  }
+  return tb.server.received;
+}
+
+TEST(FaultyLink, SameSeedSameDeliveredByteStream) {
+  const auto policy = FaultPolicy::adversarial();
+  FaultCounts a_counts, b_counts;
+  auto a = run_stream(policy, 0xFEED, 200, &a_counts);
+  auto b = run_stream(policy, 0xFEED, 200, &b_counts);
+  EXPECT_EQ(a, b);  // byte-identical, including order
+  // Not just the stream: the entire fault sequence replays.
+  EXPECT_EQ(a_counts.dropped, b_counts.dropped);
+  EXPECT_EQ(a_counts.duplicated, b_counts.duplicated);
+  EXPECT_EQ(a_counts.truncated, b_counts.truncated);
+  EXPECT_EQ(a_counts.corrupted, b_counts.corrupted);
+  EXPECT_EQ(a_counts.reordered, b_counts.reordered);
+}
+
+TEST(FaultyLink, DifferentSeedDifferentFaults) {
+  const auto policy = FaultPolicy::adversarial();
+  auto a = run_stream(policy, 1, 200);
+  auto b = run_stream(policy, 2, 200);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultyLink, EveryFaultTypeFires) {
+  FaultPolicy policy;
+  policy.loss = 0.1;
+  policy.duplicate = 0.1;
+  policy.truncate = 0.1;
+  policy.corrupt = 0.1;
+  policy.reorder = 0.1;
+  policy.max_jitter = milliseconds(2);
+  FaultCounts counts;
+  run_stream(policy, 3, 400, &counts);
+  EXPECT_EQ(counts.seen, 400u);
+  EXPECT_GT(counts.dropped, 0u);
+  EXPECT_GT(counts.duplicated, 0u);
+  EXPECT_GT(counts.truncated, 0u);
+  EXPECT_GT(counts.corrupted, 0u);
+  EXPECT_GT(counts.reordered, 0u);
+}
+
+TEST(FaultyLink, CertainLossDeliversNothing) {
+  FaultPolicy policy;
+  policy.loss = 1.0;
+  FaultCounts counts;
+  auto got = run_stream(policy, 4, 50, &counts);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(counts.dropped, 50u);
+}
+
+TEST(FaultyLink, CertainDuplicationDoublesDelivery) {
+  FaultPolicy policy;
+  policy.duplicate = 1.0;
+  auto got = run_stream(policy, 5, 50);
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(FaultyLink, TruncationKeepsNonEmptyPrefix) {
+  FaultPolicy policy;
+  policy.truncate = 1.0;
+  Bytes original = tcp_packet(9, "a-reasonably-long-payload-to-truncate");
+  Testbed tb;
+  tb.net.emplace<FaultyLink>(policy, 6);
+  for (int i = 0; i < 50; ++i) tb.net.send_from_client(original);
+  tb.loop.run_until_idle();
+  ASSERT_EQ(tb.server.received.size(), 50u);
+  for (const Bytes& d : tb.server.received) {
+    EXPECT_GE(d.size(), 1u);
+    EXPECT_LT(d.size(), original.size());
+    EXPECT_TRUE(std::equal(d.begin(), d.end(), original.begin()));
+  }
+}
+
+TEST(FaultyLink, JitterDelaysButDeliversAll) {
+  FaultPolicy policy;
+  policy.max_jitter = milliseconds(10);
+  auto got = run_stream(policy, 7, 50);
+  EXPECT_EQ(got.size(), 50u);
+}
+
+TEST(FaultyLink, EmplaceAtPositionsElementInChain) {
+  // emplace_at(0) must put the faulty link *before* an existing tap, so
+  // dropped packets never reach it.
+  Testbed tb;
+  auto& tap = tb.net.emplace<TapElement>("after");
+  FaultPolicy policy;
+  policy.loss = 1.0;
+  tb.net.emplace_at<FaultyLink>(0, policy, 8);
+  for (int i = 0; i < 10; ++i) {
+    tb.net.send_from_client(tcp_packet(static_cast<std::uint16_t>(i), "x"));
+  }
+  tb.loop.run_until_idle();
+  EXPECT_EQ(tap.count(Direction::kClientToServer), 0u);
+  EXPECT_TRUE(tb.server.received.empty());
+}
+
+// End-to-end: a real TCP transfer survives checksum-preserving chaos (loss,
+// duplication, reordering, jitter) through retransmission and in-order
+// delivery, and arrives byte-identical.
+TEST(FaultyLink, TcpTransferSurvivesReorderHeavyChaos) {
+  EventLoop loop;
+  Network net{loop};
+  stack::Host client(net.client_port(), ip_addr("10.0.0.1"),
+                     stack::OsProfile::linux_profile());
+  stack::Host server(net.server_port(), ip_addr("10.9.9.9"),
+                     stack::OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+  net.emplace<FaultyLink>(FaultPolicy::reorder_heavy(), 0xC4A05);
+
+  Rng rng(99);
+  Bytes blob = rng.bytes(64 * 1024);
+  Bytes received;
+  server.tcp_listen(80, [&](stack::TcpConnection& c) {
+    c.on_data([&](BytesView data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80);
+  conn.on_established([&] { conn.send(BytesView(blob)); });
+  loop.run_until_idle();
+  EXPECT_EQ(received, blob);
+}
+
+}  // namespace
+}  // namespace liberate::netsim

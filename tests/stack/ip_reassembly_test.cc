@@ -141,5 +141,124 @@ TEST_P(ReassemblyProperty, RandomOrderAlwaysReassembles) {
 
 INSTANTIATE_TEST_SUITE_P(Trials, ReassemblyProperty, ::testing::Range(0, 20));
 
+// --- Robustness regressions (issue 4) --------------------------------------
+
+// A hand-built TCP-protocol fragment: offset in bytes (8-aligned), explicit
+// MF flag, arbitrary payload.
+Bytes raw_fragment(std::size_t offset, BytesView payload, bool more_fragments,
+                   std::uint16_t id = 0x42) {
+  Ipv4Header ip;
+  ip.src = ip_addr("10.0.0.1");
+  ip.dst = ip_addr("10.0.0.2");
+  ip.identification = id;
+  ip.protocol = 6;
+  ip.fragment_offset_words = static_cast<std::uint16_t>(offset / 8);
+  ip.flag_more_fragments = more_fragments;
+  return serialize_ipv4(ip, payload);
+}
+
+Bytes pattern(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+// Regression for the heap OOB write: pieces [0,100), a last fragment
+// [48,60) declaring total_size = 60, and a stray piece at offset 80 — i.e.
+// entirely beyond the declared end. The old copy loop computed
+// `payload.size() - p.offset` for the stray piece, underflowed, and wrote
+// past the 60-byte reassembly buffer (ASan caught it as a heap buffer
+// overflow). Now the stray bytes are skipped and the datagram is exact.
+TEST(IpReassemblyRobustness, StrayFragmentPastTotalSizeIsBounded) {
+  IpReassembler r;
+  EXPECT_FALSE(r.push(raw_fragment(0, pattern(100, 0x11), true), 0));
+  EXPECT_FALSE(r.push(raw_fragment(80, pattern(8, 0xBB), true), 0));
+  auto out = r.push(raw_fragment(48, pattern(12, 0xAA), false), 0);
+  ASSERT_TRUE(out.has_value());
+  auto got = parse_ipv4(*out).value();
+  ASSERT_EQ(got.payload.size(), 60u);
+  // [0,48) from the first piece; [48,60) from the later-arriving last piece.
+  for (std::size_t i = 0; i < 48; ++i) EXPECT_EQ(got.payload[i], 0x11) << i;
+  for (std::size_t i = 48; i < 60; ++i) EXPECT_EQ(got.payload[i], 0xAA) << i;
+}
+
+// Duplicate-offset overlap resolution must not depend on std::sort's
+// unspecified ordering of equal keys: with stable_sort, the later arrival
+// at the same offset deterministically wins the overlapping bytes.
+TEST(IpReassemblyRobustness, DuplicateOffsetOverlapIsArrivalDeterministic) {
+  for (int trial = 0; trial < 4; ++trial) {
+    IpReassembler r;
+    EXPECT_FALSE(r.push(raw_fragment(0, pattern(64, 0x11), true), 0));
+    EXPECT_FALSE(r.push(raw_fragment(0, pattern(64, 0x22), true), 0));
+    auto out = r.push(raw_fragment(64, pattern(8, 0x33), false), 0);
+    ASSERT_TRUE(out.has_value());
+    auto got = parse_ipv4(*out).value();
+    ASSERT_EQ(got.payload.size(), 72u);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ASSERT_EQ(got.payload[i], 0x22) << "trial " << trial << " byte " << i;
+    }
+  }
+}
+
+// Two disagreeing MF=0 fragments: the first total_size claim stands; the
+// conflicting one is counted, not honored (it must neither grow nor shrink
+// the datagram under reassembly).
+TEST(IpReassemblyRobustness, ConflictingLastFragmentKeepsFirstClaim) {
+  IpReassembler r;
+  // First claim: [48,60) => total 60.
+  EXPECT_FALSE(r.push(raw_fragment(48, pattern(12, 0xAA), false), 0));
+  // Conflicting claim: [56,64) => total 64. Ignored.
+  EXPECT_FALSE(r.push(raw_fragment(56, pattern(8, 0xBB), false), 0));
+  auto out = r.push(raw_fragment(0, pattern(56, 0x11), true), 0);
+  ASSERT_TRUE(out.has_value());
+  auto got = parse_ipv4(*out).value();
+  EXPECT_EQ(got.payload.size(), 60u);  // 64 would mean the second claim won
+}
+
+TEST(IpReassemblyRobustness, BufferCapEvictsOldestFlow) {
+  ReassemblyLimits limits;
+  limits.max_buffers = 2;
+  IpReassembler r(seconds(30), limits);
+  // Three concurrent flows, one fragment each, arriving at distinct times.
+  EXPECT_FALSE(r.push(raw_fragment(0, pattern(16, 1), true, 1), 0));
+  EXPECT_FALSE(r.push(raw_fragment(0, pattern(16, 2), true, 2), milliseconds(1)));
+  EXPECT_FALSE(r.push(raw_fragment(0, pattern(16, 3), true, 3), milliseconds(2)));
+  EXPECT_EQ(r.pending(), 2u);  // flow 1 (oldest) was evicted
+  // Completing the evicted flow cannot succeed from its last fragment alone.
+  EXPECT_FALSE(r.push(raw_fragment(16, pattern(8, 1), false, 1), milliseconds(3)));
+  // The newest flow still completes normally.
+  auto out = r.push(raw_fragment(16, pattern(8, 3), false, 3), milliseconds(3));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(parse_ipv4(*out).value().payload.size(), 24u);
+}
+
+TEST(IpReassemblyRobustness, PieceCapStopsHostileFlows) {
+  ReassemblyLimits limits;
+  limits.max_pieces_per_buffer = 4;
+  IpReassembler r(seconds(30), limits);
+  // Six pieces of one flow: everything past the fourth is refused, so the
+  // flow can never complete — and never grows the buffer either.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FALSE(r.push(raw_fragment(i * 8, pattern(8, 0x44), i + 1 < 6), 0));
+  }
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(IpReassemblyRobustness, OversizeOffsetFragmentIsDropped) {
+  ReassemblyLimits limits;
+  limits.max_datagram_bytes = 1000;
+  IpReassembler r(seconds(30), limits);
+  EXPECT_FALSE(r.push(raw_fragment(1024, pattern(8, 0x55), true), 0));
+  EXPECT_EQ(r.pending(), 0u);  // not even buffered
+}
+
+TEST(IpReassemblyRobustness, OverlongPieceIsClampedToMaxDatagram) {
+  ReassemblyLimits limits;
+  limits.max_datagram_bytes = 64;
+  IpReassembler r(seconds(30), limits);
+  // [0,128) payload against a 64-byte ceiling: the stored piece is clamped,
+  // and a last fragment at [56,64) completes a 64-byte datagram.
+  EXPECT_FALSE(r.push(raw_fragment(0, pattern(128, 0x66), true), 0));
+  auto out = r.push(raw_fragment(56, pattern(8, 0x77), false), 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(parse_ipv4(*out).value().payload.size(), 64u);
+}
+
 }  // namespace
 }  // namespace liberate::stack

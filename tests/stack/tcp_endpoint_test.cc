@@ -265,5 +265,128 @@ INSTANTIATE_TEST_SUITE_P(Sizes, TcpTransfer,
                          ::testing::Values(0, 1, 1399, 1400, 1401, 2800, 4096,
                                            65536, 131072));
 
+// --- Robustness regressions (issue 4) --------------------------------------
+
+// A scripted raw peer: the Host under test talks to a recorder, so we can
+// hand-craft the peer's sequence numbers (the Host's own ISS is fixed).
+struct RawPeerRig {
+  EventLoop loop;
+  Network net{loop};
+  struct Recorder : HostIface {
+    std::vector<Bytes> received;
+    void receive(Bytes datagram) override {
+      received.push_back(std::move(datagram));
+    }
+  } peer;
+  Host server;
+
+  RawPeerRig()
+      : server(net.server_port(), ip_addr("10.9.9.9"),
+               OsProfile::linux_profile()) {
+    net.attach_client(&peer);
+    net.attach_server(&server);
+  }
+
+  void inject(std::uint32_t seq, std::uint32_t ack, std::uint8_t flags,
+              BytesView payload = {}) {
+    Ipv4Header ip;
+    ip.src = ip_addr("10.0.0.1");
+    ip.dst = ip_addr("10.9.9.9");
+    TcpHeader tcp;
+    tcp.src_port = 5555;
+    tcp.dst_port = 80;
+    tcp.seq = seq;
+    tcp.ack = ack;
+    tcp.flags = flags;
+    net.send_from_client(make_tcp_datagram(ip, tcp, payload));
+    // Bounded run: a scripted peer never ACKs the server's SYN-ACK promptly,
+    // and the retransmit timer rearms forever — run_until_idle would spin.
+    loop.run_for(milliseconds(50));
+  }
+
+  // Completes a handshake with the given client ISN; returns the server's
+  // ISS (parsed off its SYN-ACK on the wire).
+  std::uint32_t handshake(std::uint32_t isn) {
+    inject(isn, 0, TcpFlags::kSyn);
+    std::uint32_t server_iss = 0;
+    bool found = false;
+    for (const Bytes& d : peer.received) {
+      auto pkt = parse_packet(d);
+      if (pkt.ok() && pkt.value().tcp &&
+          (pkt.value().tcp->flags & TcpFlags::kSyn) &&
+          (pkt.value().tcp->flags & TcpFlags::kAck)) {
+        server_iss = pkt.value().tcp->seq;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "no SYN-ACK on the wire";
+    inject(isn + 1, server_iss + 1, TcpFlags::kAck);
+    return server_iss;
+  }
+};
+
+// Regression for the out-of-order map's raw-uint32 ordering: a flow whose
+// ISN sits just below 2^32 sends its stream across the wrap, out of order.
+// Post-wrap sequence numbers are numerically *smaller* than pre-wrap ones,
+// so any raw comparison misorders the buffered segments; the offset-from-ISN
+// comparator must still deliver the application bytes exactly in order.
+TEST(TcpEndpointRobustness, OutOfOrderDeliveryAcrossSequenceWrap) {
+  RawPeerRig rig;
+  std::string got;
+  stack::TcpConnection* accepted = nullptr;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    accepted = &c;
+    c.on_data([&](BytesView data) { got += to_string(data); });
+  });
+
+  const std::uint32_t isn = 0xFFFFFFF6;  // first data byte at 0xFFFFFFF7
+  std::uint32_t server_iss = rig.handshake(isn);
+  ASSERT_NE(accepted, nullptr);
+
+  const std::string data = "ABCDEFGHIJKLMNOPQRST";  // 20 bytes, wraps after 9
+  auto seg = [&](std::size_t lo, std::size_t hi) {
+    rig.inject(isn + 1 + static_cast<std::uint32_t>(lo), server_iss + 1,
+               TcpFlags::kAck | TcpFlags::kPsh,
+               BytesView(to_bytes(std::string_view(data).substr(lo, hi - lo))));
+  };
+  // Arrival order: both post-gap segments first (one past the wrap, one
+  // before it), then the opener. The buffered pair straddles the wrap.
+  seg(9, 20);  // seq 0x00000000 — numerically smallest, logically last
+  seg(5, 9);   // seq 0xFFFFFFFC — pre-wrap tail
+  EXPECT_EQ(got, "");  // nothing deliverable yet
+  EXPECT_EQ(accepted->out_of_order_bytes(), 15u);
+  seg(0, 5);   // seq 0xFFFFFFF7 closes the gap
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(accepted->out_of_order_bytes(), 0u);
+}
+
+// The out-of-order buffer is bounded: a crafted flood past a gap that never
+// closes must cap at kMaxOutOfOrderBytes instead of pinning memory forever.
+TEST(TcpEndpointRobustness, OutOfOrderBufferIsBounded) {
+  RawPeerRig rig;
+  stack::TcpConnection* accepted = nullptr;
+  std::size_t delivered = 0;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    accepted = &c;
+    c.on_data([&](BytesView data) { delivered += data.size(); });
+  });
+  std::uint32_t server_iss = rig.handshake(700000);
+  ASSERT_NE(accepted, nullptr);
+
+  // 300 overlapping 1 KB segments at consecutive sequence numbers, all past
+  // the 1-byte gap at rcv_nxt and all inside the receive window, so each one
+  // is individually bufferable — 300 KB offered against a 256 KB cap.
+  Bytes chunk(1024, 0x5A);
+  const std::size_t kSegments = 300;
+  for (std::size_t i = 0; i < kSegments; ++i) {
+    rig.inject(700001 + 1 + static_cast<std::uint32_t>(i), server_iss + 1,
+               TcpFlags::kAck, chunk);
+    ASSERT_LE(accepted->out_of_order_bytes(),
+              TcpConnection::kMaxOutOfOrderBytes);
+  }
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(accepted->out_of_order_bytes(), TcpConnection::kMaxOutOfOrderBytes);
+}
+
 }  // namespace
 }  // namespace liberate::stack
