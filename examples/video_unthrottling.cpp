@@ -84,16 +84,20 @@ int main() {
     harder.flush_flow_on_rst = false;
     env->dpi->engine().set_config(harder);
   }
-  auto fresh = lib.readapt(report, app);
-  if (!fresh) {
-    std::printf("old technique still works (no re-analysis needed)\n");
+  auto verdict = lib.readapt(report, app);
+  if (verdict.still_working) {
+    std::printf("old technique still works (%d verification round)\n",
+                verdict.report.total_rounds);
   } else {
-    std::printf("rule change detected; re-characterized. new fields:\n");
-    for (const auto& f : fresh->characterization.fields) {
+    const auto& fresh = verdict.report;
+    std::printf("rule change detected; re-characterized (%d rounds). "
+                "new fields:\n",
+                fresh.total_rounds);
+    for (const auto& f : fresh.characterization.fields) {
       std::printf("  \"%s\"\n", printable(BytesView(f.content), 44).c_str());
     }
     std::printf("new selected technique: %s\n",
-                fresh->selected_technique.value_or("(none)").c_str());
+                fresh.selected_technique.value_or("(none)").c_str());
   }
 
   std::printf("\n=== the UDP loophole ===\n");

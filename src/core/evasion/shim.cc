@@ -51,6 +51,31 @@ std::string piece_detail(const PacketView& parent, const Bytes& piece) {
 }  // namespace
 #endif
 
+FlowShimState& EvasionShim::touch_flow(const netsim::FiveTuple& tuple) {
+  auto pos = flow_order_pos_.find(tuple);
+  if (pos != flow_order_pos_.end()) {
+    flow_order_.splice(flow_order_.begin(), flow_order_, pos->second);
+  } else {
+    flow_order_.push_front(tuple);
+    flow_order_pos_[tuple] = flow_order_.begin();
+    flows_[tuple];  // default-construct the state
+    enforce_flow_cap();
+  }
+  return flows_[tuple];
+}
+
+void EvasionShim::enforce_flow_cap() {
+  if (max_flows_ == 0) return;
+  while (flows_.size() > max_flows_) {
+    const netsim::FiveTuple victim = flow_order_.back();
+    flow_order_.pop_back();
+    flow_order_pos_.erase(victim);
+    flows_.erase(victim);
+    ++flows_evicted_;
+    LIBERATE_COUNTER_ADD("core.shim.flow_evictions", 1);
+  }
+}
+
 void EvasionShim::emit(std::vector<TimedDatagram> datagrams) {
   for (auto& td : datagrams) {
     if (td.delay == 0) {
@@ -89,7 +114,7 @@ void EvasionShim::send(Bytes datagram) {
   }
 
   FiveTuple tuple = pkt.five_tuple();
-  FlowShimState& state = flows_[tuple];
+  FlowShimState& state = touch_flow(tuple);
   state.tuple = tuple;
   state.udp = pkt.is_udp();
 

@@ -8,7 +8,9 @@
 // or rewrite packets.
 #pragma once
 
+#include <list>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "core/evasion/technique.h"
@@ -18,6 +20,13 @@ namespace liberate::core {
 
 class EvasionShim : public netsim::NetworkPort {
  public:
+  /// Default per-flow state cap: deployments wrap every flow of an
+  /// application, and an unbounded table would grow with fleet traffic.
+  static constexpr std::size_t kDefaultMaxFlows = 4096;
+
+  /// Non-owning construction: `technique` must outlive the shim (the replay
+  /// harness scopes both to one round). Deployments that swap techniques at
+  /// runtime must use the owning set_technique overloads instead.
   EvasionShim(netsim::NetworkPort& inner, Technique* technique,
               TechniqueContext context)
       : inner_(inner), technique_(technique), context_(std::move(context)) {}
@@ -25,10 +34,31 @@ class EvasionShim : public netsim::NetworkPort {
   void send(Bytes datagram) override;
   netsim::EventLoop& loop() override { return inner_.loop(); }
 
-  /// Swap the active technique at runtime (adaptation).
-  void set_technique(Technique* technique) { technique_ = technique; }
+  /// Swap the active technique at runtime (adaptation). The shim takes
+  /// (shared) ownership so packets in flight keep a live technique even if
+  /// the control plane drops its reference first — hot-swapping mid-flow
+  /// must never leave technique_ dangling.
+  void set_technique(std::shared_ptr<Technique> technique) {
+    owned_technique_ = std::move(technique);
+    technique_ = owned_technique_.get();
+  }
+  void clear_technique() {
+    technique_ = nullptr;
+    owned_technique_.reset();
+  }
+  const Technique* technique() const { return technique_; }
   void set_context(TechniqueContext context) { context_ = std::move(context); }
   const TechniqueContext& context() const { return context_; }
+
+  /// Bound the per-flow state table (LRU eviction; 0 = unlimited). Evicting
+  /// a live flow forgets its "already mutated" marks, so the cap should sit
+  /// well above the expected concurrent-flow count — the default does.
+  void set_max_flows(std::size_t max_flows) {
+    max_flows_ = max_flows;
+    enforce_flow_cap();
+  }
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::uint64_t flows_evicted() const { return flows_evicted_; }
 
   /// Localization support: force this TTL onto packets that carry matching
   /// fields (used by the TTL-probing phase, §5.2).
@@ -41,11 +71,24 @@ class EvasionShim : public netsim::NetworkPort {
 
  private:
   void emit(std::vector<TimedDatagram> datagrams);
+  /// Look up (or create) the flow's state and mark it most recently used,
+  /// evicting the coldest flow when the table exceeds max_flows_.
+  FlowShimState& touch_flow(const netsim::FiveTuple& tuple);
+  void enforce_flow_cap();
 
   netsim::NetworkPort& inner_;
   Technique* technique_;
+  /// Set by the owning set_technique overloads; null when the technique is
+  /// externally owned (replay-scoped construction).
+  std::shared_ptr<Technique> owned_technique_;
   TechniqueContext context_;
   std::map<netsim::FiveTuple, FlowShimState> flows_;
+  // LRU bookkeeping for flows_: front = most recently touched.
+  std::list<netsim::FiveTuple> flow_order_;
+  std::map<netsim::FiveTuple, std::list<netsim::FiveTuple>::iterator>
+      flow_order_pos_;
+  std::size_t max_flows_ = kDefaultMaxFlows;
+  std::uint64_t flows_evicted_ = 0;
   std::optional<Bytes> held_udp_packet_;
   std::optional<std::uint8_t> match_packet_ttl_;
   std::uint64_t packets_injected_ = 0;

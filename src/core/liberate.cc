@@ -42,11 +42,7 @@ std::unique_ptr<Technique> Liberate::instantiate(
   return nullptr;
 }
 
-std::unique_ptr<Deployment> Liberate::deploy(const SessionReport& report,
-                                             netsim::NetworkPort& inner) const {
-  if (!report.selected_technique) return nullptr;
-  auto technique = instantiate(*report.selected_technique);
-  if (!technique) return nullptr;
+TechniqueContext deployment_context(const SessionReport& report) {
   TechniqueContext ctx;
   ctx.matching_snippets = report.characterization.snippets();
   ctx.decoy_payload = decoy_request_payload();
@@ -54,31 +50,52 @@ std::unique_ptr<Deployment> Liberate::deploy(const SessionReport& report,
     ctx.middlebox_ttl =
         static_cast<std::uint8_t>(*report.characterization.middlebox_hops);
   }
-  return std::make_unique<Deployment>(inner, std::move(technique),
-                                      std::move(ctx));
+  return ctx;
 }
 
-std::optional<SessionReport> Liberate::readapt(
-    const SessionReport& previous, const trace::ApplicationTrace& trace) {
-  if (!previous.selected_technique) return analyze(trace);
-  auto technique = instantiate(*previous.selected_technique);
-  if (!technique) return analyze(trace);
+std::unique_ptr<Deployment> Liberate::deploy(const SessionReport& report,
+                                             netsim::NetworkPort& inner) const {
+  if (!report.selected_technique) return nullptr;
+  auto technique = instantiate(*report.selected_technique);
+  if (!technique) return nullptr;
+  return std::make_unique<Deployment>(inner, std::move(technique),
+                                      deployment_context(report));
+}
 
-  // Replay with the previously working technique: if differentiation
-  // reappears, the rules changed — redo characterization and evaluation.
-  ReplayOptions opts;
-  opts.technique = technique.get();
-  opts.context.matching_snippets = previous.characterization.snippets();
-  opts.context.decoy_payload = decoy_request_payload();
-  if (previous.characterization.middlebox_hops) {
-    opts.context.middlebox_ttl = static_cast<std::uint8_t>(
-        *previous.characterization.middlebox_hops);
+ReadaptResult Liberate::readapt(const SessionReport& previous,
+                                const trace::ApplicationTrace& trace) {
+  const int rounds0 = runner_.rounds();
+  const std::uint64_t bytes0 = runner_.bytes_offered();
+  const double t0 = runner_.virtual_seconds_elapsed();
+
+  ReadaptResult result;
+  auto technique = previous.selected_technique
+                       ? instantiate(*previous.selected_technique)
+                       : nullptr;
+  if (!technique) {
+    result.report = analyze(trace);
+  } else {
+    // Replay with the previously working technique: if differentiation
+    // reappears, the rules changed — redo characterization and evaluation.
+    ReplayOptions opts;
+    opts.technique = technique.get();
+    opts.context = deployment_context(previous);
+    ReplayOutcome outcome = runner_.run(trace, opts);
+    if (!runner_.differentiated(outcome) && outcome.completed) {
+      result.still_working = true;  // still evading fine
+      result.report = previous;
+    } else {
+      result.report = analyze(trace);
+    }
   }
-  ReplayOutcome outcome = runner_.run(trace, opts);
-  if (!runner_.differentiated(outcome) && outcome.completed) {
-    return std::nullopt;  // still evading fine
-  }
-  return analyze(trace);
+
+  // Cost accounting covers everything readapt spent: the verification round
+  // plus (when taken) the full re-analysis.
+  result.report.total_rounds = runner_.rounds() - rounds0;
+  result.report.total_bytes = runner_.bytes_offered() - bytes0;
+  result.report.total_virtual_minutes =
+      (runner_.virtual_seconds_elapsed() - t0) / 60.0;
+  return result;
 }
 
 }  // namespace liberate::core

@@ -30,26 +30,55 @@ struct SessionReport {
   double total_virtual_minutes = 0;
 };
 
+/// Outcome of runtime adaptation. Unlike the old optional<SessionReport>
+/// (where "still works" lost the probe cost spent finding that out),
+/// `report` always carries cost accounting for what readapt actually did:
+/// the verification replay alone on the cheap path, verification plus the
+/// full re-analysis otherwise.
+struct ReadaptResult {
+  /// True when the previously selected technique still evades; `report` is
+  /// then the previous report with totals replaced by the verification cost.
+  bool still_working = false;
+  SessionReport report;
+};
+
+/// The TechniqueContext a deployment derives from an analysis: matching
+/// snippets, decoy payload, and the localized middlebox TTL. Shared by
+/// Liberate::deploy and the deployment control plane.
+TechniqueContext deployment_context(const SessionReport& report);
+
 /// A deployed evasion: an EvasionShim bound to the selected technique, ready
 /// to wrap a live application's NetworkPort (library/transparent-proxy
-/// deployment).
+/// deployment). The shim co-owns the technique so redeploy() can swap it
+/// mid-flow without dangling the pointer under packets in flight.
 class Deployment {
  public:
   Deployment(netsim::NetworkPort& inner, std::unique_ptr<Technique> technique,
              TechniqueContext context)
-      : technique_(std::move(technique)),
-        shim_(std::make_unique<EvasionShim>(inner, technique_.get(),
-                                            std::move(context))) {}
+      : shim_(std::make_unique<EvasionShim>(inner, nullptr,
+                                            std::move(context))) {
+    shim_->set_technique(std::shared_ptr<Technique>(std::move(technique)));
+  }
 
   netsim::NetworkPort& port() { return *shim_; }
-  const Technique* technique() const { return technique_.get(); }
+  EvasionShim& shim() { return *shim_; }
+  const Technique* technique() const { return shim_->technique(); }
   /// Timing directives live applications must honor for flush techniques.
   TimingPlan timing() const {
-    return technique_ ? technique_->timing(shim_->context()) : TimingPlan{};
+    const Technique* t = shim_->technique();
+    return t ? t->timing(shim_->context()) : TimingPlan{};
+  }
+
+  /// Runtime adaptation: point the live shim at a new technique/context.
+  /// Flows already wrapped keep their per-flow state; the old technique
+  /// stays alive until the last in-flight packet that borrowed it is gone.
+  void redeploy(std::unique_ptr<Technique> technique,
+                TechniqueContext context) {
+    shim_->set_context(std::move(context));
+    shim_->set_technique(std::shared_ptr<Technique>(std::move(technique)));
   }
 
  private:
-  std::unique_ptr<Technique> technique_;
   std::unique_ptr<EvasionShim> shim_;
 };
 
@@ -68,16 +97,19 @@ class Liberate {
   /// Runtime adaptation (§4.2 "lib·erate must run the characterization step
   /// whenever an application's classification rule changes"): re-test with
   /// the previously selected technique; if differentiation reappeared,
-  /// re-analyze from scratch. Returns the fresh report (or nullopt if the
-  /// old technique still works).
-  std::optional<SessionReport> readapt(const SessionReport& previous,
-                                       const trace::ApplicationTrace& trace);
+  /// re-analyze from scratch. `still_working` distinguishes the cheap path;
+  /// either way `report` carries the cost actually spent (the verification
+  /// round alone, or verification + full re-analysis).
+  ReadaptResult readapt(const SessionReport& previous,
+                        const trace::ApplicationTrace& trace);
+
+  /// Build a technique instance by suite name (nullptr if unknown). Public
+  /// so the deployment control plane can walk cached technique rankings.
+  std::unique_ptr<Technique> instantiate(const std::string& name) const;
 
   ReplayRunner& runner() { return runner_; }
 
  private:
-  std::unique_ptr<Technique> instantiate(const std::string& name) const;
-
   dpi::Environment& env_;
   ReplayRunner runner_;
 };

@@ -1,0 +1,82 @@
+#include "deploy/drift.h"
+
+#include "obs/obs.h"
+
+namespace liberate::deploy {
+
+const char* drift_kind_name(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kDifferentiationReappeared:
+      return "differentiation-reappeared";
+    case DriftKind::kBlockingSurge:
+      return "blocking-surge";
+    case DriftKind::kCompletionCollapse:
+      return "completion-collapse";
+  }
+  return "unknown";
+}
+
+std::optional<DriftKind> DriftMonitor::classify(const WaveStats& wave) const {
+  // Ordered by evidence strength: a wave that both blocks and fails to
+  // complete is reported as the more specific blocking surge.
+  if (wave.differentiated_rate() >
+      baseline_.differentiated_rate() + thresholds_.differentiated_slack) {
+    return DriftKind::kDifferentiationReappeared;
+  }
+  if (wave.blocked_rate() >
+      baseline_.blocked_rate() + thresholds_.blocked_slack) {
+    return DriftKind::kBlockingSurge;
+  }
+  if (wave.incomplete_rate() >
+      baseline_.incomplete_rate() + thresholds_.incomplete_slack) {
+    return DriftKind::kCompletionCollapse;
+  }
+  return std::nullopt;
+}
+
+std::optional<DriftSignal> DriftMonitor::observe(const WaveStats& wave) {
+  ++waves_observed_;
+  if (wave.flows < thresholds_.min_flows) return std::nullopt;
+
+  if (!have_baseline_) {
+    baseline_ = wave;
+    have_baseline_ = true;
+    return std::nullopt;
+  }
+
+  auto kind = classify(wave);
+  if (!kind) {
+    // Hysteresis down: suspicion survives isolated clean waves.
+    if (++clean_streak_ >= thresholds_.waves_to_clear) suspect_streak_ = 0;
+    return std::nullopt;
+  }
+
+  clean_streak_ = 0;
+  ++suspect_streak_;
+  LIBERATE_COUNTER_ADD("deploy.drift.suspect_waves", 1);
+  if (suspect_streak_ < thresholds_.waves_to_confirm) return std::nullopt;
+
+  DriftSignal signal;
+  signal.kind = *kind;
+  signal.wave = waves_observed_ - 1;
+  switch (*kind) {
+    case DriftKind::kDifferentiationReappeared:
+      signal.rate = wave.differentiated_rate();
+      signal.baseline = baseline_.differentiated_rate();
+      break;
+    case DriftKind::kBlockingSurge:
+      signal.rate = wave.blocked_rate();
+      signal.baseline = baseline_.blocked_rate();
+      break;
+    case DriftKind::kCompletionCollapse:
+      signal.rate = wave.incomplete_rate();
+      signal.baseline = baseline_.incomplete_rate();
+      break;
+  }
+  signal.suspect_waves = suspect_streak_;
+  suspect_streak_ = 0;  // one signal per confirmation
+  LIBERATE_COUNTER_ADD("deploy.drift.signals", 1);
+  return signal;
+}
+
+}  // namespace liberate::deploy

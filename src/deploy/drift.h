@@ -1,0 +1,126 @@
+// drift.h — detecting classifier drift on deployed fleets.
+//
+// A deployment is only as good as its last characterization: classifiers
+// get updated, rules move to other fields, middleboxes learn (related work:
+// DPI deployments are heterogeneous and adaptive). The DriftMonitor samples
+// each wave's observed treatment — differentiation rate, blocking rate,
+// completion rate — against the baseline recorded at deploy time and raises
+// a typed DriftSignal when treatment degrades. Hysteresis (consecutive
+// suspect waves to confirm, consecutive clean waves to clear) keeps
+// transient chaos — a FaultyLink loss burst, one unlucky wave — from
+// triggering a false re-analysis, which costs real probe rounds.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace liberate::deploy {
+
+/// Per-wave observed treatment, merged across shards.
+struct WaveStats {
+  std::size_t flows = 0;
+  std::size_t differentiated = 0;  // policy observed on the flow
+  std::size_t blocked = 0;         // RST/403 terminated
+  std::size_t incomplete = 0;      // response not fully delivered
+
+  double differentiated_rate() const {
+    return flows == 0 ? 0.0
+                      : static_cast<double>(differentiated) /
+                            static_cast<double>(flows);
+  }
+  double blocked_rate() const {
+    return flows == 0
+               ? 0.0
+               : static_cast<double>(blocked) / static_cast<double>(flows);
+  }
+  double incomplete_rate() const {
+    return flows == 0
+               ? 0.0
+               : static_cast<double>(incomplete) / static_cast<double>(flows);
+  }
+
+  WaveStats& operator+=(const WaveStats& o) {
+    flows += o.flows;
+    differentiated += o.differentiated;
+    blocked += o.blocked;
+    incomplete += o.incomplete;
+    return *this;
+  }
+};
+
+enum class DriftKind {
+  /// Differentiation reappeared on deployed flows: the classifier matches
+  /// again despite the evasion — the strongest drift evidence.
+  kDifferentiationReappeared,
+  /// Blocking verdicts surged past baseline (RST/403 treatments).
+  kBlockingSurge,
+  /// Flows stopped completing (without explicit blocking) — e.g. a
+  /// middlebox silently dropping the mutated packets.
+  kCompletionCollapse,
+};
+
+const char* drift_kind_name(DriftKind kind);
+
+struct DriftThresholds {
+  /// How far above the deploy-time baseline each rate must sit before a
+  /// wave counts as suspect. Slack absorbs the noise floor: under an
+  /// adversarial FaultyLink some flows lose their mutated packets and get
+  /// classified even while the technique works.
+  double differentiated_slack = 0.20;
+  double blocked_slack = 0.25;
+  double incomplete_slack = 0.40;
+  /// Consecutive suspect waves before a signal fires (hysteresis up).
+  int waves_to_confirm = 2;
+  /// Consecutive clean waves before accumulated suspicion resets
+  /// (hysteresis down: one clean wave amid a real drift must not restart
+  /// the confirmation count).
+  int waves_to_clear = 2;
+  /// Waves smaller than this are ignored entirely (no statistical power).
+  std::size_t min_flows = 8;
+};
+
+struct DriftSignal {
+  DriftKind kind = DriftKind::kDifferentiationReappeared;
+  std::size_t wave = 0;   // wave index that confirmed the drift
+  double rate = 0;        // offending rate in that wave
+  double baseline = 0;    // deploy-time baseline of the same rate
+  int suspect_waves = 0;  // consecutive suspect waves at confirmation
+};
+
+/// Feed one merged WaveStats per wave; fires at most one signal per
+/// confirmation (then resets its streak — the control plane re-baselines
+/// via rebaseline() after re-deploying).
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// The first adequately-sized wave after construction (or rebaseline())
+  /// becomes the baseline; subsequent waves are judged against it.
+  std::optional<DriftSignal> observe(const WaveStats& wave);
+
+  /// Forget the baseline (after re-deployment the treatment profile of the
+  /// new technique becomes the new normal).
+  void rebaseline() {
+    have_baseline_ = false;
+    suspect_streak_ = 0;
+    clean_streak_ = 0;
+  }
+
+  bool has_baseline() const { return have_baseline_; }
+  const WaveStats& baseline() const { return baseline_; }
+  int suspect_streak() const { return suspect_streak_; }
+  std::size_t waves_observed() const { return waves_observed_; }
+
+ private:
+  std::optional<DriftKind> classify(const WaveStats& wave) const;
+
+  DriftThresholds thresholds_;
+  WaveStats baseline_;
+  bool have_baseline_ = false;
+  int suspect_streak_ = 0;
+  int clean_streak_ = 0;
+  std::size_t waves_observed_ = 0;
+};
+
+}  // namespace liberate::deploy

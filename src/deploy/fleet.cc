@@ -1,0 +1,456 @@
+#include "deploy/fleet.h"
+
+#include <algorithm>
+#include <future>
+
+#include "dpi/profiles.h"
+#include "obs/obs.h"
+#include "stack/host.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace liberate::deploy {
+
+using netsim::Duration;
+using netsim::seconds;
+using netsim::TimePoint;
+using stack::Host;
+using stack::OsProfile;
+using stack::TcpConnection;
+using trace::ApplicationTrace;
+using trace::Sender;
+
+namespace {
+
+constexpr std::uint32_t kClientIp = 0x0a000001;  // 10.0.0.1
+constexpr std::uint32_t kServerIp = 0xc6336414;  // 198.51.100.20
+
+// splitmix64 finalizer: decorrelates per-shard seeds derived from the fleet
+// seed (same construction as the round scheduler's world seeds).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t shard_seed(std::uint64_t fleet_seed, std::size_t index,
+                        std::uint64_t salt) {
+  return mix(fleet_seed ^ mix(static_cast<std::uint64_t>(index + 1)) ^ salt);
+}
+
+Bytes concat_payload(const ApplicationTrace& trace, Sender sender) {
+  Bytes out;
+  for (const auto& m : trace.messages) {
+    if (m.sender != sender) continue;
+    out.insert(out.end(), m.payload.begin(), m.payload.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One persistent shard world: its own event loop, network, middlebox,
+/// long-lived shim, and client/server hosts. Shards never share state, so
+/// waves parallelize across the thread pool without synchronization.
+struct FleetEngine::Shard {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::unique_ptr<dpi::Environment> env;
+  std::unique_ptr<core::EvasionShim> shim;
+  std::unique_ptr<Host> client;
+  std::unique_ptr<Host> server;
+  netsim::FaultyLink* faulty = nullptr;
+  /// Per-shard client-port base: shards are separate networks, but keeping
+  /// tuples globally unique keeps the provenance ledger unambiguous.
+  std::uint16_t port_base = 0;
+  std::uint64_t flow_serial = 0;
+
+  std::uint64_t faults_injected() const {
+    if (faulty == nullptr) return 0;
+    return faulty->dropped() + faulty->duplicated() + faulty->truncated() +
+           faulty->corrupted() + faulty->reordered();
+  }
+};
+
+FleetEngine::FleetEngine(FleetOptions options) : options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+  probe_env_ = dpi::make_environment(
+      options_.environment, shard_seed(options_.seed, 0, 0xB10Bull));
+  lib_ = std::make_unique<core::Liberate>(*probe_env_, options_.seed);
+
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->seed = shard_seed(options_.seed, i, 0x5A4Dull);
+    shard->env = dpi::make_environment(options_.environment, shard->seed);
+    if (options_.faults.any()) {
+      shard->faulty = &shard->env->net.emplace_at<netsim::FaultyLink>(
+          0, options_.faults, shard_seed(options_.seed, i, 0xFA017ull));
+    }
+    shard->shim = std::make_unique<core::EvasionShim>(
+        shard->env->net.client_port(), nullptr, core::TechniqueContext{});
+    shard->shim->set_max_flows(options_.max_flows_per_shim);
+    shard->client = std::make_unique<Host>(*shard->shim, kClientIp,
+                                           OsProfile::linux_profile());
+    shard->server = std::make_unique<Host>(shard->env->net.server_port(),
+                                           kServerIp, shard->env->server_os);
+    shard->env->net.attach_client(shard->client.get());
+    shard->env->net.attach_server(shard->server.get());
+    shard->port_base = static_cast<std::uint16_t>(30001 + i * 2048);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FleetEngine::~FleetEngine() = default;
+
+void FleetEngine::swap_technique(const std::string& name,
+                                 const CachedCharacterization& cached) {
+  for (auto& shard : shards_) {
+    shard->shim->set_context(cached.context());
+    if (name.empty()) {
+      shard->shim->clear_technique();
+    } else {
+      // One instance per shard: techniques are cheap, and sharing one object
+      // across concurrently-running shard worlds would be a data race.
+      shard->shim->set_technique(
+          std::shared_ptr<core::Technique>(lib_->instantiate(name)));
+    }
+  }
+}
+
+WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
+                                std::size_t wave) {
+  LIBERATE_PROV_SCOPE(shard.seed);
+  netsim::EventLoop& loop = shard.env->loop;
+
+  struct FlowSlot {
+    TcpConnection* conn = nullptr;
+    std::size_t client_rx = 0;
+    std::size_t server_rx = 0;
+    bool server_replied = false;
+    bool reset = false;
+  };
+  // Wave state is shared_ptr-held: connection callbacks installed here can
+  // outlive this frame (a FaultyLink-delayed segment may arrive after the
+  // wave deadline), and connections persist on the hosts.
+  struct WaveData {
+    Bytes client_payload;
+    Bytes server_payload;
+    std::vector<FlowSlot> slots;
+  };
+  auto wd = std::make_shared<WaveData>();
+  wd->client_payload = concat_payload(trace, Sender::kClient);
+  wd->server_payload = concat_payload(trace, Sender::kServer);
+  const std::size_t client_total = wd->client_payload.size();
+  const std::size_t server_total = wd->server_payload.size();
+  const std::size_t flows = options_.flows_per_wave;
+  wd->slots.resize(flows);
+  const std::uint16_t wave_base = static_cast<std::uint16_t>(
+      shard.port_base + (shard.flow_serial % 2000));
+  shard.flow_serial += flows;
+
+  // Persistent server host, per-wave listener: every accepted connection
+  // accumulates the request and answers with the full response.
+  shard.server->tcp_unlisten(trace.server_port);
+  shard.server->tcp_listen(
+      trace.server_port, [wd, wave_base, client_total,
+                          server_total](TcpConnection& c) {
+        // Remote port identifies the slot (tuple() is local -> remote).
+        const std::uint16_t remote = c.tuple().dst_port;
+        if (remote < wave_base ||
+            static_cast<std::size_t>(remote - wave_base) >= wd->slots.size()) {
+          return;  // straggler from an earlier wave
+        }
+        const std::size_t idx = remote - wave_base;
+        c.on_data([wd, idx, &c, client_total, server_total](BytesView data) {
+          FlowSlot& slot = wd->slots[idx];
+          slot.server_rx += data.size();
+          if (!slot.server_replied && slot.server_rx >= client_total &&
+              server_total > 0) {
+            slot.server_replied = true;
+            c.send(BytesView(wd->server_payload));
+          }
+        });
+      });
+
+  Shard* shard_ptr = &shard;
+  const std::uint16_t server_port = trace.server_port;
+  for (std::size_t f = 0; f < flows; ++f) {
+    loop.schedule(
+        static_cast<Duration>(f) * options_.flow_stagger,
+        [wd, f, shard_ptr, server_port, wave_base]() {
+          FlowSlot& slot = wd->slots[f];
+          TcpConnection& conn = shard_ptr->client->tcp_connect(
+              kServerIp, server_port,
+              static_cast<std::uint16_t>(wave_base + f));
+          slot.conn = &conn;
+          conn.on_reset([wd, f] { wd->slots[f].reset = true; });
+          conn.on_data(
+              [wd, f](BytesView d) { wd->slots[f].client_rx += d.size(); });
+          conn.on_established(
+              [wd, &conn] { conn.send(BytesView(wd->client_payload)); });
+        });
+  }
+
+  auto flow_done = [&](const FlowSlot& s) {
+    if (s.reset) return true;
+    return server_total > 0 ? s.client_rx >= server_total
+                            : s.server_rx >= client_total;
+  };
+  std::vector<FlowSlot>& slots = wd->slots;
+
+  // Virtual-time budget: transfer under the profile's shaping rate plus the
+  // stagger tail plus configured slack.
+  const double wave_bytes = static_cast<double>(client_total + server_total) *
+                            static_cast<double>(flows);
+  const double budget_s =
+      options_.wave_timeout_s +
+      netsim::to_seconds(options_.flow_stagger) * static_cast<double>(flows) +
+      wave_bytes * 8.0 / 1.0e6;
+  const TimePoint deadline =
+      loop.now() + static_cast<Duration>(budget_s * 1e6);
+  while (loop.now() < deadline) {
+    if (std::all_of(slots.begin(), slots.end(), flow_done)) break;
+    loop.run_for(netsim::milliseconds(200));
+  }
+
+  WaveStats stats;
+  stats.flows = flows;
+  for (const FlowSlot& slot : slots) {
+    const bool done = flow_done(slot) && !slot.reset;
+    if (!done) ++stats.incomplete;
+    if (slot.reset) ++stats.blocked;
+    if (slot.conn == nullptr) continue;
+    // Treatment check mirrors ReplayRunner::differentiated for the direct
+    // signal; indirect signals fall back to the wire evidence.
+    bool differentiated = false;
+    if (shard.env->signal == dpi::Environment::Signal::kDirect &&
+        shard.env->dpi != nullptr) {
+      auto klass = shard.env->dpi->engine().active_class_now(
+          slot.conn->tuple(), loop.now());
+      if (klass) {
+        const auto& actions = shard.env->dpi->config().actions;
+        auto it = actions.find(*klass);
+        differentiated =
+            it != actions.end() &&
+            (it->second.block || it->second.zero_rate ||
+             it->second.throttle_bytes_per_sec.has_value());
+      }
+    } else {
+      differentiated = slot.reset || !done;
+    }
+    if (differentiated) ++stats.differentiated;
+  }
+
+  // Retire the wave: abort anything still open so lost-segment retransmit
+  // timers don't bleed into the next wave, then drain briefly. Verdicts are
+  // already collected — the RST-triggered classifier flush can't skew them.
+  for (FlowSlot& slot : slots) {
+    if (slot.conn != nullptr &&
+        slot.conn->state() != TcpConnection::State::kClosed) {
+      slot.conn->abort();
+    }
+  }
+  loop.run_for(seconds(5));
+
+  LIBERATE_COUNTER_ADD("deploy.fleet.flows", stats.flows);
+  LIBERATE_COUNTER_ADD("deploy.fleet.flows_differentiated",
+                       stats.differentiated);
+  LIBERATE_OBS_EVENT(static_cast<std::uint64_t>(loop.now()), "deploy",
+                     "wave_done",
+                     obs::fv("shard", static_cast<std::uint64_t>(shard.index)),
+                     obs::fv("wave", static_cast<std::uint64_t>(wave)),
+                     obs::fv("flows", static_cast<std::uint64_t>(stats.flows)),
+                     obs::fv("differentiated",
+                             static_cast<std::uint64_t>(stats.differentiated)));
+  return stats;
+}
+
+FleetReport FleetEngine::run(const ApplicationTrace& trace) {
+  FleetReport report;
+  report.environment = options_.environment;
+  report.app = trace.app_name;
+  report.shards = shards_.size();
+
+  core::ReplayRunner& runner = lib_->runner();
+
+  // Phase 1: characterization — warm cache entry or full analysis.
+  CachedCharacterization current;
+  const CachedCharacterization* warm =
+      options_.cache != nullptr
+          ? options_.cache->lookup(options_.environment, trace.app_name)
+          : nullptr;
+  if (warm != nullptr && !warm->ranking.empty()) {
+    current = *warm;
+    report.initial_from_cache = true;
+  } else {
+    const int r0 = runner.rounds();
+    const std::uint64_t b0 = runner.bytes_offered();
+    core::SessionReport analysis = lib_->analyze(trace);
+    report.initial_analysis_rounds = runner.rounds() - r0;
+    report.initial_analysis_bytes = runner.bytes_offered() - b0;
+    current = make_cached_characterization(options_.environment,
+                                           trace.app_name, analysis);
+    if (options_.cache != nullptr) options_.cache->store(current);
+  }
+
+  std::string technique =
+      current.ranking.empty() ? std::string() : current.ranking.front().name;
+  report.technique_initial = technique;
+  swap_technique(technique, current);
+
+  // Phase 2: waves under drift monitoring.
+  DriftMonitor monitor(options_.drift);
+  AdaptationPolicy policy;
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.workers > 0) pool = std::make_unique<ThreadPool>(options_.workers);
+
+  for (std::size_t wave = 0; wave < options_.waves; ++wave) {
+    if (wave == options_.change_at_wave && options_.classifier_change) {
+      // Applied at a quiet wave boundary: shard loops are idle, so no
+      // in-flight walk holds a path index (emplace_at's precondition).
+      for (auto& shard : shards_) options_.classifier_change(*shard->env);
+      options_.classifier_change(*probe_env_);
+    }
+
+    std::vector<WaveStats> per_shard(shards_.size());
+    if (pool != nullptr) {
+      std::vector<std::future<WaveStats>> futures;
+      futures.reserve(shards_.size());
+      for (auto& shard : shards_) {
+        Shard* s = shard.get();
+        futures.push_back(
+            pool->submit([this, s, &trace, wave] { return run_wave(*s, trace, wave); }));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        per_shard[i] = futures[i].get();  // shard order: deterministic merge
+      }
+    } else {
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        per_shard[i] = run_wave(*shards_[i], trace, wave);
+      }
+    }
+
+    FleetWaveReport wr;
+    wr.wave = wave;
+    for (const WaveStats& s : per_shard) wr.stats += s;
+    report.totals += wr.stats;
+
+    const std::uint64_t ts_us = static_cast<std::uint64_t>(wave) * 1'000'000u;
+    std::optional<DriftSignal> signal = monitor.observe(wr.stats);
+    wr.signal = signal;
+
+    if (signal) {
+      if (policy.state() == DeployState::kDeployed ||
+          policy.state() == DeployState::kReDeployed) {
+        policy.transition(DeployState::kSuspect, wave, "drift-suspect", ts_us);
+      }
+      policy.transition(
+          DeployState::kReVerifying, wave,
+          format("drift:%s", drift_kind_name(signal->kind)), ts_us);
+
+      const int rr0 = runner.rounds();
+      const std::uint64_t rb0 = runner.bytes_offered();
+      ReadaptOutcome outcome =
+          incremental_readapt(*lib_, trace, current, options_.cache);
+      report.readapts += 1;
+      report.readapt_rounds += runner.rounds() - rr0;
+      report.readapt_bytes += runner.bytes_offered() - rb0;
+      wr.readapt_path = outcome.path;
+
+      if (outcome.path == ReadaptPath::kFullAnalysis) {
+        policy.transition(DeployState::kReAnalyzing, wave,
+                          "fingerprint-mismatch", ts_us);
+        current = make_cached_characterization(options_.environment,
+                                               trace.app_name, outcome.report);
+      } else if (outcome.path == ReadaptPath::kVerifiedCached) {
+        // The re-verified technique becomes the deployed (front) entry so the
+        // next readapt's level-1 probe targets it.
+        auto it = std::find_if(current.ranking.begin(), current.ranking.end(),
+                               [&](const RankedTechnique& r) {
+                                 return r.name == outcome.technique;
+                               });
+        if (it != current.ranking.end()) {
+          std::rotate(current.ranking.begin(), it, it + 1);
+        }
+      }
+      policy.transition(DeployState::kReDeployed, wave,
+                        readapt_path_name(outcome.path), ts_us);
+      technique = outcome.technique;
+      swap_technique(technique, current);
+      monitor.rebaseline();
+    } else if (monitor.suspect_streak() > 0) {
+      if (policy.state() == DeployState::kDeployed ||
+          policy.state() == DeployState::kReDeployed) {
+        policy.transition(DeployState::kSuspect, wave, "drift-suspect", ts_us);
+      }
+    } else {
+      if (policy.state() == DeployState::kSuspect) {
+        policy.transition(DeployState::kDeployed, wave, "cleared", ts_us);
+      } else if (policy.state() == DeployState::kReDeployed) {
+        policy.transition(DeployState::kDeployed, wave, "settled", ts_us);
+      }
+    }
+
+    wr.state_after = policy.state();
+    wr.technique_after = technique;
+    report.waves.push_back(std::move(wr));
+  }
+
+  report.technique_final = technique;
+  report.transitions = policy.transitions();
+  for (const auto& shard : shards_) {
+    report.flows_evicted += shard->shim->flows_evicted();
+    report.faults_injected += shard->faults_injected();
+  }
+  return report;
+}
+
+std::string FleetReport::summary() const {
+  std::string out;
+  out += format("FLEET env=%s app=%s shards=%zu waves=%zu flows=%zu\n",
+                environment.c_str(), app.c_str(), shards, waves.size(),
+                totals.flows);
+  out += format("FLEET deploy technique=%s source=%s rounds=%d\n",
+                technique_initial.empty() ? "(none)" : technique_initial.c_str(),
+                initial_from_cache ? "cache" : "analysis",
+                initial_analysis_rounds);
+  for (const FleetWaveReport& w : waves) {
+    out += format(
+        "FLEET wave=%zu flows=%zu diff=%.3f blocked=%.3f incomplete=%.3f "
+        "state=%s technique=%s",
+        w.wave, w.stats.flows, w.stats.differentiated_rate(),
+        w.stats.blocked_rate(), w.stats.incomplete_rate(),
+        deploy_state_name(w.state_after),
+        w.technique_after.empty() ? "(none)" : w.technique_after.c_str());
+    if (w.signal) {
+      out += format(" signal=%s", drift_kind_name(w.signal->kind));
+    }
+    if (w.readapt_path) {
+      out += format(" readapt=%s", readapt_path_name(*w.readapt_path));
+    }
+    out += "\n";
+  }
+  for (const StateTransition& t : transitions) {
+    out += format("FLEET transition %s->%s@%zu %s\n", deploy_state_name(t.from),
+                  deploy_state_name(t.to), t.wave, t.reason.c_str());
+  }
+  out += format(
+      "FLEET totals flows=%zu differentiated=%zu blocked=%zu incomplete=%zu "
+      "evicted=%llu faults=%llu\n",
+      totals.flows, totals.differentiated, totals.blocked, totals.incomplete,
+      static_cast<unsigned long long>(flows_evicted),
+      static_cast<unsigned long long>(faults_injected));
+  out += format(
+      "FLEET cost analysis_rounds=%d analysis_bytes=%llu readapts=%zu "
+      "readapt_rounds=%d readapt_bytes=%llu\n",
+      initial_analysis_rounds,
+      static_cast<unsigned long long>(initial_analysis_bytes), readapts,
+      readapt_rounds, static_cast<unsigned long long>(readapt_bytes));
+  out += format("FLEET final technique=%s\n",
+                technique_final.empty() ? "(none)" : technique_final.c_str());
+  return out;
+}
+
+}  // namespace liberate::deploy

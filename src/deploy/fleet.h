@@ -1,0 +1,143 @@
+// fleet.h — the deployment control plane's live-flow engine.
+//
+// §4.2 describes deployment as wrapping one application's traffic in the
+// selected technique. A real deployment is a fleet: thousands of concurrent
+// flows across many vantage points, all riding per-flow EvasionShims, all
+// sharing one characterization of the classifier. The FleetEngine drives
+// that shape inside the simulator:
+//
+//  * N shards, each a persistent simulated world (client host -> optional
+//    FaultyLink -> the profiled middlebox path -> server host) with one
+//    long-lived EvasionShim carrying per-flow state across waves;
+//  * traffic arrives in waves of concurrent flows, fanned out across the
+//    PR 1 thread pool (shards are independent worlds, so waves parallelize
+//    without locks) and merged in shard order — byte-identical results for
+//    any worker count;
+//  * a DriftMonitor compares each merged wave against the deploy-time
+//    baseline; confirmed drift walks the AdaptationPolicy state machine and
+//    triggers incremental re-characterization on a dedicated probe world;
+//  * the re-characterized technique is hot-swapped onto every shard's shim
+//    (satellite: owning set_technique makes this safe mid-flow).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deploy/drift.h"
+#include "deploy/fingerprint.h"
+#include "deploy/policy.h"
+#include "deploy/recharacterize.h"
+#include "netsim/faulty.h"
+
+namespace liberate::deploy {
+
+struct FleetOptions {
+  /// dpi profile name (make_environment) used for every shard and the probe
+  /// world.
+  std::string environment = "testbed";
+  std::uint64_t seed = 1;
+
+  std::size_t shards = 4;
+  std::size_t flows_per_wave = 8;  // per shard
+  std::size_t waves = 6;
+  /// Thread-pool width for the per-shard wave fan-out; 0 = run shards
+  /// serially on the calling thread.
+  std::size_t workers = 0;
+
+  /// Adversarial path faults, applied client-side on every shard (transient
+  /// chaos that must NOT trigger re-analysis).
+  netsim::FaultPolicy faults;
+
+  /// Flow-table cap handed to each shard's shim.
+  std::size_t max_flows_per_shim = core::EvasionShim::kDefaultMaxFlows;
+
+  DriftThresholds drift;
+
+  /// Virtual-time spacing between flow starts within a wave.
+  netsim::Duration flow_stagger = netsim::milliseconds(5);
+  /// Extra virtual seconds granted to a wave beyond the transfer budget.
+  double wave_timeout_s = 30.0;
+
+  /// Scripted classifier change: applied to every world (shards + probe) at
+  /// the start of wave `change_at_wave`. SIZE_MAX = never.
+  std::size_t change_at_wave = static_cast<std::size_t>(-1);
+  std::function<void(dpi::Environment&)> classifier_change;
+
+  /// Optional persistent fingerprint cache. A warm entry for
+  /// (environment, app) skips the initial full analysis entirely; the cache
+  /// is refreshed in place when drift forces a re-analysis.
+  ClassifierFingerprintCache* cache = nullptr;
+};
+
+/// One wave as the control plane saw it.
+struct FleetWaveReport {
+  std::size_t wave = 0;
+  WaveStats stats;
+  std::optional<DriftSignal> signal;
+  /// Set when this wave's signal triggered re-characterization.
+  std::optional<ReadaptPath> readapt_path;
+  DeployState state_after = DeployState::kDeployed;
+  std::string technique_after;
+};
+
+struct FleetReport {
+  std::string environment;
+  std::string app;
+  std::size_t shards = 0;
+
+  std::string technique_initial;
+  std::string technique_final;
+
+  std::vector<FleetWaveReport> waves;
+  std::vector<StateTransition> transitions;
+  WaveStats totals;
+
+  /// Probe-round accounting, for the O(verification) < O(analysis) claim.
+  int initial_analysis_rounds = 0;
+  std::uint64_t initial_analysis_bytes = 0;
+  bool initial_from_cache = false;
+  std::size_t readapts = 0;
+  int readapt_rounds = 0;
+  std::uint64_t readapt_bytes = 0;
+
+  std::uint64_t faults_injected = 0;
+  std::uint64_t flows_evicted = 0;
+
+  /// Deterministic FLEET-prefixed text (one line per wave + transitions +
+  /// cost summary) — identical across worker counts and obs levels, diffed
+  /// in CI.
+  std::string summary() const;
+};
+
+/// Runs a fleet session: analyze (or load from cache), deploy on all
+/// shards, drive waves, adapt on drift. One engine = one (environment, app)
+/// deployment.
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetOptions options);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  FleetReport run(const trace::ApplicationTrace& trace);
+
+ private:
+  struct Shard;
+
+  WaveStats run_wave(Shard& shard, const trace::ApplicationTrace& trace,
+                     std::size_t wave);
+  void swap_technique(const std::string& name,
+                      const CachedCharacterization& cached);
+
+  FleetOptions options_;
+  std::unique_ptr<dpi::Environment> probe_env_;
+  std::unique_ptr<core::Liberate> lib_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace liberate::deploy

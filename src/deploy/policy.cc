@@ -1,0 +1,95 @@
+#include "deploy/policy.h"
+
+#include "obs/obs.h"
+#include "util/strings.h"
+
+namespace liberate::deploy {
+
+namespace {
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
+/// Synthetic flow key for control-plane provenance: the adaptation ledger is
+/// per deployment, not per packet flow. 10.0.0.1 is the fleet's client IP;
+/// port 0/proto 0 cannot collide with a real five-tuple's ledger.
+obs::prov::FlowKey control_plane_flow() {
+  obs::prov::FlowKey key;
+  key.ip_a = 0x0a000001;
+  key.valid = true;
+  return key;
+}
+#endif
+
+}  // namespace
+
+const char* deploy_state_name(DeployState state) {
+  switch (state) {
+    case DeployState::kDeployed:
+      return "deployed";
+    case DeployState::kSuspect:
+      return "suspect";
+    case DeployState::kReVerifying:
+      return "re-verifying";
+    case DeployState::kReAnalyzing:
+      return "re-analyzing";
+    case DeployState::kReDeployed:
+      return "re-deployed";
+  }
+  return "unknown";
+}
+
+bool AdaptationPolicy::legal(DeployState from, DeployState to) {
+  using S = DeployState;
+  switch (from) {
+    case S::kDeployed:
+      return to == S::kSuspect;
+    case S::kSuspect:
+      // Cleared (false alarm) or confirmed (start verification probes).
+      return to == S::kDeployed || to == S::kReVerifying;
+    case S::kReVerifying:
+      // Fingerprint held (cached technique re-deployed) or mismatched
+      // (full re-analysis).
+      return to == S::kReDeployed || to == S::kReAnalyzing;
+    case S::kReAnalyzing:
+      return to == S::kReDeployed;
+    case S::kReDeployed:
+      // Settled back to normal operation, or drifting again already.
+      return to == S::kDeployed || to == S::kSuspect;
+  }
+  return false;
+}
+
+bool AdaptationPolicy::transition(DeployState to, std::size_t wave,
+                                  const std::string& reason,
+                                  std::uint64_t ts_us) {
+  if (!legal(state_, to)) return false;
+  StateTransition t;
+  t.from = state_;
+  t.to = to;
+  t.wave = wave;
+  t.reason = reason;
+  LIBERATE_OBS_EVENT(ts_us, "deploy", "state_transition",
+                     obs::fv("from", deploy_state_name(t.from)),
+                     obs::fv("to", deploy_state_name(t.to)),
+                     obs::fv("wave", static_cast<std::uint64_t>(wave)),
+                     obs::fv("reason", reason));
+  LIBERATE_PROV_NOTE(ts_us, control_plane_flow(), "deploy-transition",
+                     obs::fv("from", deploy_state_name(t.from)),
+                     obs::fv("to", deploy_state_name(t.to)),
+                     obs::fv("wave", static_cast<std::uint64_t>(wave)),
+                     obs::fv("reason", reason));
+  LIBERATE_COUNTER_ADD("deploy.policy.transitions", 1);
+  state_ = to;
+  transitions_.push_back(std::move(t));
+  return true;
+}
+
+std::string AdaptationPolicy::describe() const {
+  std::string out;
+  for (const StateTransition& t : transitions_) {
+    out += format("%s->%s@%zu %s\n", deploy_state_name(t.from),
+                  deploy_state_name(t.to), t.wave, t.reason.c_str());
+  }
+  return out;
+}
+
+}  // namespace liberate::deploy

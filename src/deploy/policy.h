@@ -1,0 +1,67 @@
+// policy.h — the adaptation state machine of a deployed evasion.
+//
+// A deployment's lifecycle under drift (§4.2 runtime adaptation, grown to
+// fleet scale):
+//
+//     deployed ──suspect wave──▶ suspect ──confirmed──▶ re-verifying
+//        ▲  ▲                      │                     │        │
+//        │  └──────cleared─────────┘        cheap path OK│        │fingerprint
+//        │                                               ▼        ▼ mismatch
+//        └────────settled───── re-deployed ◀──────── (swap) ◀─ re-analyzing
+//
+// Every transition is validated against the legal edge set, appended to the
+// local transition log, and mirrored into the PR 2 event log and the PR 3
+// provenance ledger under a synthetic control-plane flow key — so `why did
+// the fleet re-deploy at wave 11?` is answerable from the flight recorder
+// alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liberate::deploy {
+
+enum class DeployState {
+  kDeployed,     // technique active, treatment at baseline
+  kSuspect,      // drift monitor counting suspect waves
+  kReVerifying,  // running targeted fingerprint-verification probes
+  kReAnalyzing,  // fingerprint mismatch: full analyze() in progress
+  kReDeployed,   // new/confirmed technique swapped onto live shims
+};
+
+const char* deploy_state_name(DeployState state);
+
+struct StateTransition {
+  DeployState from = DeployState::kDeployed;
+  DeployState to = DeployState::kDeployed;
+  std::size_t wave = 0;
+  std::string reason;
+};
+
+class AdaptationPolicy {
+ public:
+  DeployState state() const { return state_; }
+  const std::vector<StateTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Is `from -> to` a legal edge of the state machine?
+  static bool legal(DeployState from, DeployState to);
+
+  /// Take the edge: validates legality, records the transition, and mirrors
+  /// it into the event log / provenance ledger (`ts_us` = fleet virtual
+  /// time). Returns false (and changes nothing) on an illegal edge.
+  bool transition(DeployState to, std::size_t wave, const std::string& reason,
+                  std::uint64_t ts_us);
+
+  /// Render the transition log as one deterministic line per edge
+  /// ("deployed->suspect@3 drift-suspect"), for goldens and CI diffs.
+  std::string describe() const;
+
+ private:
+  DeployState state_ = DeployState::kDeployed;
+  std::vector<StateTransition> transitions_;
+};
+
+}  // namespace liberate::deploy

@@ -1,0 +1,176 @@
+#include "deploy/recharacterize.h"
+
+#include "core/blinding.h"
+#include "obs/obs.h"
+
+namespace liberate::deploy {
+
+namespace {
+
+/// Rebuild a SessionReport from cached knowledge (the cheap paths never run
+/// detection/characterization, but downstream consumers — deploy(),
+/// reporting — expect the usual shape).
+core::SessionReport report_from_cached(const CachedCharacterization& cached,
+                                       const std::string& technique) {
+  core::SessionReport report;
+  report.detection.differentiation = true;
+  report.detection.content_based = true;
+  report.ran_characterization = true;
+  report.characterization.fields = cached.fields;
+  report.characterization.position_sensitive = cached.position_sensitive;
+  report.characterization.inspects_all_packets = cached.inspects_all_packets;
+  report.characterization.port_sensitive = cached.port_sensitive;
+  report.characterization.packet_limit = cached.packet_limit;
+  report.characterization.middlebox_hops = cached.middlebox_hops;
+  if (!technique.empty()) report.selected_technique = technique;
+  return report;
+}
+
+}  // namespace
+
+const char* readapt_path_name(ReadaptPath path) {
+  switch (path) {
+    case ReadaptPath::kStillWorking:
+      return "still-working";
+    case ReadaptPath::kPolicyGone:
+      return "policy-gone";
+    case ReadaptPath::kVerifiedCached:
+      return "verified-cached";
+    case ReadaptPath::kFullAnalysis:
+      return "full-analysis";
+  }
+  return "unknown";
+}
+
+ReadaptOutcome incremental_readapt(core::Liberate& lib,
+                                   const trace::ApplicationTrace& trace,
+                                   const CachedCharacterization& cached,
+                                   ClassifierFingerprintCache* cache) {
+  core::ReplayRunner& runner = lib.runner();
+  const int rounds0 = runner.rounds();
+  const std::uint64_t bytes0 = runner.bytes_offered();
+  const double t0 = runner.virtual_seconds_elapsed();
+
+  ReadaptOutcome result;
+  const core::TechniqueContext ctx = cached.context();
+  // Fresh server ports per probe unless the classifier is port-bound
+  // (mirrors evaluation: avoids GFC-style endpoint escalation polluting
+  // the verdicts).
+  std::uint16_t next_port = 29000;
+  auto probe = [&](const trace::ApplicationTrace& t,
+                   core::Technique* technique) {
+    core::ReplayOptions opts;
+    opts.technique = technique;
+    opts.context = ctx;
+    if (!cached.port_sensitive) opts.server_port_override = next_port++;
+    core::ReplayOutcome outcome = runner.run(t, opts);
+    struct Verdict {
+      bool differentiated;
+      bool completed;
+      bool intact;
+    };
+    return Verdict{runner.differentiated(outcome), outcome.completed,
+                   outcome.payload_intact};
+  };
+  auto finish = [&](ReadaptPath path, const std::string& technique,
+                    core::SessionReport report) {
+    result.path = path;
+    result.technique = technique;
+    result.report = std::move(report);
+    result.report.total_rounds = runner.rounds() - rounds0;
+    result.report.total_bytes = runner.bytes_offered() - bytes0;
+    result.report.total_virtual_minutes =
+        (runner.virtual_seconds_elapsed() - t0) / 60.0;
+    LIBERATE_COUNTER_ADD("deploy.readapt.total", 1);
+    LIBERATE_HISTOGRAM_OBSERVE("deploy.readapt.rounds",
+                               ({1, 2, 5, 10, 25, 50, 100, 200}),
+                               result.report.total_rounds);
+    LIBERATE_OBS_EVENT(
+        static_cast<std::uint64_t>(runner.virtual_seconds_elapsed() * 1e6),
+        "deploy", "readapt", obs::fv("path", readapt_path_name(path)),
+        obs::fv("technique", technique),
+        obs::fv("rounds",
+                static_cast<std::uint64_t>(result.report.total_rounds)));
+    return result;
+  };
+
+  // Level 1: is the deployed technique actually broken? One round. The
+  // drift monitor works on live-traffic statistics; this is the controlled
+  // confirmation.
+  const std::string deployed =
+      cached.ranking.empty() ? std::string() : cached.ranking.front().name;
+  if (!deployed.empty()) {
+    auto technique = lib.instantiate(deployed);
+    if (technique) {
+      auto v = probe(trace, technique.get());
+      if (!v.differentiated && v.completed && v.intact) {
+        return finish(ReadaptPath::kStillWorking, deployed,
+                      report_from_cached(cached, deployed));
+      }
+    }
+  }
+
+  // Level 2: does the policy still exist at all? One plain round.
+  {
+    auto v = probe(trace, nullptr);
+    if (!v.differentiated) {
+      core::SessionReport report = report_from_cached(cached, "");
+      report.detection.differentiation = false;
+      report.detection.content_based = false;
+      report.selected_technique.reset();
+      return finish(ReadaptPath::kPolicyGone, "", std::move(report));
+    }
+  }
+
+  // Level 3: targeted blinding probes — one per cached field. A field is
+  // still a matching field iff blinding it kills classification; any field
+  // that stays classified means the rule set changed under us.
+  const int verify_rounds0 = runner.rounds();
+  bool fingerprint_ok = true;
+  for (const core::MatchingField& field : cached.fields) {
+    if (field.message_index >= trace.messages.size()) {
+      fingerprint_ok = false;
+      break;
+    }
+    trace::ApplicationTrace blinded = core::blind_range(
+        trace, field.message_index, field.offset, field.length);
+    auto v = probe(blinded, nullptr);
+    if (v.differentiated) {
+      fingerprint_ok = false;
+      break;
+    }
+  }
+  result.fingerprint_verified = fingerprint_ok && !cached.fields.empty();
+  result.verification_rounds = runner.rounds() - verify_rounds0;
+
+  // Level 4: fingerprint held — the rules are the ones we characterized, so
+  // the cached ranking is still meaningful. Walk it cheapest-first; the
+  // deployed (front) technique already failed level 1.
+  if (result.fingerprint_verified) {
+    for (std::size_t i = deployed.empty() ? 0 : 1; i < cached.ranking.size();
+         ++i) {
+      auto technique = lib.instantiate(cached.ranking[i].name);
+      if (!technique) continue;
+      auto v = probe(trace, technique.get());
+      if (!v.differentiated && v.completed && v.intact) {
+        result.verification_rounds = runner.rounds() - verify_rounds0;
+        result.verification_bytes = runner.bytes_offered() - bytes0;
+        return finish(ReadaptPath::kVerifiedCached, cached.ranking[i].name,
+                      report_from_cached(cached, cached.ranking[i].name));
+      }
+    }
+  }
+  result.verification_bytes = runner.bytes_offered() - bytes0;
+
+  // Level 5: the classifier changed beyond the cached knowledge (or every
+  // cached technique died). Full analysis, and refresh the cache.
+  core::SessionReport fresh = lib.analyze(trace);
+  if (cache) {
+    cache->store(
+        make_cached_characterization(cached.environment, cached.app, fresh));
+  }
+  std::string selected = fresh.selected_technique.value_or("");
+  return finish(ReadaptPath::kFullAnalysis, selected, std::move(fresh));
+}
+
+}  // namespace liberate::deploy

@@ -1,0 +1,63 @@
+// recharacterize.h — incremental re-characterization on drift (§4.2 grown
+// up: "lib·erate must run the characterization step whenever an
+// application's classification rule changes" — but a fleet cannot afford
+// the full §5.3 analysis every time a monitor twitches).
+//
+// The cheap path is a verification pyramid, each level one or a few probe
+// rounds, falling through to the next only on failure:
+//
+//   1. deployed technique still evades?        -> kStillWorking   (1 round)
+//   2. plain replay still differentiated?      -> kPolicyGone     (1 round)
+//   3. cached matching fields still necessary? (one targeted blinding probe
+//      per field: blind it, expect classification to disappear)
+//   4. fingerprint held: walk the cached technique ranking cheapest-first,
+//      first evader wins                       -> kVerifiedCached (few rounds)
+//   5. fingerprint mismatch / ranking exhausted: full analyze()
+//                                              -> kFullAnalysis   (O(analysis))
+//
+// Cost accounting rides the runner's round/byte counters, so the <25%-of-
+// full-analysis claim is measured, not asserted.
+#pragma once
+
+#include <string>
+
+#include "core/liberate.h"
+#include "deploy/fingerprint.h"
+
+namespace liberate::deploy {
+
+enum class ReadaptPath {
+  kStillWorking,    // deployed technique still evades — drift was noise
+  kPolicyGone,      // no differentiation at all anymore (policy removed)
+  kVerifiedCached,  // fields verified, another cached technique works
+  kFullAnalysis,    // fingerprint mismatch: full re-analysis was needed
+};
+
+const char* readapt_path_name(ReadaptPath path);
+
+struct ReadaptOutcome {
+  ReadaptPath path = ReadaptPath::kStillWorking;
+  /// Working technique after re-adaptation ("" when kPolicyGone or nothing
+  /// works even after full analysis).
+  std::string technique;
+  /// Cost of everything this re-adaptation ran: verification probes plus
+  /// (only on the kFullAnalysis path) the full analyze(). For
+  /// kFullAnalysis, `report` is the fresh analysis; otherwise it is the
+  /// cached knowledge re-expressed with the verification cost as totals.
+  core::SessionReport report;
+  /// True when the cached matching fields all re-verified (each targeted
+  /// blinding probe killed classification).
+  bool fingerprint_verified = false;
+  int verification_rounds = 0;
+  std::uint64_t verification_bytes = 0;
+};
+
+/// Re-adapt against the live environment behind `lib` using the cached
+/// characterization. On the kFullAnalysis path the cache entry is refreshed
+/// in place (when `cache` is non-null).
+ReadaptOutcome incremental_readapt(core::Liberate& lib,
+                                   const trace::ApplicationTrace& trace,
+                                   const CachedCharacterization& cached,
+                                   ClassifierFingerprintCache* cache);
+
+}  // namespace liberate::deploy

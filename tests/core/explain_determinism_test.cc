@@ -8,14 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/evasion/registry.h"
+#include "core/evasion/shim.h"
 #include "core/round_scheduler.h"
 #include "obs/snapshot.h"
+#include "stack/host.h"
 #include "trace/generators.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace liberate::core {
 namespace {
@@ -75,6 +80,107 @@ std::string explain_under(std::size_t workers) {
     out += ex.text + "\n" + ex.json + "\n";
   }
   return out;
+}
+
+const std::string kMfRequest =
+    "GET /v HTTP/1.1\r\nHost: www.primevideo.com\r\nUA: x\r\n\r\n";
+
+/// One long-lived shim, many concurrent flows with interleaved handshakes:
+/// per-flow state must keep each flow's matching packet mutated exactly
+/// once, and the whole wire story must be a pure function of the setup —
+/// identical when worlds run serially or inside worker pools.
+std::string multi_flow_story() {
+  constexpr std::size_t kFlows = 16;
+  const std::string& request = kMfRequest;
+
+  netsim::EventLoop loop;
+  netsim::Network net{loop};
+  net.set_hop_latency(netsim::milliseconds(2));  // handshakes overlap
+  auto* tap = &net.emplace<netsim::TapElement>("wire");
+
+  TechniqueContext ctx;
+  ctx.matching_snippets = {to_bytes(std::string("primevideo"))};
+  ctx.decoy_payload = decoy_request_payload();
+  ctx.middlebox_ttl = 1;
+  EvasionShim shim(net.client_port(), nullptr, std::move(ctx));
+  shim.set_technique(
+      std::make_unique<InertInsertion>(InertVariant::kWrongTcpChecksum));
+
+  stack::Host client(shim, netsim::ip_addr("10.0.0.1"),
+                     stack::OsProfile::linux_profile());
+  stack::Host server(net.server_port(), netsim::ip_addr("10.9.9.9"),
+                     stack::OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+
+  std::map<std::uint16_t, std::string> got;  // client port -> server rx
+  server.tcp_listen(80, [&](stack::TcpConnection& c) {
+    const std::uint16_t peer = c.tuple().dst_port;
+    c.on_data([&got, peer](BytesView d) { got[peer] += to_string(d); });
+  });
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    // 1 ms stagger against a 2 ms hop latency: SYNs of later flows pass
+    // earlier flows' handshakes on the wire.
+    loop.schedule(netsim::milliseconds(1) * static_cast<netsim::Duration>(f),
+                  [&, f] {
+                    auto& conn = client.tcp_connect(
+                        netsim::ip_addr("10.9.9.9"), 80,
+                        static_cast<std::uint16_t>(51000 + f));
+                    conn.on_established(
+                        [&conn, &request] { conn.send(std::string_view(request)); });
+                  });
+  }
+  loop.run_until_idle();
+
+  // Count crafted (injected) packets per flow as seen on the wire.
+  std::map<std::uint16_t, int> crafted;
+  for (const auto& seen : tap->seen()) {
+    auto parsed = netsim::parse_packet(BytesView(seen.datagram));
+    if (!parsed.ok() || !parsed.value().is_tcp()) continue;
+    if (parsed.value().ip.identification != kCraftedIpId) continue;
+    crafted[parsed.value().tcp->src_port] += 1;
+  }
+
+  std::string story;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    const std::uint16_t port = static_cast<std::uint16_t>(51000 + f);
+    story += format("flow %u rx=%zu intact=%d crafted=%d\n",
+                    static_cast<unsigned>(port), got[port].size(),
+                    got[port] == request ? 1 : 0, crafted[port]);
+  }
+  story += format("injected=%llu rewritten=%llu tracked=%zu\n",
+                  static_cast<unsigned long long>(shim.packets_injected()),
+                  static_cast<unsigned long long>(shim.packets_rewritten()),
+                  shim.tracked_flows());
+  return story;
+}
+
+TEST(MultiFlowShim, EachFlowMutatedExactlyOnce) {
+  const std::string story = multi_flow_story();
+  // Every flow delivered intact and carried exactly one crafted packet —
+  // per-flow shim state, not per-shim or per-packet.
+  for (std::size_t f = 0; f < 16; ++f) {
+    EXPECT_NE(story.find(format("flow %u rx=%zu intact=1 crafted=1\n",
+                                static_cast<unsigned>(51000 + f),
+                                kMfRequest.size())),
+              std::string::npos)
+        << story;
+  }
+  EXPECT_NE(story.find("injected=16 rewritten=0 tracked=16"),
+            std::string::npos)
+      << story;
+}
+
+TEST(MultiFlowShim, StoryIdenticalAcrossWorkerCounts) {
+  const std::string serial = multi_flow_story();
+  for (std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(workers);
+    std::vector<std::future<std::string>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([] { return multi_flow_story(); }));
+    }
+    for (auto& f : futures) EXPECT_EQ(serial, f.get());
+  }
 }
 
 TEST(ExplainDeterminism, IdenticalAcrossWorkerCounts) {

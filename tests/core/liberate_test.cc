@@ -91,7 +91,15 @@ TEST(Liberate, ReadaptDoesNothingWhileRulesHold) {
   auto t = trace::amazon_video_trace(32 * 1024);
   auto report = lib.analyze(t);
   ASSERT_TRUE(report.selected_technique.has_value());
-  EXPECT_FALSE(lib.readapt(report, t).has_value());
+  auto verdict = lib.readapt(report, t);
+  EXPECT_TRUE(verdict.still_working);
+  // The cheap path still accounts for the probe cost it spent: exactly one
+  // verification replay, not the dozens a full analysis takes.
+  EXPECT_EQ(verdict.report.total_rounds, 1);
+  EXPECT_GT(verdict.report.total_bytes, 0u);
+  EXPECT_LT(verdict.report.total_rounds, report.total_rounds);
+  // The selection itself is preserved from the previous report.
+  EXPECT_EQ(verdict.report.selected_technique, report.selected_technique);
 }
 
 TEST(Liberate, ReadaptRecoversFromRuleChange) {
@@ -115,13 +123,16 @@ TEST(Liberate, ReadaptRecoversFromRuleChange) {
     env->dpi->engine().set_rules(rules);
   }
 
-  auto fresh = lib.readapt(report, t);
-  ASSERT_TRUE(fresh.has_value());
-  ASSERT_TRUE(fresh->selected_technique.has_value());
+  auto verdict = lib.readapt(report, t);
+  EXPECT_FALSE(verdict.still_working);
+  const SessionReport& fresh = verdict.report;
+  ASSERT_TRUE(fresh.selected_technique.has_value());
+  // Totals fold the failed verification replay into the re-analysis cost.
+  EXPECT_GT(fresh.total_rounds, 10);
   // The new analysis found the new matching field, in the server's message.
   std::string fields;
   bool in_server_message = false;
-  for (const auto& f : fresh->characterization.fields) {
+  for (const auto& f : fresh.characterization.fields) {
     fields += to_string(BytesView(f.content)) + "|";
     if (f.message_index == 1) in_server_message = true;
   }

@@ -233,5 +233,75 @@ TEST(EvasionShim, MatchTtlOverrideOnlyHitsMatchingPackets) {
   EXPECT_TRUE(saw_ttl5_match);
 }
 
+TEST(EvasionShim, HotSwapMidFlowKeepsTechniqueAlive) {
+  EventLoop loop;
+  Network net{loop};
+  auto& tap = net.emplace<TapElement>("wire");
+  auto shim = std::make_unique<EvasionShim>(
+      net.client_port(), nullptr,
+      ctx_with_snippet("Host: www.primevideo.com"));
+  shim->set_technique(std::make_unique<TcpSegmentSplit>(/*reversed=*/false));
+  Host client(*shim, ip_addr("10.0.0.1"), OsProfile::linux_profile());
+  Host server(net.server_port(), ip_addr("10.9.9.9"),
+              OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+
+  std::string got;
+  server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80, 40001);
+  conn.on_established([&] { conn.send(std::string_view(kRequest)); });
+  loop.run_until_idle();
+  EXPECT_EQ(got, kRequest);
+  EXPECT_GT(shim->packets_rewritten(), 0u);  // the split happened
+
+  // Mid-flow the control plane swaps techniques. The old TcpSegmentSplit is
+  // destroyed right here; with the previous raw-pointer API the shim would
+  // keep using a dangling pointer (caught under ASan).
+  shim->set_technique(
+      std::make_unique<InertInsertion>(InertVariant::kWrongTcpChecksum));
+  const std::string tail = "tail: Host: www.primevideo.com\r\n";
+  conn.send(std::string_view(tail));
+  loop.run_until_idle();
+  EXPECT_EQ(got, kRequest + tail);
+
+  // A fresh flow after the swap sees the new technique's injection.
+  auto& conn2 = client.tcp_connect(ip_addr("10.9.9.9"), 80, 40002);
+  conn2.on_established([&] { conn2.send(std::string_view(kRequest)); });
+  loop.run_until_idle();
+  EXPECT_EQ(got, kRequest + tail + kRequest);
+  EXPECT_EQ(shim->packets_injected(), 1u);
+  bool saw_crafted = false;
+  for (const auto& seen : tap.seen()) {
+    auto p = parse_packet(seen.datagram).value();
+    if (p.ip.identification == kCraftedIpId) saw_crafted = true;
+  }
+  EXPECT_TRUE(saw_crafted);
+}
+
+TEST(EvasionShim, FlowChurnBeyondCapEvictsLru) {
+  InertInsertion inert(InertVariant::kWrongTcpChecksum);
+  Rig rig(&inert, ctx_with_snippet("Host: www.primevideo.com"));
+  rig.shim->set_max_flows(8);
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+  for (int i = 0; i < 32; ++i) {
+    auto& conn = rig.client->tcp_connect(
+        ip_addr("10.9.9.9"), 80, static_cast<std::uint16_t>(41000 + i));
+    conn.on_established([&conn] { conn.send(std::string_view(kRequest)); });
+    rig.loop.run_until_idle();
+  }
+  // Every flow completed despite the churn (eviction only forgets state of
+  // cold flows), the table stayed bounded, and the overflow was counted.
+  EXPECT_EQ(got.size(), 32 * kRequest.size());
+  EXPECT_EQ(rig.shim->tracked_flows(), 8u);
+  EXPECT_EQ(rig.shim->flows_evicted(), 24u);
+  EXPECT_EQ(rig.shim->packets_injected(), 32u);  // one injection per flow
+}
+
 }  // namespace
 }  // namespace liberate::core

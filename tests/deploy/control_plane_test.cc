@@ -1,0 +1,258 @@
+// Control-plane unit tests: drift hysteresis, the adaptation state machine's
+// legal edge set, and the fingerprint cache's JSON persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "deploy/drift.h"
+#include "deploy/fingerprint.h"
+#include "deploy/policy.h"
+
+namespace liberate::deploy {
+namespace {
+
+WaveStats wave(std::size_t flows, std::size_t differentiated,
+               std::size_t blocked = 0, std::size_t incomplete = 0) {
+  WaveStats w;
+  w.flows = flows;
+  w.differentiated = differentiated;
+  w.blocked = blocked;
+  w.incomplete = incomplete;
+  return w;
+}
+
+DriftThresholds tight() {
+  DriftThresholds t;
+  t.waves_to_confirm = 2;
+  t.waves_to_clear = 2;
+  t.min_flows = 8;
+  return t;
+}
+
+TEST(DriftMonitor, FirstAdequateWaveBecomesBaseline) {
+  DriftMonitor monitor(tight());
+  EXPECT_FALSE(monitor.has_baseline());
+  EXPECT_FALSE(monitor.observe(wave(4, 4)).has_value());  // too small: ignored
+  EXPECT_FALSE(monitor.has_baseline());
+  EXPECT_FALSE(monitor.observe(wave(32, 0)).has_value());
+  ASSERT_TRUE(monitor.has_baseline());
+  EXPECT_EQ(monitor.baseline().flows, 32u);
+}
+
+TEST(DriftMonitor, ConfirmsAfterConsecutiveSuspectWaves) {
+  DriftMonitor monitor(tight());
+  monitor.observe(wave(32, 0));  // baseline
+  EXPECT_FALSE(monitor.observe(wave(32, 16)).has_value());  // suspect #1
+  EXPECT_EQ(monitor.suspect_streak(), 1);
+  auto signal = monitor.observe(wave(32, 20));  // suspect #2 -> fire
+  ASSERT_TRUE(signal.has_value());
+  EXPECT_EQ(signal->kind, DriftKind::kDifferentiationReappeared);
+  EXPECT_DOUBLE_EQ(signal->rate, 20.0 / 32.0);
+  EXPECT_DOUBLE_EQ(signal->baseline, 0.0);
+  EXPECT_EQ(signal->suspect_waves, 2);
+  // One signal per confirmation: the streak reset with the signal.
+  EXPECT_EQ(monitor.suspect_streak(), 0);
+}
+
+TEST(DriftMonitor, SuspicionSurvivesOneCleanWave) {
+  DriftMonitor monitor(tight());
+  monitor.observe(wave(32, 0));                             // baseline
+  EXPECT_FALSE(monitor.observe(wave(32, 16)).has_value());  // suspect #1
+  EXPECT_FALSE(monitor.observe(wave(32, 0)).has_value());   // clean (1 < 2)
+  EXPECT_EQ(monitor.suspect_streak(), 1);                   // not reset yet
+  EXPECT_TRUE(monitor.observe(wave(32, 16)).has_value());   // suspect #2
+}
+
+TEST(DriftMonitor, TransientSuspicionClearsAfterCleanStreak) {
+  DriftMonitor monitor(tight());
+  monitor.observe(wave(32, 0));                             // baseline
+  EXPECT_FALSE(monitor.observe(wave(32, 16)).has_value());  // suspect #1
+  monitor.observe(wave(32, 0));                             // clean #1
+  monitor.observe(wave(32, 0));                             // clean #2: reset
+  EXPECT_EQ(monitor.suspect_streak(), 0);
+  EXPECT_FALSE(monitor.observe(wave(32, 16)).has_value());  // suspect anew
+}
+
+TEST(DriftMonitor, SlackAbsorbsNoiseAboveNonzeroBaseline) {
+  DriftMonitor monitor(tight());
+  monitor.observe(wave(32, 8));  // baseline rate 0.25
+  // 0.40 < 0.25 + 0.20 slack: not suspect.
+  EXPECT_FALSE(monitor.observe(wave(32, 13)).has_value());
+  EXPECT_EQ(monitor.suspect_streak(), 0);
+}
+
+TEST(DriftMonitor, TypedKindsForBlockingAndCompletion) {
+  DriftMonitor blocking(tight());
+  blocking.observe(wave(32, 0));
+  blocking.observe(wave(32, 0, /*blocked=*/16, /*incomplete=*/16));
+  auto sig = blocking.observe(wave(32, 0, 16, 16));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(sig->kind, DriftKind::kBlockingSurge);  // stronger than collapse
+
+  DriftMonitor collapse(tight());
+  collapse.observe(wave(32, 0));
+  collapse.observe(wave(32, 0, 0, /*incomplete=*/20));
+  sig = collapse.observe(wave(32, 0, 0, 20));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(sig->kind, DriftKind::kCompletionCollapse);
+}
+
+TEST(DriftMonitor, RebaselineForgetsHistory) {
+  DriftMonitor monitor(tight());
+  monitor.observe(wave(32, 0));
+  monitor.observe(wave(32, 16));
+  monitor.rebaseline();
+  EXPECT_FALSE(monitor.has_baseline());
+  EXPECT_EQ(monitor.suspect_streak(), 0);
+  // The elevated rate is the new normal after re-deployment.
+  EXPECT_FALSE(monitor.observe(wave(32, 16)).has_value());  // new baseline
+  EXPECT_FALSE(monitor.observe(wave(32, 18)).has_value());  // within slack
+}
+
+TEST(AdaptationPolicy, RejectsIllegalEdges) {
+  AdaptationPolicy policy;
+  EXPECT_EQ(policy.state(), DeployState::kDeployed);
+  // deployed can only go suspect.
+  EXPECT_FALSE(policy.transition(DeployState::kReVerifying, 0, "skip", 0));
+  EXPECT_FALSE(policy.transition(DeployState::kReDeployed, 0, "skip", 0));
+  EXPECT_EQ(policy.state(), DeployState::kDeployed);
+  EXPECT_TRUE(policy.transitions().empty());
+
+  EXPECT_TRUE(policy.transition(DeployState::kSuspect, 1, "drift", 0));
+  // suspect cannot jump straight to re-analyzing.
+  EXPECT_FALSE(policy.transition(DeployState::kReAnalyzing, 1, "skip", 0));
+  EXPECT_TRUE(policy.transition(DeployState::kReVerifying, 1, "confirmed", 0));
+  EXPECT_TRUE(policy.transition(DeployState::kReAnalyzing, 1, "mismatch", 0));
+  // re-analyzing only settles via re-deployed.
+  EXPECT_FALSE(policy.transition(DeployState::kDeployed, 1, "skip", 0));
+  EXPECT_TRUE(policy.transition(DeployState::kReDeployed, 1, "fresh", 0));
+  EXPECT_TRUE(policy.transition(DeployState::kDeployed, 2, "settled", 0));
+  EXPECT_EQ(policy.transitions().size(), 5u);
+}
+
+TEST(AdaptationPolicy, DescribeRendersOneLinePerEdge) {
+  AdaptationPolicy policy;
+  policy.transition(DeployState::kSuspect, 3, "drift-suspect", 0);
+  policy.transition(DeployState::kDeployed, 4, "cleared", 0);
+  EXPECT_EQ(policy.describe(),
+            "deployed->suspect@3 drift-suspect\n"
+            "suspect->deployed@4 cleared\n");
+}
+
+CachedCharacterization sample_entry() {
+  CachedCharacterization e;
+  e.environment = "testbed";
+  e.app = "AmazonPrimeVideo";
+  e.digest = Fingerprint{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  core::MatchingField f;
+  f.message_index = 0;
+  f.offset = 4;
+  f.length = 5;
+  f.content = Bytes{'H', 'o', 's', 't', 0xff};  // non-ASCII survives hex
+  e.fields.push_back(f);
+  e.position_sensitive = true;
+  e.inspects_all_packets = false;
+  e.port_sensitive = false;
+  e.packet_limit = 5;
+  e.middlebox_hops = 1;
+  e.ranking.push_back({"reorder/ip-fragments-out-of-order", 1, 20, 0.0});
+  e.ranking.push_back({"split/tcp-segmentation", 9, 360, 0.25});
+  return e;
+}
+
+TEST(FingerprintCache, JsonRoundTripPreservesEverything) {
+  ClassifierFingerprintCache cache;
+  cache.store(sample_entry());
+
+  auto parsed = ClassifierFingerprintCache::from_json(cache.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const CachedCharacterization* e =
+      parsed->lookup("testbed", "AmazonPrimeVideo");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->digest.lo, 0x0123456789abcdefull);
+  EXPECT_EQ(e->digest.hi, 0xfedcba9876543210ull);
+  ASSERT_EQ(e->fields.size(), 1u);
+  EXPECT_EQ(e->fields[0].message_index, 0u);
+  EXPECT_EQ(e->fields[0].offset, 4u);
+  EXPECT_EQ(e->fields[0].length, 5u);
+  EXPECT_EQ(e->fields[0].content, (Bytes{'H', 'o', 's', 't', 0xff}));
+  EXPECT_TRUE(e->position_sensitive);
+  ASSERT_TRUE(e->packet_limit.has_value());
+  EXPECT_EQ(*e->packet_limit, 5u);
+  ASSERT_TRUE(e->middlebox_hops.has_value());
+  EXPECT_EQ(*e->middlebox_hops, 1);
+  ASSERT_EQ(e->ranking.size(), 2u);
+  EXPECT_EQ(e->ranking[0].name, "reorder/ip-fragments-out-of-order");
+  EXPECT_EQ(e->ranking[1].extra_packets, 9u);
+  EXPECT_DOUBLE_EQ(e->ranking[1].extra_seconds, 0.25);
+
+  // Determinism: a round-tripped cache re-serializes byte-identically.
+  EXPECT_EQ(parsed->to_json(), cache.to_json());
+}
+
+TEST(FingerprintCache, NulloptOptionalsRoundTrip) {
+  CachedCharacterization e = sample_entry();
+  e.packet_limit.reset();
+  e.middlebox_hops.reset();
+  ClassifierFingerprintCache cache;
+  cache.store(e);
+  auto parsed = ClassifierFingerprintCache::from_json(cache.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const CachedCharacterization* got =
+      parsed->lookup("testbed", "AmazonPrimeVideo");
+  ASSERT_NE(got, nullptr);
+  EXPECT_FALSE(got->packet_limit.has_value());
+  EXPECT_FALSE(got->middlebox_hops.has_value());
+}
+
+TEST(FingerprintCache, RejectsMalformedJson) {
+  EXPECT_FALSE(ClassifierFingerprintCache::from_json("").has_value());
+  EXPECT_FALSE(ClassifierFingerprintCache::from_json("[]").has_value());
+  EXPECT_FALSE(
+      ClassifierFingerprintCache::from_json("{\"version\":2}").has_value());
+  // Digest must be the 33-char hex form.
+  EXPECT_FALSE(ClassifierFingerprintCache::from_json(
+                   "{\"version\":1,\"entries\":[{\"environment\":\"e\","
+                   "\"app\":\"a\",\"digest\":\"nope\"}]}")
+                   .has_value());
+}
+
+TEST(FingerprintCache, SaveAndLoadFile) {
+  ClassifierFingerprintCache cache;
+  cache.store(sample_entry());
+  const std::string path =
+      testing::TempDir() + "/liberate_fingerprint_cache_test.json";
+  ASSERT_TRUE(cache.save(path));
+  auto loaded = ClassifierFingerprintCache::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->to_json(), cache.to_json());
+  EXPECT_FALSE(
+      ClassifierFingerprintCache::load(path + ".missing").has_value());
+}
+
+TEST(FingerprintDigest, SensitiveToFieldsAndQuirks) {
+  core::CharacterizationReport a;
+  core::MatchingField f;
+  f.message_index = 0;
+  f.offset = 4;
+  f.length = 5;
+  f.content = Bytes{'H', 'o', 's', 't', ':'};
+  a.fields.push_back(f);
+  a.position_sensitive = true;
+
+  core::CharacterizationReport b = a;
+  EXPECT_EQ(characterization_digest(a).lo, characterization_digest(b).lo);
+  EXPECT_EQ(characterization_digest(a).hi, characterization_digest(b).hi);
+
+  b.fields[0].offset = 5;
+  EXPECT_NE(characterization_digest(a).lo, characterization_digest(b).lo);
+
+  core::CharacterizationReport c = a;
+  c.packet_limit = 5;
+  EXPECT_NE(characterization_digest(a).lo, characterization_digest(c).lo);
+}
+
+}  // namespace
+}  // namespace liberate::deploy

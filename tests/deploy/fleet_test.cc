@@ -1,0 +1,188 @@
+// Fleet soak: thousands of live flows across sharded worlds under
+// adversarial path faults, with a scripted classifier change mid-run — the
+// control plane must detect the drift, re-characterize incrementally, and
+// hot-swap every shard's shim, all byte-identically for any worker count.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deploy/fleet.h"
+#include "dpi/normalizer.h"
+#include "obs/snapshot.h"
+#include "trace/generators.h"
+
+namespace liberate::deploy {
+namespace {
+
+FleetOptions soak_options() {
+  FleetOptions opts;
+  opts.shards = 8;
+  opts.flows_per_wave = 16;
+  opts.waves = 8;
+  opts.faults = netsim::FaultPolicy::adversarial();
+  opts.change_at_wave = 3;
+  opts.classifier_change = [](dpi::Environment& env) {
+    dpi::NormalizerConfig cfg;
+    cfg.reassemble_fragments = true;
+    env.net.emplace_at<dpi::NormalizerElement>(0, cfg);
+  };
+  return opts;
+}
+
+std::vector<std::pair<DeployState, DeployState>> edges(
+    const FleetReport& report) {
+  std::vector<std::pair<DeployState, DeployState>> out;
+  for (const StateTransition& t : report.transitions) {
+    out.emplace_back(t.from, t.to);
+  }
+  return out;
+}
+
+TEST(FleetSoak, AdversarialDriftTriggersIncrementalReadapt) {
+  obs::reset_all();
+  FleetOptions opts = soak_options();
+  FleetEngine engine(opts);
+  FleetReport report = engine.run(trace::amazon_video_trace(8 * 1024));
+
+  // Scale: >= 1k flows actually ran, through a hostile path.
+  EXPECT_EQ(report.totals.flows, 8u * 16u * 8u);
+  EXPECT_GE(report.totals.flows, 1000u);
+  EXPECT_GT(report.faults_injected, 0u);
+
+  // The deployed technique worked until the countermeasure landed.
+  EXPECT_FALSE(report.technique_initial.empty());
+  EXPECT_GT(report.initial_analysis_rounds, 10);
+
+  // Drift confirmed, exactly one re-adaptation, on the cheap path: the rule
+  // set did not change, only fragment handling did, so the cached
+  // fingerprint verifies and the ranking yields the next technique.
+  EXPECT_EQ(report.readapts, 1u);
+  bool saw_verified_cached = false;
+  for (const FleetWaveReport& w : report.waves) {
+    if (w.readapt_path) {
+      EXPECT_EQ(*w.readapt_path, ReadaptPath::kVerifiedCached);
+      saw_verified_cached = true;
+    }
+  }
+  EXPECT_TRUE(saw_verified_cached);
+  EXPECT_NE(report.technique_final, report.technique_initial);
+  EXPECT_FALSE(report.technique_final.empty());
+
+  // Acceptance criterion: incremental re-characterization at < 25% of the
+  // full-analysis probe cost.
+  EXPECT_LT(report.readapt_rounds * 4, report.initial_analysis_rounds);
+
+  // Full state-machine walk, in order: deployed -> suspect -> re-verifying
+  // -> re-deployed -> deployed (and nothing through re-analyzing).
+  const auto got = edges(report);
+  const std::vector<std::pair<DeployState, DeployState>> want = {
+      {DeployState::kDeployed, DeployState::kSuspect},
+      {DeployState::kSuspect, DeployState::kReVerifying},
+      {DeployState::kReVerifying, DeployState::kReDeployed},
+      {DeployState::kReDeployed, DeployState::kDeployed},
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(report.waves.back().state_after, DeployState::kDeployed);
+
+#if LIBERATE_OBS_LEVEL >= 2
+  // The adaptation story is in the flight recorder: event log...
+  const auto events = obs::EventLog::instance().snapshot();
+  auto total = [&](const std::string& key) {
+    auto it = events.totals.find(key);
+    return it == events.totals.end() ? std::uint64_t{0} : it->second;
+  };
+  EXPECT_EQ(total("deploy.state_transition"), 4u);
+  EXPECT_EQ(total("deploy.readapt"), 1u);
+  EXPECT_GT(total("deploy.wave_done"), 0u);
+
+  // ...and the provenance ledger, under the synthetic control-plane flow.
+  obs::prov::FlowKey control;
+  control.ip_a = 0x0a000001;
+  control.valid = true;
+  const auto ledgers =
+      obs::prov::ProvenanceRecorder::instance().ledgers_for(control);
+  std::size_t transitions_recorded = 0;
+  for (const auto& ledger : ledgers) {
+    for (const auto& rec : ledger.records) {
+      if (rec.kind == "deploy-transition") ++transitions_recorded;
+    }
+  }
+  EXPECT_EQ(transitions_recorded, 4u);
+#endif
+}
+
+TEST(FleetSoak, TransientFaultsNeverTriggerReadapt) {
+  // Same hostile path, no classifier change: hysteresis and slack must keep
+  // the fleet out of re-characterization entirely.
+  FleetOptions opts = soak_options();
+  opts.shards = 4;
+  opts.waves = 6;
+  opts.change_at_wave = static_cast<std::size_t>(-1);
+  opts.classifier_change = nullptr;
+  FleetEngine engine(opts);
+  FleetReport report = engine.run(trace::amazon_video_trace(8 * 1024));
+
+  EXPECT_EQ(report.readapts, 0u);
+  EXPECT_EQ(report.technique_final, report.technique_initial);
+  for (const StateTransition& t : report.transitions) {
+    EXPECT_NE(t.to, DeployState::kReVerifying)
+        << "fault noise escalated to verification probes";
+  }
+}
+
+TEST(FleetSoak, WarmCacheSkipsInitialAnalysis) {
+  ClassifierFingerprintCache cache;
+  FleetOptions opts;
+  opts.shards = 2;
+  opts.flows_per_wave = 8;
+  opts.waves = 2;
+  opts.cache = &cache;
+
+  FleetEngine cold(opts);
+  FleetReport first = cold.run(trace::amazon_video_trace(8 * 1024));
+  EXPECT_FALSE(first.initial_from_cache);
+  EXPECT_GT(first.initial_analysis_rounds, 0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  FleetEngine warm(opts);
+  FleetReport second = warm.run(trace::amazon_video_trace(8 * 1024));
+  EXPECT_TRUE(second.initial_from_cache);
+  EXPECT_EQ(second.initial_analysis_rounds, 0);
+  EXPECT_EQ(second.technique_initial, first.technique_initial);
+  // The cached knowledge deploys just as well: clean waves throughout.
+  EXPECT_EQ(second.totals.differentiated, 0u);
+}
+
+TEST(FleetSoak, FlowTableCapEvictsAcrossWaves) {
+  FleetOptions opts;
+  opts.shards = 1;
+  opts.flows_per_wave = 8;
+  opts.waves = 8;
+  opts.max_flows_per_shim = 8;
+  FleetEngine engine(opts);
+  FleetReport report = engine.run(trace::amazon_video_trace(4 * 1024));
+  // 64 distinct flows through an 8-entry table: each wave's cohort evicts
+  // the previous wave's, and the churn must not disturb treatment.
+  EXPECT_EQ(report.flows_evicted, 64u - 8u);
+  EXPECT_EQ(report.totals.differentiated, 0u);
+  EXPECT_EQ(report.totals.incomplete, 0u);
+}
+
+TEST(FleetDeterminism, SummaryByteIdenticalAcrossWorkerCounts) {
+  auto run_with = [](std::size_t workers) {
+    FleetOptions opts = soak_options();
+    opts.shards = 4;
+    opts.flows_per_wave = 8;
+    opts.waves = 6;
+    opts.workers = workers;
+    FleetEngine engine(opts);
+    return engine.run(trace::amazon_video_trace(8 * 1024)).summary();
+  };
+  const std::string serial = run_with(0);
+  EXPECT_NE(serial.find("FLEET transition"), std::string::npos);
+  EXPECT_EQ(serial, run_with(2));
+  EXPECT_EQ(serial, run_with(8));
+}
+
+}  // namespace
+}  // namespace liberate::deploy

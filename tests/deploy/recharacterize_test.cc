@@ -1,0 +1,124 @@
+// Incremental re-characterization: each level of the verification pyramid
+// exercised against a live testbed world, with the cost-accounting claims
+// (O(verification), not O(analysis)) asserted from the runner's counters.
+#include <gtest/gtest.h>
+
+#include "deploy/recharacterize.h"
+#include "dpi/normalizer.h"
+#include "dpi/profiles.h"
+#include "trace/generators.h"
+
+namespace liberate::deploy {
+namespace {
+
+struct Rig {
+  std::unique_ptr<dpi::Environment> env = dpi::make_testbed();
+  core::Liberate lib{*env};
+  trace::ApplicationTrace trace = trace::amazon_video_trace(8 * 1024);
+  core::SessionReport analysis;
+  CachedCharacterization cached;
+
+  Rig() {
+    analysis = lib.analyze(trace);
+    cached = make_cached_characterization("testbed", trace.app_name, analysis);
+  }
+};
+
+TEST(Recharacterize, CacheEntryRanksSelectedTechniqueFirst) {
+  Rig rig;
+  ASSERT_TRUE(rig.analysis.selected_technique.has_value());
+  ASSERT_FALSE(rig.cached.ranking.empty());
+  EXPECT_EQ(rig.cached.ranking.front().name,
+            *rig.analysis.selected_technique);
+  EXPECT_FALSE(rig.cached.fields.empty());
+  EXPECT_GT(rig.cached.ranking.size(), 3u);  // testbed has many evaders
+}
+
+TEST(Recharacterize, StillWorkingCostsOneRound) {
+  Rig rig;
+  ReadaptOutcome out =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, nullptr);
+  EXPECT_EQ(out.path, ReadaptPath::kStillWorking);
+  EXPECT_EQ(out.technique, rig.cached.ranking.front().name);
+  EXPECT_EQ(out.report.total_rounds, 1);
+  EXPECT_GT(out.report.total_bytes, 0u);
+}
+
+TEST(Recharacterize, PolicyRemovalDetectedInTwoRounds) {
+  Rig rig;
+  // Operator removes every rule: nothing is differentiated anymore. The
+  // deployed-technique probe can't distinguish "technique works" from
+  // "policy gone", so this costs the level-1 probe plus one plain round.
+  rig.env->dpi->engine().set_rules({});
+  ReadaptOutcome out =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, nullptr);
+  EXPECT_EQ(out.path, ReadaptPath::kStillWorking);
+
+  // Force past level 1: a ranking whose front no longer exists models a
+  // deployment whose technique registry rotated underneath it.
+  CachedCharacterization gone = rig.cached;
+  gone.ranking.front().name = "no-such-technique";
+  out = incremental_readapt(rig.lib, rig.trace, gone, nullptr);
+  EXPECT_EQ(out.path, ReadaptPath::kPolicyGone);
+  EXPECT_TRUE(out.technique.empty());
+  EXPECT_LE(out.report.total_rounds, 2);
+  EXPECT_FALSE(out.report.detection.differentiation);
+}
+
+TEST(Recharacterize, VerifiedCachedWalksRankingWhenFingerprintHolds) {
+  Rig rig;
+  ASSERT_EQ(rig.cached.ranking.front().name,
+            "reorder/ip-fragments-out-of-order");
+
+  // Countermeasure deployment: a normalizer reassembling IP fragments in
+  // front of the classifier. Fragment-based evasion dies; the rule set (and
+  // therefore the fingerprint) is unchanged.
+  dpi::NormalizerConfig cfg;
+  cfg.reassemble_fragments = true;
+  rig.env->net.emplace_at<dpi::NormalizerElement>(0, cfg);
+
+  ReadaptOutcome out =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, nullptr);
+  EXPECT_EQ(out.path, ReadaptPath::kVerifiedCached);
+  EXPECT_TRUE(out.fingerprint_verified);
+  EXPECT_FALSE(out.technique.empty());
+  EXPECT_NE(out.technique, rig.cached.ranking.front().name);
+  // The whole point: re-adaptation at a fraction of the analysis cost.
+  EXPECT_LT(out.report.total_rounds, rig.analysis.total_rounds / 4);
+  EXPECT_EQ(out.report.selected_technique, out.technique);
+}
+
+TEST(Recharacterize, RuleChangeForcesFullAnalysisAndRefreshesCache) {
+  Rig rig;
+  ClassifierFingerprintCache cache;
+  cache.store(rig.cached);
+  const Fingerprint before = rig.cached.digest;
+
+  // The rule moves to the server response's Content-Type: blinding the old
+  // client-side field no longer kills classification, so the fingerprint
+  // verification fails and a full re-analysis runs.
+  auto rules = rig.env->dpi->engine().rules();
+  for (auto& r : rules) {
+    if (r.name == "testbed-http-video") {
+      r.keywords = {"Content-Type: video/mp4"};
+    }
+  }
+  rig.env->dpi->engine().set_rules(rules);
+
+  ReadaptOutcome out =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, &cache);
+  EXPECT_EQ(out.path, ReadaptPath::kFullAnalysis);
+  EXPECT_FALSE(out.fingerprint_verified);
+  EXPECT_FALSE(out.technique.empty());
+  EXPECT_GT(out.report.total_rounds, 10);
+
+  const CachedCharacterization* refreshed =
+      cache.lookup("testbed", rig.trace.app_name);
+  ASSERT_NE(refreshed, nullptr);
+  EXPECT_FALSE(before.lo == refreshed->digest.lo &&
+               before.hi == refreshed->digest.hi);
+  EXPECT_EQ(refreshed->ranking.front().name, out.technique);
+}
+
+}  // namespace
+}  // namespace liberate::deploy
