@@ -116,7 +116,8 @@ int main(int argc, char** argv) {
   auto tap_into_capture = [&] {
     if (env->pre_middlebox_tap == nullptr) return;
     for (const netsim::TapElement::Seen& s : env->pre_middlebox_tap->seen()) {
-      capture.push_back({s.at, s.datagram, comment_for(rec, s.datagram)});
+      capture.push_back({s.at, Bytes(s.datagram.begin(), s.datagram.end()),
+                         comment_for(rec, s.datagram)});
     }
     env->pre_middlebox_tap->clear();
   };

@@ -254,7 +254,7 @@ ReplayOutcome ReplayRunner::run_tcp(const ApplicationTrace& trace,
       outcome.got_403 = true;
     }
   }
-  for (const Bytes& d : client->raw_received()) {
+  for (BytesView d : client->raw_received()) {
     auto p = netsim::parse_packet(d);
     if (!p.ok() || !p.value().is_tcp()) continue;
     const auto& pv = p.value();
@@ -274,7 +274,7 @@ ReplayOutcome ReplayRunner::run_tcp(const ApplicationTrace& trace,
       outcome.got_403;
 
   // RS?: crafted packets on the server's wire.
-  for (const Bytes& d : server->raw_received()) {
+  for (BytesView d : server->raw_received()) {
     auto p = netsim::parse_ipv4(d);
     if (!p.ok()) continue;
     if (p.value().identification == kCraftedIpId) {
@@ -433,7 +433,7 @@ ReplayOutcome ReplayRunner::run_udp(const ApplicationTrace& trace,
                            netsim::to_seconds(at_client.last - at_client.first) /
                            1e6;
   }
-  for (const Bytes& d : server->raw_received()) {
+  for (BytesView d : server->raw_received()) {
     auto p = netsim::parse_ipv4(d);
     if (p.ok() && p.value().identification == kCraftedIpId) {
       outcome.crafted_at_server += 1;

@@ -80,8 +80,11 @@ Fingerprint round_fingerprint(const WorldSpec& spec, const RoundRequest& req) {
 }
 
 RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req) {
-  const Fingerprint id = round_fingerprint(spec, req);
+  return run_isolated_round(spec, req, round_fingerprint(spec, req));
+}
 
+RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req,
+                               const Fingerprint& id) {
   // The world and the runner get independent deterministic streams derived
   // from (seed, round_id); nothing here depends on scheduling.
   auto env = dpi::make_environment(spec.environment,
@@ -176,7 +179,7 @@ RoundScheduler::~RoundScheduler() {
 
 RoundResult RoundScheduler::execute(const RoundRequest& req,
                                     const Fingerprint& key) {
-  RoundResult result = run_isolated_round(spec_, req);
+  RoundResult result = run_isolated_round(spec_, req, key);
   executed_.fetch_add(1);
   LIBERATE_COUNTER_ADD("core.rounds_executed", 1);
   LIBERATE_HISTOGRAM_OBSERVE("core.round_virtual_seconds",
@@ -240,12 +243,67 @@ RoundResult RoundScheduler::run_one(const RoundRequest& req) {
 
 std::vector<RoundResult> RoundScheduler::run_batch(
     const std::vector<RoundRequest>& reqs) {
-  std::vector<std::shared_future<RoundResult>> futures;
-  futures.reserve(reqs.size());
-  for (const RoundRequest& r : reqs) futures.push_back(submit(r));
-  std::vector<RoundResult> results;
-  results.reserve(futures.size());
-  for (auto& f : futures) results.push_back(f.get());
+  const std::size_t n = reqs.size();
+  std::vector<RoundResult> results(n);
+  if (n == 0) return results;
+
+  // Resolve the whole wave up front: fingerprint every request once, answer
+  // cache hits immediately, and coalesce in-batch duplicates onto a single
+  // execution (mirroring submit()'s in-flight coalescing — only done when
+  // memoization is on, so cache-off counters stay comparable).
+  std::vector<Fingerprint> keys(n);
+  std::vector<std::size_t> work;  // indices that actually replay
+  work.reserve(n);
+  std::unordered_map<Fingerprint, std::size_t, Fingerprint::Hasher> leader;
+  std::vector<std::pair<std::size_t, std::size_t>> dups;  // (copy-to, from)
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = round_fingerprint(spec_, reqs[i]);
+    if (options_.cache_capacity > 0) {
+      if (auto cached = cache_.get(keys[i])) {
+        from_cache_.fetch_add(1);
+        LIBERATE_COUNTER_ADD("core.rounds_from_cache", 1);
+        cached->from_cache = true;
+        results[i] = std::move(*cached);
+        continue;
+      }
+      auto [it, inserted] = leader.try_emplace(keys[i], i);
+      if (!inserted) {
+        from_cache_.fetch_add(1);
+        LIBERATE_COUNTER_ADD("core.rounds_coalesced", 1);
+        dups.emplace_back(i, it->second);
+        continue;
+      }
+    }
+    work.push_back(i);
+  }
+
+  if (pool_ && work.size() > 1) {
+    // Wave execution: one pool task per worker, each claiming round indices
+    // from a shared cursor (work stealing — a worker that lands cheap cache
+    // rebuilds drains more of the wave instead of idling at a barrier).
+    // Results land in their submission slot, so output order is unaffected
+    // by which worker ran what.
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t tasks = std::min(pool_->worker_count(), work.size());
+    std::vector<std::future<void>> waves;
+    waves.reserve(tasks);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      waves.push_back(pool_->submit([this, &reqs, &keys, &work, &results,
+                                     cursor]() {
+        for (;;) {
+          const std::size_t w = cursor->fetch_add(1);
+          if (w >= work.size()) return;
+          const std::size_t i = work[w];
+          results[i] = execute(reqs[i], keys[i]);
+        }
+      }));
+    }
+    for (auto& f : waves) f.get();
+  } else {
+    for (std::size_t i : work) results[i] = execute(reqs[i], keys[i]);
+  }
+
+  for (const auto& [to, from] : dups) results[to] = results[from];
   return results;
 }
 

@@ -93,6 +93,14 @@ Fingerprint round_fingerprint(const WorldSpec& spec, const RoundRequest& req);
 /// on (spec, req), never on threads, ordering or wall clock.
 RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req);
 
+/// Same, with the round fingerprint supplied by the caller. The scheduler
+/// already fingerprints every request for memoization; passing the id
+/// through avoids digesting the full trace a second time per round. `id`
+/// MUST equal round_fingerprint(spec, req) — it seeds the round's RNG
+/// streams and provenance scope.
+RoundResult run_isolated_round(const WorldSpec& spec, const RoundRequest& req,
+                               const Fingerprint& id);
+
 /// Thread-safe LRU-bounded memoization of round results.
 class ProbeCache {
  public:

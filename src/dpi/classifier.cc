@@ -391,12 +391,20 @@ void DpiEngine::run_match(FlowState& fs, FlowState::DirState& ds,
                           const FiveTuple& key, TimePoint now,
                           Inspection* out) {
   (void)ds;
+  // Evaluation normally runs the compiled match program (one shared content
+  // scan for all rules); the process-global backend toggle routes it through
+  // the reference linear matcher instead so determinism/equivalence suites
+  // can compare entire analyses across both implementations.
+  const bool use_program = match_backend() == MatchBackend::kCompiled;
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
-  // Traced evaluation shares the exact code path with match_rules() (the
-  // plain overload delegates to the traced one), so recording the decision
-  // path can never change the verdict.
+  // Traced evaluation shares the exact code path with the untraced one (the
+  // plain entry points delegate to the traced ones), so recording the
+  // decision path can never change the verdict.
   std::vector<RuleStep> steps;
-  RuleHit hit = match_rules_traced(rules_, content, ctx, &steps);
+  RuleHit hit =
+      use_program
+          ? program_->run(rules_, content, ctx, &steps, match_scratch_)
+          : match_rules_reference_traced(rules_, content, ctx, &steps);
   {
     std::uint64_t inspected = 0;
     for (const RuleStep& s : steps) {
@@ -429,7 +437,10 @@ void DpiEngine::run_match(FlowState& fs, FlowState::DirState& ds,
     }
   }
 #else
-  RuleHit hit = match_rules(rules_, content, ctx);
+  RuleHit hit =
+      use_program
+          ? program_->run(rules_, content, ctx, nullptr, match_scratch_)
+          : match_rules_reference(rules_, content, ctx);
 #endif
   if (!hit) {
     LIBERATE_COUNTER_ADD("dpi.match_misses", 1);

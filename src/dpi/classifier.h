@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "dpi/match_program.h"
 #include "dpi/rules.h"
 #include "netsim/network.h"
 #include "netsim/packet.h"
@@ -168,7 +169,9 @@ struct ClassificationEvent {
 class DpiEngine {
  public:
   DpiEngine(ClassifierConfig config, std::vector<MatchRule> rules)
-      : config_(std::move(config)), rules_(std::move(rules)) {}
+      : config_(std::move(config)),
+        rules_(std::move(rules)),
+        program_(MatchProgram::compile_cached(rules_)) {}
 
   /// Push one packet (as seen on the wire) through the classifier.
   Inspection inspect(const netsim::PacketView& pkt, netsim::Direction dir,
@@ -190,8 +193,16 @@ class DpiEngine {
   void clear_log() { log_.clear(); }
 
   /// Swap the rule set at runtime (classifier-rule-change adaptation tests).
-  void set_rules(std::vector<MatchRule> rules) { rules_ = std::move(rules); }
+  /// Recompiles the match program (memoized — swapping back and forth
+  /// between rule sets reuses previously compiled programs).
+  void set_rules(std::vector<MatchRule> rules) {
+    rules_ = std::move(rules);
+    program_ = MatchProgram::compile_cached(rules_);
+  }
   const std::vector<MatchRule>& rules() const { return rules_; }
+  /// The compiled program evaluating rules() (shared across engines with
+  /// identical rule sets).
+  const MatchProgram& program() const { return *program_; }
   /// Swap the implementation quirks at runtime — countermeasure experiments
   /// ("a network could detect and filter lib·erate's inert packets", §4.3).
   /// Existing flow state is kept; new packets are judged under the new
@@ -215,6 +226,8 @@ class DpiEngine {
 
   ClassifierConfig config_;
   std::vector<MatchRule> rules_;
+  std::shared_ptr<const MatchProgram> program_;  // compiled from rules_
+  MatchProgram::Scratch match_scratch_;          // per-engine, reused per eval
   std::map<netsim::FiveTuple, FlowState> flows_;
   std::set<netsim::FiveTuple> blocked_flows_;  // survives state flushes
   struct CachedResult {

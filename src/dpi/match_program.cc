@@ -1,0 +1,382 @@
+#include "dpi/match_program.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "dpi/stun_parser.h"
+
+namespace liberate::dpi {
+
+namespace {
+
+/// ifind()'s exact case fold: ASCII 'A'..'Z' only. Bytes >= 0x80 are left
+/// alone (they are negative as char, so the reference never folds them).
+std::uint8_t fold(std::uint8_t b) {
+  return (b >= 'A' && b <= 'Z') ? static_cast<std::uint8_t>(b + 32) : b;
+}
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+std::atomic<int> g_backend{static_cast<int>(MatchBackend::kCompiled)};
+
+Fingerprint rules_fingerprint(const std::vector<MatchRule>& rules) {
+  Digest d;
+  d.update_u64(rules.size());
+  for (const MatchRule& r : rules) {
+    d.update_sized(r.name);
+    d.update_sized(r.traffic_class);
+    d.update_u64(r.keywords.size());
+    for (const std::string& k : r.keywords) d.update_sized(k);
+    d.update_u8(r.anchored ? 1 : 0);
+    d.update_u8(r.dst_port.has_value() ? 1 : 0);
+    d.update_u16(r.dst_port.value_or(0));
+    d.update_u8(r.udp ? 1 : 0);
+    d.update_u8(r.stun_attribute.has_value() ? 1 : 0);
+    d.update_u16(r.stun_attribute.value_or(0));
+    d.update_u8(r.only_packet_index.has_value() ? 1 : 0);
+    d.update_u64(r.only_packet_index.value_or(0));
+  }
+  return d.finish();
+}
+
+}  // namespace
+
+void set_match_backend(MatchBackend backend) {
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+MatchBackend match_backend() {
+  return static_cast<MatchBackend>(g_backend.load(std::memory_order_relaxed));
+}
+
+MatchProgram MatchProgram::compile(const std::vector<MatchRule>& rules) {
+  MatchProgram prog;
+  prog.fingerprint_ = rules_fingerprint(rules);
+  prog.rules_.reserve(rules.size());
+
+  // Deduplicate keywords case-folded: two rules naming "Host" and "host"
+  // share one pattern (ifind is case-insensitive, so their first-occurrence
+  // offsets are identical by construction).
+  std::unordered_map<std::string, std::int32_t> pattern_ids;
+  std::vector<std::string> patterns;  // folded
+  for (const MatchRule& r : rules) {
+    CompiledRule cr;
+    cr.udp = r.udp;
+    cr.anchored = r.anchored;
+    cr.has_dst_port = r.dst_port.has_value();
+    cr.dst_port = r.dst_port.value_or(0);
+    cr.has_packet_index = r.only_packet_index.has_value();
+    cr.only_packet_index = r.only_packet_index.value_or(0);
+    cr.has_stun = r.stun_attribute.has_value();
+    cr.stun_attribute = r.stun_attribute.value_or(0);
+    cr.kw_pattern.reserve(r.keywords.size());
+    for (const std::string& kw : r.keywords) {
+      if (kw.empty()) {
+        cr.kw_pattern.push_back(kEmptyPattern);
+        continue;
+      }
+      std::string folded(kw);
+      for (char& c : folded) {
+        c = static_cast<char>(fold(static_cast<std::uint8_t>(c)));
+      }
+      auto [it, inserted] =
+          pattern_ids.try_emplace(std::move(folded),
+                                  static_cast<std::int32_t>(patterns.size()));
+      if (inserted) patterns.push_back(it->first);
+      cr.kw_pattern.push_back(it->second);
+    }
+    if (cr.anchored && !cr.kw_pattern.empty() &&
+        cr.kw_pattern[0] != kEmptyPattern) {
+      cr.anchor_byte = static_cast<std::uint8_t>(
+          patterns[static_cast<std::size_t>(cr.kw_pattern[0])][0]);
+      prog.dispatch_[static_cast<std::size_t>(cr.anchor_byte)] = true;
+    } else if (!cr.kw_pattern.empty() || cr.has_stun) {
+      prog.has_unanchored_content_ = true;
+    } else {
+      // No keywords, no STUN: the rule matches any inspected content.
+      prog.has_unanchored_content_ = true;
+    }
+    prog.rules_.push_back(std::move(cr));
+  }
+
+  prog.pattern_len_.reserve(patterns.size());
+  for (const std::string& p : patterns) prog.pattern_len_.push_back(p.size());
+
+  // Reduced alphabet: distinct folded pattern bytes get columns 1..W-1;
+  // every other byte shares column 0 (whose transition is the root from any
+  // node). alpha_ is indexed by RAW content byte with the fold baked in.
+  std::array<std::uint16_t, 256> col_of{};  // folded byte -> column (0=other)
+  std::uint16_t width = 1;
+  for (const std::string& p : patterns) {
+    for (char c : p) {
+      auto b = static_cast<std::uint8_t>(c);
+      if (col_of[b] == 0) col_of[b] = width++;
+    }
+  }
+  prog.alpha_width_ = width;
+  for (std::size_t b = 0; b < 256; ++b) {
+    prog.alpha_[b] = col_of[fold(static_cast<std::uint8_t>(b))];
+  }
+
+  // Trie build over folded patterns.
+  struct BuildNode {
+    std::vector<std::int32_t> next;
+    std::vector<std::uint32_t> out;
+    std::uint32_t fail = 0;
+  };
+  std::vector<BuildNode> nodes;
+  nodes.push_back(BuildNode{std::vector<std::int32_t>(width, -1), {}, 0});
+  for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
+    std::size_t cur = 0;
+    for (char c : patterns[pid]) {
+      const std::uint16_t col = col_of[static_cast<std::uint8_t>(c)];
+      std::int32_t& slot = nodes[cur].next[col];
+      if (slot < 0) {
+        if (nodes.size() >= kNodeBudget) {
+          // Pathological rule set (fuzzers can construct them): keep the
+          // program but route run() to the reference matcher.
+          prog.fallback_ = true;
+          return prog;
+        }
+        slot = static_cast<std::int32_t>(nodes.size());
+        nodes.push_back(
+            BuildNode{std::vector<std::int32_t>(width, -1), {}, 0});
+      }
+      cur = static_cast<std::size_t>(slot);
+    }
+    nodes[cur].out.push_back(static_cast<std::uint32_t>(pid));
+  }
+
+  // BFS: failure links, full goto conversion, and output-list flattening
+  // (a node inherits its fail node's already-merged outputs, so one lookup
+  // per visited node reports every pattern ending there).
+  std::deque<std::uint32_t> queue;
+  for (std::uint16_t col = 0; col < width; ++col) {
+    std::int32_t v = nodes[0].next[col];
+    if (v < 0) {
+      nodes[0].next[col] = 0;
+    } else {
+      nodes[static_cast<std::size_t>(v)].fail = 0;
+      queue.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    const std::uint32_t f = nodes[u].fail;
+    nodes[u].out.insert(nodes[u].out.end(), nodes[f].out.begin(),
+                        nodes[f].out.end());
+    for (std::uint16_t col = 0; col < width; ++col) {
+      std::int32_t v = nodes[u].next[col];
+      if (v < 0) {
+        nodes[u].next[col] = nodes[f].next[col];
+      } else {
+        nodes[static_cast<std::size_t>(v)].fail =
+            static_cast<std::uint32_t>(nodes[f].next[col]);
+        queue.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+
+  // Flatten to the runtime layout.
+  prog.next_.resize(nodes.size() * width);
+  prog.node_out_start_.resize(nodes.size());
+  prog.node_out_count_.resize(nodes.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    for (std::uint16_t col = 0; col < width; ++col) {
+      prog.next_[n * width + col] =
+          static_cast<std::uint32_t>(nodes[n].next[col]);
+    }
+    prog.node_out_start_[n] = static_cast<std::uint32_t>(prog.out_pool_.size());
+    prog.node_out_count_[n] = static_cast<std::uint32_t>(nodes[n].out.size());
+    prog.out_pool_.insert(prog.out_pool_.end(), nodes[n].out.begin(),
+                          nodes[n].out.end());
+  }
+  return prog;
+}
+
+std::shared_ptr<const MatchProgram> MatchProgram::compile_cached(
+    const std::vector<MatchRule>& rules) {
+  static std::mutex mutex;
+  static std::unordered_map<Fingerprint, std::shared_ptr<const MatchProgram>,
+                            Fingerprint::Hasher>
+      cache;
+  const Fingerprint key = rules_fingerprint(rules);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto program = std::make_shared<const MatchProgram>(compile(rules));
+  std::lock_guard<std::mutex> lock(mutex);
+  // Real deployments hold a handful of profiles; a churning caller (rule-
+  // adaptation experiments swap rule sets in a loop) must not grow this
+  // without bound.
+  if (cache.size() >= 256) cache.clear();
+  auto [it, inserted] = cache.try_emplace(key, std::move(program));
+  return it->second;
+}
+
+void MatchProgram::scan(BytesView content, Scratch& scratch) const {
+  const std::size_t need = pattern_len_.size();
+  if (scratch.stamp.size() < need) {
+    scratch.stamp.resize(need, 0);
+    scratch.first_at.resize(need);
+  }
+  if (++scratch.epoch == 0) {
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0);
+    scratch.epoch = 1;
+  }
+  if (need == 0) return;
+  const std::uint32_t epoch = scratch.epoch;
+  const std::uint32_t width = alpha_width_;
+  std::uint32_t s = 0;
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    s = next_[s * width + alpha_[content[i]]];
+    const std::uint32_t count = node_out_count_[s];
+    if (count == 0) continue;
+    const std::uint32_t* ids = &out_pool_[node_out_start_[s]];
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const std::uint32_t p = ids[k];
+      if (scratch.stamp[p] != epoch) {
+        scratch.stamp[p] = epoch;
+        scratch.first_at[p] = i + 1 - pattern_len_[p];
+        if (++found == need) return;  // all first occurrences known
+      }
+    }
+  }
+}
+
+RuleHit MatchProgram::run(const std::vector<MatchRule>& rules,
+                          BytesView content, const RuleContext& ctx,
+                          std::vector<RuleStep>* steps,
+                          Scratch& scratch) const {
+  if (fallback_ || rules.size() != rules_.size()) {
+    return match_rules_reference_traced(rules, content, ctx, steps);
+  }
+
+  // Shared per-evaluation state, both lazy: the automaton pass runs at most
+  // once (first rule that needs a keyword offset), the STUN parse likewise.
+  bool scanned = false;
+  bool stun_parsed = false;
+  std::optional<StunMessage> stun;
+
+  const bool traced = steps != nullptr;
+  const std::uint8_t first_byte =
+      content.empty() ? 0 : fold(content.front());
+
+  // Whole-program dispatch (verdict-only): when every rule is an anchored
+  // keyword rule and no rule's first keyword starts with content's first
+  // byte, nothing can match — guard skips and no-matches alike yield an
+  // empty RuleHit, so return without touching the content at all.
+  if (!traced && !has_unanchored_content_ &&
+      (content.empty() || !dispatch_[first_byte])) {
+    return RuleHit{};
+  }
+
+  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+    const CompiledRule& cr = rules_[ri];
+    const MatchRule* rule = &rules[ri];
+
+    auto emit = [&](RuleStep::Outcome outcome,
+                    MatchRule::ContentTrace&& trace = {}) {
+      if (traced) steps->push_back(RuleStep{rule, outcome, std::move(trace)});
+    };
+
+    // Guard ops, in the reference matcher's exact order.
+    if (cr.udp != ctx.udp) {
+      emit(RuleStep::Outcome::kSkippedTransport);
+      continue;
+    }
+    if (cr.has_dst_port && cr.dst_port != ctx.dst_port) {
+      emit(RuleStep::Outcome::kSkippedPort);
+      continue;
+    }
+    if (cr.has_packet_index &&
+        (!ctx.packet_index || *ctx.packet_index != cr.only_packet_index)) {
+      emit(RuleStep::Outcome::kSkippedPacketIndex);
+      continue;
+    }
+
+    // First-byte dispatch (verdict-only): an anchored rule needs its first
+    // keyword at offset 0, which is impossible when the first folded bytes
+    // differ — whether the keyword occurs later (anchor fail) or never
+    // (keyword fail), the verdict is no-match, so skip the content work.
+    // Traced evaluation cannot take this exit: the trace must name the
+    // actual failure (offset of a late occurrence vs. failed_keyword).
+    if (!traced && cr.anchor_byte >= 0 &&
+        (content.empty() || first_byte != cr.anchor_byte)) {
+      continue;
+    }
+
+    MatchRule::ContentTrace trace;
+    bool matched = true;
+
+    if (cr.has_stun) {
+      if (!stun_parsed) {
+        stun = parse_stun(content);
+        stun_parsed = true;
+      }
+      if (!stun || !stun->has_attribute(cr.stun_attribute)) {
+        if (traced) trace.stun_failed = true;
+        matched = false;
+      } else if (traced) {
+        // Matched attribute's byte offset: 20-byte header, 4-byte-aligned
+        // TLVs (identical walk to the reference).
+        std::size_t off = 20;
+        for (const StunAttribute& a : stun->attributes) {
+          if (a.type == cr.stun_attribute) break;
+          off += 4 + ((a.value.size() + 3) & ~std::size_t{3});
+        }
+        trace.keyword_offsets.push_back(off);
+      }
+    }
+
+    if (matched) {
+      for (std::size_t i = 0; i < cr.kw_pattern.size(); ++i) {
+        std::size_t pos;
+        const std::int32_t pid = cr.kw_pattern[i];
+        if (pid == kEmptyPattern) {
+          pos = 0;  // ifind(text, "") == 0
+        } else {
+          if (!scanned) {
+            scan(content, scratch);
+            scanned = true;
+          }
+          const auto p = static_cast<std::size_t>(pid);
+          pos = scratch.stamp[p] == scratch.epoch ? scratch.first_at[p]
+                                                  : kNpos;
+        }
+        if (pos == kNpos) {
+          if (traced) trace.failed_keyword = i;
+          matched = false;
+          break;
+        }
+        if (i == 0 && cr.anchored && pos != 0) {
+          if (traced) {
+            trace.keyword_offsets.push_back(pos);
+            trace.anchor_failed = true;
+          }
+          matched = false;
+          break;
+        }
+        if (traced) trace.keyword_offsets.push_back(pos);
+      }
+    }
+
+    emit(matched ? RuleStep::Outcome::kMatched : RuleStep::Outcome::kNoMatch,
+         std::move(trace));
+    if (matched) return RuleHit{rule};
+  }
+  return RuleHit{};
+}
+
+}  // namespace liberate::dpi

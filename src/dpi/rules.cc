@@ -67,14 +67,14 @@ const char* rule_step_outcome_name(RuleStep::Outcome o) {
   return "?";
 }
 
-RuleHit match_rules(const std::vector<MatchRule>& rules, BytesView content,
-                    const RuleContext& ctx) {
-  return match_rules_traced(rules, content, ctx, nullptr);
+RuleHit match_rules_reference(const std::vector<MatchRule>& rules,
+                              BytesView content, const RuleContext& ctx) {
+  return match_rules_reference_traced(rules, content, ctx, nullptr);
 }
 
-RuleHit match_rules_traced(const std::vector<MatchRule>& rules,
-                           BytesView content, const RuleContext& ctx,
-                           std::vector<RuleStep>* steps) {
+RuleHit match_rules_reference_traced(const std::vector<MatchRule>& rules,
+                                     BytesView content, const RuleContext& ctx,
+                                     std::vector<RuleStep>* steps) {
   auto step = [&](const MatchRule& rule, RuleStep::Outcome outcome,
                   MatchRule::ContentTrace&& trace = {}) {
     if (steps != nullptr) {

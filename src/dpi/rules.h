@@ -75,8 +75,8 @@ struct RuleContext {
   std::optional<std::size_t> packet_index;  // set in per-packet mode
 };
 
-RuleHit match_rules(const std::vector<MatchRule>& rules, BytesView content,
-                    const RuleContext& ctx);
+RuleHit match_rules_reference(const std::vector<MatchRule>& rules,
+                              BytesView content, const RuleContext& ctx);
 
 /// One rule's outcome within a match_rules_traced() sweep — the classifier's
 /// decision path, consumed by the provenance flight recorder.
@@ -94,11 +94,20 @@ struct RuleStep {
 
 const char* rule_step_outcome_name(RuleStep::Outcome o);
 
-/// match_rules() plus the full decision path: one RuleStep per rule in
-/// evaluation order (the plain overload delegates here with steps=nullptr,
-/// so traced and untraced evaluation can never diverge).
-RuleHit match_rules_traced(const std::vector<MatchRule>& rules,
-                           BytesView content, const RuleContext& ctx,
-                           std::vector<RuleStep>* steps);
+/// match_rules_reference() plus the full decision path: one RuleStep per
+/// rule in evaluation order (the plain overload delegates here with
+/// steps=nullptr, so traced and untraced evaluation can never diverge).
+///
+/// This pair is the *reference* matcher: the obviously-correct linear
+/// implementation kept permanently as the differential oracle for the
+/// compiled matcher (dpi/match_program.h). Production evaluation goes
+/// through MatchProgram; the equivalence contract (same RuleHit, byte-
+/// identical RuleStep/ContentTrace sequences) is enforced by
+/// tests/dpi/match_program_diff_test.cc and the match-program fuzz
+/// campaign. Do not optimize this code — its value is being simple enough
+/// to trust.
+RuleHit match_rules_reference_traced(const std::vector<MatchRule>& rules,
+                                     BytesView content, const RuleContext& ctx,
+                                     std::vector<RuleStep>* steps);
 
 }  // namespace liberate::dpi

@@ -263,7 +263,8 @@ void FuzzStats::merge(const FuzzStats& o) {
   inputs += o.inputs;
   parsed_packets += o.parsed_packets;
   roundtrips_checked += o.roundtrips_checked;
-  if (roundtrip_mismatches == 0 && o.roundtrip_mismatches > 0) {
+  if (roundtrip_mismatches + match_divergences == 0 &&
+      o.roundtrip_mismatches + o.match_divergences > 0) {
     first_failure_seed = o.first_failure_seed;
   }
   roundtrip_mismatches += o.roundtrip_mismatches;
@@ -271,6 +272,10 @@ void FuzzStats::merge(const FuzzStats& o) {
   fragments_pushed += o.fragments_pushed;
   segments_injected += o.segments_injected;
   stream_bytes_delivered += o.stream_bytes_delivered;
+  match_programs_compiled += o.match_programs_compiled;
+  match_fallback_programs += o.match_fallback_programs;
+  match_cases_checked += o.match_cases_checked;
+  match_divergences += o.match_divergences;
 }
 
 std::uint64_t iteration_seed(std::uint64_t base_seed, std::uint64_t index) {

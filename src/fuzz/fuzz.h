@@ -11,6 +11,10 @@
 //   stateful: adversarial fragment streams through IpReassembler and
 //             adversarial segment streams through a live TcpConnection
 //             (wrap-adjacent ISNs, overlaps, floods, invalid flag combos).
+//   match:    differential fuzzing of the compiled rule matcher
+//             (dpi/match_program.h) against the reference linear matcher —
+//             randomized rule sets × adversarial contents × contexts, every
+//             verdict and trace byte-compared.
 //
 // Everything an iteration does is a pure function of one std::uint64_t seed
 // (util/rng.h xoshiro), so any failure is a one-line repro:
@@ -45,6 +49,12 @@ struct FuzzStats {
   std::uint64_t fragments_pushed = 0;
   std::uint64_t segments_injected = 0;
   std::uint64_t stream_bytes_delivered = 0;
+  // Match-program campaign. `match_divergences` is a correctness field like
+  // roundtrip_mismatches — any nonzero count is a compiled-matcher bug.
+  std::uint64_t match_programs_compiled = 0;
+  std::uint64_t match_fallback_programs = 0;  // node-budget fallback taken
+  std::uint64_t match_cases_checked = 0;      // (rules, content, ctx) triples
+  std::uint64_t match_divergences = 0;        // MUST be 0
   /// Seed of the first iteration that recorded a mismatch (repro handle).
   std::uint64_t first_failure_seed = 0;
 
@@ -59,12 +69,20 @@ std::uint64_t iteration_seed(std::uint64_t base_seed, std::uint64_t index);
 void run_codec_iteration(std::uint64_t seed, FuzzStats& stats);
 /// One deterministic stateful (reassembly + TCP endpoint) iteration.
 void run_stateful_iteration(std::uint64_t seed, FuzzStats& stats);
+/// One deterministic match-program differential iteration: a randomized rule
+/// set is compiled once and checked against the reference matcher on a batch
+/// of adversarial contents/contexts (anchors at offsets 0/±1, case flips,
+/// keyword overlaps, STUN payloads, empty contents). Every RuleHit and
+/// RuleStep/ContentTrace sequence must be byte-identical.
+void run_match_program_iteration(std::uint64_t seed, FuzzStats& stats);
 
 /// Campaign drivers: `iterations` iterations from `base_seed`.
 FuzzStats run_codec_campaign(std::uint64_t base_seed,
                              std::uint64_t iterations);
 FuzzStats run_stateful_campaign(std::uint64_t base_seed,
                                 std::uint64_t iterations);
+FuzzStats run_match_program_campaign(std::uint64_t base_seed,
+                                     std::uint64_t iterations);
 
 /// A checked-in interesting input (tests/fuzz/corpus): `name` is the file
 /// name, `data` the decoded bytes.
@@ -80,5 +98,10 @@ std::vector<CorpusEntry> load_corpus(const std::string& dir);
 /// Drive one input through every parser and the reassembler (the corpus
 /// replay path; also used internally by the codec campaign).
 void run_corpus_entry(BytesView input, FuzzStats& stats);
+
+/// Replay one match-campaign corpus content (tests/fuzz/corpus/match)
+/// against a fixed tricky rule set under a matrix of contexts, comparing
+/// compiled vs reference on each.
+void run_match_corpus_entry(BytesView content, FuzzStats& stats);
 
 }  // namespace liberate::fuzz

@@ -1,0 +1,317 @@
+// match_fuzz.cc — differential fuzzing of the compiled rule matcher.
+//
+// The compiled matcher (dpi/match_program.h) promises byte-identical
+// verdicts AND byte-identical RuleStep/ContentTrace sequences against the
+// reference linear matcher for every (rules, content, ctx). This campaign
+// attacks that contract: every iteration compiles a fresh randomized rule
+// set (anchored/port/udp/STUN/packet-index constraints, keyword fragments
+// with case flips, single-byte and empty keywords, high-byte fold-boundary
+// bytes, occasional node-budget-busting sets that must take the reference
+// fallback) and replays a batch of adversarial contents through both
+// matchers — traced and verdict-only — under randomized contexts.
+//
+// Any divergence bumps FuzzStats::match_divergences and records the
+// iteration seed; `run_match_program_iteration(seed, stats)` is the whole
+// repro.
+#include <string>
+
+#include "dpi/match_program.h"
+#include "dpi/rules.h"
+#include "dpi/stun_parser.h"
+#include "fuzz/fuzz.h"
+#include "util/rng.h"
+
+namespace liberate::fuzz {
+
+namespace {
+
+using dpi::MatchProgram;
+using dpi::MatchRule;
+using dpi::RuleContext;
+using dpi::RuleHit;
+using dpi::RuleStep;
+
+/// Keyword seed pool: the shapes real rule sets use (HTTP verbs, host
+/// fragments, SNI substrings) plus automaton stress shapes — single bytes,
+/// shared prefixes/suffixes so patterns overlap inside the Aho-Corasick
+/// trie, and bytes >= 0x80 which ifind() never case-folds.
+const char* const kFragments[] = {
+    "GET ",        "get",         "Host: ",      "host",
+    "youtube",     "youtube.com", "tube",        "googlevideo",
+    "google",      "video",       "netflix",     "HTTP/1.1",
+    "\r\n",        "x",           "X",           "a=rtpmap",
+    "skype",       "sky",         "\x80\x81",    "\xc3\xa9video",
+};
+constexpr std::size_t kFragmentCount =
+    sizeof(kFragments) / sizeof(kFragments[0]);
+
+std::string random_keyword(Rng& rng) {
+  std::string kw = kFragments[rng.below(kFragmentCount)];
+  // Random case flips: folding must behave identically in both matchers.
+  for (char& c : kw) {
+    if (rng.chance(0.3)) {
+      if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+      else if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+    }
+  }
+  if (rng.chance(0.15)) kw += static_cast<char>(rng.next());  // raw byte tail
+  if (rng.chance(0.1) && kw.size() > 1) kw.resize(kw.size() - 1);
+  return kw;
+}
+
+std::vector<MatchRule> random_rules(Rng& rng) {
+  std::vector<MatchRule> rules(rng.range(1, 8));
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    MatchRule& r = rules[i];
+    r.name = "fuzz-rule-" + std::to_string(i);
+    r.traffic_class = (i % 2) != 0u ? "video" : "voip";
+    const std::size_t nk = rng.below(4);  // 0..3; 0 keywords = guard-only rule
+    for (std::size_t k = 0; k < nk; ++k) r.keywords.push_back(random_keyword(rng));
+    if (rng.chance(0.12)) {
+      // Empty keyword: ifind("") == 0 always; the program encodes it as a
+      // constant, not an automaton pattern.
+      r.keywords.insert(r.keywords.begin() + static_cast<std::ptrdiff_t>(
+                            rng.below(r.keywords.size() + 1)),
+                        std::string());
+    }
+    r.anchored = rng.chance(0.35);
+    if (rng.chance(0.35)) {
+      const std::uint16_t ports[] = {80, 443, 3478,
+                                     static_cast<std::uint16_t>(rng.next())};
+      r.dst_port = ports[rng.below(4)];
+    }
+    r.udp = rng.chance(0.3);
+    if (rng.chance(0.15)) {
+      r.stun_attribute = rng.chance(0.5)
+                             ? dpi::kStunAttrMsServiceQuality
+                             : static_cast<std::uint16_t>(rng.next());
+    }
+    if (rng.chance(0.2)) r.only_packet_index = rng.range(1, 3);
+  }
+  // Rarely, blow the automaton node budget so the compiled program must take
+  // its reference-fallback path — which also has to stay byte-identical.
+  if (rng.chance(0.02)) {
+    MatchRule big;
+    big.name = "fuzz-rule-budget-buster";
+    big.traffic_class = "bulk";
+    std::string kw;
+    kw.reserve(5000);
+    for (int k = 0; k < 5000; ++k) kw += static_cast<char>(rng.next());
+    big.keywords.push_back(std::move(kw));
+    rules.push_back(std::move(big));
+  }
+  return rules;
+}
+
+Bytes stun_content(Rng& rng, const std::vector<MatchRule>& rules) {
+  dpi::StunMessage msg;
+  msg.message_type = 0x0001;
+  msg.transaction_id = rng.bytes(12);
+  // Use a rule's required attribute half the time so the STUN guard passes.
+  std::optional<std::uint16_t> want;
+  for (const MatchRule& r : rules) {
+    if (r.stun_attribute) want = r.stun_attribute;
+  }
+  dpi::StunAttribute attr;
+  attr.type = (want && rng.chance(0.6))
+                  ? *want
+                  : static_cast<std::uint16_t>(rng.next());
+  // Attribute values of every length mod 4 exercise the padded offset walk.
+  attr.value = rng.bytes(rng.below(9));
+  msg.attributes.push_back(attr);
+  if (rng.chance(0.3)) {
+    dpi::StunAttribute extra;
+    extra.type = static_cast<std::uint16_t>(rng.next());
+    extra.value = rng.bytes(rng.below(5));
+    msg.attributes.push_back(extra);
+  }
+  return dpi::serialize_stun(msg);
+}
+
+/// Adversarial content: empty payloads, pure junk, STUN messages, and
+/// keyword stitches placed at offsets 0 / +1 / +2 with flipped case —
+/// exactly the inputs where anchored dispatch or first-occurrence logic
+/// could drift from the reference.
+Bytes random_content(Rng& rng, const std::vector<MatchRule>& rules) {
+  switch (rng.below(8)) {
+    case 0:
+      return {};
+    case 1:
+      return rng.bytes(rng.below(200));
+    case 2:
+      return stun_content(rng, rules);
+    default: {
+      Bytes content;
+      // 0/1/2 junk bytes in front: offset 0 hits anchors, ±1 defeats them.
+      const std::size_t lead = rng.below(3);
+      for (std::size_t i = 0; i < lead; ++i) {
+        content.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+      const std::size_t pieces = rng.range(1, 4);
+      for (std::size_t p = 0; p < pieces; ++p) {
+        std::string kw;
+        const MatchRule& r = rules[rng.below(rules.size())];
+        if (!r.keywords.empty() && rng.chance(0.8)) {
+          kw = r.keywords[rng.below(r.keywords.size())];
+        } else {
+          kw = random_keyword(rng);
+        }
+        for (char& c : kw) {
+          if (rng.chance(0.25)) {
+            if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+            else if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+          }
+        }
+        content.insert(content.end(), kw.begin(), kw.end());
+        if (rng.chance(0.5)) {
+          Bytes junk = rng.bytes(rng.below(12));
+          content.insert(content.end(), junk.begin(), junk.end());
+        }
+        // Occasionally step back one byte so consecutive keywords overlap.
+        if (rng.chance(0.2) && !content.empty()) content.pop_back();
+      }
+      return content;
+    }
+  }
+}
+
+RuleContext random_ctx(Rng& rng, const std::vector<MatchRule>& rules) {
+  RuleContext ctx;
+  ctx.dst_port = static_cast<std::uint16_t>(rng.next());
+  if (rng.chance(0.6)) {
+    for (const MatchRule& r : rules) {
+      if (r.dst_port && rng.chance(0.5)) ctx.dst_port = *r.dst_port;
+    }
+  }
+  ctx.udp = rng.chance(0.5);
+  if (rng.chance(0.6)) ctx.packet_index = rng.range(1, 3);
+  return ctx;
+}
+
+bool traces_equal(const MatchRule::ContentTrace& a,
+                  const MatchRule::ContentTrace& b) {
+  return a.keyword_offsets == b.keyword_offsets &&
+         a.failed_keyword == b.failed_keyword &&
+         a.anchor_failed == b.anchor_failed && a.stun_failed == b.stun_failed;
+}
+
+bool steps_equal(const std::vector<RuleStep>& a,
+                 const std::vector<RuleStep>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rule != b[i].rule || a[i].outcome != b[i].outcome ||
+        !traces_equal(a[i].content, b[i].content)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One differential case: traced and verdict-only evaluation through the
+/// program, byte-compared against the reference.
+void check_case(const MatchProgram& prog, const std::vector<MatchRule>& rules,
+                BytesView content, const RuleContext& ctx,
+                MatchProgram::Scratch& scratch, std::uint64_t seed,
+                FuzzStats& stats) {
+  std::vector<RuleStep> ref_steps;
+  std::vector<RuleStep> prog_steps;
+  RuleHit ref = match_rules_reference_traced(rules, content, ctx, &ref_steps);
+  RuleHit traced = prog.run(rules, content, ctx, &prog_steps, scratch);
+  RuleHit verdict = prog.run(rules, content, ctx, nullptr, scratch);
+  ++stats.match_cases_checked;
+  const bool ok = ref.rule == traced.rule && ref.rule == verdict.rule &&
+                  steps_equal(ref_steps, prog_steps);
+  if (!ok) {
+    if (stats.roundtrip_mismatches + stats.match_divergences == 0) {
+      stats.first_failure_seed = seed;
+    }
+    ++stats.match_divergences;
+  }
+}
+
+/// The fixed rule set corpus contents replay against: every constraint kind
+/// plus the automaton shapes (shared prefixes, single byte, empty keyword,
+/// high-byte keyword) in one set.
+const std::vector<MatchRule>& corpus_rules() {
+  static const std::vector<MatchRule> rules = [] {
+    std::vector<MatchRule> r(6);
+    r[0].name = "corpus-anchored-http";
+    r[0].traffic_class = "video";
+    r[0].keywords = {"GET ", "youtube"};
+    r[0].anchored = true;
+    r[0].dst_port = 80;
+    r[1].name = "corpus-stun-skype";
+    r[1].traffic_class = "voip";
+    r[1].keywords = {};
+    r[1].udp = true;
+    r[1].stun_attribute = dpi::kStunAttrMsServiceQuality;
+    r[1].only_packet_index = 1;
+    r[2].name = "corpus-single-byte-anchor";
+    r[2].traffic_class = "bulk";
+    r[2].keywords = {"x"};
+    r[2].anchored = true;
+    r[3].name = "corpus-empty-keyword";
+    r[3].traffic_class = "web";
+    r[3].keywords = {"", "Host: "};
+    r[4].name = "corpus-overlap";
+    r[4].traffic_class = "video";
+    r[4].keywords = {"googlevideo", "video", "google"};
+    r[5].name = "corpus-high-byte";
+    r[5].traffic_class = "web";
+    r[5].keywords = {"\xc3\xa9video"};
+    return r;
+  }();
+  return rules;
+}
+
+}  // namespace
+
+void run_match_program_iteration(std::uint64_t seed, FuzzStats& stats) {
+  ++stats.iterations;
+  Rng rng(seed);
+  const std::vector<MatchRule> rules = random_rules(rng);
+  const MatchProgram prog = MatchProgram::compile(rules);
+  ++stats.match_programs_compiled;
+  if (!prog.compiled()) ++stats.match_fallback_programs;
+  MatchProgram::Scratch scratch;  // shared across cases: epoch stamps must hold
+  for (int c = 0; c < 12; ++c) {
+    const Bytes content = random_content(rng, rules);
+    const RuleContext ctx = random_ctx(rng, rules);
+    check_case(prog, rules, BytesView(content), ctx, scratch, seed, stats);
+  }
+  // The memoized compile path must hand back an equivalent program.
+  if (seed % 7 == 0) {
+    auto shared = MatchProgram::compile_cached(rules);
+    const Bytes content = random_content(rng, rules);
+    const RuleContext ctx = random_ctx(rng, rules);
+    check_case(*shared, rules, BytesView(content), ctx, scratch, seed, stats);
+  }
+}
+
+FuzzStats run_match_program_campaign(std::uint64_t base_seed,
+                                     std::uint64_t iterations) {
+  FuzzStats stats;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    run_match_program_iteration(iteration_seed(base_seed, i), stats);
+  }
+  return stats;
+}
+
+void run_match_corpus_entry(BytesView content, FuzzStats& stats) {
+  ++stats.inputs;
+  const std::vector<MatchRule>& rules = corpus_rules();
+  static const MatchProgram prog = MatchProgram::compile(rules);
+  MatchProgram::Scratch scratch;
+  // Context matrix: hit and miss every guard kind at least once.
+  const RuleContext contexts[] = {
+      {/*dst_port=*/80, /*udp=*/false, /*packet_index=*/std::size_t{1}},
+      {/*dst_port=*/443, /*udp=*/false, /*packet_index=*/std::nullopt},
+      {/*dst_port=*/3478, /*udp=*/true, /*packet_index=*/std::size_t{1}},
+      {/*dst_port=*/3478, /*udp=*/true, /*packet_index=*/std::size_t{2}},
+  };
+  for (const RuleContext& ctx : contexts) {
+    check_case(prog, rules, content, ctx, scratch, /*seed=*/0, stats);
+  }
+}
+
+}  // namespace liberate::fuzz

@@ -3,14 +3,41 @@
 namespace liberate::netsim {
 
 std::uint32_t checksum_accumulate(std::uint32_t partial, BytesView data) {
+  // Every hop validates transport checksums over full segments, so this loop
+  // dominates validation cost. Process 8 bytes per iteration: split a 64-bit
+  // load into even/odd byte lanes and horizontally add the four 16-bit lanes
+  // with a multiply (lane sums are <= 4*255, no carry between lanes). The
+  // result is the exact same one's-complement word sum as the byte-pair loop.
+  const std::uint8_t* p = data.data();
+  std::size_t size = data.size();
+  std::uint64_t sum = partial;
+  constexpr std::uint64_t kEvenMask = 0x00FF00FF00FF00FFULL;
+  constexpr std::uint64_t kLaneSum = 0x0001000100010001ULL;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (size >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    // Byte order within each 16-bit big-endian word: high byte first. On a
+    // little-endian load, bytes p[0],p[2],... sit in the low byte of each
+    // lane of (v & mask) and are the <<8 halves of the checksum words.
+    const std::uint64_t high = v & kEvenMask;
+    const std::uint64_t low = (v >> 8) & kEvenMask;
+    sum += (((high * kLaneSum) >> 48) << 8) + ((low * kLaneSum) >> 48);
+    p += 8;
+    size -= 8;
+  }
+#endif
   std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    partial += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  for (; i + 1 < size; i += 2) {
+    sum += (static_cast<std::uint32_t>(p[i]) << 8) | p[i + 1];
   }
-  if (i < data.size()) {
-    partial += static_cast<std::uint32_t>(data[i]) << 8;
+  if (i < size) {
+    sum += static_cast<std::uint32_t>(p[i]) << 8;
   }
-  return partial;
+  // Fold 64 -> 32 bits; one's-complement addition is fold-invariant, so
+  // checksum_finish sees an equivalent partial.
+  while (sum >> 32) sum = (sum & 0xffffffff) + (sum >> 32);
+  return static_cast<std::uint32_t>(sum);
 }
 
 std::uint16_t checksum_finish(std::uint32_t partial) {

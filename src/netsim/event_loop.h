@@ -3,20 +3,128 @@
 // Single-threaded by design: determinism matters more than parallelism for a
 // reproduction harness, and every test/bench drives one loop to completion.
 // Ties are broken by insertion order so runs are bit-for-bit reproducible.
+//
+// Scheduled callbacks are stored in an EventTask: a move-only callable
+// wrapper like std::function but with a 96-byte inline buffer, sized so the
+// network's per-hop lambdas (a moved-in datagram vector plus a few scalars)
+// never touch the heap. A replay round schedules one event per packet per
+// hop — with std::function's small-buffer limit those all heap-allocated,
+// and the malloc/free pair per hop was visible in round profiles.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "netsim/simclock.h"
 
 namespace liberate::netsim {
 
+/// Move-only type-erased void() callable with large inline storage.
+/// Callables bigger than the buffer fall back to the heap, so this is a
+/// drop-in std::function replacement for scheduling purposes.
+class EventTask {
+ public:
+  EventTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventTask>>>
+  EventTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInline &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ptr_ = new Fn(std::forward<F>(fn));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventTask(EventTask&& o) noexcept { move_from(o); }
+  EventTask& operator=(EventTask&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventTask(const EventTask&) = delete;
+  EventTask& operator=(const EventTask&) = delete;
+  ~EventTask() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(this); }
+
+ private:
+  static constexpr std::size_t kInline = 96;
+
+  struct Ops {
+    void (*invoke)(EventTask*);
+    void (*move)(EventTask* dst, EventTask* src);  // src left empty
+    void (*destroy)(EventTask*);
+  };
+
+  template <typename Fn>
+  static Fn* inline_fn(EventTask* self) {
+    return std::launder(reinterpret_cast<Fn*>(self->buf_));
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static const Ops ops = {
+        [](EventTask* self) { (*inline_fn<Fn>(self))(); },
+        [](EventTask* dst, EventTask* src) {
+          Fn* f = inline_fn<Fn>(src);
+          ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*f));
+          f->~Fn();
+        },
+        [](EventTask* self) { inline_fn<Fn>(self)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static const Ops ops = {
+        [](EventTask* self) { (*static_cast<Fn*>(self->ptr_))(); },
+        [](EventTask* dst, EventTask* src) {
+          dst->ptr_ = src->ptr_;
+          src->ptr_ = nullptr;
+        },
+        [](EventTask* self) { delete static_cast<Fn*>(self->ptr_); },
+    };
+    return &ops;
+  }
+
+  void move_from(EventTask& o) {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) ops_->move(this, &o);
+    o.ops_ = nullptr;
+  }
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(this);
+      ops_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInline];
+    void* ptr_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventTask;
 
   TimePoint now() const { return now_; }
 
@@ -54,8 +162,11 @@ class EventLoop {
   };
 
   void step() {
-    // The callback may schedule more events; pop first.
-    Event ev = queue_.top();
+    // The callback may schedule more events; pop first. top() is const, but
+    // moving from the root element immediately before pop() is safe — the
+    // heap is never inspected in between — and avoids copying the callback
+    // (whose captures often include a full datagram buffer).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.when;
     ev.fn();

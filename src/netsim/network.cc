@@ -18,8 +18,8 @@ void ElementIo::forward_after(Duration delay, Bytes datagram) {
   std::size_t next = dir_ == Direction::kClientToServer ? index_ + 1 : index_;
   Direction dir = dir_;
   Network* net = &net_;
-  net_.loop_.schedule(delay, [net, dir, next, d = std::move(datagram)]() {
-    net->walk(d, dir, next);
+  net_.loop_.schedule(delay, [net, dir, next, d = std::move(datagram)]() mutable {
+    net->walk(std::move(d), dir, next);
   });
 }
 
@@ -33,8 +33,8 @@ void ElementIo::send_back_after(Duration delay, Bytes datagram) {
   Direction back = opposite(dir_);
   std::size_t next = back == Direction::kClientToServer ? index_ + 1 : index_;
   Network* net = &net_;
-  net_.loop_.schedule(delay, [net, back, next, d = std::move(datagram)]() {
-    net->walk(d, back, next);
+  net_.loop_.schedule(delay, [net, back, next, d = std::move(datagram)]() mutable {
+    net->walk(std::move(d), back, next);
   });
 }
 
@@ -58,28 +58,32 @@ void Network::walk(Bytes datagram, Direction dir, std::size_t index) {
   // client.
   if (dir == Direction::kClientToServer) {
     if (index >= elements_.size()) {
-      loop_.schedule(hop_latency_, [this, d = std::move(datagram), dir]() {
-        deliver_to_endpoint(d, dir);
-      });
+      loop_.schedule(hop_latency_,
+                     [this, d = std::move(datagram), dir]() mutable {
+                       deliver_to_endpoint(std::move(d), dir);
+                     });
       return;
     }
     std::size_t i = index;
-    loop_.schedule(hop_latency_, [this, d = std::move(datagram), dir, i]() {
-      ElementIo io(*this, i, dir);
-      elements_[i]->process(d, dir, io);
-    });
+    loop_.schedule(hop_latency_,
+                   [this, d = std::move(datagram), dir, i]() mutable {
+                     ElementIo io(*this, i, dir);
+                     elements_[i]->process(std::move(d), dir, io);
+                   });
   } else {
     if (index == 0) {
-      loop_.schedule(hop_latency_, [this, d = std::move(datagram), dir]() {
-        deliver_to_endpoint(d, dir);
-      });
+      loop_.schedule(hop_latency_,
+                     [this, d = std::move(datagram), dir]() mutable {
+                       deliver_to_endpoint(std::move(d), dir);
+                     });
       return;
     }
     std::size_t i = index - 1;
-    loop_.schedule(hop_latency_, [this, d = std::move(datagram), dir, i]() {
-      ElementIo io(*this, i, dir);
-      elements_[i]->process(d, dir, io);
-    });
+    loop_.schedule(hop_latency_,
+                   [this, d = std::move(datagram), dir, i]() mutable {
+                     ElementIo io(*this, i, dir);
+                     elements_[i]->process(std::move(d), dir, io);
+                   });
   }
 }
 
@@ -164,7 +168,7 @@ std::string RouterHop::name() const {
 }
 
 void TapElement::process(Bytes datagram, Direction dir, ElementIo& io) {
-  seen_.push_back(Seen{datagram, dir, io.now()});
+  seen_.push_back(Seen{arena_.copy(BytesView(datagram)), dir, io.now()});
   io.forward(std::move(datagram));
 }
 

@@ -18,6 +18,7 @@
 #include "netsim/event_loop.h"
 #include "netsim/packet.h"
 #include "netsim/validation.h"
+#include "util/arena.h"
 #include "util/bytes.h"
 
 namespace liberate::netsim {
@@ -96,6 +97,10 @@ class RouterHop : public PathElement {
 /// Statistics tap: counts/records datagrams passing a point on the path.
 /// Used by tests and by the replay server's "did the packet reach us?" (RS?)
 /// raw-capture check.
+///
+/// Captured datagrams live in a tap-owned Arena: one pointer bump per packet
+/// instead of one heap vector, and clear() recycles the whole capture in
+/// O(chunks). Views returned by seen() are invalidated by clear().
 class TapElement : public PathElement {
  public:
   explicit TapElement(std::string label) : label_(std::move(label)) {}
@@ -104,17 +109,21 @@ class TapElement : public PathElement {
   std::string name() const override { return "tap:" + label_; }
 
   struct Seen {
-    Bytes datagram;
+    BytesView datagram;  // arena-backed; valid until clear()
     Direction dir;
     TimePoint at;
   };
   const std::vector<Seen>& seen() const { return seen_; }
-  void clear() { seen_.clear(); }
+  void clear() {
+    seen_.clear();
+    arena_.reset();
+  }
   std::size_t count(Direction dir) const;
 
  private:
   std::string label_;
   std::vector<Seen> seen_;
+  Arena arena_;
 };
 
 /// Token-bucket rate limiter with a finite queue (models both access-link

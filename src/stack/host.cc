@@ -50,7 +50,7 @@ TcpConnection* Host::find_connection(const FiveTuple& local_to_remote) {
 void Host::receive(Bytes datagram) {
   // Raw tap before anything else: "reached the server" means reached the
   // wire at the server's NIC, regardless of kernel validation.
-  raw_received_.push_back(datagram);
+  raw_received_.push_back(raw_arena_.copy(BytesView(datagram)));
 
   auto parsed = netsim::parse_packet(datagram);
   if (!parsed.ok()) {

@@ -16,6 +16,7 @@
 
 #include "netsim/network.h"
 #include "stack/ip_reassembly.h"
+#include "util/arena.h"
 #include "stack/os_profile.h"
 #include "stack/tcp_endpoint.h"
 #include "stack/udp_endpoint.h"
@@ -50,8 +51,13 @@ class Host : public netsim::HostIface {
   void on_icmp(IcmpCallback cb) { on_icmp_ = std::move(cb); }
 
   /// Every datagram as seen on the wire, pre-validation (the RS? tap).
-  const std::vector<Bytes>& raw_received() const { return raw_received_; }
-  void clear_raw_received() { raw_received_.clear(); }
+  /// Arena-backed views: one bump allocation per packet instead of a heap
+  /// vector copy. Views stay valid until clear_raw_received().
+  const std::vector<BytesView>& raw_received() const { return raw_received_; }
+  void clear_raw_received() {
+    raw_received_.clear();
+    raw_arena_.reset();
+  }
   std::uint64_t dropped_by_os() const { return dropped_by_os_; }
   std::uint64_t rsts_sent() const { return rsts_sent_; }
 
@@ -79,7 +85,8 @@ class Host : public netsim::HostIface {
   std::map<std::uint16_t, AcceptCallback> listeners_;
   std::map<std::uint16_t, std::unique_ptr<UdpSocket>> udp_sockets_;
 
-  std::vector<Bytes> raw_received_;
+  std::vector<BytesView> raw_received_;
+  Arena raw_arena_;
   std::uint64_t dropped_by_os_ = 0;
   std::uint64_t rsts_sent_ = 0;
   std::uint16_t next_ephemeral_port_ = 40000;

@@ -75,7 +75,8 @@ Result<std::vector<PcapRecord>> read_pcap(BytesView data) {
 Bytes tap_to_pcap(const netsim::TapElement& tap) {
   std::vector<PcapRecord> records;
   for (const auto& seen : tap.seen()) {
-    records.push_back(PcapRecord{seen.at, seen.datagram});
+    records.push_back(
+        PcapRecord{seen.at, Bytes(seen.datagram.begin(), seen.datagram.end())});
   }
   return write_pcap(records);
 }

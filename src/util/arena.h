@@ -1,0 +1,175 @@
+// arena.h — chunked bump allocator for round-scoped packet buffers.
+//
+// Wire captures (the replay server's raw-received log, path taps) record one
+// buffer per packet per round; with individual std::vector allocations the
+// malloc/free pairs were a visible slice of round profiles. An Arena hands
+// out slices from large reusable chunks instead: allocation is a pointer
+// bump, and reset() recycles every chunk for the next round without
+// returning memory to the allocator.
+//
+// Lifetime rules:
+//   - Slices are stable until reset(): growing the arena adds chunks, it
+//     never moves existing ones, so BytesView slices survive later
+//     allocations (unlike views into a growing std::vector).
+//   - reset() invalidates every outstanding slice at once. Under
+//     AddressSanitizer the recycled memory is poisoned, so a stale view
+//     dereference is a hard ASan error rather than silent garbage; the
+//     generation() counter provides the same guard structurally for code
+//     that wants to validate slices without ASan (Arena::Slice).
+//   - Single-threaded by design, like the event loop it serves.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/bytes.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LIBERATE_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LIBERATE_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef LIBERATE_ARENA_ASAN
+extern "C" {
+void __asan_poison_memory_region(void const volatile* addr, std::size_t size);
+void __asan_unpoison_memory_region(void const volatile* addr,
+                                   std::size_t size);
+int __asan_address_is_poisoned(void const volatile* addr);
+}
+#endif
+
+namespace liberate {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `size` bytes (8-byte aligned; ASan poison granularity).
+  /// Zero-size allocations return a valid, unique-enough pointer into the
+  /// arena without consuming space.
+  std::uint8_t* allocate(std::size_t size) {
+    const std::size_t need = (size + 7) & ~std::size_t{7};
+    if (chunks_.empty() || offset_ + need > chunks_[active_].size) {
+      advance_chunk(need);
+    }
+    std::uint8_t* p = chunks_[active_].data.get() + offset_;
+    offset_ += need;
+    used_ += need;
+    if (used_ > high_water_) high_water_ = used_;
+    unpoison(p, need);
+    return p;
+  }
+
+  /// Copy `src` into the arena and return the arena-backed view. The view
+  /// stays valid until the next reset() even as the arena grows.
+  BytesView copy(BytesView src) {
+    if (src.empty()) return {};
+    std::uint8_t* p = allocate(src.size());
+    std::memcpy(p, src.data(), src.size());
+    return BytesView(p, src.size());
+  }
+
+  /// A generation-stamped slice: structurally detects use-after-reset even
+  /// without ASan. get() returns an empty view once the arena has been
+  /// recycled out from under the slice.
+  struct Slice {
+    BytesView view{};
+    std::uint64_t generation = 0;
+
+    bool valid(const Arena& a) const { return generation == a.generation(); }
+    BytesView get(const Arena& a) const {
+      return valid(a) ? view : BytesView{};
+    }
+  };
+
+  Slice copy_slice(BytesView src) { return Slice{copy(src), generation_}; }
+
+  /// Recycle every chunk. O(chunks), frees nothing: the next round's
+  /// allocations reuse the same memory. All outstanding slices become
+  /// invalid (poisoned under ASan, generation-mismatched otherwise).
+  void reset() {
+    for (const Chunk& c : chunks_) poison(c.data.get(), c.size);
+    active_ = 0;
+    offset_ = 0;
+    used_ = 0;
+    ++generation_;
+  }
+
+  /// Like reset(), but also returns all memory beyond the first chunk to the
+  /// allocator — for callers that just saw a pathological burst.
+  void reset_and_shrink() {
+    reset();
+    if (chunks_.size() > 1) chunks_.resize(1);
+    reserved_ = chunks_.empty() ? 0 : chunks_[0].size;
+  }
+
+  std::uint64_t generation() const { return generation_; }
+  std::size_t bytes_in_use() const { return used_; }
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+
+  void advance_chunk(std::size_t need) {
+    std::size_t next = chunks_.empty() ? 0 : active_ + 1;
+    // Reuse the next recycled chunk when it fits; otherwise splice in a
+    // fresh one (oversize requests get a dedicated right-sized chunk).
+    if (next >= chunks_.size() || chunks_[next].size < need) {
+      Chunk c;
+      c.size = need > chunk_bytes_ ? need : chunk_bytes_;
+      c.data = std::make_unique<std::uint8_t[]>(c.size);
+      reserved_ += c.size;
+      poison(c.data.get(), c.size);
+      chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(next),
+                     std::move(c));
+    }
+    active_ = next;
+    offset_ = 0;
+  }
+
+  static void poison(const std::uint8_t* p, std::size_t n) {
+#ifdef LIBERATE_ARENA_ASAN
+    __asan_poison_memory_region(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+  static void unpoison(const std::uint8_t* p, std::size_t n) {
+#ifdef LIBERATE_ARENA_ASAN
+    __asan_unpoison_memory_region(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t offset_ = 0;   // within chunks_[active_]
+  std::size_t used_ = 0;     // since last reset
+  std::size_t reserved_ = 0; // total chunk bytes held
+  std::size_t high_water_ = 0;
+  std::uint64_t generation_ = 1;
+};
+
+}  // namespace liberate

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/round_scheduler.h"
+#include "dpi/match_program.h"
 #include "trace/generators.h"
 #include "util/strings.h"
 
@@ -158,6 +159,39 @@ TEST(ParallelReplay, CacheChangesReplayCountsNotResults) {
   // Logical round counts (the §6 cost accounting) are identical either way.
   EXPECT_EQ(again.characterization_rounds, with_cache.characterization_rounds);
   EXPECT_EQ(again.evaluation_rounds, with_cache.evaluation_rounds);
+}
+
+// The compiled matcher must be invisible to analysis results: the full
+// pipeline summary is byte-identical across {reference, compiled} matcher
+// backends crossed with {serial, 2, 8} workers. This is the end-to-end leg
+// of the equivalence contract (tests/dpi/match_program_diff_test.cc proves
+// it per-evaluation; this proves no call site depends on the backend).
+TEST(BackendEquivalence, AnalysisIdenticalAcrossBackendsAndWorkers) {
+  struct BackendGuard {
+    ~BackendGuard() { dpi::set_match_backend(dpi::MatchBackend::kCompiled); }
+  } guard;
+  AnalysisSummary baseline;
+  bool first = true;
+  for (dpi::MatchBackend backend :
+       {dpi::MatchBackend::kReference, dpi::MatchBackend::kCompiled}) {
+    dpi::set_match_backend(backend);
+    for (std::size_t workers : {std::size_t{0}, std::size_t{2},
+                                std::size_t{8}}) {
+      AnalysisSummary s = run_with_workers("testbed", 1, workers);
+      if (first) {
+        // Vacuous-equivalence guard: the pipeline must have found fields.
+        EXPECT_NE(s.fields.find(':'), std::string::npos);
+        baseline = s;
+        first = false;
+      } else {
+        EXPECT_EQ(baseline, s)
+            << "backend="
+            << (backend == dpi::MatchBackend::kCompiled ? "compiled"
+                                                        : "reference")
+            << " workers=" << workers;
+      }
+    }
+  }
 }
 
 TEST(ParallelReplay, IsolatedRoundIsBitwiseRepeatable) {

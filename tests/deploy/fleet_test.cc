@@ -7,6 +7,7 @@
 #include <set>
 
 #include "deploy/fleet.h"
+#include "dpi/match_program.h"
 #include "dpi/normalizer.h"
 #include "obs/snapshot.h"
 #include "trace/generators.h"
@@ -182,6 +183,34 @@ TEST(FleetDeterminism, SummaryByteIdenticalAcrossWorkerCounts) {
   EXPECT_NE(serial.find("FLEET transition"), std::string::npos);
   EXPECT_EQ(serial, run_with(2));
   EXPECT_EQ(serial, run_with(8));
+}
+
+// Fleet leg of the compiled-matcher equivalence contract: the summary is
+// byte-identical across {reference, compiled} backends x {serial, 2, 8}
+// workers — shards share compiled programs via the compile cache, and none
+// of that sharing may leak into results.
+TEST(FleetDeterminism, SummaryIdenticalAcrossMatchBackends) {
+  struct BackendGuard {
+    ~BackendGuard() { dpi::set_match_backend(dpi::MatchBackend::kCompiled); }
+  } guard;
+  auto run_with = [](std::size_t workers) {
+    FleetOptions opts = soak_options();
+    opts.shards = 4;
+    opts.flows_per_wave = 8;
+    opts.waves = 4;
+    opts.workers = workers;
+    FleetEngine engine(opts);
+    return engine.run(trace::amazon_video_trace(8 * 1024)).summary();
+  };
+  dpi::set_match_backend(dpi::MatchBackend::kReference);
+  const std::string reference = run_with(0);
+  EXPECT_NE(reference.find("FLEET transition"), std::string::npos);
+  EXPECT_EQ(reference, run_with(2));
+  EXPECT_EQ(reference, run_with(8));
+  dpi::set_match_backend(dpi::MatchBackend::kCompiled);
+  EXPECT_EQ(reference, run_with(0));
+  EXPECT_EQ(reference, run_with(2));
+  EXPECT_EQ(reference, run_with(8));
 }
 
 }  // namespace

@@ -81,12 +81,12 @@ TEST(Rules, PortAndUdpConstraints) {
   RuleContext ctx;
   ctx.dst_port = 80;
   ctx.udp = false;
-  EXPECT_TRUE(match_rules(rules, content, ctx));
+  EXPECT_TRUE(match_rules_reference(rules, content, ctx));
   ctx.dst_port = 8080;
-  EXPECT_FALSE(match_rules(rules, content, ctx));
+  EXPECT_FALSE(match_rules_reference(rules, content, ctx));
   ctx.dst_port = 80;
   ctx.udp = true;  // TCP rule never matches UDP content
-  EXPECT_FALSE(match_rules(rules, content, ctx));
+  EXPECT_FALSE(match_rules_reference(rules, content, ctx));
 }
 
 TEST(Rules, PacketIndexConstraint) {
@@ -102,11 +102,11 @@ TEST(Rules, PacketIndexConstraint) {
   RuleContext ctx;
   ctx.udp = true;
   ctx.packet_index = 1;
-  EXPECT_TRUE(match_rules(rules, content, ctx));
+  EXPECT_TRUE(match_rules_reference(rules, content, ctx));
   ctx.packet_index = 2;  // reordered to second place: no match
-  EXPECT_FALSE(match_rules(rules, content, ctx));
+  EXPECT_FALSE(match_rules_reference(rules, content, ctx));
   ctx.packet_index.reset();
-  EXPECT_FALSE(match_rules(rules, content, ctx));
+  EXPECT_FALSE(match_rules_reference(rules, content, ctx));
 }
 
 TEST(Rules, FirstMatchingRuleWins) {
@@ -114,7 +114,7 @@ TEST(Rules, FirstMatchingRuleWins) {
   rules[0].name = "first";
   rules[1].name = "second";
   Bytes content = to_bytes("GET / HTTP/1.1\r\nHost: primevideo.com\r\n");
-  auto hit = match_rules(rules, content, RuleContext{80, false, {}});
+  auto hit = match_rules_reference(rules, content, RuleContext{80, false, {}});
   ASSERT_TRUE(hit);
   EXPECT_EQ(hit.rule->name, "first");
 }
