@@ -1,0 +1,144 @@
+// bench_telemetry — what the telemetry hub costs. Three numbers:
+//
+//  * ns/op for the hot-path primitives (HdrHistogram::record, a
+//    TimeSeriesStore::sample, an AnomalyDetector::observe);
+//  * fleet wave throughput with per-wave telemetry sampling on vs off
+//    (FleetOptions::sample_telemetry) — the acceptance target is <= 5%
+//    wave-throughput overhead at obs level 1;
+//  * the size of the exported fleet time-series document.
+//
+// Both fleet runs ride a warm fingerprint cache so the deploy-time analysis
+// (identical either way) doesn't dilute the per-wave delta being measured.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "deploy/fleet.h"
+#include "obs/anomaly.h"
+#include "obs/hdr_histogram.h"
+#include "obs/timeseries.h"
+#include "trace/generators.h"
+
+using namespace liberate;
+using namespace liberate::deploy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+FleetOptions soak_options(bool sample_telemetry) {
+  FleetOptions opts;
+  opts.shards = 4;
+  opts.flows_per_wave = 8;
+  opts.waves = 6;
+  opts.sample_telemetry = sample_telemetry;
+  return opts;
+}
+
+/// Best-of-`reps` wall time for one warm-cache fleet soak.
+double soak_wall_s(bool sample_telemetry, ClassifierFingerprintCache& cache,
+                   const trace::ApplicationTrace& trace, int reps,
+                   std::size_t* waves_out) {
+  double best = 1e9;
+  for (int r = 0; r < reps; ++r) {
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts = soak_options(sample_telemetry);
+    opts.cache = &cache;
+    FleetEngine engine(opts);
+    auto start = Clock::now();
+    FleetReport report = engine.run(trace);
+    const double wall = seconds_since(start);
+    if (wall < best) best = wall;
+    *waves_out = report.waves.size();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport json("telemetry");
+  const auto trace = trace::amazon_video_trace(8 * 1024);
+
+  bench::print_header("telemetry hot-path primitives");
+  {
+    constexpr std::uint64_t kOps = 2'000'000;
+    obs::HdrHistogram hdr;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) hdr.record(i * 37 + 11);
+    const double hdr_ns = seconds_since(start) * 1e9 / kOps;
+
+    obs::TimeSeriesStore::instance().reset();
+    constexpr std::uint64_t kSamples = 1'000'000;
+    start = Clock::now();
+    for (std::uint64_t i = 0; i < kSamples; ++i) {
+      obs::TimeSeriesStore::instance().sample("bench.ts", -1, i,
+                                              static_cast<double>(i & 255));
+    }
+    const double ts_ns = seconds_since(start) * 1e9 / kSamples;
+    obs::TimeSeriesStore::instance().reset();
+
+    obs::AnomalyDetector detector;
+    start = Clock::now();
+    for (std::uint64_t i = 0; i < kSamples; ++i) {
+      detector.observe(static_cast<double>(i & 15));
+    }
+    const double anomaly_ns = seconds_since(start) * 1e9 / kSamples;
+
+    std::printf("%-28s %10.1f ns/op  (count=%llu)\n", "HdrHistogram::record",
+                hdr_ns, static_cast<unsigned long long>(hdr.count()));
+    std::printf("%-28s %10.1f ns/op\n", "TimeSeriesStore::sample", ts_ns);
+    std::printf("%-28s %10.1f ns/op\n", "AnomalyDetector::observe", anomaly_ns);
+    json.metric("hdr_record_ns", hdr_ns);
+    json.metric("ts_sample_ns", ts_ns);
+    json.metric("anomaly_observe_ns", anomaly_ns);
+  }
+
+  bench::print_header(
+      "fleet wave throughput — telemetry sampling on vs off (warm cache)");
+  {
+    ClassifierFingerprintCache cache;
+    {
+      // Cold run to warm the cache; not measured.
+      FleetOptions warmup = soak_options(false);
+      warmup.waves = 1;
+      warmup.cache = &cache;
+      FleetEngine(warmup).run(trace);
+    }
+
+    std::size_t waves = 0;
+    const double wall_off = soak_wall_s(false, cache, trace, 3, &waves);
+    const double wall_on = soak_wall_s(true, cache, trace, 3, &waves);
+    const double waves_per_s_off = static_cast<double>(waves) / wall_off;
+    const double waves_per_s_on = static_cast<double>(waves) / wall_on;
+    const double overhead_pct = (wall_on - wall_off) / wall_off * 100.0;
+
+    std::printf("%-12s %10s %12s\n", "sampling", "wall s", "waves/s");
+    bench::print_rule(36);
+    std::printf("%-12s %10.3f %12.2f\n", "off", wall_off, waves_per_s_off);
+    std::printf("%-12s %10.3f %12.2f\n", "on", wall_on, waves_per_s_on);
+    bench::print_rule(36);
+    std::printf("overhead                %+.2f%%\n", overhead_pct);
+    std::printf("acceptance (<=5%%)       %s\n",
+                overhead_pct <= 5.0 ? "PASS" : "FAIL");
+    json.metric("waves_per_s_off", waves_per_s_off);
+    json.metric("waves_per_s_on", waves_per_s_on);
+    json.metric("overhead_pct", overhead_pct);
+    json.metric("overhead_under_5pct", overhead_pct <= 5.0);
+
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts = soak_options(true);
+    opts.cache = &cache;
+    FleetReport report = FleetEngine(opts).run(trace);
+    std::printf("telemetry_json          %zu bytes\n",
+                report.telemetry_json.size());
+    json.metric("telemetry_json_bytes",
+                static_cast<std::uint64_t>(report.telemetry_json.size()));
+  }
+  json.set_workers(0);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// liberate_top — a live per-shard fleet dashboard over the telemetry hub.
+//
+// Runs a fleet soak with an adversarial path and a scripted mid-soak
+// classifier countermeasure, and renders a "TOP"-prefixed dashboard from
+// the FleetEngine's on_wave hook after every wave: per-shard verdict mix
+// and latency, a sparkline of each shard's differentiation-rate series
+// (obs/timeseries.h), HDR latency quantiles (obs/hdr_histogram.h), and the
+// anomaly flags that corroborate the drift monitor.
+//
+// Everything is driven by the simulated clock, so TOP output is
+// deterministic for a given build. The FLEET summary printed at the end is
+// additionally byte-identical across observability levels and worker
+// counts — CI diffs it between an obs-level-0 and an obs-level-2 build.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "deploy/fleet.h"
+#include "dpi/normalizer.h"
+#include "obs/level.h"
+#include "trace/generators.h"
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#endif
+
+using namespace liberate;
+using namespace liberate::deploy;
+
+namespace {
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+/// Eight-level sparkline over one series' ring (oldest left), scaled to
+/// [0, max] so a flat-zero series renders as a flat floor.
+std::string sparkline(const std::string& name, int shard) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  const obs::TimeSeriesSnapshot snap =
+      obs::TimeSeriesStore::instance().snapshot(name);
+  for (const obs::SeriesSnapshot& s : snap.series) {
+    if (s.key.name != name || s.key.shard != shard) continue;
+    double hi = 0;
+    for (const obs::SeriesPoint& p : s.points) hi = std::max(hi, p.value);
+    std::string out;
+    for (const obs::SeriesPoint& p : s.points) {
+      const double norm = hi > 0 ? p.value / hi : 0.0;
+      int level = static_cast<int>(norm * 7.0 + 0.5);
+      if (level < 0) level = 0;
+      if (level > 7) level = 7;
+      out += kBars[level];
+    }
+    return out;
+  }
+  return "";
+}
+#endif
+
+void render_wave(const FleetWaveReport& w) {
+  std::printf("TOP wave=%zu state=%s technique=%s flows=%zu lat_us=%.0f\n",
+              w.wave, deploy_state_name(w.state_after),
+              w.technique_after.empty() ? "(none)" : w.technique_after.c_str(),
+              w.stats.flows, w.stats.mean_latency_us());
+  for (std::size_t i = 0; i < w.shard_stats.size(); ++i) {
+    const WaveStats& s = w.shard_stats[i];
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+    const std::string spark = sparkline("fleet.diff_rate", static_cast<int>(i));
+#else
+    const std::string spark = "(obs off)";
+#endif
+    std::printf(
+        "TOP   shard=%zu diff=%.3f blocked=%.3f incomplete=%.3f lat_us=%.0f "
+        "%s\n",
+        i, s.differentiated_rate(), s.blocked_rate(), s.incomplete_rate(),
+        s.mean_latency_us(), spark.c_str());
+  }
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+  const obs::HdrSnapshot lat =
+      obs::MetricsRegistry::instance().hdr("fleet.flow_latency_us").snapshot();
+  if (lat.count > 0) {
+    std::printf("TOP   latency p50=%llu p90=%llu p99=%llu max=%llu n=%llu\n",
+                static_cast<unsigned long long>(lat.value_at_quantile(0.5)),
+                static_cast<unsigned long long>(lat.value_at_quantile(0.9)),
+                static_cast<unsigned long long>(lat.value_at_quantile(0.99)),
+                static_cast<unsigned long long>(lat.max),
+                static_cast<unsigned long long>(lat.count));
+  }
+#endif
+  if (!w.anomalies.empty()) {
+    std::string joined;
+    for (std::size_t i = 0; i < w.anomalies.size(); ++i) {
+      if (i > 0) joined += ",";
+      joined += w.anomalies[i];
+    }
+    std::printf("TOP   anomaly %s%s\n", joined.c_str(),
+                w.signal ? " (corroborating drift signal)" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  ClassifierFingerprintCache cache;
+
+  FleetOptions opts;
+  opts.shards = 4;
+  opts.flows_per_wave = 8;
+  opts.waves = 8;
+  opts.faults = netsim::FaultPolicy::reorder_heavy();
+  opts.cache = &cache;
+  // Mid-soak countermeasure: a normalizer lands in front of the classifier
+  // at wave 4 and kills the deployed fragmentation technique — watch the
+  // diff-rate sparklines jump, the anomaly flags corroborate, and the
+  // control plane re-adapt.
+  opts.change_at_wave = 4;
+  opts.classifier_change = [](dpi::Environment& env) {
+    dpi::NormalizerConfig cfg;
+    cfg.reassemble_fragments = true;
+    env.net.emplace_at<dpi::NormalizerElement>(0, cfg);
+  };
+  opts.on_wave = render_wave;
+
+#if LIBERATE_OBS_LEVEL < LIBERATE_OBS_LEVEL_METRICS
+  std::printf("TOP (obs level 0: sparklines and quantiles compiled out)\n");
+#endif
+
+  FleetEngine engine(opts);
+  FleetReport report = engine.run(trace::amazon_video_trace(8 * 1024));
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+  std::printf("TOP telemetry_json bytes=%zu\n", report.telemetry_json.size());
+#endif
+  std::printf("%s", report.summary().c_str());
+  return 0;
+}

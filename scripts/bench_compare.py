@@ -140,12 +140,12 @@ def main():
             continue
         regressions += compare(b_doc, c_doc, args.threshold, bench)
 
-    only_base = sorted(base.keys() - cand.keys())
-    only_cand = sorted(cand.keys() - base.keys())
-    if only_base:
-        print(f"only in baseline: {', '.join(only_base)}")
-    if only_cand:
-        print(f"only in candidate: {', '.join(only_cand)}")
+    # One-sided benches are expected when a PR adds or retires a bench:
+    # call them out clearly, but never let them fail the comparison.
+    for bench in sorted(cand.keys() - base.keys()):
+        print(f"notice: new bench {bench} (no baseline) — skipped")
+    for bench in sorted(base.keys() - cand.keys()):
+        print(f"notice: bench {bench} missing from candidate — skipped")
 
     if errors:
         print(f"\n{errors} incomparable bench(es)")

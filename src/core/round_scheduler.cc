@@ -185,6 +185,13 @@ RoundResult RoundScheduler::execute(const RoundRequest& req,
   LIBERATE_HISTOGRAM_OBSERVE("core.round_virtual_seconds",
                              ({0.5, 1, 2, 5, 10, 30, 60, 120, 300}),
                              result.virtual_seconds);
+  // HDR twin of the fixed-bucket histogram above: full-resolution virtual
+  // latency quantiles without having to guess bounds.
+  LIBERATE_HDR_RECORD("core.round_latency_us",
+                      result.virtual_seconds > 0
+                          ? static_cast<std::uint64_t>(
+                                result.virtual_seconds * 1e6)
+                          : 0);
   if (options_.cache_capacity > 0) {
     cache_.put(key, result);
     std::lock_guard<std::mutex> lock(inflight_mutex_);

@@ -1,5 +1,7 @@
 #include "deploy/drift.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 
 namespace liberate::deploy {
@@ -34,7 +36,8 @@ std::optional<DriftKind> DriftMonitor::classify(const WaveStats& wave) const {
   return std::nullopt;
 }
 
-std::optional<DriftSignal> DriftMonitor::observe(const WaveStats& wave) {
+std::optional<DriftSignal> DriftMonitor::observe(const WaveStats& wave,
+                                                 bool corroborated) {
   ++waves_observed_;
   if (wave.flows < thresholds_.min_flows) return std::nullopt;
 
@@ -54,10 +57,19 @@ std::optional<DriftSignal> DriftMonitor::observe(const WaveStats& wave) {
   clean_streak_ = 0;
   ++suspect_streak_;
   LIBERATE_COUNTER_ADD("deploy.drift.suspect_waves", 1);
-  if (suspect_streak_ < thresholds_.waves_to_confirm) return std::nullopt;
+  // A corroborated breach (rate suspect AND the telemetry hub's anomaly
+  // detector flagged this wave) needs fewer consecutive suspect waves; the
+  // bonus never pushes the requirement below one real rate breach.
+  const int need =
+      corroborated
+          ? std::max(1, thresholds_.waves_to_confirm -
+                            thresholds_.corroboration_bonus)
+          : thresholds_.waves_to_confirm;
+  if (suspect_streak_ < need) return std::nullopt;
 
   DriftSignal signal;
   signal.kind = *kind;
+  signal.corroborated = corroborated;
   signal.wave = waves_observed_ - 1;
   switch (*kind) {
     case DriftKind::kDifferentiationReappeared:

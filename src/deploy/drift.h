@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 namespace liberate::deploy {
@@ -22,6 +23,12 @@ struct WaveStats {
   std::size_t differentiated = 0;  // policy observed on the flow
   std::size_t blocked = 0;         // RST/403 terminated
   std::size_t incomplete = 0;      // response not fully delivered
+  /// Flow completion latency (first SYN to full response), summed over the
+  /// flows that completed cleanly — sim-clock microseconds, tracked
+  /// unconditionally so latency-derived telemetry is identical at every
+  /// obs level.
+  std::uint64_t latency_us_sum = 0;
+  std::size_t latency_samples = 0;
 
   double differentiated_rate() const {
     return flows == 0 ? 0.0
@@ -38,12 +45,19 @@ struct WaveStats {
                ? 0.0
                : static_cast<double>(incomplete) / static_cast<double>(flows);
   }
+  double mean_latency_us() const {
+    return latency_samples == 0 ? 0.0
+                                : static_cast<double>(latency_us_sum) /
+                                      static_cast<double>(latency_samples);
+  }
 
   WaveStats& operator+=(const WaveStats& o) {
     flows += o.flows;
     differentiated += o.differentiated;
     blocked += o.blocked;
     incomplete += o.incomplete;
+    latency_us_sum += o.latency_us_sum;
+    latency_samples += o.latency_samples;
     return *this;
   }
 };
@@ -71,6 +85,12 @@ struct DriftThresholds {
   double incomplete_slack = 0.40;
   /// Consecutive suspect waves before a signal fires (hysteresis up).
   int waves_to_confirm = 2;
+  /// How many confirmation waves an anomaly corroboration is worth: when
+  /// the telemetry hub's detector (obs/anomaly.h) independently flags the
+  /// wave, the threshold drops to max(1, waves_to_confirm - bonus). A
+  /// corroborated breach confirms faster; an anomaly without a rate breach
+  /// never counts at all (classify() must still name a DriftKind).
+  int corroboration_bonus = 1;
   /// Consecutive clean waves before accumulated suspicion resets
   /// (hysteresis down: one clean wave amid a real drift must not restart
   /// the confirmation count).
@@ -85,6 +105,8 @@ struct DriftSignal {
   double rate = 0;        // offending rate in that wave
   double baseline = 0;    // deploy-time baseline of the same rate
   int suspect_waves = 0;  // consecutive suspect waves at confirmation
+  /// True when an anomaly corroboration shortened the confirmation.
+  bool corroborated = false;
 };
 
 /// Feed one merged WaveStats per wave; fires at most one signal per
@@ -97,7 +119,13 @@ class DriftMonitor {
 
   /// The first adequately-sized wave after construction (or rebaseline())
   /// becomes the baseline; subsequent waves are judged against it.
-  std::optional<DriftSignal> observe(const WaveStats& wave);
+  /// `corroborated` marks waves the telemetry hub's anomaly detector
+  /// independently flagged: a corroborated rate breach needs fewer
+  /// consecutive suspect waves to confirm (corroboration_bonus), but
+  /// corroboration without a rate breach does nothing — the hub can speed
+  /// up confirmation, never cause one.
+  std::optional<DriftSignal> observe(const WaveStats& wave,
+                                     bool corroborated = false);
 
   /// Forget the baseline (after re-deployment the treatment profile of the
   /// new technique becomes the new normal).

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <future>
+#include <map>
 
 #include "dpi/profiles.h"
+#include "obs/anomaly.h"
 #include "obs/obs.h"
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+#include "obs/timeseries.h"
+#endif
 #include "stack/host.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -130,6 +135,11 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
     std::size_t server_rx = 0;
     bool server_replied = false;
     bool reset = false;
+    // Flow latency bookkeeping (plain fields, not obs-gated: latency feeds
+    // WaveStats and the anomaly detector, which are control-plane inputs).
+    TimePoint started_at = 0;
+    TimePoint completed_at = 0;
+    bool completed = false;
   };
   // Wave state is shared_ptr-held: connection callbacks installed here can
   // outlive this frame (a FaultyLink-delayed segment may arrive after the
@@ -152,10 +162,11 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
 
   // Persistent server host, per-wave listener: every accepted connection
   // accumulates the request and answers with the full response.
+  netsim::EventLoop* loop_ptr = &loop;
   shard.server->tcp_unlisten(trace.server_port);
   shard.server->tcp_listen(
-      trace.server_port, [wd, wave_base, client_total,
-                          server_total](TcpConnection& c) {
+      trace.server_port, [wd, wave_base, client_total, server_total,
+                          loop_ptr](TcpConnection& c) {
         // Remote port identifies the slot (tuple() is local -> remote).
         const std::uint16_t remote = c.tuple().dst_port;
         if (remote < wave_base ||
@@ -163,13 +174,21 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
           return;  // straggler from an earlier wave
         }
         const std::size_t idx = remote - wave_base;
-        c.on_data([wd, idx, &c, client_total, server_total](BytesView data) {
+        c.on_data([wd, idx, &c, client_total, server_total,
+                   loop_ptr](BytesView data) {
           FlowSlot& slot = wd->slots[idx];
           slot.server_rx += data.size();
           if (!slot.server_replied && slot.server_rx >= client_total &&
               server_total > 0) {
             slot.server_replied = true;
             c.send(BytesView(wd->server_payload));
+          }
+          // Upload-only traces: the flow is complete once the server has the
+          // full request.
+          if (!slot.completed && server_total == 0 &&
+              slot.server_rx >= client_total) {
+            slot.completed = true;
+            slot.completed_at = loop_ptr->now();
           }
         });
       });
@@ -179,15 +198,23 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
   for (std::size_t f = 0; f < flows; ++f) {
     loop.schedule(
         static_cast<Duration>(f) * options_.flow_stagger,
-        [wd, f, shard_ptr, server_port, wave_base]() {
+        [wd, f, shard_ptr, server_port, wave_base, server_total, loop_ptr]() {
           FlowSlot& slot = wd->slots[f];
+          slot.started_at = loop_ptr->now();
           TcpConnection& conn = shard_ptr->client->tcp_connect(
               kServerIp, server_port,
               static_cast<std::uint16_t>(wave_base + f));
           slot.conn = &conn;
           conn.on_reset([wd, f] { wd->slots[f].reset = true; });
-          conn.on_data(
-              [wd, f](BytesView d) { wd->slots[f].client_rx += d.size(); });
+          conn.on_data([wd, f, server_total, loop_ptr](BytesView d) {
+            FlowSlot& slot = wd->slots[f];
+            slot.client_rx += d.size();
+            if (!slot.completed && server_total > 0 &&
+                slot.client_rx >= server_total) {
+              slot.completed = true;
+              slot.completed_at = loop_ptr->now();
+            }
+          });
           conn.on_established(
               [wd, &conn] { conn.send(BytesView(wd->client_payload)); });
         });
@@ -221,6 +248,13 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
     const bool done = flow_done(slot) && !slot.reset;
     if (!done) ++stats.incomplete;
     if (slot.reset) ++stats.blocked;
+    if (slot.completed && !slot.reset && slot.completed_at >= slot.started_at) {
+      const std::uint64_t lat_us =
+          static_cast<std::uint64_t>(slot.completed_at - slot.started_at);
+      stats.latency_us_sum += lat_us;
+      ++stats.latency_samples;
+      LIBERATE_HDR_RECORD("fleet.flow_latency_us", lat_us);
+    }
     if (slot.conn == nullptr) continue;
     // Treatment check mirrors ReplayRunner::differentiated for the direct
     // signal; indirect signals fall back to the wire evidence.
@@ -306,6 +340,21 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
   std::unique_ptr<ThreadPool> pool;
   if (options_.workers > 0) pool = std::make_unique<ThreadPool>(options_.workers);
 
+  // Anomaly detectors over the merged per-wave series. Deliberately plain
+  // (non-obs-gated) state: a flag corroborates the DriftMonitor, which
+  // shapes the FLEET summary — control flow must be identical at every obs
+  // level, worker count, and match backend. The deviation floor is raised
+  // above the library default because these series live on [0,1]-ish
+  // scales with real FaultyLink noise: a burst has to clear both the drift
+  // slack AND a 3-sigma move past this floor before it can corroborate.
+  obs::AnomalyConfig anomaly_cfg;
+  anomaly_cfg.min_deviation = 0.05;
+  std::map<std::string, obs::AnomalyDetector> detectors;
+  // Per-shard cumulative counters, differenced into per-wave deltas for the
+  // time-series store.
+  std::vector<std::uint64_t> prev_faults(shards_.size(), 0);
+  std::vector<std::uint64_t> prev_evicted(shards_.size(), 0);
+
   for (std::size_t wave = 0; wave < options_.waves; ++wave) {
     if (wave == options_.change_at_wave && options_.classifier_change) {
       // Applied at a quiet wave boundary: shard loops are idle, so no
@@ -336,9 +385,67 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
     wr.wave = wave;
     for (const WaveStats& s : per_shard) wr.stats += s;
     report.totals += wr.stats;
+    wr.shard_stats = std::move(per_shard);
 
     const std::uint64_t ts_us = static_cast<std::uint64_t>(wave) * 1'000'000u;
-    std::optional<DriftSignal> signal = monitor.observe(wr.stats);
+
+    // Telemetry hub sampling: per-shard series points plus a registry tick.
+    // Compiled away at obs level 0; skipped at runtime when sample_telemetry
+    // is off (bench_telemetry's baseline). All timestamps are the wave's
+    // sim-clock boundary, so identical runs produce identical series.
+    if (options_.sample_telemetry) {
+      for (std::size_t i = 0; i < wr.shard_stats.size(); ++i) {
+        const WaveStats& s = wr.shard_stats[i];
+        LIBERATE_TS_SAMPLE("fleet.diff_rate", i, ts_us,
+                           s.differentiated_rate());
+        LIBERATE_TS_SAMPLE("fleet.blocked_rate", i, ts_us, s.blocked_rate());
+        LIBERATE_TS_SAMPLE("fleet.incomplete_rate", i, ts_us,
+                           s.incomplete_rate());
+        LIBERATE_TS_SAMPLE("fleet.latency_us", i, ts_us, s.mean_latency_us());
+        const std::uint64_t faults = shards_[i]->faults_injected();
+        const std::uint64_t evicted = shards_[i]->shim->flows_evicted();
+        LIBERATE_TS_SAMPLE("fleet.faults", i, ts_us, faults - prev_faults[i]);
+        LIBERATE_TS_SAMPLE("fleet.evicted", i, ts_us,
+                           evicted - prev_evicted[i]);
+        prev_faults[i] = faults;
+        prev_evicted[i] = evicted;
+      }
+      LIBERATE_TS_SAMPLE("fleet.diff_rate", -1, ts_us,
+                         wr.stats.differentiated_rate());
+      LIBERATE_TS_SAMPLE("fleet.blocked_rate", -1, ts_us,
+                         wr.stats.blocked_rate());
+      LIBERATE_TS_SAMPLE("fleet.incomplete_rate", -1, ts_us,
+                         wr.stats.incomplete_rate());
+      LIBERATE_TS_SAMPLE("fleet.latency_us", -1, ts_us,
+                         wr.stats.mean_latency_us());
+      LIBERATE_TS_TICK(ts_us, {"deploy.", "dpi.", "netsim.", "stack.",
+                               "core."});
+    }
+
+    // Anomaly pass: robust z-scores over the merged series. A flagged
+    // detector on a rate-suspect wave corroborates drift (the monitor
+    // confirms one wave sooner); a flag on a clean wave only annotates.
+    const std::pair<const char*, double> series_points[] = {
+        {"blocked_rate", wr.stats.blocked_rate()},
+        {"diff_rate", wr.stats.differentiated_rate()},
+        {"incomplete_rate", wr.stats.incomplete_rate()},
+        {"latency_ms", wr.stats.mean_latency_us() / 1000.0},
+    };
+    for (const auto& [series, x] : series_points) {
+      auto det =
+          detectors.try_emplace(series, obs::AnomalyDetector(anomaly_cfg))
+              .first;
+      obs::AnomalyVerdict v = det->second.observe(x);
+      if (v.flagged) {
+        wr.anomalies.push_back(series);
+        LIBERATE_OBS_EVENT(ts_us, "obs", "anomaly", obs::fv("series", series),
+                           obs::fv("wave", static_cast<std::uint64_t>(wave)));
+      }
+    }
+    wr.corroborated = !wr.anomalies.empty();
+
+    std::optional<DriftSignal> signal =
+        monitor.observe(wr.stats, wr.corroborated);
     wr.signal = signal;
 
     if (signal) {
@@ -380,6 +487,9 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
       technique = outcome.technique;
       swap_technique(technique, current);
       monitor.rebaseline();
+      // The new technique's treatment profile is the new normal: re-warm
+      // the detectors alongside the drift baseline.
+      for (auto& [series, det] : detectors) det.reset();
     } else if (monitor.suspect_streak() > 0) {
       if (policy.state() == DeployState::kDeployed ||
           policy.state() == DeployState::kReDeployed) {
@@ -395,6 +505,7 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
 
     wr.state_after = policy.state();
     wr.technique_after = technique;
+    if (options_.on_wave) options_.on_wave(wr);
     report.waves.push_back(std::move(wr));
   }
 
@@ -404,6 +515,17 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
     report.flows_evicted += shard->shim->flows_evicted();
     report.faults_injected += shard->faults_injected();
   }
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+  // Export only the deterministic "fleet." series: everything under that
+  // prefix is sampled on wave boundaries from merged-in-shard-order stats,
+  // so the document is byte-identical across worker counts and backends
+  // (registry-tick series like util.* are deliberately excluded — pool
+  // counters depend on worker count).
+  if (options_.sample_telemetry) {
+    report.telemetry_json = obs::timeseries_to_json(
+        obs::TimeSeriesStore::instance().snapshot("fleet."));
+  }
+#endif
   return report;
 }
 
@@ -419,13 +541,21 @@ std::string FleetReport::summary() const {
   for (const FleetWaveReport& w : waves) {
     out += format(
         "FLEET wave=%zu flows=%zu diff=%.3f blocked=%.3f incomplete=%.3f "
-        "state=%s technique=%s",
+        "lat_us=%.0f state=%s technique=%s",
         w.wave, w.stats.flows, w.stats.differentiated_rate(),
         w.stats.blocked_rate(), w.stats.incomplete_rate(),
-        deploy_state_name(w.state_after),
+        w.stats.mean_latency_us(), deploy_state_name(w.state_after),
         w.technique_after.empty() ? "(none)" : w.technique_after.c_str());
+    if (!w.anomalies.empty()) {
+      out += " anomaly=";
+      for (std::size_t i = 0; i < w.anomalies.size(); ++i) {
+        if (i > 0) out += ",";
+        out += w.anomalies[i];
+      }
+    }
     if (w.signal) {
-      out += format(" signal=%s", drift_kind_name(w.signal->kind));
+      out += format(" signal=%s%s", drift_kind_name(w.signal->kind),
+                    w.signal->corroborated ? "+corroborated" : "");
     }
     if (w.readapt_path) {
       out += format(" readapt=%s", readapt_path_name(*w.readapt_path));

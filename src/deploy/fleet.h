@@ -35,6 +35,8 @@
 
 namespace liberate::deploy {
 
+struct FleetWaveReport;
+
 struct FleetOptions {
   /// dpi profile name (make_environment) used for every shard and the probe
   /// world.
@@ -67,6 +69,19 @@ struct FleetOptions {
   std::size_t change_at_wave = static_cast<std::size_t>(-1);
   std::function<void(dpi::Environment&)> classifier_change;
 
+  /// Runtime switch for the telemetry hub sampling (per-wave time-series
+  /// points + registry tick). Off = the sampling block is skipped entirely,
+  /// which is what bench_telemetry compares against; the anomaly detector
+  /// and drift corroboration are NOT affected — they are control-plane
+  /// logic, not telemetry.
+  bool sample_telemetry = true;
+
+  /// Invoked after each wave's report is fully assembled (stats merged,
+  /// drift evaluated, telemetry sampled) — the hook liberate_top uses to
+  /// render a live dashboard. Called on the control thread, never from a
+  /// shard worker.
+  std::function<void(const FleetWaveReport&)> on_wave;
+
   /// Optional persistent fingerprint cache. A warm entry for
   /// (environment, app) skips the initial full analysis entirely; the cache
   /// is refreshed in place when drift forces a re-analysis.
@@ -77,7 +92,15 @@ struct FleetOptions {
 struct FleetWaveReport {
   std::size_t wave = 0;
   WaveStats stats;
+  /// Pre-merge per-shard stats, in shard order (dashboard fodder).
+  std::vector<WaveStats> shard_stats;
   std::optional<DriftSignal> signal;
+  /// Series the anomaly detector flagged on this wave (empty = quiet).
+  std::vector<std::string> anomalies;
+  /// The corroboration bit handed to the DriftMonitor (any detector
+  /// flagged). Only shortens confirmation when the wave is also
+  /// rate-suspect.
+  bool corroborated = false;
   /// Set when this wave's signal triggered re-characterization.
   std::optional<ReadaptPath> readapt_path;
   DeployState state_after = DeployState::kDeployed;
@@ -106,6 +129,12 @@ struct FleetReport {
 
   std::uint64_t faults_injected = 0;
   std::uint64_t flows_evicted = 0;
+
+  /// The telemetry hub's "fleet."-prefixed time series as JSON (per-shard
+  /// rates, latency, fault/eviction deltas — all sim-clock sampled, so the
+  /// document is byte-identical across worker counts and match backends).
+  /// Empty when the build is at obs level 0 or sample_telemetry was off.
+  std::string telemetry_json;
 
   /// Deterministic FLEET-prefixed text (one line per wave + transitions +
   /// cost summary) — identical across worker counts and obs levels, diffed

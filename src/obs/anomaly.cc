@@ -1,0 +1,57 @@
+#include "obs/anomaly.h"
+
+#include <cmath>
+
+namespace liberate::obs {
+
+namespace {
+/// Mean-absolute-deviation -> standard-deviation rescale under normality
+/// (sqrt(pi/2)).
+constexpr double kMadToSigma = 1.2533;
+}  // namespace
+
+AnomalyVerdict AnomalyDetector::observe(double x) {
+  AnomalyVerdict verdict;
+  verdict.mean = mean_;
+  verdict.deviation = deviation_;
+
+  if (points_ == 0) {
+    // First point seeds the level; deviation starts at the floor.
+    mean_ = x;
+    deviation_ = config_.min_deviation;
+    points_ = 1;
+    verdict.flagged = flagged_;
+    return verdict;
+  }
+
+  const double scale =
+      std::max(kMadToSigma * deviation_, config_.min_deviation);
+  const double residual = x - mean_;
+  verdict.zscore = std::abs(residual) / scale;
+  const bool warmed =
+      points_ >= static_cast<std::uint64_t>(config_.warmup);
+  verdict.anomalous = warmed && verdict.zscore > config_.z_threshold;
+
+  if (verdict.anomalous) {
+    normal_streak_ = 0;
+    if (++anomalous_streak_ >= config_.points_to_flag) flagged_ = true;
+  } else {
+    anomalous_streak_ = 0;
+    if (++normal_streak_ >= config_.points_to_clear) flagged_ = false;
+  }
+  verdict.flagged = flagged_;
+
+  // Winsorized EWMA update: clamp the residual so a spike cannot poison
+  // the statistics, but a sustained shift still pulls the level over.
+  double clamped = x;
+  const double limit = config_.clamp_sigmas * scale;
+  if (residual > limit) clamped = mean_ + limit;
+  if (residual < -limit) clamped = mean_ - limit;
+  const double a = config_.alpha;
+  deviation_ = a * std::abs(clamped - mean_) + (1.0 - a) * deviation_;
+  mean_ = a * clamped + (1.0 - a) * mean_;
+  points_ += 1;
+  return verdict;
+}
+
+}  // namespace liberate::obs

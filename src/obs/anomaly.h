@@ -1,0 +1,93 @@
+// anomaly.h — EWMA + robust z-score anomaly detection over telemetry
+// series.
+//
+// The DriftMonitor (deploy/drift.h) compares wave rates against a fixed
+// deploy-time baseline with fixed slack — it sees a breach, not a trend.
+// The AnomalyDetector watches the *statistics* of a series: it keeps an
+// EWMA of the level and an EWMA of the absolute deviation around it, and
+// scores each new point by a robust z-score
+//
+//     z = |x - mean| / max(k * deviation, min_deviation)
+//
+// (k = 1.2533 rescales mean absolute deviation to a standard deviation
+// under normality, the MAD-style robustness trade). Updates are
+// winsorized: a wildly anomalous point is clamped to mean ± clamp_sigmas
+// deviations before being folded into the EWMAs, so a one-wave spike
+// cannot poison the baseline, while a sustained shift still drags the
+// mean toward the new level and eventually reads as normal again.
+//
+// Hysteresis mirrors the DriftMonitor: `points_to_flag` consecutive
+// anomalous observations raise the flag, `points_to_clear` consecutive
+// normal ones lower it — a single FaultyLink burst never flags. The
+// detector is pure arithmetic over the values it is fed (no clocks, no
+// registry), so control-plane decisions built on it stay byte-identical
+// across worker counts, match backends, and observability levels. The
+// control plane treats a flag as a *corroborating* signal only: anomaly +
+// rate breach confirms drift faster; anomaly alone annotates, never
+// triggers probes (deploy/drift.h).
+#pragma once
+
+#include <cstdint>
+
+namespace liberate::obs {
+
+struct AnomalyConfig {
+  /// EWMA weight of the newest point for both the level and the deviation.
+  double alpha = 0.3;
+  /// Robust z-score above which a point is anomalous.
+  double z_threshold = 3.0;
+  /// Deviation floor: keeps z finite on near-constant series and sets the
+  /// smallest step that can ever read as anomalous (z = step / (k * floor)).
+  double min_deviation = 0.02;
+  /// Observations consumed before any point may flag (the EWMAs need
+  /// history before "deviation" means anything).
+  int warmup = 3;
+  /// Consecutive anomalous points to raise the flag (hysteresis up).
+  int points_to_flag = 1;
+  /// Consecutive normal points to lower it (hysteresis down).
+  int points_to_clear = 2;
+  /// Winsorization limit in deviations for EWMA updates.
+  double clamp_sigmas = 4.0;
+};
+
+struct AnomalyVerdict {
+  bool anomalous = false;  // this point scored past the threshold
+  bool flagged = false;    // hysteresis state after this point
+  double zscore = 0;
+  double mean = 0;       // EWMA level before this point
+  double deviation = 0;  // EWMA absolute deviation before this point
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig config = {}) : config_(config) {}
+
+  /// Scores x against the running statistics, then folds (a winsorized) x
+  /// into them. Deterministic: same value sequence, same verdicts.
+  AnomalyVerdict observe(double x);
+
+  bool flagged() const { return flagged_; }
+  std::uint64_t points() const { return points_; }
+  double mean() const { return mean_; }
+  double deviation() const { return deviation_; }
+
+  void reset() {
+    points_ = 0;
+    mean_ = 0;
+    deviation_ = 0;
+    flagged_ = false;
+    anomalous_streak_ = 0;
+    normal_streak_ = 0;
+  }
+
+ private:
+  AnomalyConfig config_;
+  std::uint64_t points_ = 0;
+  double mean_ = 0;
+  double deviation_ = 0;
+  bool flagged_ = false;
+  int anomalous_streak_ = 0;
+  int normal_streak_ = 0;
+};
+
+}  // namespace liberate::obs

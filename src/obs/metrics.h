@@ -24,23 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+#include "obs/shard.h"
 #include "util/thread_pool.h"
 
 namespace liberate::obs {
-
-/// Shard 0 belongs to threads outside any pool; workers hash their stable
-/// pool index into shards 1..kShards-1. 32 workers map collision-free.
-inline constexpr std::size_t kShards = 33;
-
-inline std::size_t shard_index() {
-  int w = ThreadPool::current_worker_index();
-  return w < 0 ? 0
-               : 1 + static_cast<std::size_t>(w) % (kShards - 1);
-}
-
-struct alignas(64) ShardCell {
-  std::atomic<std::uint64_t> v{0};
-};
 
 /// Monotonic counter. add() is one relaxed fetch_add on the caller's shard.
 class Counter {
@@ -73,8 +61,18 @@ class Gauge {
                                               std::memory_order_relaxed)) {
     }
   }
+  /// A single fetch_add: two concurrent add()s both land (the old
+  /// set(load()+delta) formulation dropped increments under contention).
+  /// The high-water mark then races the updated value through the same CAS
+  /// loop set() uses.
   void add(std::int64_t delta) {
-    set(value_.load(std::memory_order_relaxed) + delta);
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t hwm = high_water_.load(std::memory_order_relaxed);
+    while (v > hwm &&
+           !high_water_.compare_exchange_weak(hwm, v,
+                                              std::memory_order_relaxed)) {
+    }
   }
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
   std::int64_t high_water() const {
@@ -102,12 +100,27 @@ class Histogram {
     if (bounds_.size() > kMaxBuckets) bounds_.resize(kMaxBuckets);
   }
 
+  /// Largest magnitude the micro-unit sum accepts per observation. Casting
+  /// a double outside the int64 range is UB, so v * 1e6 is clamped to
+  /// ±9e18 (just inside int64); NaN contributes 0. The clamp only kicks in
+  /// beyond |v| ≈ 9.2e12 — far past any real latency/size — and the bucket
+  /// count is still recorded, so count() stays exact even for absurd values.
+  static constexpr double kSumClampMicrounits = 9.0e18;
+
   void observe(double v) {
     Shard& s = shards_[shard_index()];
     std::size_t b = 0;
     while (b < bounds_.size() && v > bounds_[b]) ++b;
     s.counts[b].fetch_add(1, std::memory_order_relaxed);
-    s.sum_microunits.fetch_add(static_cast<std::int64_t>(v * 1e6),
+    double scaled = v * 1e6;
+    if (scaled != scaled) {
+      scaled = 0;  // NaN: counted, no sum contribution
+    } else if (scaled > kSumClampMicrounits) {
+      scaled = kSumClampMicrounits;
+    } else if (scaled < -kSumClampMicrounits) {
+      scaled = -kSumClampMicrounits;
+    }
+    s.sum_microunits.fetch_add(static_cast<std::int64_t>(scaled),
                                std::memory_order_relaxed);
   }
 
@@ -168,6 +181,7 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, GaugeSnapshot> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, HdrSnapshot> hdr_histograms;
 };
 
 class MetricsRegistry {
@@ -198,6 +212,14 @@ class MetricsRegistry {
     if (!slot) slot = std::make_unique<Histogram>(std::vector<double>(bounds));
     return *slot;
   }
+  /// Log-linear HDR histogram for integer-valued latencies/sizes; no bounds
+  /// to choose — every uint64 value has a bucket (hdr_histogram.h).
+  HdrHistogram& hdr(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = hdrs_[name];
+    if (!slot) slot = std::make_unique<HdrHistogram>();
+    return *slot;
+  }
 
   MetricsSnapshot snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -214,6 +236,9 @@ class MetricsRegistry {
       hs.sum = h->sum();
       snap.histograms[name] = std::move(hs);
     }
+    for (const auto& [name, h] : hdrs_) {
+      snap.hdr_histograms[name] = h->snapshot();
+    }
     return snap;
   }
 
@@ -224,6 +249,7 @@ class MetricsRegistry {
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : histograms_) h->reset();
+    for (auto& [name, h] : hdrs_) h->reset();
   }
 
  private:
@@ -233,6 +259,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>> hdrs_;
 };
 
 }  // namespace liberate::obs

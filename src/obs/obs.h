@@ -23,6 +23,7 @@
 
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #endif
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
 #include "obs/event_log.h"
@@ -65,6 +66,33 @@
     liberate_obs_h.observe(static_cast<double>(v));                           \
   } while (0)
 
+/// HDR latency histogram: no bounds to pick — every uint64 value has a
+/// log-linear bucket (obs/hdr_histogram.h); quantiles come out of the
+/// snapshot exporters.
+#define LIBERATE_HDR_RECORD(name, v)                                          \
+  do {                                                                        \
+    static ::liberate::obs::HdrHistogram& liberate_obs_hh =                   \
+        ::liberate::obs::MetricsRegistry::instance().hdr(name);               \
+    liberate_obs_hh.record(static_cast<std::uint64_t>(v));                    \
+  } while (0)
+
+// ---- telemetry hub (obs/timeseries.h) ----
+// TUs using these must link liberate_obs_hub (the store is cc-backed).
+
+/// Appends one (sim-clock time, value) point to the (name, shard) series;
+/// shard -1 = fleet/process-wide.
+#define LIBERATE_TS_SAMPLE(name, shard, t_us, v)                              \
+  ::liberate::obs::TimeSeriesStore::instance().sample(                        \
+      (name), static_cast<int>(shard), static_cast<std::uint64_t>(t_us),      \
+      static_cast<double>(v))
+
+/// Registry sweep at a sim-clock tick: counter deltas + gauge values for
+/// every metric matching the given name prefixes (variadic so a brace list
+/// with commas stays one argument: LIBERATE_TS_TICK(ts, {"deploy.", "dpi."})).
+#define LIBERATE_TS_TICK(t_us, ...)                                           \
+  ::liberate::obs::TimeSeriesStore::instance().tick(                          \
+      static_cast<std::uint64_t>(t_us), __VA_ARGS__)
+
 #else  // level 0: true no-ops, arguments unevaluated
 
 #define LIBERATE_COUNTER_ADD(name, n) \
@@ -78,6 +106,15 @@
   } while (0)
 #define LIBERATE_HISTOGRAM_OBSERVE(name, bounds, v) \
   do {                                              \
+  } while (0)
+#define LIBERATE_HDR_RECORD(name, v) \
+  do {                               \
+  } while (0)
+#define LIBERATE_TS_SAMPLE(name, shard, t_us, v) \
+  do {                                           \
+  } while (0)
+#define LIBERATE_TS_TICK(t_us, ...) \
+  do {                              \
   } while (0)
 
 #endif

@@ -1,0 +1,31 @@
+// shard.h — per-worker metric sharding, shared by every hot-path sink.
+//
+// Writers index a cache-line-aligned cell by the calling thread's stable
+// ThreadPool worker index (shard 0 serves off-pool threads), so concurrent
+// instrumented code never contends on a shared line; readers sum the cells
+// when a snapshot is taken. Split out of metrics.h so the HDR histogram
+// (hdr_histogram.h) can use the same scheme without a circular include.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace liberate::obs {
+
+/// Shard 0 belongs to threads outside any pool; workers hash their stable
+/// pool index into shards 1..kShards-1. 32 workers map collision-free.
+inline constexpr std::size_t kShards = 33;
+
+inline std::size_t shard_index() {
+  int w = ThreadPool::current_worker_index();
+  return w < 0 ? 0
+               : 1 + static_cast<std::size_t>(w) % (kShards - 1);
+}
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace liberate::obs

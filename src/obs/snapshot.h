@@ -88,6 +88,21 @@ inline std::string to_prometheus_text(const MetricsSnapshot& m) {
     out += p + "_sum " + std::string(buf) + "\n";
     out += p + "_count " + std::to_string(h.count) + "\n";
   }
+  // HDR histograms export as Prometheus summaries: exact mergeable counts
+  // collapse to the standard quantile series (values are the deterministic
+  // bucket midpoints, so scrapes of identical runs are identical).
+  for (const auto& [name, h] : m.hdr_histograms) {
+    std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " summary\n";
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+      std::snprintf(buf, sizeof(buf), "%g", q);
+      out += p + "{quantile=\"" + buf + "\"} " +
+             std::to_string(h.value_at_quantile(q)) + "\n";
+    }
+    out += p + "_sum " + std::to_string(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+    out += p + "_max " + std::to_string(h.max) + "\n";
+  }
   return out;
 }
 
@@ -125,6 +140,32 @@ inline void write_json(JsonWriter& w, const Snapshot& snap,
     w.end_array();
     w.key("count").value(h.count);
     w.key("sum").value(h.sum);
+    w.end_object();
+  }
+  w.end_object();
+
+  // HDR histograms: quantile summary plus the sparse nonzero buckets
+  // ([bucket index, count] pairs) — full fidelity for offline merging
+  // without dumping ~1000 mostly-zero cells per metric.
+  w.key("hdr_histograms").begin_object();
+  for (const auto& [name, h] : snap.metrics.hdr_histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("max").value(h.max);
+    w.key("p50").value(h.value_at_quantile(0.5));
+    w.key("p90").value(h.value_at_quantile(0.9));
+    w.key("p99").value(h.value_at_quantile(0.99));
+    w.key("p999").value(h.value_at_quantile(0.999));
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(b));
+      w.value(h.counts[b]);
+      w.end_array();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

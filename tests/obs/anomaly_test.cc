@@ -1,0 +1,121 @@
+// AnomalyDetector semantics: warmup, step-change detection, spike
+// winsorization, hysteresis up/down, adaptation to a sustained shift, and
+// determinism (pure arithmetic over the fed values).
+#undef LIBERATE_OBS_LEVEL
+#define LIBERATE_OBS_LEVEL 2
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/anomaly.h"
+
+namespace liberate::obs {
+namespace {
+
+TEST(Anomaly, QuietSeriesNeverFlags) {
+  AnomalyDetector d;
+  for (int i = 0; i < 50; ++i) {
+    AnomalyVerdict v = d.observe(0.1 + (i % 2) * 0.001);
+    EXPECT_FALSE(v.flagged) << "point " << i;
+  }
+}
+
+TEST(Anomaly, WarmupSuppressesEarlyFlags) {
+  AnomalyConfig cfg;
+  cfg.warmup = 5;
+  AnomalyDetector d(cfg);
+  // Wild swings inside the warmup window must not flag.
+  const double warmup_values[] = {0.0, 10.0, -5.0, 8.0, 0.0};
+  for (double x : warmup_values) {
+    EXPECT_FALSE(d.observe(x).anomalous);
+  }
+}
+
+TEST(Anomaly, StepChangeFlagsWithinTwoPoints) {
+  AnomalyDetector d;  // warmup=3, points_to_flag=1
+  for (int i = 0; i < 10; ++i) d.observe(0.10);
+  // The step lands: must flag within two observations of the new level
+  // (the acceptance bound the drift-corroboration latency relies on).
+  AnomalyVerdict first = d.observe(0.60);
+  AnomalyVerdict second = d.observe(0.60);
+  EXPECT_TRUE(first.flagged || second.flagged);
+  EXPECT_GT(first.zscore, 3.0);
+}
+
+TEST(Anomaly, HysteresisClearsAfterQuietPoints) {
+  AnomalyConfig cfg;
+  cfg.points_to_clear = 2;
+  AnomalyDetector d(cfg);
+  for (int i = 0; i < 10; ++i) d.observe(0.1);
+  EXPECT_TRUE(d.observe(5.0).flagged);
+  // Back to quiet: winsorization kept the EWMAs near 0.1, so normal points
+  // score low and two of them clear the flag.
+  AnomalyVerdict v1 = d.observe(0.1);
+  AnomalyVerdict v2 = d.observe(0.1);
+  EXPECT_FALSE(v2.flagged);
+  (void)v1;
+  EXPECT_FALSE(d.flagged());
+}
+
+TEST(Anomaly, WinsorizationBoundsSpikePoisoning) {
+  AnomalyDetector a;
+  AnomalyDetector b;
+  for (int i = 0; i < 10; ++i) {
+    a.observe(1.0);
+    b.observe(1.0);
+  }
+  a.observe(1.0);
+  b.observe(1e6);  // one monster spike
+  // The spike was clamped before entering the EWMAs: the level cannot have
+  // moved more than clamp_sigmas * scale.
+  EXPECT_NEAR(a.mean(), b.mean(), 1.0);
+  // And the detector still sees the *next* normal point as normal.
+  EXPECT_FALSE(b.observe(1.0).anomalous);
+}
+
+TEST(Anomaly, SustainedShiftBecomesTheNewNormal) {
+  AnomalyConfig cfg;
+  cfg.points_to_clear = 2;
+  AnomalyDetector d(cfg);
+  for (int i = 0; i < 10; ++i) d.observe(0.1);
+  // Shift to a new level and stay there: the EWMAs track it and the flag
+  // eventually drops.
+  bool cleared = false;
+  for (int i = 0; i < 40; ++i) {
+    if (!d.observe(0.8).flagged) {
+      cleared = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cleared);
+}
+
+TEST(Anomaly, DeterministicAcrossInstances) {
+  const std::vector<double> xs = {0.1, 0.1, 0.12, 0.1,  0.5, 0.52,
+                                  0.5, 0.1, 0.11, 0.09, 0.1, 0.6};
+  AnomalyDetector a;
+  AnomalyDetector b;
+  for (double x : xs) {
+    AnomalyVerdict va = a.observe(x);
+    AnomalyVerdict vb = b.observe(x);
+    EXPECT_EQ(va.anomalous, vb.anomalous);
+    EXPECT_EQ(va.flagged, vb.flagged);
+    EXPECT_DOUBLE_EQ(va.zscore, vb.zscore);
+  }
+}
+
+TEST(Anomaly, ResetForgetsEverything) {
+  AnomalyDetector d;
+  for (int i = 0; i < 10; ++i) d.observe(0.1);
+  d.observe(9.0);
+  EXPECT_TRUE(d.flagged());
+  d.reset();
+  EXPECT_FALSE(d.flagged());
+  EXPECT_EQ(d.points(), 0u);
+  // Post-reset warmup applies again.
+  EXPECT_FALSE(d.observe(100.0).anomalous);
+}
+
+}  // namespace
+}  // namespace liberate::obs

@@ -1,0 +1,174 @@
+// HdrHistogram semantics: exact small-value region, log-linear bucket
+// geometry, cross-thread merge exactness, deterministic quantiles, and the
+// registry/exporter integration.
+#undef LIBERATE_OBS_LEVEL
+#define LIBERATE_OBS_LEVEL 2
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "obs/hdr_histogram.h"
+#include "obs/obs.h"
+#include "obs/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace liberate::obs {
+namespace {
+
+TEST(HdrHistogram, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < HdrHistogram::kSubBuckets; ++v) {
+    const std::size_t b = HdrHistogram::bucket_index(v);
+    EXPECT_EQ(b, static_cast<std::size_t>(v));
+    EXPECT_EQ(HdrHistogram::bucket_lower(b), v);
+    EXPECT_EQ(HdrHistogram::bucket_upper(b), v);
+    EXPECT_EQ(HdrHistogram::bucket_midpoint(b), v);
+  }
+}
+
+TEST(HdrHistogram, BucketGeometryIsContiguousAndMonotone) {
+  // Every bucket's range starts one past the previous bucket's end, and
+  // bucket_index() agrees with the range bounds.
+  for (std::size_t b = 1; b < HdrHistogram::kBucketCount; ++b) {
+    EXPECT_EQ(HdrHistogram::bucket_lower(b),
+              HdrHistogram::bucket_upper(b - 1) + 1)
+        << "bucket " << b;
+    EXPECT_EQ(HdrHistogram::bucket_index(HdrHistogram::bucket_lower(b)), b);
+    EXPECT_EQ(HdrHistogram::bucket_index(HdrHistogram::bucket_upper(b)), b);
+  }
+}
+
+TEST(HdrHistogram, RelativeBucketWidthIsBounded) {
+  // Log-linear promise: width / lower <= 1 / (kSubBuckets / 2). Checked in
+  // integer arithmetic — doubles lose the exact bounds past 2^53.
+  for (std::size_t b = HdrHistogram::kSubBuckets;
+       b < HdrHistogram::kBucketCount; ++b) {
+    const std::uint64_t lo = HdrHistogram::bucket_lower(b);
+    const std::uint64_t width = HdrHistogram::bucket_upper(b) - lo + 1;
+    // width * 16 peaks at 2^63 for the top octave: no overflow.
+    EXPECT_LE(width * (HdrHistogram::kSubBuckets / 2), lo) << "bucket " << b;
+  }
+}
+
+TEST(HdrHistogram, MaxValueLandsInLastBucket) {
+  const std::uint64_t top = ~0ull;
+  EXPECT_EQ(HdrHistogram::bucket_index(top), HdrHistogram::kBucketCount - 1);
+  HdrHistogram h;
+  h.record(top);
+  HdrSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max, top);
+}
+
+TEST(HdrHistogram, RecordSnapshotAndReset) {
+  HdrHistogram h;
+  h.record(3);
+  h.record(3);
+  h.record(1000);
+  HdrSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 1006u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.counts[3], 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot().max, 0u);
+}
+
+TEST(HdrHistogram, MergeAcrossPoolShardsIsExact) {
+  // The same multiset recorded from many pool workers must produce the same
+  // merged counts as a serial recording — counts are exact, not sampled.
+  HdrHistogram parallel;
+  HdrHistogram serial;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> fs;
+    for (int t = 0; t < kThreads; ++t) {
+      fs.push_back(pool.submit([&parallel, t]() {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          parallel.record(i * 17 + static_cast<std::uint64_t>(t));
+        }
+      }));
+    }
+    for (auto& f : fs) f.get();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      serial.record(i * 17 + static_cast<std::uint64_t>(t));
+    }
+  }
+  HdrSnapshot a = parallel.snapshot();
+  HdrSnapshot b = serial.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(HdrHistogram, SnapshotMergeAddsCounts) {
+  HdrHistogram x;
+  HdrHistogram y;
+  x.record(5);
+  x.record(70);
+  y.record(5);
+  y.record(900000);
+  HdrSnapshot merged = x.snapshot();
+  merged.merge(y.snapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.counts[5], 2u);
+  EXPECT_EQ(merged.max, 900000u);
+  EXPECT_EQ(merged.sum, 5u + 70u + 5u + 900000u);
+}
+
+TEST(HdrHistogram, QuantilesAreDeterministicBucketMidpoints) {
+  HdrHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  HdrSnapshot snap = h.snapshot();
+  // Rank-50 of 1..100 is 50; values <= 31 are exact, 50 lands in a
+  // log-linear bucket whose midpoint is deterministic.
+  const std::uint64_t p50 = snap.value_at_quantile(0.5);
+  EXPECT_EQ(p50, HdrHistogram::bucket_midpoint(HdrHistogram::bucket_index(50)));
+  // p0 clamps to rank 1, p1 to rank count.
+  EXPECT_EQ(snap.value_at_quantile(0.0), 1u);
+  EXPECT_EQ(snap.value_at_quantile(1.0),
+            HdrHistogram::bucket_midpoint(HdrHistogram::bucket_index(100)));
+  // Midpoint error is bounded by half the bucket width (~3.125%).
+  EXPECT_NEAR(static_cast<double>(p50), 50.0, 50.0 * 0.0325);
+  // Same snapshot, same answer — quantiles are pure functions of counts.
+  EXPECT_EQ(snap.value_at_quantile(0.99), snap.value_at_quantile(0.99));
+  EXPECT_EQ(snap.value_at_quantile(0.5), HdrSnapshot(snap).value_at_quantile(0.5));
+}
+
+TEST(HdrHistogram, EmptySnapshotQuantileIsZero) {
+  HdrHistogram h;
+  EXPECT_EQ(h.snapshot().value_at_quantile(0.99), 0u);
+}
+
+TEST(HdrHistogram, RegistryMacroAndExporters) {
+  MetricsRegistry::instance().hdr("test.hdr.export").reset();
+  for (int i = 0; i < 10; ++i) {
+    LIBERATE_HDR_RECORD("test.hdr.export", 100 + i);
+  }
+  MetricsSnapshot m = MetricsRegistry::instance().snapshot();
+  ASSERT_TRUE(m.hdr_histograms.count("test.hdr.export"));
+  EXPECT_EQ(m.hdr_histograms["test.hdr.export"].count, 10u);
+
+  const std::string prom = to_prometheus_text(m);
+  EXPECT_NE(prom.find("# TYPE test_hdr_export summary"), std::string::npos);
+  EXPECT_NE(prom.find("test_hdr_export{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(prom.find("test_hdr_export_count 10"), std::string::npos);
+
+  Snapshot snap = capture();
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"hdr_histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.hdr.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  MetricsRegistry::instance().hdr("test.hdr.export").reset();
+}
+
+}  // namespace
+}  // namespace liberate::obs

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "obs/obs.h"
 #include "obs/snapshot.h"
 #include "util/thread_pool.h"
@@ -73,6 +75,27 @@ TEST(ObsMetrics, HistogramBucketsAndExactSum) {
   EXPECT_EQ(counts[3], 1u);
   EXPECT_EQ(h.count(), 5u);
   EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+}
+
+TEST(ObsMetrics, HistogramClampsExtremeObservations) {
+  // Regression: observe() casts v * 1e6 to int64 micro-units; a double past
+  // the int64 range made that cast UB. Extreme values now clamp to
+  // ±kSumClampMicrounits and NaN contributes 0 — while the bucket count is
+  // always recorded, so count() stays exact.
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "test.metrics.hist_clamp", {1.0});
+  h.reset();
+  h.observe(1e300);                                        // clamps to +9e12
+  h.observe(-1e300);                                       // clamps to -9e12
+  h.observe(std::numeric_limits<double>::quiet_NaN());     // counted, sum +0
+  h.observe(std::numeric_limits<double>::infinity());      // clamps to +9e12
+  h.observe(2.5);                                          // normal value
+  EXPECT_EQ(h.count(), 5u);
+  // +clamp, -clamp, and +clamp again cancel down to one clamp plus 2.5.
+  EXPECT_DOUBLE_EQ(h.sum(), Histogram::kSumClampMicrounits / 1e6 + 2.5);
+  auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[1], 3u);  // 1e300, inf, 2.5 land past the 1.0 bound
 }
 
 TEST(ObsMetrics, HistogramBoundsFixedByFirstRegistration) {
