@@ -7,16 +7,59 @@
 // Every FLEET line is a pure function of the options (simulated clock,
 // seeded randomness), so the output diffs clean across runs, worker counts,
 // and observability levels.
+//
+// `--serve PORT` (instrumented builds only) starts the ObsServer scrape
+// endpoint before the soak and keeps the process alive `--linger-ms N`
+// milliseconds after the summary, so an external poller can hit /metrics,
+// /profile, /timeseries.json, and /healthz mid-run — the CI scrape-smoke
+// step drives exactly this. Neither flag changes any FLEET line.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "deploy/fleet.h"
 #include "dpi/normalizer.h"
+#include "obs/level.h"
 #include "trace/generators.h"
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+#include "obs/serve/obs_server.h"
+#endif
 
 using namespace liberate;
 using namespace liberate::deploy;
 
-int main() {
+int main(int argc, char** argv) {
+  int serve_port = -1;
+  int linger_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--linger-ms") == 0 && i + 1 < argc) {
+      linger_ms = std::atoi(argv[++i]);
+    }
+  }
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+  obs::serve::ObsServer server(obs::serve::ObsServerOptions{
+      static_cast<std::uint16_t>(serve_port > 0 ? serve_port : 0)});
+  if (serve_port >= 0) {
+    if (server.start()) {
+      std::fprintf(stderr, "serving http://127.0.0.1:%u\n",
+                   static_cast<unsigned>(server.port()));
+    } else {
+      std::fprintf(stderr, "obs server failed: %s\n",
+                   server.last_error().c_str());
+    }
+  }
+#else
+  if (serve_port >= 0) {
+    std::fprintf(stderr, "obs compiled out (level 0); --serve ignored\n");
+  }
+#endif
+
   ClassifierFingerprintCache cache;
 
   FleetOptions opts;
@@ -50,5 +93,10 @@ int main() {
               "technique=%s\n",
               warm.initial_from_cache ? 1 : 0, warm.initial_analysis_rounds,
               warm.technique_initial.c_str());
+  std::fflush(stdout);
+
+  if (linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   return 0;
 }

@@ -11,14 +11,20 @@
 // deterministic for a given build. The FLEET summary printed at the end is
 // additionally byte-identical across observability levels and worker
 // counts — CI diffs it between an obs-level-0 and an obs-level-2 build.
+//
+// `--once` suppresses the per-wave TTY loop (one end-of-soak snapshot);
+// `--once --json` emits a single machine-readable JSON document instead of
+// any text — the form CI smoke-tests and scripts consume.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "deploy/fleet.h"
 #include "dpi/normalizer.h"
 #include "obs/level.h"
 #include "trace/generators.h"
+#include "util/json.h"
 
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
 #include "obs/metrics.h"
@@ -96,9 +102,99 @@ void render_wave(const FleetWaveReport& w) {
   }
 }
 
+/// The --json document: the same facts as the TOP/FLEET text, one object.
+std::string report_json(const FleetReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("liberate_top/v1");
+  w.key("fleet").begin_object();
+  w.key("environment").value(report.environment);
+  w.key("app").value(report.app);
+  w.key("shards").value(static_cast<std::uint64_t>(report.shards));
+  w.key("technique_initial").value(report.technique_initial);
+  w.key("technique_final").value(report.technique_final);
+  w.key("waves").begin_array();
+  for (const FleetWaveReport& wave : report.waves) {
+    w.begin_object();
+    w.key("wave").value(static_cast<std::uint64_t>(wave.wave));
+    w.key("flows").value(static_cast<std::uint64_t>(wave.stats.flows));
+    w.key("diff_rate").value(wave.stats.differentiated_rate());
+    w.key("blocked_rate").value(wave.stats.blocked_rate());
+    w.key("incomplete_rate").value(wave.stats.incomplete_rate());
+    w.key("lat_us").value(wave.stats.mean_latency_us());
+    w.key("state").value(deploy_state_name(wave.state_after));
+    w.key("technique").value(wave.technique_after);
+    w.key("anomalies").begin_array();
+    for (const std::string& a : wave.anomalies) w.value(a);
+    w.end_array();
+    if (wave.readapt_path) {
+      w.key("readapt").begin_object();
+      w.key("path").value(readapt_path_name(*wave.readapt_path));
+      w.key("rounds").value(wave.readapt_rounds);
+      w.key("ladder").begin_array();
+      for (const core::ReadaptStageCost& s : wave.readapt_ladder) {
+        w.begin_object();
+        w.key("stage").value(s.stage);
+        w.key("rounds").value(s.rounds);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("cost").begin_object();
+  w.key("analysis_rounds").value(report.initial_analysis_rounds);
+  w.key("initial_from_cache").value(report.initial_from_cache);
+  w.key("readapts").value(static_cast<std::uint64_t>(report.readapts));
+  w.key("readapt_rounds").value(report.readapt_rounds);
+  w.end_object();
+  w.key("totals").begin_object();
+  w.key("flows").value(static_cast<std::uint64_t>(report.totals.flows));
+  w.key("differentiated")
+      .value(static_cast<std::uint64_t>(report.totals.differentiated));
+  w.key("blocked").value(static_cast<std::uint64_t>(report.totals.blocked));
+  w.key("incomplete")
+      .value(static_cast<std::uint64_t>(report.totals.incomplete));
+  w.end_object();
+  w.end_object();
+
+#if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
+  const obs::HdrSnapshot lat =
+      obs::MetricsRegistry::instance().hdr("fleet.flow_latency_us").snapshot();
+  if (lat.count > 0) {
+    w.key("latency").begin_object();
+    w.key("p50").value(lat.value_at_quantile(0.5));
+    w.key("p90").value(lat.value_at_quantile(0.9));
+    w.key("p99").value(lat.value_at_quantile(0.99));
+    w.key("max").value(lat.max);
+    w.key("count").value(lat.count);
+    w.end_object();
+  } else {
+    w.key("latency").null();
+  }
+#else
+  w.key("latency").null();
+#endif
+  if (!report.telemetry_json.empty()) {
+    w.key("telemetry").raw_value(report.telemetry_json);
+  } else {
+    w.key("telemetry").null();
+  }
+  w.end_object();
+  return w.take();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool once = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) once = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
   ClassifierFingerprintCache cache;
 
   FleetOptions opts;
@@ -117,15 +213,25 @@ int main() {
     cfg.reassemble_fragments = true;
     env.net.emplace_at<dpi::NormalizerElement>(0, cfg);
   };
-  opts.on_wave = render_wave;
+  if (!once) opts.on_wave = render_wave;
 
 #if LIBERATE_OBS_LEVEL < LIBERATE_OBS_LEVEL_METRICS
-  std::printf("TOP (obs level 0: sparklines and quantiles compiled out)\n");
+  if (!json) {
+    std::printf("TOP (obs level 0: sparklines and quantiles compiled out)\n");
+  }
 #endif
 
   FleetEngine engine(opts);
   FleetReport report = engine.run(trace::amazon_video_trace(8 * 1024));
 
+  if (json) {
+    // Single machine-readable snapshot; nothing else on stdout.
+    std::printf("%s\n", report_json(report).c_str());
+    return 0;
+  }
+  if (once && !report.waves.empty()) {
+    render_wave(report.waves.back());
+  }
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
   std::printf("TOP telemetry_json bytes=%zu\n", report.telemetry_json.size());
 #endif

@@ -125,6 +125,7 @@ void EvasionShim::send(Bytes datagram) {
       held_udp_packet_ = std::move(datagram);
       state.payload_packets_sent += 1;
       ++packets_rewritten_;
+      LIBERATE_COST_TICK(kMutatedPackets, 1);
       return;
     }
     if (held_udp_packet_) {
@@ -191,7 +192,10 @@ void EvasionShim::send(Bytes datagram) {
 #endif
     auto pieces = technique_->transform_matching_packet(std::move(datagram),
                                                         pkt, state, context_);
-    if (first_match && pieces.size() != 1) packets_rewritten_ += pieces.size();
+    if (first_match && pieces.size() != 1) {
+      packets_rewritten_ += pieces.size();
+      LIBERATE_COST_TICK(kMutatedPackets, pieces.size());
+    }
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
     for (const TimedDatagram& td : pieces) {
       prov_rec.edge_ids(prov_now, parent_id, parent_size,

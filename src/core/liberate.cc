@@ -1,5 +1,7 @@
 #include "core/liberate.h"
 
+#include "obs/obs.h"
+
 namespace liberate::core {
 
 Liberate::Liberate(dpi::Environment& env, std::uint64_t seed)
@@ -12,15 +14,22 @@ SessionReport Liberate::analyze(const trace::ApplicationTrace& trace) {
   const double t0 = runner_.virtual_seconds_elapsed();
 
   // Phase 1: differentiation detection.
-  report.detection = detect_differentiation(runner_, trace);
+  {
+    LIBERATE_COST_SCOPE(kDetection);
+    report.detection = detect_differentiation(runner_, trace);
+  }
   if (report.detection.content_based) {
     // Phase 2: characterization.
     report.ran_characterization = true;
     CharacterizationOptions copts;
     copts.unique_port_per_round = true;  // harmless when not needed
-    report.characterization = characterize_classifier(runner_, trace, copts);
+    {
+      LIBERATE_COST_SCOPE(kCharacterization);
+      report.characterization = characterize_classifier(runner_, trace, copts);
+    }
 
     // Phase 3: evasion evaluation (pruned production mode).
+    LIBERATE_COST_SCOPE(kEvaluation);
     EvasionEvaluator evaluator(runner_, report.characterization);
     report.evaluation = evaluator.evaluate(trace, /*run_pruned=*/false);
     report.selected_technique = report.evaluation.selected;
@@ -64,16 +73,25 @@ std::unique_ptr<Deployment> Liberate::deploy(const SessionReport& report,
 
 ReadaptResult Liberate::readapt(const SessionReport& previous,
                                 const trace::ApplicationTrace& trace) {
+  LIBERATE_COST_SCOPE(kReadapt);
   const int rounds0 = runner_.rounds();
   const std::uint64_t bytes0 = runner_.bytes_offered();
   const double t0 = runner_.virtual_seconds_elapsed();
 
   ReadaptResult result;
+  // Stage intervals partition [rounds0, rounds()] so the ladder always sums
+  // to the report's total_rounds.
+  int stage_start = rounds0;
+  auto end_stage = [&](const char* stage) {
+    result.ladder.push_back({stage, runner_.rounds() - stage_start});
+    stage_start = runner_.rounds();
+  };
   auto technique = previous.selected_technique
                        ? instantiate(*previous.selected_technique)
                        : nullptr;
   if (!technique) {
     result.report = analyze(trace);
+    end_stage("full-analysis");
   } else {
     // Replay with the previously working technique: if differentiation
     // reappears, the rules changed — redo characterization and evaluation.
@@ -81,11 +99,13 @@ ReadaptResult Liberate::readapt(const SessionReport& previous,
     opts.technique = technique.get();
     opts.context = deployment_context(previous);
     ReplayOutcome outcome = runner_.run(trace, opts);
+    end_stage("still-working");
     if (!runner_.differentiated(outcome) && outcome.completed) {
       result.still_working = true;  // still evading fine
       result.report = previous;
     } else {
       result.report = analyze(trace);
+      end_stage("full-analysis");
     }
   }
 

@@ -11,6 +11,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/detection.h"
 #include "core/evaluation.h"
@@ -30,6 +32,16 @@ struct SessionReport {
   double total_virtual_minutes = 0;
 };
 
+/// One stage of a runtime-adaptation ladder and the probe rounds it spent.
+/// Stages appear in execution order; their rounds always sum to the
+/// enclosing report's total_rounds (each replay the adaptation ran is
+/// inside exactly one stage interval). Plain data, present at every obs
+/// level — cost attribution is part of the result, not telemetry.
+struct ReadaptStageCost {
+  std::string stage;
+  int rounds = 0;
+};
+
 /// Outcome of runtime adaptation. Unlike the old optional<SessionReport>
 /// (where "still works" lost the probe cost spent finding that out),
 /// `report` always carries cost accounting for what readapt actually did:
@@ -40,6 +52,8 @@ struct ReadaptResult {
   /// then the previous report with totals replaced by the verification cost.
   bool still_working = false;
   SessionReport report;
+  /// Per-stage round breakdown; sums to report.total_rounds.
+  std::vector<ReadaptStageCost> ladder;
 };
 
 /// The TechniqueContext a deployment derives from an analysis: matching

@@ -116,6 +116,9 @@ CharacterizationReport characterize_classifier_parallel(
   std::size_t blinding_depth = 0;
   BatchClassificationOracle oracle =
       [&](const std::vector<ApplicationTrace>& probes) {
+        // Blinding probes get their own cost phase nested inside
+        // characterization — they dominate the paper's ~75-round budget.
+        LIBERATE_COST_SCOPE(kBlinding);
         blinding_depth += 1;
         LIBERATE_COUNTER_ADD("core.blinding_waves", 1);
         LIBERATE_COUNTER_ADD("core.blinding_probes", probes.size());
@@ -372,6 +375,7 @@ SessionReport analyze_parallel(RoundScheduler& scheduler,
 
   {
     LIBERATE_OBS_SPAN("core.phase.detect", virtual_us);
+    LIBERATE_COST_SCOPE(kDetection);
     report.detection = detect_differentiation_parallel(scheduler, trace);
   }
   if (report.detection.content_based) {
@@ -380,11 +384,13 @@ SessionReport analyze_parallel(RoundScheduler& scheduler,
     copts.unique_port_per_round = true;  // harmless when not needed
     {
       LIBERATE_OBS_SPAN("core.phase.characterize", virtual_us);
+      LIBERATE_COST_SCOPE(kCharacterization);
       report.characterization =
           characterize_classifier_parallel(scheduler, trace, copts);
     }
     {
       LIBERATE_OBS_SPAN("core.phase.evaluate", virtual_us);
+      LIBERATE_COST_SCOPE(kEvaluation);
       report.evaluation = evaluate_parallel(scheduler, report.characterization,
                                             trace, /*run_pruned=*/false);
     }

@@ -123,6 +123,9 @@ ReplayOutcome ReplayRunner::run(const ApplicationTrace& trace,
   bytes_offered_ += trace.total_bytes();
   LIBERATE_COUNTER_ADD("core.replay_rounds", 1);
   LIBERATE_COUNTER_ADD("core.replay_bytes_offered", trace.total_bytes());
+  // The cost ledger's round chokepoint: every replay — scheduler-driven or
+  // direct — lands here, attributed to the caller's ambient phase.
+  LIBERATE_COST_TICK(kRounds, 1);
   [[maybe_unused]] netsim::EventLoop* loop = &env_.loop;
   LIBERATE_OBS_SPAN("core.replay", [loop]() { return loop->now(); });
   if (trace.transport == trace::Transport::kTcp) {

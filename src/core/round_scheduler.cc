@@ -202,6 +202,9 @@ RoundResult RoundScheduler::execute(const RoundRequest& req,
 
 std::shared_future<RoundResult> RoundScheduler::submit(RoundRequest req) {
   const Fingerprint key = round_fingerprint(spec_, req);
+  // A probe is a *submitted* request — cache hits and coalesced duplicates
+  // included, so the ledger shows what memoization saved (probes - rounds).
+  LIBERATE_COST_TICK(kProbes, 1);
 
   auto ready = [](RoundResult r) {
     std::promise<RoundResult> p;
@@ -225,9 +228,12 @@ std::shared_future<RoundResult> RoundScheduler::submit(RoundRequest req) {
       return it->second;
     }
     if (pool_) {
-      auto task = [this, req = std::move(req), key]() {
+      // LIBERATE_OBS_PROPAGATE carries the submitting thread's ambient
+      // span/profile/cost context to the worker, so the round nests under
+      // the phase that asked for it in serial and parallel runs alike.
+      auto task = LIBERATE_OBS_PROPAGATE([this, req = std::move(req), key]() {
         return execute(req, key);
-      };
+      });
       std::shared_future<RoundResult> future =
           pool_->submit(std::move(task)).share();
       inflight_[key] = future;
@@ -236,9 +242,9 @@ std::shared_future<RoundResult> RoundScheduler::submit(RoundRequest req) {
   }
 
   if (pool_) {
-    auto task = [this, req = std::move(req), key]() {
+    auto task = LIBERATE_OBS_PROPAGATE([this, req = std::move(req), key]() {
       return execute(req, key);
-    };
+    });
     return pool_->submit(std::move(task)).share();
   }
   return ready(execute(req, key));
@@ -253,6 +259,7 @@ std::vector<RoundResult> RoundScheduler::run_batch(
   const std::size_t n = reqs.size();
   std::vector<RoundResult> results(n);
   if (n == 0) return results;
+  LIBERATE_COST_TICK(kProbes, n);
 
   // Resolve the whole wave up front: fingerprint every request once, answer
   // cache hits immediately, and coalesce in-batch duplicates onto a single
@@ -295,15 +302,20 @@ std::vector<RoundResult> RoundScheduler::run_batch(
     std::vector<std::future<void>> waves;
     waves.reserve(tasks);
     for (std::size_t t = 0; t < tasks; ++t) {
-      waves.push_back(pool_->submit([this, &reqs, &keys, &work, &results,
-                                     cursor]() {
-        for (;;) {
-          const std::size_t w = cursor->fetch_add(1);
-          if (w >= work.size()) return;
-          const std::size_t i = work[w];
-          results[i] = execute(reqs[i], keys[i]);
-        }
-      }));
+      // Context capture happens here, on the submitting thread: a chunk
+      // executed by a stealing worker nests its round spans under the
+      // submitting phase span, never under whatever unrelated span is open
+      // on that worker (and never orphaned, as unpropagated tasks were).
+      waves.push_back(pool_->submit(
+          LIBERATE_OBS_PROPAGATE([this, &reqs, &keys, &work, &results,
+                                  cursor]() {
+            for (;;) {
+              const std::size_t w = cursor->fetch_add(1);
+              if (w >= work.size()) return;
+              const std::size_t i = work[w];
+              results[i] = execute(reqs[i], keys[i]);
+            }
+          })));
     }
     for (auto& f : waves) f.get();
   } else {

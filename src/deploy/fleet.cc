@@ -126,6 +126,9 @@ void FleetEngine::swap_technique(const std::string& name,
 
 WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
                                 std::size_t wave) {
+  // Everything a shard wave spends (match ops in its DPI engine, packets
+  // its shim mutates) attributes to the fleet phase, on any thread.
+  LIBERATE_COST_SCOPE(kFleet);
   LIBERATE_PROV_SCOPE(shard.seed);
   netsim::EventLoop& loop = shard.env->loop;
 
@@ -369,8 +372,8 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
       futures.reserve(shards_.size());
       for (auto& shard : shards_) {
         Shard* s = shard.get();
-        futures.push_back(
-            pool->submit([this, s, &trace, wave] { return run_wave(*s, trace, wave); }));
+        futures.push_back(pool->submit(LIBERATE_OBS_PROPAGATE(
+            [this, s, &trace, wave] { return run_wave(*s, trace, wave); })));
       }
       for (std::size_t i = 0; i < futures.size(); ++i) {
         per_shard[i] = futures[i].get();  // shard order: deterministic merge
@@ -465,6 +468,16 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
       report.readapt_rounds += runner.rounds() - rr0;
       report.readapt_bytes += runner.bytes_offered() - rb0;
       wr.readapt_path = outcome.path;
+      wr.readapt_rounds = runner.rounds() - rr0;
+      wr.readapt_ladder = outcome.ladder;
+      // Readapt cost as a fleet series point at this wave's boundary. The
+      // value comes from the runner's deterministic round counter, so the
+      // "fleet."-prefixed telemetry document stays byte-identical across
+      // worker counts and match backends.
+      if (options_.sample_telemetry) {
+        LIBERATE_TS_SAMPLE("fleet.cost.readapt_rounds", -1, ts_us,
+                           wr.readapt_rounds);
+      }
 
       if (outcome.path == ReadaptPath::kFullAnalysis) {
         policy.transition(DeployState::kReAnalyzing, wave,
@@ -561,6 +574,18 @@ std::string FleetReport::summary() const {
       out += format(" readapt=%s", readapt_path_name(*w.readapt_path));
     }
     out += "\n";
+    if (w.readapt_path) {
+      // Ladder-stage cost breakdown for the wave's re-characterization:
+      // where the verification rounds went, stage by stage.
+      out += format("FLEET readapt wave=%zu path=%s rounds=%d ladder=", w.wave,
+                    readapt_path_name(*w.readapt_path), w.readapt_rounds);
+      for (std::size_t i = 0; i < w.readapt_ladder.size(); ++i) {
+        if (i > 0) out += ",";
+        out += format("%s:%d", w.readapt_ladder[i].stage.c_str(),
+                      w.readapt_ladder[i].rounds);
+      }
+      out += "\n";
+    }
   }
   for (const StateTransition& t : transitions) {
     out += format("FLEET transition %s->%s@%zu %s\n", deploy_state_name(t.from),

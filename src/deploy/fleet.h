@@ -103,6 +103,11 @@ struct FleetWaveReport {
   bool corroborated = false;
   /// Set when this wave's signal triggered re-characterization.
   std::optional<ReadaptPath> readapt_path;
+  /// Probe rounds the re-characterization spent this wave (0 = none ran)
+  /// and its per-ladder-stage breakdown (sums to readapt_rounds). Plain
+  /// data at every obs level — it shapes the FLEET summary.
+  int readapt_rounds = 0;
+  std::vector<core::ReadaptStageCost> readapt_ladder;
   DeployState state_after = DeployState::kDeployed;
   std::string technique_after;
 };

@@ -46,12 +46,20 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
                                    const trace::ApplicationTrace& trace,
                                    const CachedCharacterization& cached,
                                    ClassifierFingerprintCache* cache) {
+  LIBERATE_COST_SCOPE(kReadapt);
   core::ReplayRunner& runner = lib.runner();
   const int rounds0 = runner.rounds();
   const std::uint64_t bytes0 = runner.bytes_offered();
   const double t0 = runner.virtual_seconds_elapsed();
 
   ReadaptOutcome result;
+  // Stage intervals partition [rounds0, rounds()], so the ladder breakdown
+  // always sums to the report's total_rounds.
+  int stage_start = rounds0;
+  auto end_stage = [&](const char* stage) {
+    result.ladder.push_back({stage, runner.rounds() - stage_start});
+    stage_start = runner.rounds();
+  };
   const core::TechniqueContext ctx = cached.context();
   // Fresh server ports per probe unless the classifier is port-bound
   // (mirrors evaluation: avoids GFC-style endpoint escalation polluting
@@ -59,6 +67,7 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
   std::uint16_t next_port = 29000;
   auto probe = [&](const trace::ApplicationTrace& t,
                    core::Technique* technique) {
+    LIBERATE_COST_TICK(kProbes, 1);
     core::ReplayOptions opts;
     opts.technique = technique;
     opts.context = ctx;
@@ -103,6 +112,7 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
     auto technique = lib.instantiate(deployed);
     if (technique) {
       auto v = probe(trace, technique.get());
+      end_stage("still-working");
       if (!v.differentiated && v.completed && v.intact) {
         return finish(ReadaptPath::kStillWorking, deployed,
                       report_from_cached(cached, deployed));
@@ -113,6 +123,7 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
   // Level 2: does the policy still exist at all? One plain round.
   {
     auto v = probe(trace, nullptr);
+    end_stage("policy-gone");
     if (!v.differentiated) {
       core::SessionReport report = report_from_cached(cached, "");
       report.detection.differentiation = false;
@@ -142,6 +153,7 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
   }
   result.fingerprint_verified = fingerprint_ok && !cached.fields.empty();
   result.verification_rounds = runner.rounds() - verify_rounds0;
+  end_stage("field-verification");
 
   // Level 4: fingerprint held — the rules are the ones we characterized, so
   // the cached ranking is still meaningful. Walk it cheapest-first; the
@@ -155,16 +167,19 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
       if (!v.differentiated && v.completed && v.intact) {
         result.verification_rounds = runner.rounds() - verify_rounds0;
         result.verification_bytes = runner.bytes_offered() - bytes0;
+        end_stage("ranking-walk");
         return finish(ReadaptPath::kVerifiedCached, cached.ranking[i].name,
                       report_from_cached(cached, cached.ranking[i].name));
       }
     }
+    end_stage("ranking-walk");
   }
   result.verification_bytes = runner.bytes_offered() - bytes0;
 
   // Level 5: the classifier changed beyond the cached knowledge (or every
   // cached technique died). Full analysis, and refresh the cache.
   core::SessionReport fresh = lib.analyze(trace);
+  end_stage("full-analysis");
   if (cache) {
     cache->store(
         make_cached_characterization(cached.environment, cached.app, fresh));

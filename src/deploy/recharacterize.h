@@ -20,6 +20,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/liberate.h"
 #include "deploy/fingerprint.h"
@@ -50,6 +51,11 @@ struct ReadaptOutcome {
   bool fingerprint_verified = false;
   int verification_rounds = 0;
   std::uint64_t verification_bytes = 0;
+  /// Per-stage round breakdown of the ladder walk, in execution order
+  /// (still-working, policy-gone, field-verification, ranking-walk,
+  /// full-analysis — only stages that ran appear). Rounds always sum to
+  /// report.total_rounds.
+  std::vector<core::ReadaptStageCost> ladder;
 };
 
 /// Re-adapt against the live environment behind `lib` using the cached

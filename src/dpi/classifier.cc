@@ -391,6 +391,7 @@ void DpiEngine::run_match(FlowState& fs, FlowState::DirState& ds,
                           const FiveTuple& key, TimePoint now,
                           Inspection* out) {
   (void)ds;
+  LIBERATE_COST_TICK(kMatchOps, 1);
   // Evaluation normally runs the compiled match program (one shared content
   // scan for all rules); the process-global backend toggle routes it through
   // the reference linear matcher instead so determinism/equivalence suites

@@ -23,6 +23,8 @@
 
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
 #include "obs/metrics.h"
+#include "obs/prof/context.h"
+#include "obs/prof/cost_ledger.h"
 #include "obs/timeseries.h"
 #endif
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
@@ -93,6 +95,33 @@
   ::liberate::obs::TimeSeriesStore::instance().tick(                          \
       static_cast<std::uint64_t>(t_us), __VA_ARGS__)
 
+// ---- cost ledger (obs/prof/cost_ledger.h) ----
+
+/// Attributes resource ticks in the enclosing block (and in pool tasks
+/// whose submission is wrapped in LIBERATE_OBS_PROPAGATE below) to the
+/// given phase. `phase` is a bare CostPhase enumerator name (kDetection,
+/// kReadapt, ...). Nested scopes override.
+#define LIBERATE_COST_SCOPE(phase)                              \
+  ::liberate::obs::CostLedger::PhaseScope LIBERATE_OBS_CONCAT(  \
+      liberate_obs_cost_scope_, __COUNTER__)(                   \
+      ::liberate::obs::CostPhase::phase)
+
+/// Ticks `n` units of a resource kind against the ambient phase. `kind`
+/// is a bare CostKind enumerator name (kRounds, kProbes, ...).
+#define LIBERATE_COST_TICK(kind, n)                     \
+  ::liberate::obs::CostLedger::instance().tick(         \
+      ::liberate::obs::CostKind::kind,                  \
+      static_cast<std::uint64_t>(n))
+
+// ---- ambient-context propagation (obs/prof/context.h) ----
+
+/// Wraps a task callable at a pool-submission site so the task runs under
+/// the ambient span / profile node / cost phase of the *submitting* thread
+/// (captured now). Variadic: the callable may contain commas. At level 0
+/// this expands to the callable unchanged.
+#define LIBERATE_OBS_PROPAGATE(...) \
+  ::liberate::obs::propagate_context(__VA_ARGS__)
+
 #else  // level 0: true no-ops, arguments unevaluated
 
 #define LIBERATE_COUNTER_ADD(name, n) \
@@ -116,6 +145,13 @@
 #define LIBERATE_TS_TICK(t_us, ...) \
   do {                              \
   } while (0)
+#define LIBERATE_COST_SCOPE(phase) \
+  do {                             \
+  } while (0)
+#define LIBERATE_COST_TICK(kind, n) \
+  do {                              \
+  } while (0)
+#define LIBERATE_OBS_PROPAGATE(...) (__VA_ARGS__)
 
 #endif
 

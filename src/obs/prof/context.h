@@ -1,0 +1,77 @@
+// context.h — ambient observability context, propagated across pool tasks.
+//
+// Span nesting, the profiler's tree position, and the cost ledger's phase
+// are all thread-local ambient state. That breaks the moment work hops
+// threads: a wave chunk executed by a (possibly stealing) pool worker would
+// either orphan its spans or — worse — nest them under whatever unrelated
+// span happens to be open on that worker. TaskContext captures the ambient
+// state as plain values (ids, not pointers — the submitting span may close
+// before the worker runs), and TaskContextScope installs it around the
+// task body, restoring the worker's previous state afterwards.
+//
+// The LIBERATE_OBS_PROPAGATE macro (obs.h) wraps a task callable at the
+// submission site: at level 0 it expands to the callable unchanged.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "obs/prof/cost_ledger.h"
+#include "obs/prof/profiler.h"
+
+namespace liberate::obs {
+
+/// The calling thread's innermost open span id (0 = none). Maintained by
+/// ScopedSpan (span.h); ids are safe to carry across threads.
+inline std::uint64_t& current_span_id() {
+  thread_local std::uint64_t t_span_id = 0;
+  return t_span_id;
+}
+
+struct TaskContext {
+  std::uint64_t span_id = 0;
+  std::uint32_t profile_node = prof::Profiler::kRootNode;
+  CostPhase phase = CostPhase::kUnattributed;
+
+  static TaskContext capture() {
+    return TaskContext{current_span_id(), prof::Profiler::current_node(),
+                       CostLedger::current_phase()};
+  }
+};
+
+class TaskContextScope {
+ public:
+  explicit TaskContextScope(const TaskContext& ctx)
+      : saved_span_(current_span_id()),
+        saved_node_(prof::Profiler::current_node()),
+        saved_phase_(CostLedger::current_phase()) {
+    current_span_id() = ctx.span_id;
+    prof::Profiler::current_node() = ctx.profile_node;
+    CostLedger::current_phase() = ctx.phase;
+  }
+  ~TaskContextScope() {
+    current_span_id() = saved_span_;
+    prof::Profiler::current_node() = saved_node_;
+    CostLedger::current_phase() = saved_phase_;
+  }
+  TaskContextScope(const TaskContextScope&) = delete;
+  TaskContextScope& operator=(const TaskContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_span_;
+  std::uint32_t saved_node_;
+  CostPhase saved_phase_;
+};
+
+/// Wraps a callable so it runs under the context captured *now* (at the
+/// submission site, on the submitting thread). The wrapper is copyable iff
+/// the callable is, and forwards the callable's return value.
+template <typename F>
+auto propagate_context(F fn) {
+  return [ctx = TaskContext::capture(), fn = std::move(fn)]() mutable {
+    TaskContextScope scope(ctx);
+    return fn();
+  };
+}
+
+}  // namespace liberate::obs

@@ -1,0 +1,135 @@
+// export.h — profile-tree and cost-ledger exporters.
+//
+// Three formats:
+//   * write_profile_json()/profile_to_json() — the JSON block embedded in
+//     analysis reports and served at /profile.json. `include_wall` controls
+//     whether wall-clock totals appear (off for deterministic comparisons).
+//   * profile_collapsed() — Brendan Gregg collapsed-stack lines
+//     ("core.phase.detect;core.round;core.replay 1234\n"), one line per
+//     tree node with a nonzero value, DFS order with children sorted by
+//     name. Feed straight into flamegraph.pl.
+//   * cost_ledger_prometheus()/write_cost_ledger_json() — the phase × kind
+//     matrix as labeled Prometheus counters / a JSON object.
+#pragma once
+
+#include <string>
+
+#include "obs/prof/cost_ledger.h"
+#include "obs/prof/profiler.h"
+#include "util/json.h"
+
+namespace liberate::obs::prof {
+
+inline void write_profile_json(JsonWriter& w, const ProfileNode& node,
+                               bool include_wall) {
+  w.begin_object();
+  w.key("name").value(node.name);
+  w.key("count").value(node.count);
+  w.key("sim_us").value(node.sim_us);
+  w.key("self_sim_us").value(node.self_sim_us);
+  if (include_wall) {
+    w.key("wall_ns").value(node.wall_ns);
+    w.key("self_wall_ns").value(node.self_wall_ns);
+  }
+  w.key("children").begin_array();
+  for (const ProfileNode& child : node.children) {
+    write_profile_json(w, child, include_wall);
+  }
+  w.end_array();
+  w.end_object();
+}
+
+inline void write_profile_json(JsonWriter& w, const ProfileSnapshot& snap,
+                               bool include_wall = true) {
+  w.begin_object();
+  w.key("node_count").value(snap.node_count);
+  w.key("dropped").value(snap.dropped);
+  w.key("tree");
+  write_profile_json(w, snap.root, include_wall);
+  w.end_object();
+}
+
+inline std::string profile_to_json(const ProfileSnapshot& snap,
+                                   bool include_wall = true) {
+  JsonWriter w;
+  write_profile_json(w, snap, include_wall);
+  return w.take();
+}
+
+enum class CollapsedMetric {
+  kSelfSimUs,   // exclusive sim-clock microseconds (the deterministic view)
+  kSelfWallNs,  // exclusive wall-clock nanoseconds
+  kCount,       // call counts
+};
+
+inline void collapse_node(const ProfileNode& node, const std::string& prefix,
+                          CollapsedMetric metric, std::string& out) {
+  std::string stack;
+  if (!node.name.empty()) {
+    stack = prefix.empty() ? node.name : prefix + ";" + node.name;
+    std::uint64_t v = 0;
+    switch (metric) {
+      case CollapsedMetric::kSelfSimUs: v = node.self_sim_us; break;
+      case CollapsedMetric::kSelfWallNs: v = node.self_wall_ns; break;
+      case CollapsedMetric::kCount: v = node.count; break;
+    }
+    if (v > 0) {
+      out += stack;
+      out += ' ';
+      out += std::to_string(v);
+      out += '\n';
+    }
+  }
+  for (const ProfileNode& child : node.children) {
+    collapse_node(child, stack, metric, out);
+  }
+}
+
+inline std::string profile_collapsed(
+    const ProfileSnapshot& snap,
+    CollapsedMetric metric = CollapsedMetric::kSelfSimUs) {
+  std::string out;
+  collapse_node(snap.root, std::string(), metric, out);
+  return out;
+}
+
+// ---- cost ledger ----
+
+inline std::string cost_ledger_prometheus(const CostLedgerSnapshot& snap) {
+  std::string out = "# TYPE liberate_cost_total counter\n";
+  for (std::size_t p = 0; p < kCostPhases; ++p) {
+    for (std::size_t k = 0; k < kCostKinds; ++k) {
+      out += "liberate_cost_total{phase=\"";
+      out += cost_phase_name(static_cast<CostPhase>(p));
+      out += "\",kind=\"";
+      out += cost_kind_name(static_cast<CostKind>(k));
+      out += "\"} ";
+      out += std::to_string(snap.totals[p][k]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+inline void write_cost_ledger_json(JsonWriter& w,
+                                   const CostLedgerSnapshot& snap) {
+  w.begin_object();
+  w.key("phases").begin_object();
+  for (std::size_t p = 0; p < kCostPhases; ++p) {
+    w.key(cost_phase_name(static_cast<CostPhase>(p))).begin_object();
+    for (std::size_t k = 0; k < kCostKinds; ++k) {
+      w.key(cost_kind_name(static_cast<CostKind>(k))).value(snap.totals[p][k]);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.key("totals").begin_object();
+  for (std::size_t k = 0; k < kCostKinds; ++k) {
+    w.key(cost_kind_name(static_cast<CostKind>(k)))
+        .value(snap.kind_total(static_cast<CostKind>(k)));
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace liberate::obs::prof

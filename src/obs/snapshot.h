@@ -15,6 +15,9 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/prof/cost_ledger.h"
+#include "obs/prof/export.h"
+#include "obs/prof/profiler.h"
 #include "obs/provenance/recorder.h"
 #include "obs/span.h"
 #include "util/json.h"
@@ -27,6 +30,8 @@ struct Snapshot {
   std::uint64_t spans_dropped = 0;
   EventLogSnapshot events;
   prov::ProvSnapshot provenance;
+  prof::ProfileSnapshot profile;
+  CostLedgerSnapshot cost;
 };
 
 inline Snapshot capture() {
@@ -36,6 +41,8 @@ inline Snapshot capture() {
   snap.spans_dropped = SpanLog::instance().dropped();
   snap.events = EventLog::instance().snapshot();
   snap.provenance = prov::ProvenanceRecorder::instance().snapshot();
+  snap.profile = prof::Profiler::instance().snapshot();
+  snap.cost = CostLedger::instance().snapshot();
   return snap;
 }
 
@@ -45,6 +52,8 @@ inline void reset_all() {
   SpanLog::instance().reset();
   EventLog::instance().reset();
   prov::ProvenanceRecorder::instance().reset();
+  prof::Profiler::instance().reset();
+  CostLedger::instance().reset();
 }
 
 /// Prometheus-style metric names: dots become underscores.
@@ -227,6 +236,12 @@ inline void write_json(JsonWriter& w, const Snapshot& snap,
   w.key("nodes_evicted").value(snap.provenance.nodes_evicted);
   w.key("ledgers_evicted").value(snap.provenance.ledgers_evicted);
   w.end_object();
+
+  w.key("profile");
+  prof::write_profile_json(w, snap.profile);
+
+  w.key("cost_ledger");
+  prof::write_cost_ledger_json(w, snap.cost);
 
   w.end_object();
 }

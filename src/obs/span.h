@@ -4,13 +4,19 @@
 // caller-supplied clock — by convention the *simulation* clock of the world
 // doing the work (netsim::EventLoop::now()), never the wall clock, so spans
 // of a deterministic replay are themselves deterministic and replayable.
-// Parent/child nesting is tracked per thread: a span opened while another
-// span is open on the same thread becomes its child, which gives each
-// analysis round a natural round -> replay -> ... tree on whichever worker
-// ran it. Completed spans land in a bounded global ring (oldest dropped).
+// Parent/child nesting follows the *ambient span id* (obs/prof/context.h):
+// a span opened while another span is open on the same thread becomes its
+// child, and pool submissions wrapped in LIBERATE_OBS_PROPAGATE carry the
+// submitting thread's ambient span across to the worker — so a wave chunk
+// executed by a stealing worker nests under the phase that submitted it,
+// never under an unrelated span that happens to be open on that worker.
+// Completed spans land in a bounded global ring (oldest dropped), and every
+// enter/exit additionally feeds the hierarchical profiler
+// (obs/prof/profiler.h) with the span's sim-clock and wall-clock deltas.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -18,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/prof/context.h"
+#include "obs/prof/profiler.h"
 #include "util/thread_pool.h"
 
 namespace liberate::obs {
@@ -86,18 +94,29 @@ using SimClockFn = std::function<std::uint64_t()>;
 class ScopedSpan {
  public:
   ScopedSpan(std::string name, SimClockFn clock)
-      : clock_(std::move(clock)), parent_(current()) {
+      : clock_(std::move(clock)), saved_span_id_(current_span_id()) {
     record_.id = SpanLog::instance().next_id();
-    record_.parent_id = parent_ != nullptr ? parent_->record_.id : 0;
+    record_.parent_id = saved_span_id_;
     record_.name = std::move(name);
     record_.start_us = clock_ ? clock_() : 0;
     record_.worker = ThreadPool::current_worker_index();
-    current() = this;
+    wall_start_ = std::chrono::steady_clock::now();
+    prof_ = prof::Profiler::instance().enter(record_.name);
+    current_span_id() = record_.id;
   }
 
   ~ScopedSpan() {
     record_.end_us = clock_ ? clock_() : record_.start_us;
-    current() = parent_;
+    const std::uint64_t sim_us = record_.end_us > record_.start_us
+                                     ? record_.end_us - record_.start_us
+                                     : 0;
+    const auto wall = std::chrono::steady_clock::now() - wall_start_;
+    prof::Profiler::instance().exit(
+        prof_, sim_us,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wall)
+                .count()));
+    current_span_id() = saved_span_id_;
     SpanLog::instance().record(std::move(record_));
   }
 
@@ -107,14 +126,10 @@ class ScopedSpan {
   std::uint64_t id() const { return record_.id; }
 
  private:
-  // The innermost open span on this thread (parent for new spans).
-  static ScopedSpan*& current() {
-    thread_local ScopedSpan* t_current = nullptr;
-    return t_current;
-  }
-
   SimClockFn clock_;
-  ScopedSpan* parent_;
+  std::uint64_t saved_span_id_;
+  std::chrono::steady_clock::time_point wall_start_;
+  prof::Profiler::Token prof_;
   SpanRecord record_;
 };
 

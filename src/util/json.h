@@ -85,6 +85,13 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
   // No std::size_t overload: on LP64 it IS std::uint64_t.
+  /// Splices pre-rendered JSON (a document produced by another JsonWriter)
+  /// in as one value. The caller owns its validity.
+  JsonWriter& raw_value(std::string_view json) {
+    separate();
+    out_ += json;
+    return *this;
+  }
   JsonWriter& null() {
     separate();
     out_ += "null";

@@ -120,5 +120,48 @@ TEST(Recharacterize, RuleChangeForcesFullAnalysisAndRefreshesCache) {
   EXPECT_EQ(refreshed->ranking.front().name, out.technique);
 }
 
+int ladder_sum(const ReadaptOutcome& out) {
+  int sum = 0;
+  for (const core::ReadaptStageCost& stage : out.ladder) sum += stage.rounds;
+  return sum;
+}
+
+TEST(Recharacterize, LadderStageRoundsSumToTotalOnEveryPath) {
+  Rig rig;
+
+  // Level 1 only: one still-working stage covering the whole cost.
+  ReadaptOutcome cheap =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, nullptr);
+  ASSERT_EQ(cheap.path, ReadaptPath::kStillWorking);
+  ASSERT_FALSE(cheap.ladder.empty());
+  EXPECT_EQ(cheap.ladder.front().stage, "still-working");
+  EXPECT_EQ(ladder_sum(cheap), cheap.report.total_rounds);
+
+  // Ranking walk: the normalizer countermeasure pushes past levels 1-3.
+  dpi::NormalizerConfig cfg;
+  cfg.reassemble_fragments = true;
+  rig.env->net.emplace_at<dpi::NormalizerElement>(0, cfg);
+  ReadaptOutcome walked =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, nullptr);
+  ASSERT_EQ(walked.path, ReadaptPath::kVerifiedCached);
+  EXPECT_EQ(ladder_sum(walked), walked.report.total_rounds);
+  ASSERT_GE(walked.ladder.size(), 4u);
+  EXPECT_EQ(walked.ladder.back().stage, "ranking-walk");
+
+  // Full analysis: rotate the rule so the fingerprint verification fails.
+  auto rules = rig.env->dpi->engine().rules();
+  for (auto& r : rules) {
+    if (r.name == "testbed-http-video") {
+      r.keywords = {"Content-Type: video/mp4"};
+    }
+  }
+  rig.env->dpi->engine().set_rules(rules);
+  ReadaptOutcome full =
+      incremental_readapt(rig.lib, rig.trace, rig.cached, nullptr);
+  ASSERT_EQ(full.path, ReadaptPath::kFullAnalysis);
+  EXPECT_EQ(ladder_sum(full), full.report.total_rounds);
+  EXPECT_EQ(full.ladder.back().stage, "full-analysis");
+}
+
 }  // namespace
 }  // namespace liberate::deploy

@@ -88,6 +88,34 @@ TEST(ObsNoop, ProvenanceRecorderNeverSeesLevelZeroTraffic) {
   EXPECT_EQ(snap.provenance.total_records, 0u);
 }
 
+TEST(ObsNoop, CostMacrosDoNotEvaluateArguments) {
+  int evals = 0;
+  LIBERATE_COST_TICK(kRounds, evals++);
+  LIBERATE_COST_TICK(kProbes, evals++);
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(ObsNoop, CostMacrosAreSingleStatements) {
+  bool flag = true;
+  if (flag)
+    LIBERATE_COST_TICK(kRounds, 1);
+  else
+    LIBERATE_COST_SCOPE(kDetection);
+  SUCCEED();
+}
+
+TEST(ObsNoop, PropagateIsIdentityAtLevelZero) {
+  // At level 0 LIBERATE_OBS_PROPAGATE must hand back the callable itself —
+  // no wrapper, no context capture. Variadic: lambdas containing commas
+  // must survive the expansion.
+  auto wrapped = LIBERATE_OBS_PROPAGATE([]() { return 42; });
+  EXPECT_EQ(wrapped(), 42);
+  auto with_commas = LIBERATE_OBS_PROPAGATE([a = 20, b = 22]() {
+    return a + b;
+  });
+  EXPECT_EQ(with_commas(), 42);
+}
+
 TEST(ObsNoop, ProvenanceMacrosAreSingleStatements) {
   bool flag = true;
   Bytes d{0x45};

@@ -1,0 +1,193 @@
+// ObsServer: render() dispatch, the loopback HTTP surface, its request
+// bounds, and scrape-under-load safety (the ObsServerConcurrency suite runs
+// under TSan in CI's stress job).
+#include "obs/serve/obs_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/prof/cost_ledger.h"
+#include "obs/span.h"
+
+namespace liberate::obs::serve {
+namespace {
+
+/// Sends a raw request to 127.0.0.1:port and returns the full response
+/// (empty on connect failure).
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return raw_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(ObsServerRender, DispatchesEveryEndpointWithoutSockets) {
+  std::string ct, body;
+  EXPECT_EQ(ObsServer::render("/healthz", &ct, &body), 200);
+  EXPECT_EQ(body, "ok\n");
+  EXPECT_EQ(ct, "text/plain");
+
+  EXPECT_EQ(ObsServer::render("/metrics", &ct, &body), 200);
+  EXPECT_EQ(ct, "text/plain; version=0.0.4");
+  EXPECT_NE(body.find("liberate_cost_total"), std::string::npos);
+  EXPECT_NE(body.find("liberate_profile_nodes"), std::string::npos);
+
+  EXPECT_EQ(ObsServer::render("/profile", &ct, &body), 200);
+  EXPECT_EQ(ObsServer::render("/profile.json", &ct, &body), 200);
+  EXPECT_EQ(ct, "application/json");
+  EXPECT_EQ(body.front(), '{');
+
+  EXPECT_EQ(ObsServer::render("/timeseries.json", &ct, &body), 200);
+  EXPECT_EQ(ct, "application/json");
+
+  EXPECT_EQ(ObsServer::render("/no-such-path", &ct, &body), 404);
+  // Query strings are stripped before dispatch.
+  EXPECT_EQ(ObsServer::render("/healthz?probe=1", &ct, &body), 200);
+}
+
+TEST(ObsServerHttp, ServesMetricsOverLoopback) {
+  ObsServer server;  // port 0 = ephemeral
+  ASSERT_TRUE(server.start()) << server.last_error();
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  {
+    CostLedger::PhaseScope scope(CostPhase::kFleet);
+    CostLedger::instance().tick(CostKind::kProbes, 1);
+  }
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("liberate_cost_total"), std::string::npos);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 3u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(ObsServerHttp, RejectsNonGetAndOversizedRequests) {
+  ObsServerOptions opts;
+  opts.max_request_bytes = 128;
+  ObsServer server(opts);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  const std::string post =
+      raw_request(server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos);
+
+  const std::string oversized = raw_request(
+      server.port(),
+      "GET /metrics HTTP/1.0\r\nX-Pad: " + std::string(512, 'a') + "\r\n\r\n");
+  EXPECT_NE(oversized.find("431 Request Header Fields Too Large"),
+            std::string::npos);
+
+  const std::string garbage = raw_request(server.port(), "\r\n\r\n");
+  EXPECT_NE(garbage.find("400 Bad Request"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(ObsServerHttp, FixedPortIsHonored) {
+  // Bind an ephemeral port first to learn a free one, then reuse it.
+  ObsServer probe;
+  ASSERT_TRUE(probe.start());
+  const std::uint16_t port = probe.port();
+  probe.stop();
+
+  ObsServerOptions opts;
+  opts.port = port;
+  ObsServer server(opts);
+  ASSERT_TRUE(server.start()) << server.last_error();
+  EXPECT_EQ(server.port(), port);
+  EXPECT_NE(http_get(port, "/healthz").find("200 OK"), std::string::npos);
+  server.stop();
+}
+
+// Named so CI's TSan stress regex picks it up: concurrent scrapers racing
+// live span/ledger writers must be clean.
+TEST(ObsServerConcurrency, ParallelScrapesWhileWritersTick) {
+  ObsServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&stop] {
+      std::uint64_t now = 0;
+      SimClockFn clock = [&now] { return now; };
+      while (!stop.load(std::memory_order_relaxed)) {
+        ScopedSpan span("server_test.writer", clock);
+        now += 1;
+        CostLedger::PhaseScope scope(CostPhase::kFleet);
+        CostLedger::instance().tick(CostKind::kMatchOps, 1);
+      }
+    });
+  }
+
+  static const char* kPaths[] = {"/metrics", "/profile", "/profile.json",
+                                 "/timeseries.json", "/healthz"};
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok{0};
+  for (int s = 0; s < 4; ++s) {
+    scrapers.emplace_back([&ok, port, s] {
+      for (int i = 0; i < 8; ++i) {
+        const std::string response = http_get(port, kPaths[(s + i) % 5]);
+        if (response.find("HTTP/1.0 200 OK") != std::string::npos) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : scrapers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+
+  EXPECT_EQ(ok.load(), 4 * 8);
+  EXPECT_GE(server.requests_served(), 32u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace liberate::obs::serve
