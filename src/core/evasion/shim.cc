@@ -51,29 +51,43 @@ std::string piece_detail(const PacketView& parent, const Bytes& piece) {
 }  // namespace
 #endif
 
-FlowShimState& EvasionShim::touch_flow(const netsim::FiveTuple& tuple) {
-  auto pos = flow_order_pos_.find(tuple);
-  if (pos != flow_order_pos_.end()) {
-    flow_order_.splice(flow_order_.begin(), flow_order_, pos->second);
-  } else {
-    flow_order_.push_front(tuple);
-    flow_order_pos_[tuple] = flow_order_.begin();
-    flows_[tuple];  // default-construct the state
-    enforce_flow_cap();
+FlowShimState& EvasionShim::touch_flow(const netsim::FiveTuple& tuple,
+                                       const PacketView& pkt) {
+  auto [value, inserted] = flows_.touch(tuple);
+  if (!inserted) return *value;
+  // Fresh state. A TCP flow whose first packet through the shim is not the
+  // SYN is being resumed mid-stream — its previous state was LRU-evicted
+  // (or the shim attached late). Give it retransmission semantics: the
+  // injection/mutation bookkeeping already happened in the flow's first
+  // life, so replaying it here would double-mutate the matching packet and
+  // attribute the old flow's traffic to whatever technique is active now.
+  if (pkt.is_tcp() && pkt.tcp && !pkt.tcp->syn()) {
+    value->resumed = true;
+    value->payload_packets_sent = 1;
+    value->match_packet_seen = true;
+    value->injected_before_payload = true;
+    value->injected_after_match = true;
   }
-  return flows_[tuple];
+  enforce_flow_cap();
+  // Eviction backward-shifts table slots, so the insert-time pointer may be
+  // stale (ASan-poisoned); re-resolve the entry.
+  return *flows_.find(tuple);
 }
 
 void EvasionShim::enforce_flow_cap() {
   if (max_flows_ == 0) return;
   while (flows_.size() > max_flows_) {
-    const netsim::FiveTuple victim = flow_order_.back();
-    flow_order_.pop_back();
-    flow_order_pos_.erase(victim);
-    flows_.erase(victim);
+    flows_.evict_lru();
     ++flows_evicted_;
     LIBERATE_COUNTER_ADD("core.shim.flow_evictions", 1);
   }
+}
+
+void EvasionShim::release_held_udp() {
+  if (!held_udp_packet_) return;
+  Bytes held = std::move(*held_udp_packet_);
+  held_udp_packet_.reset();
+  inner_.send(std::move(held));
 }
 
 void EvasionShim::emit(std::vector<TimedDatagram> datagrams) {
@@ -114,7 +128,15 @@ void EvasionShim::send(Bytes datagram) {
   }
 
   FiveTuple tuple = pkt.five_tuple();
-  FlowShimState& state = touch_flow(tuple);
+  // A bare RST (no payload) on an untracked flow carries nothing a
+  // technique can act on; creating state for it would let teardown traffic
+  // churn the LRU table and resurrect evicted flows as ghost entries.
+  if (pkt.is_tcp() && pkt.tcp && pkt.tcp->rst() && !has_payload &&
+      flows_.find(tuple) == nullptr) {
+    inner_.send(std::move(datagram));
+    return;
+  }
+  FlowShimState& state = touch_flow(tuple, pkt);
   state.tuple = tuple;
   state.udp = pkt.is_udp();
 

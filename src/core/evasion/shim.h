@@ -6,15 +6,22 @@
 // packets, recognizes the flow structure (handshake, first payload packet,
 // the packet carrying matching fields) and lets the active Technique inject
 // or rewrite packets.
+//
+// Per-flow state lives in an open-addressing LRU FlowTable (util/
+// flow_table.h): contiguous struct-of-arrays slots, tombstone-free
+// deletion, intrusive recency links — one shim comfortably tracks a
+// million concurrent flows. Evicting a flow forgets its "already mutated"
+// marks; if the same 5-tuple re-arrives mid-stream the shim recognizes the
+// missing handshake and gives it retransmission semantics (transform only,
+// no injection, no re-count) instead of double-mutating it.
 #pragma once
 
-#include <list>
-#include <map>
 #include <memory>
 #include <optional>
 
 #include "core/evasion/technique.h"
 #include "netsim/network.h"
+#include "util/flow_table.h"
 
 namespace liberate::core {
 
@@ -37,12 +44,16 @@ class EvasionShim : public netsim::NetworkPort {
   /// Swap the active technique at runtime (adaptation). The shim takes
   /// (shared) ownership so packets in flight keep a live technique even if
   /// the control plane drops its reference first — hot-swapping mid-flow
-  /// must never leave technique_ dangling.
+  /// must never leave technique_ dangling. A UDP first-payload packet held
+  /// by the outgoing technique is released first: held bytes belong to the
+  /// era that held them, not to the incoming technique's counters.
   void set_technique(std::shared_ptr<Technique> technique) {
+    release_held_udp();
     owned_technique_ = std::move(technique);
     technique_ = owned_technique_.get();
   }
   void clear_technique() {
+    release_held_udp();
     technique_ = nullptr;
     owned_technique_.reset();
   }
@@ -59,6 +70,12 @@ class EvasionShim : public netsim::NetworkPort {
   }
   std::size_t tracked_flows() const { return flows_.size(); }
   std::uint64_t flows_evicted() const { return flows_evicted_; }
+  /// Occupancy of the open-addressing flow table, for telemetry.
+  double flow_table_load() const { return flows_.load_factor(); }
+  std::size_t flow_table_capacity() const { return flows_.capacity(); }
+  /// Pre-size the flow table (e.g. a fleet shard that knows its wave
+  /// concurrency) so the hot path never pays a growth rehash.
+  void reserve_flows(std::size_t flows) { flows_.reserve(flows); }
 
   /// Localization support: force this TTL onto packets that carry matching
   /// fields (used by the TTL-probing phase, §5.2).
@@ -72,9 +89,14 @@ class EvasionShim : public netsim::NetworkPort {
  private:
   void emit(std::vector<TimedDatagram> datagrams);
   /// Look up (or create) the flow's state and mark it most recently used,
-  /// evicting the coldest flow when the table exceeds max_flows_.
-  FlowShimState& touch_flow(const netsim::FiveTuple& tuple);
+  /// evicting the coldest flow when the table exceeds max_flows_. The
+  /// returned reference is only valid until the next touch_flow call (open
+  /// addressing relocates entries; stale access is ASan-poisoned).
+  FlowShimState& touch_flow(const netsim::FiveTuple& tuple,
+                            const netsim::PacketView& pkt);
   void enforce_flow_cap();
+  /// Flush the UDP-swap hold slot down the wire (no-op when empty).
+  void release_held_udp();
 
   netsim::NetworkPort& inner_;
   Technique* technique_;
@@ -82,11 +104,7 @@ class EvasionShim : public netsim::NetworkPort {
   /// externally owned (replay-scoped construction).
   std::shared_ptr<Technique> owned_technique_;
   TechniqueContext context_;
-  std::map<netsim::FiveTuple, FlowShimState> flows_;
-  // LRU bookkeeping for flows_: front = most recently touched.
-  std::list<netsim::FiveTuple> flow_order_;
-  std::map<netsim::FiveTuple, std::list<netsim::FiveTuple>::iterator>
-      flow_order_pos_;
+  FlowTable<netsim::FiveTuple, FlowShimState, netsim::FiveTupleHash> flows_;
   std::size_t max_flows_ = kDefaultMaxFlows;
   std::uint64_t flows_evicted_ = 0;
   std::optional<Bytes> held_udp_packet_;

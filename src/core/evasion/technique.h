@@ -60,6 +60,13 @@ struct FlowShimState {
   bool injected_after_match = false;
   std::uint32_t last_seq_end = 0;  // next expected client seq (from traffic)
   bool udp = false;
+  /// The shim saw this TCP flow mid-stream (state created from a non-SYN
+  /// packet): either the LRU table evicted it and the same 5-tuple
+  /// re-arrived, or the shim attached after the handshake. Resumed flows get
+  /// retransmission semantics — matching packets are still transformed, but
+  /// nothing is injected and nothing is re-counted, so an evicted flow is
+  /// never double-mutated and never attributed to a later technique.
+  bool resumed = false;
 };
 
 /// One outgoing datagram, optionally delayed.

@@ -1,0 +1,89 @@
+#include "deploy/delta.h"
+
+namespace liberate::deploy {
+
+const char* shard_counter_name(ShardCounter c) {
+  switch (c) {
+    case ShardCounter::kFlows:
+      return "flows";
+    case ShardCounter::kDifferentiated:
+      return "differentiated";
+    case ShardCounter::kBlocked:
+      return "blocked";
+    case ShardCounter::kIncomplete:
+      return "incomplete";
+    case ShardCounter::kLatencyUsSum:
+      return "latency_us_sum";
+    case ShardCounter::kLatencySamples:
+      return "latency_samples";
+    case ShardCounter::kFaultsInjected:
+      return "faults_injected";
+    case ShardCounter::kFlowsEvicted:
+      return "flows_evicted";
+    case ShardCounter::kPacketsInjected:
+      return "packets_injected";
+    case ShardCounter::kPacketsRewritten:
+      return "packets_rewritten";
+    case ShardCounter::kCount:
+      break;
+  }
+  return "?";
+}
+
+FleetDelta DeltaPublisher::publish(std::uint32_t shard, std::uint32_t wave,
+                                   const ShardCounters& now) {
+  FleetDelta d;
+  d.shard = shard;
+  d.wave = wave;
+  for (std::size_t i = 0; i < kShardCounterCount; ++i) {
+    if (now.v[i] != last_.v[i]) {
+      d.changed.emplace_back(static_cast<std::uint8_t>(i), now.v[i]);
+    }
+  }
+  last_ = now;
+  return d;
+}
+
+WaveStats wave_stats_between(const ShardCounters& start,
+                             const ShardCounters& end) {
+  WaveStats s;
+  s.flows = static_cast<std::size_t>(end[ShardCounter::kFlows] -
+                                     start[ShardCounter::kFlows]);
+  s.differentiated =
+      static_cast<std::size_t>(end[ShardCounter::kDifferentiated] -
+                               start[ShardCounter::kDifferentiated]);
+  s.blocked = static_cast<std::size_t>(end[ShardCounter::kBlocked] -
+                                       start[ShardCounter::kBlocked]);
+  s.incomplete = static_cast<std::size_t>(end[ShardCounter::kIncomplete] -
+                                          start[ShardCounter::kIncomplete]);
+  s.latency_us_sum =
+      end[ShardCounter::kLatencyUsSum] - start[ShardCounter::kLatencyUsSum];
+  s.latency_samples =
+      static_cast<std::size_t>(end[ShardCounter::kLatencySamples] -
+                               start[ShardCounter::kLatencySamples]);
+  return s;
+}
+
+bool DeltaMerger::apply(const FleetDelta& delta, WaveStats* out) {
+  if (delta.shard >= shards_) return false;
+  ShardCounters& cur = cumulative_[delta.shard];
+  // Validate before mutating: ascending slot order, known slots, monotone
+  // cumulative values.
+  int last_slot = -1;
+  for (const auto& [slot, value] : delta.changed) {
+    if (slot >= kShardCounterCount) return false;
+    if (static_cast<int>(slot) <= last_slot) return false;
+    if (value < cur.v[slot]) return false;
+    last_slot = static_cast<int>(slot);
+  }
+  wave_start_[delta.shard] = cur;
+  for (const auto& [slot, value] : delta.changed) cur.v[slot] = value;
+  ++deltas_applied_;
+  entries_shipped_ += delta.changed.size();
+  if (out != nullptr) {
+    *out = wave_stats_between(wave_start_[delta.shard], cur);
+  }
+  return true;
+}
+
+}  // namespace liberate::deploy

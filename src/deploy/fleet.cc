@@ -4,6 +4,8 @@
 #include <future>
 #include <map>
 
+#include "deploy/flow_driver.h"
+
 #include "dpi/profiles.h"
 #include "obs/anomaly.h"
 #include "obs/obs.h"
@@ -44,6 +46,16 @@ std::uint64_t shard_seed(std::uint64_t fleet_seed, std::size_t index,
   return mix(fleet_seed ^ mix(static_cast<std::uint64_t>(index + 1)) ^ salt);
 }
 
+/// Shard-affine admission: a flow's shard is a pure hash of its global flow
+/// id, fixed at admission. The flow never migrates, so all of its per-flow
+/// state (shim entry, classifier entry, verdict) lives in exactly one
+/// shard's world — and the assignment is identical at any worker count.
+std::size_t admit_shard(std::uint64_t fleet_seed, std::uint64_t global_flow,
+                        std::size_t shards) {
+  return static_cast<std::size_t>(mix(global_flow ^ mix(fleet_seed ^ 0xADF17ull)) %
+                                  shards);
+}
+
 Bytes concat_payload(const ApplicationTrace& trace, Sender sender) {
   Bytes out;
   for (const auto& m : trace.messages) {
@@ -65,11 +77,22 @@ struct FleetEngine::Shard {
   std::unique_ptr<core::EvasionShim> shim;
   std::unique_ptr<Host> client;
   std::unique_ptr<Host> server;
+  /// Packet-level mode replaces the endpoint hosts with the crafted-packet
+  /// driver (created lazily at the first run(), when the server port is
+  /// known).
+  std::unique_ptr<PacketFlowDriver> driver;
   netsim::FaultyLink* faulty = nullptr;
   /// Per-shard client-port base: shards are separate networks, but keeping
   /// tuples globally unique keeps the provenance ledger unambiguous.
   std::uint16_t port_base = 0;
   std::uint64_t flow_serial = 0;
+
+  /// Cumulative (monotone) counter block this shard publishes at each wave
+  /// boundary, and the diff state for sparse publishes. Only ever touched
+  /// from the shard's wave (worker thread) — the control thread sees the
+  /// published FleetDelta.
+  ShardCounters counters;
+  DeltaPublisher publisher;
 
   std::uint64_t faults_injected() const {
     if (faulty == nullptr) return 0;
@@ -96,12 +119,14 @@ FleetEngine::FleetEngine(FleetOptions options) : options_(std::move(options)) {
     shard->shim = std::make_unique<core::EvasionShim>(
         shard->env->net.client_port(), nullptr, core::TechniqueContext{});
     shard->shim->set_max_flows(options_.max_flows_per_shim);
-    shard->client = std::make_unique<Host>(*shard->shim, kClientIp,
-                                           OsProfile::linux_profile());
-    shard->server = std::make_unique<Host>(shard->env->net.server_port(),
-                                           kServerIp, shard->env->server_os);
-    shard->env->net.attach_client(shard->client.get());
-    shard->env->net.attach_server(shard->server.get());
+    if (options_.flow_mode == FlowMode::kFullStack) {
+      shard->client = std::make_unique<Host>(*shard->shim, kClientIp,
+                                             OsProfile::linux_profile());
+      shard->server = std::make_unique<Host>(shard->env->net.server_port(),
+                                             kServerIp, shard->env->server_os);
+      shard->env->net.attach_client(shard->client.get());
+      shard->env->net.attach_server(shard->server.get());
+    }
     shard->port_base = static_cast<std::uint16_t>(30001 + i * 2048);
     shards_.push_back(std::move(shard));
   }
@@ -124,12 +149,66 @@ void FleetEngine::swap_technique(const std::string& name,
   }
 }
 
-WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
-                                std::size_t wave) {
+FleetDelta FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
+                                 std::size_t wave, std::size_t admitted,
+                                 BytesView packet_payload) {
   // Everything a shard wave spends (match ops in its DPI engine, packets
   // its shim mutates) attributes to the fleet phase, on any thread.
   LIBERATE_COST_SCOPE(kFleet);
   LIBERATE_PROV_SCOPE(shard.seed);
+
+  WaveStats stats;
+  if (options_.flow_mode == FlowMode::kPacketLevel) {
+    stats = shard.driver->run_wave(
+        admitted, packet_payload, BytesView(options_.packet_alt_payload),
+        options_.packet_alt_every);
+  } else {
+    stats = run_wave_full_stack(shard, trace, admitted);
+  }
+
+  // Fold the wave into the shard's cumulative publish block. The last four
+  // slots are already-cumulative shard-state reads; the WaveStats slots
+  // accumulate. Both stay monotone, which the merger verifies.
+  shard.counters[ShardCounter::kFlows] += stats.flows;
+  shard.counters[ShardCounter::kDifferentiated] += stats.differentiated;
+  shard.counters[ShardCounter::kBlocked] += stats.blocked;
+  shard.counters[ShardCounter::kIncomplete] += stats.incomplete;
+  shard.counters[ShardCounter::kLatencyUsSum] += stats.latency_us_sum;
+  shard.counters[ShardCounter::kLatencySamples] += stats.latency_samples;
+  shard.counters[ShardCounter::kFaultsInjected] = shard.faults_injected();
+  shard.counters[ShardCounter::kFlowsEvicted] = shard.shim->flows_evicted();
+  shard.counters[ShardCounter::kPacketsInjected] =
+      shard.shim->packets_injected();
+  shard.counters[ShardCounter::kPacketsRewritten] =
+      shard.shim->packets_rewritten();
+
+  LIBERATE_OBS_EVENT(
+      static_cast<std::uint64_t>(shard.env->loop.now()), "deploy", "wave_done",
+      obs::fv("shard", static_cast<std::uint64_t>(shard.index)),
+      obs::fv("wave", static_cast<std::uint64_t>(wave)),
+      obs::fv("flows", static_cast<std::uint64_t>(stats.flows)),
+      obs::fv("differentiated",
+              static_cast<std::uint64_t>(stats.differentiated)));
+
+  if (options_.merge_mode == MergeMode::kFull) {
+    FleetDelta dense;
+    dense.shard = static_cast<std::uint32_t>(shard.index);
+    dense.wave = static_cast<std::uint32_t>(wave);
+    dense.changed.reserve(kShardCounterCount);
+    for (std::size_t slot = 0; slot < kShardCounterCount; ++slot) {
+      dense.changed.emplace_back(static_cast<std::uint8_t>(slot),
+                                 shard.counters.v[slot]);
+    }
+    return dense;
+  }
+  return shard.publisher.publish(static_cast<std::uint32_t>(shard.index),
+                                 static_cast<std::uint32_t>(wave),
+                                 shard.counters);
+}
+
+WaveStats FleetEngine::run_wave_full_stack(Shard& shard,
+                                           const ApplicationTrace& trace,
+                                           std::size_t admitted) {
   netsim::EventLoop& loop = shard.env->loop;
 
   struct FlowSlot {
@@ -157,7 +236,7 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
   wd->server_payload = concat_payload(trace, Sender::kServer);
   const std::size_t client_total = wd->client_payload.size();
   const std::size_t server_total = wd->server_payload.size();
-  const std::size_t flows = options_.flows_per_wave;
+  const std::size_t flows = admitted;
   wd->slots.resize(flows);
   const std::uint16_t wave_base = static_cast<std::uint16_t>(
       shard.port_base + (shard.flow_serial % 2000));
@@ -294,13 +373,6 @@ WaveStats FleetEngine::run_wave(Shard& shard, const ApplicationTrace& trace,
   LIBERATE_COUNTER_ADD("deploy.fleet.flows", stats.flows);
   LIBERATE_COUNTER_ADD("deploy.fleet.flows_differentiated",
                        stats.differentiated);
-  LIBERATE_OBS_EVENT(static_cast<std::uint64_t>(loop.now()), "deploy",
-                     "wave_done",
-                     obs::fv("shard", static_cast<std::uint64_t>(shard.index)),
-                     obs::fv("wave", static_cast<std::uint64_t>(wave)),
-                     obs::fv("flows", static_cast<std::uint64_t>(stats.flows)),
-                     obs::fv("differentiated",
-                             static_cast<std::uint64_t>(stats.differentiated)));
   return stats;
 }
 
@@ -353,10 +425,32 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
   obs::AnomalyConfig anomaly_cfg;
   anomaly_cfg.min_deviation = 0.05;
   std::map<std::string, obs::AnomalyDetector> detectors;
-  // Per-shard cumulative counters, differenced into per-wave deltas for the
-  // time-series store.
-  std::vector<std::uint64_t> prev_faults(shards_.size(), 0);
-  std::vector<std::uint64_t> prev_evicted(shards_.size(), 0);
+
+  // Packet-level mode: build each shard's crafted-flow driver now that the
+  // trace (and so the server port) is known. Client address blocks are
+  // disjoint per shard, tuples never repeat across waves.
+  Bytes packet_payload;
+  if (options_.flow_mode == FlowMode::kPacketLevel) {
+    packet_payload = concat_payload(trace, Sender::kClient);
+    for (auto& shard : shards_) {
+      if (shard->driver != nullptr) continue;
+      PacketFlowConfig cfg;
+      cfg.client_ip_base =
+          0x0a000000u + static_cast<std::uint32_t>(shard->index + 1) * 0x10000u;
+      cfg.server_ip = kServerIp;
+      cfg.server_port = trace.server_port;
+      cfg.segment_bytes = options_.packet_segment_bytes;
+      shard->driver = std::make_unique<PacketFlowDriver>(
+          *shard->env, *shard->shim, cfg);
+      shard->shim->reserve_flows(options_.flows_per_wave * 2);
+    }
+  }
+
+  // The merge point. Both merge modes flow through it: kDelta applies the
+  // sparse publishes, kFull the dense blocks — reconstructed wave stats are
+  // byte-identical by construction, which fleet_test pins.
+  DeltaMerger merger(shards_.size());
+  const std::size_t wave_total = options_.flows_per_wave * shards_.size();
 
   for (std::size_t wave = 0; wave < options_.waves; ++wave) {
     if (wave == options_.change_at_wave && options_.classifier_change) {
@@ -366,22 +460,45 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
       options_.classifier_change(*probe_env_);
     }
 
-    std::vector<WaveStats> per_shard(shards_.size());
+    // Shard-affine admission: hash every global flow id of this wave to its
+    // shard on the control thread, so the assignment (and each shard's
+    // count) is a pure function of (seed, wave) at any worker count.
+    std::vector<std::size_t> admitted(shards_.size(), 0);
+    for (std::size_t k = 0; k < wave_total; ++k) {
+      const std::uint64_t global_flow =
+          static_cast<std::uint64_t>(wave) * wave_total + k;
+      ++admitted[admit_shard(options_.seed, global_flow, shards_.size())];
+    }
+
+    std::vector<FleetDelta> published(shards_.size());
+    const BytesView packet_payload_view(packet_payload);
     if (pool != nullptr) {
-      std::vector<std::future<WaveStats>> futures;
+      std::vector<std::future<FleetDelta>> futures;
       futures.reserve(shards_.size());
       for (auto& shard : shards_) {
         Shard* s = shard.get();
-        futures.push_back(pool->submit(LIBERATE_OBS_PROPAGATE(
-            [this, s, &trace, wave] { return run_wave(*s, trace, wave); })));
+        const std::size_t n = admitted[s->index];
+        futures.push_back(pool->submit(
+            LIBERATE_OBS_PROPAGATE([this, s, &trace, wave, n,
+                                    packet_payload_view] {
+              return run_wave(*s, trace, wave, n, packet_payload_view);
+            })));
       }
       for (std::size_t i = 0; i < futures.size(); ++i) {
-        per_shard[i] = futures[i].get();  // shard order: deterministic merge
+        published[i] = futures[i].get();  // shard order: deterministic merge
       }
     } else {
       for (std::size_t i = 0; i < shards_.size(); ++i) {
-        per_shard[i] = run_wave(*shards_[i], trace, wave);
+        published[i] = run_wave(*shards_[i], trace, wave, admitted[i],
+                                packet_payload_view);
       }
+    }
+
+    // Fold the publishes in shard order; each apply reconstructs that
+    // shard's per-wave stats exactly from the cumulative stream.
+    std::vector<WaveStats> per_shard(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      merger.apply(published[i], &per_shard[i]);
     }
 
     FleetWaveReport wr;
@@ -405,13 +522,17 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
         LIBERATE_TS_SAMPLE("fleet.incomplete_rate", i, ts_us,
                            s.incomplete_rate());
         LIBERATE_TS_SAMPLE("fleet.latency_us", i, ts_us, s.mean_latency_us());
-        const std::uint64_t faults = shards_[i]->faults_injected();
-        const std::uint64_t evicted = shards_[i]->shim->flows_evicted();
-        LIBERATE_TS_SAMPLE("fleet.faults", i, ts_us, faults - prev_faults[i]);
+        // Per-wave fault/eviction movement, straight off the merged delta
+        // stream (the merger keeps each shard's previous publish).
+        LIBERATE_TS_SAMPLE(
+            "fleet.faults", i, ts_us,
+            merger.wave_delta(i, ShardCounter::kFaultsInjected));
         LIBERATE_TS_SAMPLE("fleet.evicted", i, ts_us,
-                           evicted - prev_evicted[i]);
-        prev_faults[i] = faults;
-        prev_evicted[i] = evicted;
+                           merger.wave_delta(i, ShardCounter::kFlowsEvicted));
+        // Open-addressing occupancy of the shard's shim table. Read on the
+        // control thread at the wave boundary (shard loops are idle).
+        LIBERATE_TS_SAMPLE("fleet.flow_table_load", i, ts_us,
+                           shards_[i]->shim->flow_table_load());
       }
       LIBERATE_TS_SAMPLE("fleet.diff_rate", -1, ts_us,
                          wr.stats.differentiated_rate());
@@ -524,10 +645,15 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
 
   report.technique_final = technique;
   report.transitions = policy.transitions();
-  for (const auto& shard : shards_) {
-    report.flows_evicted += shard->shim->flows_evicted();
-    report.faults_injected += shard->faults_injected();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // Totals come off the merged delta stream — the same numbers the shards
+    // hold, but read from the control plane's reconstruction.
+    report.flows_evicted += merger.total(i, ShardCounter::kFlowsEvicted);
+    report.faults_injected += merger.total(i, ShardCounter::kFaultsInjected);
+    report.flows_resident += shards_[i]->shim->tracked_flows();
   }
+  report.delta_entries_shipped = merger.entries_shipped();
+  report.delta_entries_full = merger.entries_full_equivalent();
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_METRICS
   // Export only the deterministic "fleet." series: everything under that
   // prefix is sampled on wave boundaries from merged-in-shard-order stats,

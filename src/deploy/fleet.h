@@ -27,15 +27,40 @@
 #include <string>
 #include <vector>
 
+#include "deploy/delta.h"
 #include "deploy/drift.h"
 #include "deploy/fingerprint.h"
 #include "deploy/policy.h"
 #include "deploy/recharacterize.h"
 #include "netsim/faulty.h"
+#include "util/bytes.h"
 
 namespace liberate::deploy {
 
 struct FleetWaveReport;
+
+/// How shard wave results reach the control thread's merge point.
+enum class MergeMode {
+  /// Each shard publishes a sparse snapshot delta (only the cumulative
+  /// counters that moved); the control thread reconstructs per-wave stats
+  /// with a DeltaMerger. The production path.
+  kDelta,
+  /// Each shard ships its full cumulative counter block every wave. Same
+  /// reconstruction, dense payload — the differential baseline the delta
+  /// path must match byte-for-byte.
+  kFull,
+};
+
+/// How a shard turns a wave of flows into packets.
+enum class FlowMode {
+  /// One stack::TcpConnection per flow (full endpoint fidelity). Right up
+  /// to thousands of concurrent flows.
+  kFullStack,
+  /// Crafted SYN/payload/RST datagrams through the shim (flow_driver.h).
+  /// Synthetic endpoints, real middlebox path — scales to a million
+  /// concurrent flows per process.
+  kPacketLevel,
+};
 
 struct FleetOptions {
   /// dpi profile name (make_environment) used for every shard and the probe
@@ -44,8 +69,21 @@ struct FleetOptions {
   std::uint64_t seed = 1;
 
   std::size_t shards = 4;
-  std::size_t flows_per_wave = 8;  // per shard
+  /// Mean flows per shard per wave. The wave's total (flows_per_wave *
+  /// shards) is admitted shard-affinely: each global flow id hashes to one
+  /// shard at admission and never migrates, so per-shard counts vary around
+  /// the mean (and can be zero) while the fleet total is exact.
+  std::size_t flows_per_wave = 8;
   std::size_t waves = 6;
+
+  MergeMode merge_mode = MergeMode::kDelta;
+  FlowMode flow_mode = FlowMode::kFullStack;
+  /// Packet-level mode: max payload bytes per crafted segment.
+  std::size_t packet_segment_bytes = 512;
+  /// Packet-level mode: every Nth flow uploads this payload instead of the
+  /// trace's (mixed matching / non-matching traffic). 0 = all trace flows.
+  Bytes packet_alt_payload;
+  std::size_t packet_alt_every = 0;
   /// Thread-pool width for the per-shard wave fan-out; 0 = run shards
   /// serially on the calling thread.
   std::size_t workers = 0;
@@ -135,6 +173,18 @@ struct FleetReport {
   std::uint64_t faults_injected = 0;
   std::uint64_t flows_evicted = 0;
 
+  /// Flows still resident in the shards' shim flow tables when the run
+  /// ended — the "concurrent flows" a scaling soak actually held. (Also
+  /// diagnostic-only, for the same summary() byte-identity reason.)
+  std::uint64_t flows_resident = 0;
+
+  /// Snapshot-delta accounting: counter entries actually shipped to the
+  /// merge point vs. what dense full-snapshot merging would have shipped.
+  /// (Diagnostic only — deliberately not part of summary(), which must be
+  /// byte-identical across merge modes.)
+  std::uint64_t delta_entries_shipped = 0;
+  std::uint64_t delta_entries_full = 0;
+
   /// The telemetry hub's "fleet."-prefixed time series as JSON (per-shard
   /// rates, latency, fault/eviction deltas — all sim-clock sampled, so the
   /// document is byte-identical across worker counts and match backends).
@@ -163,8 +213,15 @@ class FleetEngine {
  private:
   struct Shard;
 
-  WaveStats run_wave(Shard& shard, const trace::ApplicationTrace& trace,
-                     std::size_t wave);
+  /// Drive one shard's wave (`admitted` flows) and return its wave-boundary
+  /// counter publish: sparse in kDelta mode, the full block in kFull mode.
+  /// Runs on a worker thread; touches only the shard's own state.
+  FleetDelta run_wave(Shard& shard, const trace::ApplicationTrace& trace,
+                      std::size_t wave, std::size_t admitted,
+                      BytesView packet_payload);
+  WaveStats run_wave_full_stack(Shard& shard,
+                                const trace::ApplicationTrace& trace,
+                                std::size_t admitted);
   void swap_technique(const std::string& name,
                       const CachedCharacterization& cached);
 

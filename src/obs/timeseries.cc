@@ -1,5 +1,7 @@
 #include "obs/timeseries.h"
 
+#include <cmath>
+
 #include "obs/metrics.h"
 #include "util/json.h"
 
@@ -152,6 +154,9 @@ void TimeSeriesStore::reset() {
 
 std::string timeseries_to_json(const TimeSeriesSnapshot& snap,
                                double ewma_alpha) {
+  // Degenerate producers (zero-flow shards, empty waves) must surface as 0,
+  // not NaN/null: consumers difference and plot these series blindly.
+  auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
   JsonWriter w;
   w.begin_object();
   w.key("series").begin_array();
@@ -163,13 +168,13 @@ std::string timeseries_to_json(const TimeSeriesSnapshot& snap,
     for (const SeriesPoint& p : s.points) {
       w.begin_array();
       w.value(p.t_us);
-      w.value(p.value);
+      w.value(finite(p.value));
       w.end_array();
     }
     w.end_array();
     w.key("dropped").value(s.dropped);
     w.key("total").value(s.total);
-    w.key("ewma").value(series_ewma(s.points, ewma_alpha));
+    w.key("ewma").value(finite(series_ewma(s.points, ewma_alpha)));
     w.end_object();
   }
   w.end_array();

@@ -1,0 +1,86 @@
+// soa.h — struct-of-arrays column storage for hot-loop state.
+//
+// A wave loop that walks an array-of-structs drags every field of every
+// entry through the cache even when it only reads one flag per flow. At a
+// million flows that is the difference between streaming a few MB of the
+// column it needs and thrashing hundreds of MB of slots it doesn't.
+// SoaColumns keeps one std::vector per field, always resized in lockstep,
+// so loops index exactly the columns they touch and the prefetcher sees
+// contiguous runs.
+//
+// Used by util/flow_table.h (key / value / metadata / LRU-link columns) and
+// the deploy packet-level wave driver (per-flow timestamps, byte counts,
+// verdict flags).
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace liberate {
+
+template <typename... Cols>
+class SoaColumns {
+ public:
+  static constexpr std::size_t kColumns = sizeof...(Cols);
+
+  SoaColumns() = default;
+  explicit SoaColumns(std::size_t n) { resize(n); }
+
+  /// All columns share one length; resize keeps them in lockstep
+  /// (value-initializing new rows).
+  void resize(std::size_t n) {
+    std::apply([n](auto&... col) { (col.resize(n), ...); }, cols_);
+    size_ = n;
+  }
+  void reserve(std::size_t n) {
+    std::apply([n](auto&... col) { (col.reserve(n), ...); }, cols_);
+  }
+  void clear() {
+    std::apply([](auto&... col) { (col.clear(), ...); }, cols_);
+    size_ = 0;
+  }
+  /// Append one row, one argument per column.
+  void push_back(Cols... row) {
+    std::apply(
+        [&](auto&... col) {
+          (col.push_back(std::move(row)), ...);  // fold pairs col_i, row_i
+        },
+        cols_);
+    ++size_;
+  }
+  void swap(SoaColumns& other) noexcept {
+    cols_.swap(other.cols_);
+    std::swap(size_, other.size_);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The I-th column as a plain vector — the hot loop's view.
+  template <std::size_t I>
+  auto& col() {
+    return std::get<I>(cols_);
+  }
+  template <std::size_t I>
+  const auto& col() const {
+    return std::get<I>(cols_);
+  }
+
+  /// Row i of column I.
+  template <std::size_t I>
+  auto& at(std::size_t i) {
+    return std::get<I>(cols_)[i];
+  }
+  template <std::size_t I>
+  const auto& at(std::size_t i) const {
+    return std::get<I>(cols_)[i];
+  }
+
+ private:
+  std::tuple<std::vector<Cols>...> cols_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace liberate

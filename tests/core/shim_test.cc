@@ -303,5 +303,123 @@ TEST(EvasionShim, FlowChurnBeyondCapEvictsLru) {
   EXPECT_EQ(rig.shim->packets_injected(), 32u);  // one injection per flow
 }
 
+// Eviction re-arrival regression: a flow whose shim state was LRU-evicted
+// keeps sending. The re-arriving mid-stream packets must get fresh state
+// with retransmission semantics — mutated-flow bookkeeping happened in the
+// flow's first life, so replaying injections here would double-mutate the
+// flow and double-count the technique's work.
+TEST(EvasionShim, EvictedFlowReArrivalIsNotMutatedTwice) {
+  InertInsertion inert(InertVariant::kWrongTcpChecksum);
+  Rig rig(&inert, ctx_with_snippet("Host: www.primevideo.com"));
+  rig.shim->set_max_flows(4);
+  std::string got;
+  rig.server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+
+  // Flow A completes its request: exactly one injection.
+  auto& a = rig.client->tcp_connect(ip_addr("10.9.9.9"), 80, 43000);
+  a.on_established([&a] { a.send(std::string_view(kRequest)); });
+  rig.loop.run_until_idle();
+  EXPECT_EQ(rig.shim->packets_injected(), 1u);
+
+  // Churn 8 more flows through the 4-entry table: A's state is evicted.
+  for (int i = 1; i <= 8; ++i) {
+    auto& conn = rig.client->tcp_connect(
+        ip_addr("10.9.9.9"), 80, static_cast<std::uint16_t>(43000 + i));
+    conn.on_established([&conn] { conn.send(std::string_view(kRequest)); });
+    rig.loop.run_until_idle();
+  }
+  EXPECT_EQ(rig.shim->packets_injected(), 9u);
+  EXPECT_GE(rig.shim->flows_evicted(), 5u);
+
+  // A re-arrives mid-stream with another matching payload. No SYN, so the
+  // shim recognizes the resumed flow: transform-only, no fresh injection.
+  const std::string tail = "tail: Host: www.primevideo.com\r\n";
+  a.send(std::string_view(tail));
+  rig.loop.run_until_idle();
+  EXPECT_EQ(rig.shim->packets_injected(), 9u);
+  EXPECT_EQ(got.size(), 9 * kRequest.size() + tail.size());
+
+  // Exact-repro check on the wire: flow A (src port 43000) saw exactly one
+  // crafted packet, from its first life.
+  std::size_t crafted_for_a = 0;
+  for (const auto& seen : rig.tap->seen()) {
+    auto p = parse_packet(seen.datagram).value();
+    if (p.ip.identification == kCraftedIpId && p.tcp &&
+        p.tcp->src_port == 43000) {
+      ++crafted_for_a;
+    }
+  }
+  EXPECT_EQ(crafted_for_a, 1u);
+}
+
+// Hot-swap during eviction churn: swapping the technique while the table
+// is churning at max_flows must not attribute evicted flows' traffic to the
+// new technique's counters. 16 flows interleave through a 4-entry table; the
+// swap lands in the middle; the first cohort's resumed packets afterwards
+// are transform-only under the new technique.
+TEST(EvasionShim, HotSwapDuringEvictionChurnDoesNotPolluteCounters) {
+  EventLoop loop;
+  Network net{loop};
+  net.emplace<TapElement>("wire");
+  auto shim = std::make_unique<EvasionShim>(
+      net.client_port(), nullptr,
+      ctx_with_snippet("Host: www.primevideo.com"));
+  shim->set_max_flows(4);
+  shim->set_technique(
+      std::make_unique<InertInsertion>(InertVariant::kWrongTcpChecksum));
+  Host client(*shim, ip_addr("10.0.0.1"), OsProfile::linux_profile());
+  Host server(net.server_port(), ip_addr("10.9.9.9"),
+              OsProfile::linux_profile());
+  net.attach_client(&client);
+  net.attach_server(&server);
+
+  std::string got;
+  server.tcp_listen(80, [&](TcpConnection& c) {
+    c.on_data([&](BytesView d) { got += to_string(d); });
+  });
+
+  // First cohort: 8 flows under InertInsertion — one injection each, and
+  // all but the 4 hottest evicted by the churn.
+  std::vector<TcpConnection*> first_cohort;
+  for (int i = 0; i < 8; ++i) {
+    auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80,
+                                    static_cast<std::uint16_t>(44000 + i));
+    conn.on_established([&conn] { conn.send(std::string_view(kRequest)); });
+    first_cohort.push_back(&conn);
+    loop.run_until_idle();
+  }
+  EXPECT_EQ(shim->packets_injected(), 8u);
+  EXPECT_EQ(shim->tracked_flows(), 4u);
+
+  // Swap at max_flows_: the incoming technique starts with clean counters
+  // semantics — nothing the evicted flows do later may count against it.
+  shim->set_technique(std::make_unique<TcpSegmentSplit>(/*reversed=*/false));
+
+  // Second cohort: 8 flows under the split — these DO count.
+  for (int i = 8; i < 16; ++i) {
+    auto& conn = client.tcp_connect(ip_addr("10.9.9.9"), 80,
+                                    static_cast<std::uint16_t>(44000 + i));
+    conn.on_established([&conn] { conn.send(std::string_view(kRequest)); });
+    loop.run_until_idle();
+  }
+  const std::uint64_t rewritten_after_second = shim->packets_rewritten();
+  EXPECT_GT(rewritten_after_second, 0u);
+
+  // Every first-cohort flow re-arrives mid-stream (all were evicted during
+  // the second cohort's churn). Their matching tails are transformed so the
+  // stream still evades, but neither counter moves: the traffic belongs to
+  // flows mutated in a previous technique era.
+  const std::string tail = "tail: Host: www.primevideo.com\r\n";
+  for (TcpConnection* conn : first_cohort) {
+    conn->send(std::string_view(tail));
+    loop.run_until_idle();
+  }
+  EXPECT_EQ(shim->packets_injected(), 8u);
+  EXPECT_EQ(shim->packets_rewritten(), rewritten_after_second);
+  EXPECT_EQ(got.size(), 16 * kRequest.size() + 8 * tail.size());
+}
+
 }  // namespace
 }  // namespace liberate::core

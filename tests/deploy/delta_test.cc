@@ -1,0 +1,155 @@
+// Snapshot-delta merge layer: sparse publishes must reconstruct per-wave
+// stats exactly (the fleet's byte-identity contract rests on this), and the
+// merger must reject malformed delta streams without mutating state.
+#include "deploy/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace liberate::deploy {
+namespace {
+
+ShardCounters counters_at(std::uint64_t flows, std::uint64_t diff,
+                          std::uint64_t lat_sum, std::uint64_t lat_n) {
+  ShardCounters c;
+  c[ShardCounter::kFlows] = flows;
+  c[ShardCounter::kDifferentiated] = diff;
+  c[ShardCounter::kLatencyUsSum] = lat_sum;
+  c[ShardCounter::kLatencySamples] = lat_n;
+  return c;
+}
+
+TEST(FleetDelta, PublisherEmitsOnlyChangedSlots) {
+  DeltaPublisher pub;
+  FleetDelta first = pub.publish(0, 0, counters_at(8, 2, 1000, 6));
+  EXPECT_EQ(first.changed.size(), 4u);  // four slots moved from zero
+
+  // Same counters again: nothing moved, nothing shipped.
+  FleetDelta second = pub.publish(0, 1, counters_at(8, 2, 1000, 6));
+  EXPECT_TRUE(second.changed.empty());
+
+  // One slot moves -> one entry, ascending slot order preserved.
+  FleetDelta third = pub.publish(0, 2, counters_at(16, 2, 1000, 6));
+  ASSERT_EQ(third.changed.size(), 1u);
+  EXPECT_EQ(third.changed[0].first,
+            static_cast<std::uint8_t>(ShardCounter::kFlows));
+  EXPECT_EQ(third.changed[0].second, 16u);
+}
+
+TEST(FleetDelta, SparseStreamReconstructsWaveStatsExactly) {
+  // A healthy-fleet counter walk: flows and latency move every wave, the
+  // failure slots only sometimes. The sparse stream must reconstruct the
+  // same per-wave WaveStats a dense merge would.
+  DeltaPublisher pub;
+  DeltaMerger sparse(1);
+  DeltaMerger dense(1);
+
+  ShardCounters cum;
+  std::vector<ShardCounters> history{cum};
+  for (std::uint32_t wave = 0; wave < 10; ++wave) {
+    cum[ShardCounter::kFlows] += 8;
+    cum[ShardCounter::kLatencyUsSum] += 100000 + wave * 7;
+    cum[ShardCounter::kLatencySamples] += 8;
+    if (wave % 3 == 0) cum[ShardCounter::kDifferentiated] += 2;
+    if (wave % 4 == 1) cum[ShardCounter::kBlocked] += 1;
+
+    WaveStats from_sparse;
+    ASSERT_TRUE(sparse.apply(pub.publish(0, wave, cum), &from_sparse));
+
+    FleetDelta full;
+    full.shard = 0;
+    full.wave = wave;
+    for (std::size_t s = 0; s < kShardCounterCount; ++s) {
+      full.changed.emplace_back(static_cast<std::uint8_t>(s), cum.v[s]);
+    }
+    WaveStats from_dense;
+    ASSERT_TRUE(dense.apply(full, &from_dense));
+
+    const WaveStats expect = wave_stats_between(history.back(), cum);
+    EXPECT_EQ(from_sparse.flows, expect.flows);
+    EXPECT_EQ(from_sparse.differentiated, expect.differentiated);
+    EXPECT_EQ(from_sparse.blocked, expect.blocked);
+    EXPECT_EQ(from_sparse.incomplete, expect.incomplete);
+    EXPECT_EQ(from_sparse.latency_us_sum, expect.latency_us_sum);
+    EXPECT_EQ(from_sparse.latency_samples, expect.latency_samples);
+    EXPECT_EQ(from_dense.flows, from_sparse.flows);
+    EXPECT_EQ(from_dense.latency_us_sum, from_sparse.latency_us_sum);
+    history.push_back(cum);
+  }
+
+  // Totals agree with the final cumulative block, and the sparse stream
+  // shipped strictly fewer entries than the dense one.
+  EXPECT_EQ(sparse.total(0, ShardCounter::kFlows), 80u);
+  EXPECT_EQ(sparse.total(0, ShardCounter::kFlows),
+            dense.total(0, ShardCounter::kFlows));
+  EXPECT_LT(sparse.entries_shipped(), dense.entries_shipped());
+  EXPECT_EQ(dense.entries_shipped(), dense.entries_full_equivalent());
+}
+
+TEST(FleetDelta, WaveDeltaExposesPerWaveMovement) {
+  DeltaPublisher pub;
+  DeltaMerger merger(2);
+  ShardCounters cum;
+  cum[ShardCounter::kFaultsInjected] = 5;
+  cum[ShardCounter::kFlowsEvicted] = 2;
+  ASSERT_TRUE(merger.apply(pub.publish(1, 0, cum), nullptr));
+  EXPECT_EQ(merger.wave_delta(1, ShardCounter::kFaultsInjected), 5u);
+  cum[ShardCounter::kFaultsInjected] = 9;
+  ASSERT_TRUE(merger.apply(pub.publish(1, 1, cum), nullptr));
+  EXPECT_EQ(merger.wave_delta(1, ShardCounter::kFaultsInjected), 4u);
+  EXPECT_EQ(merger.wave_delta(1, ShardCounter::kFlowsEvicted), 0u);
+  EXPECT_EQ(merger.total(1, ShardCounter::kFaultsInjected), 9u);
+  // The untouched shard stays at zero.
+  EXPECT_EQ(merger.total(0, ShardCounter::kFaultsInjected), 0u);
+}
+
+TEST(FleetDelta, MalformedDeltasAreRejectedWithoutMutation) {
+  DeltaMerger merger(2);
+  DeltaPublisher pub;
+  ShardCounters cum = counters_at(10, 1, 500, 9);
+  ASSERT_TRUE(merger.apply(pub.publish(0, 0, cum), nullptr));
+
+  auto entry = [](ShardCounter c, std::uint64_t v) {
+    return std::pair<std::uint8_t, std::uint64_t>(
+        static_cast<std::uint8_t>(c), v);
+  };
+
+  // Unknown shard.
+  FleetDelta bad;
+  bad.shard = 7;
+  bad.changed = {entry(ShardCounter::kFlows, 11)};
+  EXPECT_FALSE(merger.apply(bad, nullptr));
+
+  // Slot out of range.
+  bad.shard = 0;
+  bad.changed = {{static_cast<std::uint8_t>(kShardCounterCount), 1}};
+  EXPECT_FALSE(merger.apply(bad, nullptr));
+
+  // Unordered (and duplicate) slots.
+  bad.changed = {entry(ShardCounter::kBlocked, 2),
+                 entry(ShardCounter::kFlows, 11)};
+  EXPECT_FALSE(merger.apply(bad, nullptr));
+  bad.changed = {entry(ShardCounter::kFlows, 11),
+                 entry(ShardCounter::kFlows, 12)};
+  EXPECT_FALSE(merger.apply(bad, nullptr));
+
+  // Non-monotone cumulative value — even when a later entry is valid, the
+  // whole delta is rejected atomically.
+  bad.changed = {entry(ShardCounter::kFlows, 9),
+                 entry(ShardCounter::kBlocked, 3)};
+  EXPECT_FALSE(merger.apply(bad, nullptr));
+  EXPECT_EQ(merger.total(0, ShardCounter::kFlows), 10u);
+  EXPECT_EQ(merger.total(0, ShardCounter::kBlocked), 0u);
+  EXPECT_EQ(merger.deltas_applied(), 1u);
+}
+
+TEST(FleetDelta, CounterNamesCoverEverySlot) {
+  for (std::size_t s = 0; s < kShardCounterCount; ++s) {
+    EXPECT_STRNE(shard_counter_name(static_cast<ShardCounter>(s)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace liberate::deploy

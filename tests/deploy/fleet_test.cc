@@ -10,6 +10,7 @@
 #include "dpi/match_program.h"
 #include "dpi/normalizer.h"
 #include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "trace/generators.h"
 
 namespace liberate::deploy {
@@ -211,6 +212,154 @@ TEST(FleetDeterminism, SummaryIdenticalAcrossMatchBackends) {
   EXPECT_EQ(reference, run_with(0));
   EXPECT_EQ(reference, run_with(2));
   EXPECT_EQ(reference, run_with(8));
+}
+
+// The tentpole merge contract: snapshot-delta merging reconstructs the
+// FleetReport byte-identically to the dense full-snapshot baseline, at any
+// worker count and either match backend — and actually ships fewer counter
+// entries while doing it.
+TEST(FleetDeterminism, DeltaMergeIdenticalToFullMergeBaseline) {
+  struct BackendGuard {
+    ~BackendGuard() { dpi::set_match_backend(dpi::MatchBackend::kCompiled); }
+  } guard;
+  struct Run {
+    std::string summary;
+    std::string telemetry;
+    std::uint64_t shipped = 0;
+    std::uint64_t full = 0;
+  };
+  auto run_with = [](MergeMode mode, std::size_t workers) {
+    obs::reset_all();
+    // reset_all covers counters/events but not the telemetry hub's series
+    // store; stale points would leak into telemetry_json across runs.
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts = soak_options();
+    opts.shards = 4;
+    opts.flows_per_wave = 8;
+    opts.waves = 4;
+    opts.workers = workers;
+    opts.merge_mode = mode;
+    FleetEngine engine(opts);
+    FleetReport report = engine.run(trace::amazon_video_trace(8 * 1024));
+    return Run{report.summary(), report.telemetry_json,
+               report.delta_entries_shipped, report.delta_entries_full};
+  };
+
+  dpi::set_match_backend(dpi::MatchBackend::kCompiled);
+  const Run baseline = run_with(MergeMode::kFull, 0);
+  EXPECT_NE(baseline.summary.find("FLEET transition"), std::string::npos);
+  // Dense mode ships the whole counter block every wave.
+  EXPECT_EQ(baseline.shipped, baseline.full);
+
+  for (auto backend :
+       {dpi::MatchBackend::kReference, dpi::MatchBackend::kCompiled}) {
+    dpi::set_match_backend(backend);
+    for (std::size_t workers : {std::size_t{0}, std::size_t{2},
+                                std::size_t{8}}) {
+      const Run delta = run_with(MergeMode::kDelta, workers);
+      EXPECT_EQ(delta.summary, baseline.summary);
+      EXPECT_EQ(delta.telemetry, baseline.telemetry);
+      // The sparse encoding must actually compress the stream.
+      EXPECT_LT(delta.shipped, delta.full);
+    }
+  }
+}
+
+// Packet-level flow mode: crafted SYN/payload/RST flows through the shim
+// scale the same control plane to fleet-sized waves, deterministically at
+// any worker count.
+TEST(FleetPacketLevel, CraftedFlowsCompleteAndMergeDeterministically) {
+  auto run_with = [](std::size_t workers) {
+    obs::reset_all();
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts;
+    opts.shards = 4;
+    opts.flows_per_wave = 256;
+    opts.waves = 3;
+    opts.workers = workers;
+    opts.flow_mode = FlowMode::kPacketLevel;
+    opts.max_flows_per_shim = 1 << 14;
+    FleetEngine engine(opts);
+    return engine.run(trace::amazon_video_trace(4 * 1024));
+  };
+  const FleetReport report = run_with(0);
+  // Exact fleet totals despite shard-affine (uneven per-shard) admission.
+  EXPECT_EQ(report.totals.flows, 4u * 256u * 3u);
+  // The deployed technique evades: no differentiation, and the crafted
+  // uploads complete (checksum-valid in-window bytes all arrived).
+  EXPECT_EQ(report.totals.differentiated, 0u);
+  EXPECT_EQ(report.totals.incomplete, 0u);
+  EXPECT_GT(report.totals.latency_samples, 0u);
+  // Byte-identical merge at any worker count, like the full-stack path.
+  EXPECT_EQ(report.summary(), run_with(2).summary());
+  EXPECT_EQ(report.summary(), run_with(8).summary());
+}
+
+// Degenerate inputs must surface as zero rates, never NaN: zero-flow
+// shard-waves (shard-affine admission legitimately assigns a shard nothing),
+// zero waves, and zero flows per wave.
+TEST(FleetRates, DegenerateInputsProduceZeroRatesNotNan) {
+  {
+    // flows_per_wave=1 over 8 shards: most shards admit zero flows each
+    // wave. Their per-shard stats must read as 0.0 rates.
+    obs::reset_all();
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts;
+    opts.shards = 8;
+    opts.flows_per_wave = 1;
+    opts.waves = 2;
+    std::size_t zero_flow_shard_waves = 0;
+    opts.on_wave = [&](const FleetWaveReport& w) {
+      for (const WaveStats& s : w.shard_stats) {
+        if (s.flows != 0) continue;
+        ++zero_flow_shard_waves;
+        EXPECT_EQ(s.differentiated_rate(), 0.0);
+        EXPECT_EQ(s.blocked_rate(), 0.0);
+        EXPECT_EQ(s.incomplete_rate(), 0.0);
+        EXPECT_EQ(s.mean_latency_us(), 0.0);
+      }
+    };
+    FleetEngine engine(opts);
+    FleetReport report = engine.run(trace::amazon_video_trace(2 * 1024));
+    EXPECT_EQ(report.totals.flows, 8u * 1u * 2u);
+    EXPECT_GT(zero_flow_shard_waves, 0u);
+    EXPECT_EQ(report.summary().find("nan"), std::string::npos);
+    EXPECT_EQ(report.telemetry_json.find("nan"), std::string::npos);
+  }
+  {
+    // waves == 0: a deploy with no traffic at all.
+    obs::reset_all();
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts;
+    opts.shards = 2;
+    opts.waves = 0;
+    FleetEngine engine(opts);
+    FleetReport report = engine.run(trace::amazon_video_trace(2 * 1024));
+    EXPECT_EQ(report.totals.flows, 0u);
+    EXPECT_EQ(report.totals.differentiated_rate(), 0.0);
+    EXPECT_EQ(report.totals.mean_latency_us(), 0.0);
+    EXPECT_EQ(report.summary().find("nan"), std::string::npos);
+    EXPECT_EQ(report.telemetry_json.find("nan"), std::string::npos);
+  }
+  {
+    // flows_per_wave == 0: waves run, every shard admits nothing.
+    obs::reset_all();
+    obs::TimeSeriesStore::instance().reset();
+    FleetOptions opts;
+    opts.shards = 2;
+    opts.flows_per_wave = 0;
+    opts.waves = 2;
+    FleetEngine engine(opts);
+    FleetReport report = engine.run(trace::amazon_video_trace(2 * 1024));
+    EXPECT_EQ(report.totals.flows, 0u);
+    for (const FleetWaveReport& w : report.waves) {
+      EXPECT_EQ(w.stats.differentiated_rate(), 0.0);
+      EXPECT_EQ(w.stats.blocked_rate(), 0.0);
+      EXPECT_EQ(w.stats.incomplete_rate(), 0.0);
+    }
+    EXPECT_EQ(report.summary().find("nan"), std::string::npos);
+    EXPECT_EQ(report.telemetry_json.find("nan"), std::string::npos);
+  }
 }
 
 }  // namespace
