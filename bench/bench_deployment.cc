@@ -88,10 +88,15 @@ int main() {
     std::size_t change_wave = 3;
     std::size_t redeploy_wave = 0;
     bool redeployed = false;
+    // Replay rounds spent between the countermeasure landing and the
+    // confirmed re-deployment (every readapt's ladder walk up to and
+    // including the wave that re-deployed).
+    int drift_to_redeploy_rounds = 0;
     for (const FleetWaveReport& w : report.waves) {
       if (w.readapt_path) {
         redeploy_wave = w.wave;
         redeployed = true;
+        drift_to_redeploy_rounds += w.readapt_rounds;
       }
     }
     const std::size_t drift_latency_waves =
@@ -106,8 +111,8 @@ int main() {
                 report.technique_initial.c_str());
     std::printf("after re-adaptation     %s\n", report.technique_final.c_str());
     std::printf("countermeasure at wave  %zu\n", change_wave);
-    std::printf("re-deployed at wave     %zu (%zu wave(s) later)\n",
-                redeploy_wave, drift_latency_waves);
+    std::printf("re-deployed at wave     %zu (%zu wave(s) later, %d rounds)\n",
+                redeploy_wave, drift_latency_waves, drift_to_redeploy_rounds);
     std::printf("full analysis cost      %d rounds, %llu bytes\n",
                 report.initial_analysis_rounds,
                 static_cast<unsigned long long>(report.initial_analysis_bytes));
@@ -125,6 +130,9 @@ int main() {
     json.metric("drift_wall_s", wall);
     json.metric("drift_to_redeploy_waves",
                 static_cast<std::uint64_t>(drift_latency_waves));
+    // Gated by scripts/bench_compare.py ("rounds" suffix, lower is better):
+    // a regression here means drift recovery got more expensive.
+    json.metric("drift_to_redeploy_rounds", drift_to_redeploy_rounds);
     json.metric("full_analysis_rounds", report.initial_analysis_rounds);
     json.metric("full_analysis_bytes", report.initial_analysis_bytes);
     json.metric("readapt_rounds", report.readapt_rounds);

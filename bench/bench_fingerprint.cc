@@ -1,0 +1,161 @@
+// bench_fingerprint — the ambiguity probe engine under measurement: probe
+// catalog cost per classifier profile (wall time + flows for a full digest),
+// pairwise digest discrimination across the shipped profiles, and the
+// headline deployment claim — a swap to a previously-fingerprinted
+// classifier re-deploys via the nearest-fingerprint match in FEWER replay
+// rounds than the verified-cached ladder walk (docs/fingerprinting.md).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "deploy/fleet.h"
+#include "dpi/classifier.h"
+#include "dpi/normalizer.h"
+#include "dpi/profiles.h"
+#include "fingerprint/probe.h"
+#include "trace/generators.h"
+
+using namespace liberate;
+using namespace liberate::deploy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The fleet soak of examples/fleet_deploy act 3: deployed on the testbed,
+/// the live classifier is swapped mid-run to the nDPI-style engine behind a
+/// reassembling normalizer, killing the deployed fragment technique.
+FleetOptions swap_options(ClassifierFingerprintCache* cache,
+                          bool ambiguity_probes) {
+  FleetOptions opts;
+  opts.shards = 4;
+  opts.flows_per_wave = 8;
+  opts.waves = 6;
+  opts.faults = netsim::FaultPolicy::reorder_heavy();
+  opts.cache = cache;
+  opts.ambiguity_probes = ambiguity_probes;
+  opts.ambiguity_max_distance = 8;
+  opts.change_at_wave = 2;
+  opts.classifier_change = [](dpi::Environment& env) {
+    dpi::NormalizerConfig cfg;
+    cfg.reassemble_fragments = true;
+    env.net.emplace_at<dpi::NormalizerElement>(0, cfg);
+    env.dpi->engine().set_config(dpi::ambiguity_profile_config("ndpi"));
+  };
+  return opts;
+}
+
+int readapt_rounds_of(const FleetReport& report, const char* path_name) {
+  for (const FleetWaveReport& w : report.waves) {
+    if (w.readapt_path &&
+        std::string(readapt_path_name(*w.readapt_path)) == path_name) {
+      return w.readapt_rounds;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport json("fingerprint");
+  const auto trace = trace::amazon_video_trace(8 * 1024);
+
+  bench::print_header(
+      "ambiguity probe catalog — full digest cost per classifier profile");
+  const std::vector<std::string> profiles = {
+      "testbed", "suricata", "zeek", "ndpi", "conntrack-strict", "permissive"};
+  std::printf("%-18s %8s %6s %12s  %s\n", "profile", "flows", "dims", "wall ms",
+              "digest");
+  bench::print_rule(76);
+  std::vector<fingerprint::AmbiguityDigest> digests;
+  double probe_wall_total = 0.0;
+  for (const std::string& name : profiles) {
+    auto start = Clock::now();
+    fingerprint::AmbiguityProbeResult r = fingerprint::probe_environment(name);
+    double wall = seconds_since(start);
+    probe_wall_total += wall;
+    std::printf("%-18s %8zu %6zu %12.2f  %s\n", name.c_str(), r.probe_flows,
+                r.digest.dims.size(), wall * 1e3,
+                r.digest.fingerprint_hex().c_str());
+    json.row(name);
+    json.field("probe_flows", static_cast<std::uint64_t>(r.probe_flows));
+    json.field("dims", static_cast<std::uint64_t>(r.digest.dims.size()));
+    json.field("wall_ms", wall * 1e3);
+    json.field("digest", r.digest.fingerprint_hex());
+    digests.push_back(std::move(r.digest));
+  }
+  bench::print_rule(76);
+  std::size_t distinct_pairs = 0, pairs = 0, min_distance = SIZE_MAX;
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      const std::size_t d = fingerprint::ambiguity_distance(digests[i],
+                                                            digests[j]);
+      ++pairs;
+      if (d > 0) ++distinct_pairs;
+      if (d < min_distance) min_distance = d;
+    }
+  }
+  std::printf("pairwise discrimination  %zu/%zu pairs distinct (min distance "
+              "%zu)\n",
+              distinct_pairs, pairs, min_distance);
+  json.metric("probe_wall_s", probe_wall_total);
+  json.metric("profiles_probed", static_cast<std::uint64_t>(digests.size()));
+  json.metric("distinct_pairs", static_cast<std::uint64_t>(distinct_pairs));
+  json.metric("pairs", static_cast<std::uint64_t>(pairs));
+  json.metric("all_pairs_distinct", distinct_pairs == pairs);
+
+  bench::print_header(
+      "nearest-fingerprint redeploy vs verified-cached ladder walk");
+  {
+    // Baseline: the same classifier swap handled WITHOUT ambiguity probes —
+    // the readapt ladder falls through to field verification plus a walk of
+    // the stale testbed ranking.
+    ClassifierFingerprintCache cache_off;
+    auto start = Clock::now();
+    FleetReport off = FleetEngine(swap_options(&cache_off, false)).run(trace);
+    double off_wall = seconds_since(start);
+    const int verified_rounds = readapt_rounds_of(off, "verified-cached");
+
+    // With probes: fingerprint the nDPI profile once, then the same swap
+    // nearest-matches the cached entry at the fingerprint-verify stage.
+    ClassifierFingerprintCache cache_on;
+    FleetOptions learn = swap_options(&cache_on, true);
+    learn.environment = "ndpi";
+    learn.waves = 1;
+    learn.change_at_wave = static_cast<std::size_t>(-1);
+    learn.classifier_change = nullptr;
+    FleetEngine(learn).run(trace);
+    start = Clock::now();
+    FleetReport on = FleetEngine(swap_options(&cache_on, true)).run(trace);
+    double on_wall = seconds_since(start);
+    const int fingerprint_rounds = readapt_rounds_of(on, "fingerprint-matched");
+
+    std::printf("%-28s %8s %10s %12s\n", "path", "rounds", "wall s",
+                "technique");
+    bench::print_rule(64);
+    std::printf("%-28s %8d %10.3f %12s\n", "verified-cached (no probes)",
+                verified_rounds, off_wall, off.technique_final.c_str());
+    std::printf("%-28s %8d %10.3f %12s\n", "fingerprint-matched",
+                fingerprint_rounds, on_wall, on.technique_final.c_str());
+    bench::print_rule(64);
+    const bool fewer = fingerprint_rounds >= 0 && verified_rounds >= 0 &&
+                       fingerprint_rounds < verified_rounds;
+    std::printf("acceptance (fingerprint < verified)  %s\n",
+                fewer ? "PASS" : "FAIL");
+
+    json.metric("verified_cached_redeploy_rounds", verified_rounds);
+    json.metric("fingerprint_matched_redeploy_rounds", fingerprint_rounds);
+    json.metric("fingerprint_probe_flows", on.fingerprint_probe_flows);
+    json.metric("fingerprint_digest", on.fingerprint_digest);
+    json.metric("fingerprint_profile", on.fingerprint_profile);
+    json.metric("fingerprint_source", on.fingerprint_source);
+    json.metric("fingerprint_fewer_rounds", fewer);
+  }
+  return 0;
+}

@@ -20,7 +20,9 @@
 #include <thread>
 
 #include "deploy/fleet.h"
+#include "dpi/classifier.h"
 #include "dpi/normalizer.h"
+#include "dpi/profiles.h"
 #include "obs/level.h"
 #include "trace/generators.h"
 
@@ -68,6 +70,9 @@ int main(int argc, char** argv) {
   opts.waves = 6;
   opts.faults = netsim::FaultPolicy::reorder_heavy();
   opts.cache = &cache;
+  // Probe the classifier's ambiguity digest at deploy time and on every
+  // readapt (FLEET fingerprint line; docs/fingerprinting.md).
+  opts.ambiguity_probes = true;
   // Wave 3: the operator deploys a normalizer that reassembles IP fragments
   // in front of the classifier — the deployed fragment-based technique dies,
   // but the rule set (and so the cached fingerprint) is unchanged.
@@ -93,6 +98,36 @@ int main(int argc, char** argv) {
               "technique=%s\n",
               warm.initial_from_cache ? 1 : 0, warm.initial_analysis_rounds,
               warm.technique_initial.c_str());
+
+  // Act 3: fingerprint a different classifier implementation (the
+  // nDPI-style profile) once, then swap the testbed's live classifier to
+  // that engine behind a reassembling normalizer mid-soak: reassembly kills
+  // the deployed fragment-reorder technique. Drift fires, and the readapt
+  // ladder resolves at the fingerprint-verify stage — the probed digest
+  // nearest-matches the cached ndpi entry (the normalizer only perturbs the
+  // frag-overlap dimension), so the fleet adopts that ranking after a couple
+  // of verification rounds instead of walking field verification plus the
+  // stale testbed ranking.
+  FleetOptions learn = opts;
+  learn.environment = "ndpi";
+  learn.waves = 1;
+  learn.change_at_wave = static_cast<std::size_t>(-1);
+  learn.classifier_change = nullptr;
+  FleetReport learned = FleetEngine(learn).run(trace::amazon_video_trace(8 * 1024));
+  std::printf("FLEET learned env=ndpi digest=%s\n",
+              learned.fingerprint_digest.c_str());
+
+  FleetOptions swap = opts;
+  swap.change_at_wave = 2;
+  swap.ambiguity_max_distance = 8;  // tolerate the frag-dimension delta
+  swap.classifier_change = [](dpi::Environment& env) {
+    dpi::NormalizerConfig cfg;
+    cfg.reassemble_fragments = true;
+    env.net.emplace_at<dpi::NormalizerElement>(0, cfg);
+    env.dpi->engine().set_config(dpi::ambiguity_profile_config("ndpi"));
+  };
+  FleetReport swapped = FleetEngine(swap).run(trace::amazon_video_trace(8 * 1024));
+  std::printf("%s", swapped.summary().c_str());
   std::fflush(stdout);
 
   if (linger_ms > 0) {

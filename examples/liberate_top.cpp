@@ -113,6 +113,24 @@ std::string report_json(const FleetReport& report) {
   w.key("shards").value(static_cast<std::uint64_t>(report.shards));
   w.key("technique_initial").value(report.technique_initial);
   w.key("technique_final").value(report.technique_final);
+  if (!report.fingerprint_source.empty()) {
+    // Active ambiguity fingerprint (docs/fingerprinting.md): the latest
+    // probed digest plus the cache entry it matched and how.
+    w.key("fingerprint").begin_object();
+    w.key("digest").value(report.fingerprint_digest);
+    w.key("dims").value(static_cast<std::uint64_t>(report.fingerprint_dims));
+    if (!report.fingerprint_profile.empty()) {
+      w.key("profile").value(report.fingerprint_profile);
+    } else {
+      w.key("profile").null();
+    }
+    w.key("source").value(report.fingerprint_source);
+    w.key("probe_flows")
+        .value(static_cast<std::uint64_t>(report.fingerprint_probe_flows));
+    w.end_object();
+  } else {
+    w.key("fingerprint").null();
+  }
   w.key("waves").begin_array();
   for (const FleetWaveReport& wave : report.waves) {
     w.begin_object();
@@ -131,6 +149,8 @@ std::string report_json(const FleetReport& report) {
       w.key("readapt").begin_object();
       w.key("path").value(readapt_path_name(*wave.readapt_path));
       w.key("rounds").value(wave.readapt_rounds);
+      w.key("probe_flows")
+          .value(static_cast<std::uint64_t>(wave.readapt_probe_flows));
       w.key("ladder").begin_array();
       for (const core::ReadaptStageCost& s : wave.readapt_ladder) {
         w.begin_object();
@@ -203,6 +223,9 @@ int main(int argc, char** argv) {
   opts.waves = 8;
   opts.faults = netsim::FaultPolicy::reorder_heavy();
   opts.cache = &cache;
+  // Probe the ambiguity digest at deploy time and on readapts, so the JSON
+  // snapshot carries the active fingerprint.
+  opts.ambiguity_probes = true;
   // Mid-soak countermeasure: a normalizer lands in front of the classifier
   // at wave 4 and kills the deployed fragmentation technique — watch the
   // diff-rate sparklines jump, the anomaly flags corroborate, and the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "core/evasion/registry.h"
 #include "util/json.h"
@@ -177,10 +178,29 @@ void ClassifierFingerprintCache::store(CachedCharacterization entry) {
   entries_[{entry.environment, entry.app}] = std::move(entry);
 }
 
+std::pair<const CachedCharacterization*, std::size_t>
+ClassifierFingerprintCache::nearest_by_ambiguity(
+    const fingerprint::AmbiguityDigest& probed, const std::string& app,
+    std::size_t max_distance) const {
+  const CachedCharacterization* best = nullptr;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (const auto& [key, e] : entries_) {
+    if (e.app != app || !e.ambiguity) continue;
+    const std::size_t d = fingerprint::ambiguity_distance(probed, *e.ambiguity);
+    // Strict < keeps the first entry in deterministic map order on ties.
+    if (d <= max_distance && d < best_distance) {
+      best = &e;
+      best_distance = d;
+    }
+  }
+  return {best, best_distance};
+}
+
 std::string ClassifierFingerprintCache::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("version").value(1);
+  w.key("version").value(kSchemaVersion);
+  w.key("digest_format").value(fingerprint::AmbiguityDigest::kFormat);
   w.key("entries").begin_array();
   for (const auto& [key, e] : entries_) {
     w.begin_object();
@@ -220,6 +240,11 @@ std::string ClassifierFingerprintCache::to_json() const {
       w.end_object();
     }
     w.end_array();
+    if (e.ambiguity) {
+      w.key("ambiguity").raw_value(e.ambiguity->to_json());
+    } else {
+      w.key("ambiguity").null();
+    }
     w.end_object();
   }
   w.end_array();
@@ -231,6 +256,19 @@ std::optional<ClassifierFingerprintCache> ClassifierFingerprintCache::from_json(
     std::string_view text) {
   auto doc = parse_json(text);
   if (!doc || !doc->is_object()) return std::nullopt;
+  // Schema gate: v1 files predate ambiguity digests and must invalidate
+  // cleanly (a cold start), as must files probed with a different digest
+  // format revision.
+  const JsonValue* version = doc->find("version");
+  if (!version || !version->is_number() ||
+      static_cast<int>(version->number) != kSchemaVersion) {
+    return std::nullopt;
+  }
+  auto digest_format = get_string(*doc, "digest_format");
+  if (!digest_format ||
+      *digest_format != fingerprint::AmbiguityDigest::kFormat) {
+    return std::nullopt;
+  }
   const JsonValue* entries = doc->find("entries");
   if (!entries || !entries->is_array()) return std::nullopt;
 
@@ -286,6 +324,12 @@ std::optional<ClassifierFingerprintCache> ClassifierFingerprintCache::from_json(
           static_cast<std::size_t>(get_number(rv, "extra_bytes").value_or(0));
       r.extra_seconds = get_number(rv, "extra_seconds").value_or(0);
       entry.ranking.push_back(std::move(r));
+    }
+    if (const JsonValue* amb = e.find("ambiguity");
+        amb != nullptr && !amb->is_null()) {
+      auto digest = fingerprint::AmbiguityDigest::from_json_value(*amb);
+      if (!digest) return std::nullopt;
+      entry.ambiguity = std::move(*digest);
     }
     cache.store(std::move(entry));
   }

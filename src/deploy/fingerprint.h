@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/liberate.h"
+#include "fingerprint/ambiguity.h"
 #include "util/digest.h"
 
 namespace liberate::deploy {
@@ -49,6 +50,12 @@ struct CachedCharacterization {
   /// (§4.4 "the most efficient, successful technique").
   std::vector<RankedTechnique> ranking;
 
+  /// The classifier implementation's ambiguity fingerprint, when the probe
+  /// engine ran against this environment (docs/fingerprinting.md). Lets the
+  /// warm-deploy path fall back from an exact (environment, app) hit to the
+  /// nearest-behaving known implementation.
+  std::optional<fingerprint::AmbiguityDigest> ambiguity;
+
   /// The TechniqueContext a shim needs to deploy against this classifier.
   core::TechniqueContext context() const;
 };
@@ -69,12 +76,28 @@ CachedCharacterization make_cached_characterization(
 /// deterministic JSON representation (util/json.h writer, util/json_parse.h
 /// reader). 64-bit digests and field bytes are hex strings: JSON numbers
 /// are doubles and would corrupt them.
+///
+/// Schema v2: the top level carries a "digest_format" field naming the
+/// ambiguity-digest revision entries were probed with. from_json rejects v1
+/// files and format mismatches outright — a pre-ambiguity cache degrades to
+/// a cold start instead of poisoning nearest-fingerprint matching.
 class ClassifierFingerprintCache {
  public:
+  static constexpr int kSchemaVersion = 2;
+
   const CachedCharacterization* lookup(const std::string& environment,
                                        const std::string& app) const;
   void store(CachedCharacterization entry);
   std::size_t size() const { return entries_.size(); }
+
+  /// Nearest-behaving cached implementation for `app`: the entry (any
+  /// environment) whose ambiguity digest is closest to `probed`, provided it
+  /// is within `max_distance`. Entries without a digest never match. Ties
+  /// break on the deterministic (environment, app) map order. Returns the
+  /// entry and its distance, or {nullptr, SIZE_MAX}.
+  std::pair<const CachedCharacterization*, std::size_t> nearest_by_ambiguity(
+      const fingerprint::AmbiguityDigest& probed, const std::string& app,
+      std::size_t max_distance) const;
 
   std::string to_json() const;
   static std::optional<ClassifierFingerprintCache> from_json(

@@ -384,16 +384,69 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
 
   core::ReplayRunner& runner = lib_->runner();
 
-  // Phase 1: characterization — warm cache entry or full analysis.
+  // Ambiguity probing (opt-in): one EnvFactory serves both the deploy-time
+  // digest and the readapt ladder's fingerprint-verify stage. Probe worlds
+  // are built fresh from the profile name and then replay the epoch log of
+  // scripted classifier changes, so a probe always sees the same classifier
+  // the live shards do.
+  fingerprint::EnvFactory probe_factory;
+  ReadaptHooks hooks;
+  if (options_.ambiguity_probes) {
+    probe_factory = [this](std::uint64_t seed) {
+      auto env = dpi::make_environment(options_.environment, seed);
+      for (const auto& change : applied_changes_) change(*env);
+      return env;
+    };
+    hooks.probe_ambiguity = [this, &probe_factory] {
+      fingerprint::AmbiguityProbeOptions popts;
+      popts.workers = options_.workers == 0 ? 1 : options_.workers;
+      popts.seed = options_.seed;
+      return fingerprint::probe_ambiguity(probe_factory, popts);
+    };
+    hooks.max_distance = options_.ambiguity_max_distance;
+  }
+
+  // Phase 1: characterization — warm cache entry, nearest ambiguity
+  // fingerprint, or full analysis.
   CachedCharacterization current;
+  std::optional<fingerprint::AmbiguityDigest> active_digest;
+  if (options_.ambiguity_probes) {
+    fingerprint::AmbiguityProbeResult probed = hooks.probe_ambiguity();
+    report.fingerprint_probe_flows += probed.probe_flows;
+    report.fingerprint_digest = probed.digest.fingerprint_hex();
+    report.fingerprint_dims = probed.digest.dims.size();
+    active_digest = std::move(probed.digest);
+  }
   const CachedCharacterization* warm =
       options_.cache != nullptr
           ? options_.cache->lookup(options_.environment, trace.app_name)
           : nullptr;
+  bool characterized = false;
   if (warm != nullptr && !warm->ranking.empty()) {
     current = *warm;
     report.initial_from_cache = true;
-  } else {
+    characterized = true;
+    if (options_.ambiguity_probes) {
+      report.fingerprint_source = "exact";
+      report.fingerprint_profile = warm->environment;
+    }
+  } else if (active_digest && options_.cache != nullptr) {
+    // Exact key missed — fall back to the nearest fingerprinted entry for
+    // this app. A match means some already-characterized deployment resolves
+    // every probed ambiguity within the allowed distance: adopt its ranking
+    // wholesale and skip the full analysis.
+    auto [match, distance] = options_.cache->nearest_by_ambiguity(
+        *active_digest, trace.app_name, options_.ambiguity_max_distance);
+    if (match != nullptr && !match->ranking.empty()) {
+      report.fingerprint_profile = match->environment;
+      report.fingerprint_source = "nearest";
+      current = *match;
+      current.environment = options_.environment;
+      report.initial_from_cache = true;
+      characterized = true;
+    }
+  }
+  if (!characterized) {
     const int r0 = runner.rounds();
     const std::uint64_t b0 = runner.bytes_offered();
     core::SessionReport analysis = lib_->analyze(trace);
@@ -401,6 +454,13 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
     report.initial_analysis_bytes = runner.bytes_offered() - b0;
     current = make_cached_characterization(options_.environment,
                                            trace.app_name, analysis);
+    if (options_.cache != nullptr) options_.cache->store(current);
+    if (options_.ambiguity_probes) report.fingerprint_source = "probed";
+  }
+  if (active_digest) {
+    // Whatever path produced the knowledge, pin the freshly probed digest to
+    // this environment's entry so future deployments can nearest-match it.
+    current.ambiguity = *active_digest;
     if (options_.cache != nullptr) options_.cache->store(current);
   }
 
@@ -458,6 +518,7 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
       // in-flight walk holds a path index (emplace_at's precondition).
       for (auto& shard : shards_) options_.classifier_change(*shard->env);
       options_.classifier_change(*probe_env_);
+      applied_changes_.push_back(options_.classifier_change);
     }
 
     // Shard-affine admission: hash every global flow id of this wave to its
@@ -584,13 +645,20 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
       const int rr0 = runner.rounds();
       const std::uint64_t rb0 = runner.bytes_offered();
       ReadaptOutcome outcome =
-          incremental_readapt(*lib_, trace, current, options_.cache);
+          incremental_readapt(*lib_, trace, current, options_.cache,
+                              options_.ambiguity_probes ? &hooks : nullptr);
       report.readapts += 1;
       report.readapt_rounds += runner.rounds() - rr0;
       report.readapt_bytes += runner.bytes_offered() - rb0;
       wr.readapt_path = outcome.path;
       wr.readapt_rounds = runner.rounds() - rr0;
       wr.readapt_ladder = outcome.ladder;
+      wr.readapt_probe_flows = outcome.probe_flows;
+      report.fingerprint_probe_flows += outcome.probe_flows;
+      if (outcome.probed_ambiguity) {
+        report.fingerprint_digest = outcome.probed_ambiguity->fingerprint_hex();
+        report.fingerprint_dims = outcome.probed_ambiguity->dims.size();
+      }
       // Readapt cost as a fleet series point at this wave's boundary. The
       // value comes from the runner's deterministic round counter, so the
       // "fleet."-prefixed telemetry document stays byte-identical across
@@ -605,6 +673,33 @@ FleetReport FleetEngine::run(const ApplicationTrace& trace) {
                           "fingerprint-mismatch", ts_us);
         current = make_cached_characterization(options_.environment,
                                                trace.app_name, outcome.report);
+        if (outcome.probed_ambiguity) {
+          // Keep the post-change digest on the refreshed entry: the next
+          // deployment that meets this classifier nearest-matches it.
+          current.ambiguity = outcome.probed_ambiguity;
+          if (options_.cache != nullptr) options_.cache->store(current);
+          report.fingerprint_profile.clear();
+          report.fingerprint_source = "probed";
+        }
+      } else if (outcome.path == ReadaptPath::kFingerprintMatched) {
+        // The readapt adopted the matched implementation's knowledge into
+        // the cache under this environment's key — pick it up as the live
+        // characterization so the hot-swap deploys the matched ranking.
+        if (options_.cache != nullptr) {
+          if (const CachedCharacterization* adopted = options_.cache->lookup(
+                  options_.environment, trace.app_name)) {
+            current = *adopted;
+          }
+        }
+        auto it = std::find_if(current.ranking.begin(), current.ranking.end(),
+                               [&](const RankedTechnique& r) {
+                                 return r.name == outcome.technique;
+                               });
+        if (it != current.ranking.end()) {
+          std::rotate(current.ranking.begin(), it, it + 1);
+        }
+        report.fingerprint_profile = outcome.matched_environment;
+        report.fingerprint_source = "nearest";
       } else if (outcome.path == ReadaptPath::kVerifiedCached) {
         // The re-verified technique becomes the deployed (front) entry so the
         // next readapt's level-1 probe targets it.
@@ -677,6 +772,18 @@ std::string FleetReport::summary() const {
                 technique_initial.empty() ? "(none)" : technique_initial.c_str(),
                 initial_from_cache ? "cache" : "analysis",
                 initial_analysis_rounds);
+  if (!fingerprint_source.empty()) {
+    // Active ambiguity fingerprint. Digest and probe counts come from the
+    // deterministic probe catalog, so this line is byte-identical across
+    // worker counts, obs levels, and match backends.
+    out += format(
+        "FLEET fingerprint digest=%s dims=%zu profile=%s source=%s "
+        "probe_flows=%zu\n",
+        fingerprint_digest.empty() ? "(none)" : fingerprint_digest.c_str(),
+        fingerprint_dims,
+        fingerprint_profile.empty() ? "(none)" : fingerprint_profile.c_str(),
+        fingerprint_source.c_str(), fingerprint_probe_flows);
+  }
   for (const FleetWaveReport& w : waves) {
     out += format(
         "FLEET wave=%zu flows=%zu diff=%.3f blocked=%.3f incomplete=%.3f "
@@ -709,6 +816,9 @@ std::string FleetReport::summary() const {
         if (i > 0) out += ",";
         out += format("%s:%d", w.readapt_ladder[i].stage.c_str(),
                       w.readapt_ladder[i].rounds);
+      }
+      if (w.readapt_probe_flows > 0) {
+        out += format(" probe_flows=%zu", w.readapt_probe_flows);
       }
       out += "\n";
     }

@@ -124,6 +124,15 @@ struct FleetOptions {
   /// (environment, app) skips the initial full analysis entirely; the cache
   /// is refreshed in place when drift forces a re-analysis.
   ClassifierFingerprintCache* cache = nullptr;
+
+  /// Run the ambiguity probe catalog (src/fingerprint) against the live
+  /// classifier at deploy time and on every re-characterization. Enables
+  /// two ladders the cache alone cannot offer: a warm deploy that falls
+  /// back from an exact (environment, app) hit to the nearest ambiguity
+  /// fingerprint, and incremental_readapt()'s fingerprint-verify stage.
+  bool ambiguity_probes = false;
+  /// Maximum ambiguity_distance() a nearest-fingerprint match may have.
+  std::size_t ambiguity_max_distance = 0;
 };
 
 /// One wave as the control plane saw it.
@@ -146,6 +155,9 @@ struct FleetWaveReport {
   /// data at every obs level — it shapes the FLEET summary.
   int readapt_rounds = 0;
   std::vector<core::ReadaptStageCost> readapt_ladder;
+  /// Ambiguity probe flows the readapt's fingerprint-verify stage spent
+  /// (isolated worlds — never replay rounds).
+  std::size_t readapt_probe_flows = 0;
   DeployState state_after = DeployState::kDeployed;
   std::string technique_after;
 };
@@ -169,6 +181,17 @@ struct FleetReport {
   std::size_t readapts = 0;
   int readapt_rounds = 0;
   std::uint64_t readapt_bytes = 0;
+
+  /// Active ambiguity fingerprint (set when ambiguity_probes ran): the
+  /// latest probed digest, the cache entry it matched ("" = none), and how
+  /// the deployment got its knowledge — "exact" (environment+app cache
+  /// hit), "nearest" (nearest-fingerprint warm match), or "probed" (digest
+  /// taken but knowledge came from analysis).
+  std::string fingerprint_digest;
+  std::size_t fingerprint_dims = 0;
+  std::string fingerprint_profile;
+  std::string fingerprint_source;
+  std::size_t fingerprint_probe_flows = 0;
 
   std::uint64_t faults_injected = 0;
   std::uint64_t flows_evicted = 0;
@@ -229,6 +252,10 @@ class FleetEngine {
   std::unique_ptr<dpi::Environment> probe_env_;
   std::unique_ptr<core::Liberate> lib_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Scripted classifier changes already applied to the live worlds, in
+  /// application order. Ambiguity probe worlds are built fresh per script,
+  /// so each one re-applies this epoch log to stay in sync with the fleet.
+  std::vector<std::function<void(dpi::Environment&)>> applied_changes_;
 };
 
 }  // namespace liberate::deploy

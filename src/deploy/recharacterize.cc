@@ -34,6 +34,8 @@ const char* readapt_path_name(ReadaptPath path) {
       return "still-working";
     case ReadaptPath::kPolicyGone:
       return "policy-gone";
+    case ReadaptPath::kFingerprintMatched:
+      return "fingerprint-matched";
     case ReadaptPath::kVerifiedCached:
       return "verified-cached";
     case ReadaptPath::kFullAnalysis:
@@ -45,7 +47,8 @@ const char* readapt_path_name(ReadaptPath path) {
 ReadaptOutcome incremental_readapt(core::Liberate& lib,
                                    const trace::ApplicationTrace& trace,
                                    const CachedCharacterization& cached,
-                                   ClassifierFingerprintCache* cache) {
+                                   ClassifierFingerprintCache* cache,
+                                   const ReadaptHooks* hooks) {
   LIBERATE_COST_SCOPE(kReadapt);
   core::ReplayRunner& runner = lib.runner();
   const int rounds0 = runner.rounds();
@@ -133,7 +136,45 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
     }
   }
 
-  // Level 3: targeted blinding probes — one per cached field. A field is
+  // Level 3 (fingerprint-verify, hooks only): probe the live classifier's
+  // ambiguity digest and look for a known implementation that resolves
+  // every discrepancy the same way. A swap to an already-fingerprinted
+  // engine resolves here in ~one replay round — the probe flows run in
+  // isolated worlds and are accounted separately.
+  if (hooks != nullptr && hooks->probe_ambiguity && cache != nullptr) {
+    fingerprint::AmbiguityProbeResult probed = hooks->probe_ambiguity();
+    result.probe_flows = probed.probe_flows;
+    result.probed_ambiguity = probed.digest;
+    LIBERATE_COUNTER_ADD("deploy.readapt.ambiguity_probes",
+                         probed.probe_flows);
+    auto [match, distance] = cache->nearest_by_ambiguity(
+        probed.digest, cached.app, hooks->max_distance);
+    if (match != nullptr) {
+      result.matched_environment = match->environment;
+      result.matched_distance = distance;
+      for (const RankedTechnique& rt : match->ranking) {
+        if (rt.name == deployed) continue;  // already failed level 1
+        auto technique = lib.instantiate(rt.name);
+        if (!technique) continue;
+        auto v = probe(trace, technique.get());
+        if (v.differentiated || !v.completed || !v.intact) continue;
+        end_stage("fingerprint-verify");
+        // Adopt the matched implementation's knowledge for this
+        // environment so the next drift is an exact warm hit.
+        CachedCharacterization adopted = *match;
+        adopted.environment = cached.environment;
+        adopted.ambiguity = std::move(probed.digest);
+        core::SessionReport report = report_from_cached(adopted, rt.name);
+        cache->store(std::move(adopted));
+        LIBERATE_COUNTER_ADD("deploy.readapt.fingerprint_matched", 1);
+        return finish(ReadaptPath::kFingerprintMatched, rt.name,
+                      std::move(report));
+      }
+    }
+    end_stage("fingerprint-verify");
+  }
+
+  // Level 4: targeted blinding probes — one per cached field. A field is
   // still a matching field iff blinding it kills classification; any field
   // that stays classified means the rule set changed under us.
   const int verify_rounds0 = runner.rounds();
@@ -155,7 +196,7 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
   result.verification_rounds = runner.rounds() - verify_rounds0;
   end_stage("field-verification");
 
-  // Level 4: fingerprint held — the rules are the ones we characterized, so
+  // Level 5: fingerprint held — the rules are the ones we characterized, so
   // the cached ranking is still meaningful. Walk it cheapest-first; the
   // deployed (front) technique already failed level 1.
   if (result.fingerprint_verified) {
@@ -176,7 +217,7 @@ ReadaptOutcome incremental_readapt(core::Liberate& lib,
   }
   result.verification_bytes = runner.bytes_offered() - bytes0;
 
-  // Level 5: the classifier changed beyond the cached knowledge (or every
+  // Level 6: the classifier changed beyond the cached knowledge (or every
   // cached technique died). Full analysis, and refresh the cache.
   core::SessionReport fresh = lib.analyze(trace);
   end_stage("full-analysis");

@@ -8,33 +8,58 @@
 //
 //   1. deployed technique still evades?        -> kStillWorking   (1 round)
 //   2. plain replay still differentiated?      -> kPolicyGone     (1 round)
-//   3. cached matching fields still necessary? (one targeted blinding probe
+//   3. ambiguity fingerprint matches a known implementation? (probe the
+//      discrepancy catalog in isolated worlds — costs probe *flows*, not
+//      replay rounds — then try that implementation's best technique)
+//                                              -> kFingerprintMatched (~1 round)
+//   4. cached matching fields still necessary? (one targeted blinding probe
 //      per field: blind it, expect classification to disappear)
-//   4. fingerprint held: walk the cached technique ranking cheapest-first,
+//   5. fingerprint held: walk the cached technique ranking cheapest-first,
 //      first evader wins                       -> kVerifiedCached (few rounds)
-//   5. fingerprint mismatch / ranking exhausted: full analyze()
+//   6. fingerprint mismatch / ranking exhausted: full analyze()
 //                                              -> kFullAnalysis   (O(analysis))
+//
+// Stage 3 only runs when the caller supplies ReadaptHooks (the fleet does,
+// when ambiguity probing is enabled); it is what makes "the classifier was
+// swapped for one we already know" cost ~3 rounds instead of
+// 2 + #fields + ranking-walk.
 //
 // Cost accounting rides the runner's round/byte counters, so the <25%-of-
 // full-analysis claim is measured, not asserted.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/liberate.h"
 #include "deploy/fingerprint.h"
+#include "fingerprint/probe.h"
 
 namespace liberate::deploy {
 
 enum class ReadaptPath {
-  kStillWorking,    // deployed technique still evades — drift was noise
-  kPolicyGone,      // no differentiation at all anymore (policy removed)
-  kVerifiedCached,  // fields verified, another cached technique works
-  kFullAnalysis,    // fingerprint mismatch: full re-analysis was needed
+  kStillWorking,        // deployed technique still evades — drift was noise
+  kPolicyGone,          // no differentiation at all anymore (policy removed)
+  kFingerprintMatched,  // ambiguity digest matched a known implementation
+  kVerifiedCached,      // fields verified, another cached technique works
+  kFullAnalysis,        // fingerprint mismatch: full re-analysis was needed
 };
 
 const char* readapt_path_name(ReadaptPath path);
+
+/// Optional fingerprint-verify stage inputs. `probe_ambiguity` runs the
+/// discrepancy catalog against the *live* classifier in isolated worlds;
+/// its flows are accounted in ReadaptOutcome::probe_flows, never in replay
+/// rounds (probe worlds don't touch the production path).
+struct ReadaptHooks {
+  std::function<fingerprint::AmbiguityProbeResult()> probe_ambiguity;
+  /// Maximum ambiguity_distance() for a nearest-profile match to be trusted.
+  /// 0 = only an implementation that resolves every probed discrepancy
+  /// identically.
+  std::size_t max_distance = 0;
+};
 
 struct ReadaptOutcome {
   ReadaptPath path = ReadaptPath::kStillWorking;
@@ -52,18 +77,29 @@ struct ReadaptOutcome {
   int verification_rounds = 0;
   std::uint64_t verification_bytes = 0;
   /// Per-stage round breakdown of the ladder walk, in execution order
-  /// (still-working, policy-gone, field-verification, ranking-walk,
-  /// full-analysis — only stages that ran appear). Rounds always sum to
-  /// report.total_rounds.
+  /// (still-working, policy-gone, fingerprint-verify, field-verification,
+  /// ranking-walk, full-analysis — only stages that ran appear). Rounds
+  /// always sum to report.total_rounds.
   std::vector<core::ReadaptStageCost> ladder;
+
+  /// Fingerprint-verify stage results (set only when hooks ran the probes).
+  std::size_t probe_flows = 0;
+  std::optional<fingerprint::AmbiguityDigest> probed_ambiguity;
+  /// Environment name of the matched cache entry ("" = no match).
+  std::string matched_environment;
+  std::optional<std::size_t> matched_distance;
 };
 
 /// Re-adapt against the live environment behind `lib` using the cached
 /// characterization. On the kFullAnalysis path the cache entry is refreshed
-/// in place (when `cache` is non-null).
+/// in place (when `cache` is non-null). On the kFingerprintMatched path the
+/// matched implementation's knowledge is copied onto this environment's
+/// cache entry (with the freshly probed digest), so the next drift gets an
+/// exact warm hit.
 ReadaptOutcome incremental_readapt(core::Liberate& lib,
                                    const trace::ApplicationTrace& trace,
                                    const CachedCharacterization& cached,
-                                   ClassifierFingerprintCache* cache);
+                                   ClassifierFingerprintCache* cache,
+                                   const ReadaptHooks* hooks = nullptr);
 
 }  // namespace liberate::deploy

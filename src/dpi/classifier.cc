@@ -257,6 +257,27 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
   ctx.dst_port = key.dst_port;
   ctx.udp = false;
 
+  // Urgent-pointer handling: a strict implementation removes the out-of-band
+  // byte (the one the urgent pointer designates) before the data is matched,
+  // exactly as a receiver delivering it out of band would. Sequence-number
+  // accounting below always uses the wire length, so the two interpretations
+  // diverge only in what the matcher sees — the g1/g2 probe dimension.
+  BytesView content_payload = tcp.payload;
+  Bytes urgent_stripped;
+  if (config_.strip_urgent_bytes && tcp.has(TcpFlags::kUrg) &&
+      tcp.urgent_ptr > 0 && tcp.urgent_ptr <= tcp.payload.size()) {
+    urgent_stripped.reserve(tcp.payload.size() - 1);
+    urgent_stripped.insert(
+        urgent_stripped.end(), tcp.payload.begin(),
+        tcp.payload.begin() + static_cast<std::ptrdiff_t>(tcp.urgent_ptr - 1));
+    urgent_stripped.insert(
+        urgent_stripped.end(),
+        tcp.payload.begin() + static_cast<std::ptrdiff_t>(tcp.urgent_ptr),
+        tcp.payload.end());
+    content_payload = BytesView(urgent_stripped);
+    LIBERATE_COUNTER_ADD("dpi.urgent_bytes_stripped", 1);
+  }
+
   if (config_.mode == ClassifierConfig::Mode::kPerPacket) {
     ds.payload_packets += 1;
     if (config_.packet_inspection_limit != 0 &&
@@ -270,7 +291,7 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
     }
     if (!ds.gave_up) {
       ctx.packet_index = ds.payload_packets;
-      run_match(*fs, ds, tcp.payload, ctx, key, now, &out);
+      run_match(*fs, ds, content_payload, ctx, key, now, &out);
     }
     return finish(fs, key, now, out);
   }
@@ -278,42 +299,65 @@ Inspection DpiEngine::inspect_tcp(const PacketView& pkt [[maybe_unused]],
   // Stream mode.
   ds.payload_packets += 1;
   if (!ds.gave_up) {
+    auto append_assembled = [&](BytesView bytes) {
+      std::size_t room = config_.stream_buffer_cap > ds.assembled.size()
+                             ? config_.stream_buffer_cap - ds.assembled.size()
+                             : 0;
+      std::size_t take = std::min(room, bytes.size());
+      ds.assembled.insert(ds.assembled.end(), bytes.begin(),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(take));
+    };
+    // Drain buffered out-of-order segments that are now in sequence.
+    auto drain_out_of_order = [&] {
+      if (!config_.stream_handles_out_of_order) return;
+      bool advanced = true;
+      while (advanced) {
+        advanced = false;
+        auto it = ds.out_of_order.find(ds.next_seq);
+        if (it != ds.out_of_order.end()) {
+          append_assembled(BytesView(it->second));
+          ds.next_seq += static_cast<std::uint32_t>(it->second.size());
+          ds.out_of_order.erase(it);
+          advanced = true;
+        }
+      }
+    };
     if (tcp.seq == ds.next_seq || !ds.seq_initialized) {
       if (!ds.seq_initialized) {
         ds.seq_initialized = true;
         ds.next_seq = tcp.seq;
       }
-      std::size_t room = config_.stream_buffer_cap > ds.assembled.size()
-                             ? config_.stream_buffer_cap - ds.assembled.size()
-                             : 0;
-      std::size_t take = std::min(room, tcp.payload.size());
-      ds.assembled.insert(ds.assembled.end(), tcp.payload.begin(),
-                          tcp.payload.begin() + static_cast<std::ptrdiff_t>(take));
+      if (ds.assembled.empty()) ds.stream_base = tcp.seq;
+      append_assembled(content_payload);
       ds.next_seq = tcp.seq + static_cast<std::uint32_t>(tcp.payload.size());
-      // Drain buffered out-of-order segments that are now in sequence.
-      if (config_.stream_handles_out_of_order) {
-        bool advanced = true;
-        while (advanced) {
-          advanced = false;
-          auto it = ds.out_of_order.find(ds.next_seq);
-          if (it != ds.out_of_order.end()) {
-            std::size_t room2 =
-                config_.stream_buffer_cap > ds.assembled.size()
-                    ? config_.stream_buffer_cap - ds.assembled.size()
-                    : 0;
-            std::size_t take2 = std::min(room2, it->second.size());
-            ds.assembled.insert(
-                ds.assembled.end(), it->second.begin(),
-                it->second.begin() + static_cast<std::ptrdiff_t>(take2));
-            ds.next_seq += static_cast<std::uint32_t>(it->second.size());
-            ds.out_of_order.erase(it);
-            advanced = true;
-          }
-        }
+      drain_out_of_order();
+    } else if (static_cast<std::int32_t>(tcp.seq - ds.next_seq) < 0 &&
+               config_.stream_overlap !=
+                   ClassifierConfig::StreamOverlap::kIgnore) {
+      // Segment rewinds into already-assembled bytes: the Ptacek/Newsham
+      // conflicting-overlap ambiguity. kLastWins rewrites the overlapped
+      // window in place; both policies append a genuinely new tail.
+      const std::uint32_t edge = ds.next_seq - tcp.seq;
+      if (config_.stream_overlap ==
+          ClassifierConfig::StreamOverlap::kLastWins) {
+        std::size_t pos = std::min<std::size_t>(
+            static_cast<std::uint32_t>(tcp.seq - ds.stream_base),
+            ds.assembled.size());
+        std::size_t n =
+            std::min<std::size_t>(content_payload.size(),
+                                  ds.assembled.size() - pos);
+        std::copy_n(content_payload.begin(), n,
+                    ds.assembled.begin() + static_cast<std::ptrdiff_t>(pos));
+        LIBERATE_COUNTER_ADD("dpi.stream_overlap_rewritten", 1);
+      }
+      if (content_payload.size() > edge) {
+        append_assembled(content_payload.subspan(edge));
+        ds.next_seq = tcp.seq + static_cast<std::uint32_t>(tcp.payload.size());
+        drain_out_of_order();
       }
     } else if (config_.stream_handles_out_of_order) {
-      ds.out_of_order.emplace(tcp.seq,
-                              Bytes(tcp.payload.begin(), tcp.payload.end()));
+      ds.out_of_order.emplace(
+          tcp.seq, Bytes(content_payload.begin(), content_payload.end()));
     }
     // else: out-of-order bytes silently lost to the matcher (T-Mobile).
 

@@ -68,6 +68,24 @@ struct ClassifierConfig {
   /// that don't arrive in sequence (T-Mobile).
   bool stream_handles_out_of_order = false;
 
+  /// Stream mode: how a retransmitted segment whose range was already
+  /// assembled is resolved — the Ptacek/Newsham segment-overlap ambiguity the
+  /// fingerprint subsystem probes (docs/fingerprinting.md):
+  ///   * kIgnore    — overlapping segments are discarded wholesale; only the
+  ///     tail beyond next_seq would be new, and it is dropped with the rest
+  ///     (the historical behaviour of this engine, and the default);
+  ///   * kFirstWins — already-assembled bytes stand, but a tail extending
+  ///     past next_seq is appended (Zeek-style first-copy semantics);
+  ///   * kLastWins  — the retransmission overwrites the overlapped window
+  ///     and any tail is appended (Suricata "overlap: last" targets).
+  enum class StreamOverlap { kIgnore, kFirstWins, kLastWins };
+  StreamOverlap stream_overlap = StreamOverlap::kIgnore;
+
+  /// Honour the TCP urgent pointer by removing the out-of-band byte from the
+  /// inspected stream (as a strict receiver would before the data reaches the
+  /// application). False = urgent byte inspected inline with the rest.
+  bool strip_urgent_bytes = false;
+
   /// Inspect at most this many payload-carrying packets per direction
   /// (0 = unlimited).
   std::size_t packet_inspection_limit = 0;
@@ -123,6 +141,7 @@ struct FlowState {
     bool seq_initialized = false;
     std::uint32_t next_seq = 0;        // expected next sequence number
     // Stream-mode reassembly.
+    std::uint32_t stream_base = 0;  // seq of assembled[0] (overlap rewrites)
     Bytes assembled;
     std::map<std::uint32_t, Bytes> out_of_order;
     bool anchor_evaluated = false;

@@ -155,6 +155,12 @@ class ConntrackFilter : public netsim::PathElement {
 class ReassemblyElement : public netsim::PathElement {
  public:
   ReassemblyElement() = default;
+  /// Reassemble with an explicit conflicting-overlap policy — how the new
+  /// classifier profiles (Suricata/Zeek/conntrack-style) get their distinct
+  /// fragment-ambiguity resolutions.
+  explicit ReassemblyElement(stack::ReassemblyPolicy policy)
+      : reassembler_{stack::IpReassembler(policy),
+                     stack::IpReassembler(policy)} {}
   void process(Bytes datagram, netsim::Direction dir,
                netsim::ElementIo& io) override;
   std::string name() const override { return "reassembler"; }

@@ -24,11 +24,17 @@ struct NormalizerConfig {
   std::uint8_t ttl_floor = 0;  // 0 = disabled
   /// Reassemble IP fragments before the classifier.
   bool reassemble_fragments = false;
+  /// Conflicting-overlap resolution used when reassembling (the conntrack
+  /// profile normalizes with Linux semantics; see stack/ip_reassembly.h).
+  stack::ReassemblyPolicy reassembly_policy = stack::ReassemblyPolicy::kLastWins;
 };
 
 class NormalizerElement : public netsim::PathElement {
  public:
-  explicit NormalizerElement(NormalizerConfig config) : config_(config) {}
+  explicit NormalizerElement(NormalizerConfig config)
+      : config_(config),
+        reassembler_{stack::IpReassembler(config.reassembly_policy),
+                     stack::IpReassembler(config.reassembly_policy)} {}
 
   void process(Bytes datagram, netsim::Direction dir,
                netsim::ElementIo& io) override;

@@ -1,8 +1,11 @@
 #include "dpi/profiles.h"
 
+#include "dpi/normalizer.h"
 #include "dpi/stun_parser.h"
 
 #include <cmath>
+#include <functional>
+#include <stdexcept>
 
 namespace liberate::dpi {
 
@@ -393,6 +396,183 @@ std::unique_ptr<Environment> make_iran(std::uint64_t seed) {
   return env;
 }
 
+namespace {
+
+// Shared skeleton for the ambiguity-fingerprint profiles: topology, rules,
+// and actions identical to the testbed so that their digests differ ONLY
+// through the parsing/normalization policies under probe. The fleet soak
+// relies on this — a scripted classifier swap applied to a running testbed
+// world must land exactly on a named profile's fingerprint.
+std::unique_ptr<Environment> make_testbed_like(
+    const std::string& name, ClassifierConfig c,
+    const std::function<void(Environment&)>& pre_dpi_elements,
+    std::uint64_t seed) {
+  auto env = std::make_unique<Environment>();
+  env->name = name;
+  env->signal = Environment::Signal::kDirect;
+
+  MiddleboxConfig mc;
+  mc.classifier = std::move(c);
+  mc.rules = testbed_rules();
+  PolicyAction shape;
+  shape.throttle_bytes_per_sec = 1.5e6 / 8;
+  mc.actions["video"] = shape;
+  mc.actions["music"] = shape;
+  mc.actions["voip"] = shape;
+  mc.seed = seed;
+
+  env->net.emplace<RouterHop>(ip_addr("10.1.0.1"));
+  env->pre_middlebox_tap = &env->net.emplace<netsim::TapElement>("pre-dpi");
+  if (pre_dpi_elements) pre_dpi_elements(*env);
+  env->dpi = &env->net.emplace<DpiMiddlebox>(mc);
+  auto& exit = env->net.emplace<RouterHop>(ip_addr("10.1.0.2"));
+  ValidationPolicy exit_filter;
+  exit_filter.checked =
+      set_of({Anomaly::kBadIpVersion, Anomaly::kBadIpHeaderLength,
+              Anomaly::kIpTotalLengthLong, Anomaly::kIpTotalLengthShort,
+              Anomaly::kBadIpChecksum, Anomaly::kTcpDataNoAck});
+  exit.filter(exit_filter);
+  env->hops_before_middlebox = 1;
+  env->total_router_hops = 2;
+  return env;
+}
+
+// Suricata-style target-based engine: validating, seq-checking stream
+// reassembly with "overlap: last" segment semantics and BSD-left fragment
+// reassembly in front.
+ClassifierConfig suricata_config() {
+  ClassifierConfig c;
+  c.name = "suricata";
+  c.validated_anomalies =
+      set_of({Anomaly::kBadTcpChecksum, Anomaly::kDeprecatedIpOptions,
+              Anomaly::kInvalidIpOptions});
+  c.requires_syn = true;
+  c.match_and_forget = true;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = true;
+  c.stream_overlap = ClassifierConfig::StreamOverlap::kLastWins;
+  c.validate_tcp_seq = true;
+  c.packet_inspection_limit = 0;
+  return c;
+}
+
+// Zeek-style analyzer: first-copy segment semantics, urgent bytes delivered
+// out of band (stripped from the inspected stream), checksum validation but
+// no sequence-window enforcement, first-wins fragment reassembly.
+ClassifierConfig zeek_config() {
+  ClassifierConfig c;
+  c.name = "zeek";
+  c.validated_anomalies =
+      set_of({Anomaly::kBadTcpChecksum, Anomaly::kInvalidIpOptions});
+  c.requires_syn = true;
+  c.match_and_forget = true;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = true;
+  c.stream_overlap = ClassifierConfig::StreamOverlap::kFirstWins;
+  c.validate_tcp_seq = false;
+  c.strip_urgent_bytes = true;
+  c.packet_inspection_limit = 0;
+  return c;
+}
+
+// nDPI-style lightweight flow classifier: per-packet matching on the first
+// eight payload packets, no header validation, flows picked up mid-stream.
+ClassifierConfig ndpi_config() {
+  ClassifierConfig c;
+  c.name = "ndpi";
+  c.validated_anomalies = 0;
+  c.requires_syn = false;
+  c.match_and_forget = true;
+  c.mode = ClassifierConfig::Mode::kPerPacket;
+  c.packet_inspection_limit = 8;
+  c.validate_tcp_seq = false;
+  return c;
+}
+
+// netfilter-conntrack-style deployment: a strict normalizer in front (drop
+// anything malformed, raise low TTLs, Linux-policy fragment reassembly)
+// feeding a stream engine that discards ambiguous retransmissions outright.
+ClassifierConfig conntrack_strict_config() {
+  ClassifierConfig c;
+  c.name = "conntrack-strict";
+  c.validated_anomalies = 0;  // the normalizer drops malformed packets
+  c.requires_syn = true;
+  c.match_and_forget = true;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = true;
+  c.stream_overlap = ClassifierConfig::StreamOverlap::kIgnore;
+  c.validate_tcp_seq = true;
+  c.packet_inspection_limit = 0;
+  return c;
+}
+
+// Permissive first-match middlebox: believes the first copy of every byte,
+// validates nothing, drops out-of-order bytes on the floor.
+ClassifierConfig permissive_config() {
+  ClassifierConfig c;
+  c.name = "permissive";
+  c.validated_anomalies = 0;
+  c.requires_syn = true;
+  c.match_and_forget = true;
+  c.mode = ClassifierConfig::Mode::kStream;
+  c.stream_handles_out_of_order = false;
+  c.stream_overlap = ClassifierConfig::StreamOverlap::kFirstWins;
+  c.validate_tcp_seq = false;
+  return c;
+}
+
+}  // namespace
+
+ClassifierConfig ambiguity_profile_config(const std::string& name) {
+  if (name == "suricata") return suricata_config();
+  if (name == "zeek") return zeek_config();
+  if (name == "ndpi") return ndpi_config();
+  if (name == "conntrack-strict") return conntrack_strict_config();
+  if (name == "permissive") return permissive_config();
+  throw std::invalid_argument("unknown ambiguity profile: " + name);
+}
+
+std::unique_ptr<Environment> make_suricata(std::uint64_t seed) {
+  return make_testbed_like(
+      "suricata", suricata_config(),
+      [](Environment& env) {
+        env.net.emplace<ReassemblyElement>(stack::ReassemblyPolicy::kBsdLeft);
+      },
+      seed);
+}
+
+std::unique_ptr<Environment> make_zeek(std::uint64_t seed) {
+  return make_testbed_like(
+      "zeek", zeek_config(),
+      [](Environment& env) {
+        env.net.emplace<ReassemblyElement>(
+            stack::ReassemblyPolicy::kFirstWins);
+      },
+      seed);
+}
+
+std::unique_ptr<Environment> make_ndpi(std::uint64_t seed) {
+  return make_testbed_like("ndpi", ndpi_config(), nullptr, seed);
+}
+
+std::unique_ptr<Environment> make_conntrack_strict(std::uint64_t seed) {
+  return make_testbed_like(
+      "conntrack-strict", conntrack_strict_config(),
+      [](Environment& env) {
+        NormalizerConfig nc;
+        nc.drop_malformed = true;
+        nc.ttl_floor = 10;
+        nc.reassemble_fragments = true;
+        nc.reassembly_policy = stack::ReassemblyPolicy::kLinux;
+        env.net.emplace<NormalizerElement>(nc);
+      },
+      seed);
+}
+
+std::unique_ptr<Environment> make_permissive(std::uint64_t seed) {
+  return make_testbed_like("permissive", permissive_config(), nullptr, seed);
+}
+
 std::unique_ptr<Environment> make_att(std::uint64_t seed) {
   (void)seed;
   auto env = std::make_unique<Environment>();
@@ -437,11 +617,18 @@ std::unique_ptr<Environment> make_environment(const std::string& name,
   if (name == "iran") return make_iran(seed);
   if (name == "att") return make_att(seed);
   if (name == "sprint") return make_sprint(seed);
+  if (name == "suricata") return make_suricata(seed);
+  if (name == "zeek") return make_zeek(seed);
+  if (name == "ndpi") return make_ndpi(seed);
+  if (name == "conntrack-strict") return make_conntrack_strict(seed);
+  if (name == "permissive") return make_permissive(seed);
   return nullptr;
 }
 
 std::vector<std::string> environment_names() {
-  return {"testbed", "tmus", "gfc", "iran", "att", "sprint"};
+  return {"testbed",  "tmus", "gfc",      "iran",
+          "att",      "sprint", "suricata", "zeek",
+          "ndpi",     "conntrack-strict", "permissive"};
 }
 
 }  // namespace liberate::dpi

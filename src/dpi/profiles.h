@@ -59,7 +59,23 @@ std::unique_ptr<Environment> make_iran(std::uint64_t seed = 1);
 std::unique_ptr<Environment> make_att(std::uint64_t seed = 1);
 std::unique_ptr<Environment> make_sprint(std::uint64_t seed = 1);
 
-/// Dispatcher: "testbed" | "tmus" | "gfc" | "iran" | "att" | "sprint".
+// Ambiguity-fingerprint profiles (docs/fingerprinting.md): five classifier
+// implementations sharing the testbed's topology, rules, and actions but with
+// genuinely distinct parsing-discrepancy resolutions, so src/fingerprint
+// probes discriminate *implementations* rather than deployments.
+std::unique_ptr<Environment> make_suricata(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_zeek(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_ndpi(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_conntrack_strict(std::uint64_t seed = 1);
+std::unique_ptr<Environment> make_permissive(std::uint64_t seed = 1);
+
+/// The engine configuration of one of the five ambiguity profiles above —
+/// what a scripted mid-soak classifier swap applies to a running testbed
+/// world to land exactly on that profile's fingerprint. Throws
+/// std::invalid_argument for unknown names.
+ClassifierConfig ambiguity_profile_config(const std::string& name);
+
+/// Dispatcher over every name in environment_names().
 std::unique_ptr<Environment> make_environment(const std::string& name,
                                               std::uint64_t seed = 1);
 std::vector<std::string> environment_names();

@@ -1,0 +1,89 @@
+// ambiguity.h — versioned digests of a DPI implementation's parsing
+// discrepancies.
+//
+// Following "Fingerprinting DPI Devices by Their Ambiguities" (arXiv
+// 2509.09081), a middlebox is identified not by *what* it classifies but by
+// *how it resolves ambiguous input*: conflicting fragment/segment overlaps,
+// TTL-scoped inserts that die before the server, checksum-invalid shadow
+// data, urgent-pointer and IP-option quirks, out-of-window and
+// wrap-spanning bytes. Each probed dimension yields two bits per variant —
+// did the classifier accept the probe's hidden keyword, and did the keyword
+// survive to the server intact — and the collected bit patterns form an
+// AmbiguityDigest. Two deployments with the same digest resolve every
+// probed ambiguity identically, which is the strongest behavioural match
+// the warm-deploy path can ask for (docs/fingerprinting.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/digest.h"
+
+namespace liberate {
+struct JsonValue;
+}
+
+namespace liberate::fingerprint {
+
+/// Observed resolution of one discrepancy dimension. `bits` packs two bits
+/// per probe variant: bit (2*v) = the classifier recognized variant v's
+/// hidden keyword ("the DPI saw it"), bit (2*v + 1) = the keyword reached
+/// the server application stream intact ("the endpoint saw it").
+struct DimensionResult {
+  std::string dimension;
+  std::uint32_t bits = 0;
+  std::uint32_t variant_count = 0;
+
+  bool operator==(const DimensionResult& o) const {
+    return dimension == o.dimension && bits == o.bits &&
+           variant_count == o.variant_count;
+  }
+};
+
+/// The distilled fingerprint of one classifier implementation. Dimensions
+/// are kept sorted by name so digests built from differently-ordered probe
+/// runs compare and hash identically.
+struct AmbiguityDigest {
+  static constexpr int kVersion = 1;
+  static constexpr const char* kFormat = "ambiguity/v1";
+
+  int version = kVersion;
+  std::vector<DimensionResult> dims;
+
+  bool empty() const { return dims.empty(); }
+  void add(DimensionResult result);
+  const DimensionResult* find(std::string_view dimension) const;
+
+  /// 128-bit content fingerprint over (version, sorted dimension results).
+  Fingerprint fingerprint() const;
+  /// "lo:hi" hex rendering of fingerprint() — the FLEET/`liberate_top`
+  /// surface form.
+  std::string fingerprint_hex() const;
+
+  std::string to_json() const;
+  static std::optional<AmbiguityDigest> from_json(std::string_view text);
+  /// Same strict decoding from an already-parsed JSON value (for digests
+  /// embedded in larger documents, e.g. the fingerprint cache).
+  static std::optional<AmbiguityDigest> from_json_value(const JsonValue& doc);
+
+  bool operator==(const AmbiguityDigest& o) const {
+    return version == o.version && dims == o.dims;
+  }
+};
+
+/// Pairwise distance: Hamming distance of the observation bits over
+/// dimensions present in both digests, plus a full-width penalty
+/// (2 * variant_count) for every dimension only one side probed. 0 iff the
+/// two implementations resolved every common ambiguity identically and
+/// probed the same dimensions.
+std::size_t ambiguity_distance(const AmbiguityDigest& a,
+                               const AmbiguityDigest& b);
+
+/// Compact per-dimension label, e.g. "tcp-overlap:25" (bits in hex) — used
+/// by dashboards and docs, never parsed back.
+std::string resolution_label(const DimensionResult& d);
+
+}  // namespace liberate::fingerprint

@@ -276,6 +276,7 @@ void FuzzStats::merge(const FuzzStats& o) {
   match_fallback_programs += o.match_fallback_programs;
   match_cases_checked += o.match_cases_checked;
   match_divergences += o.match_divergences;
+  probe_scripts_decoded += o.probe_scripts_decoded;
 }
 
 std::uint64_t iteration_seed(std::uint64_t base_seed, std::uint64_t index) {

@@ -55,6 +55,8 @@ struct FuzzStats {
   std::uint64_t match_fallback_programs = 0;  // node-budget fallback taken
   std::uint64_t match_cases_checked = 0;      // (rules, content, ctx) triples
   std::uint64_t match_divergences = 0;        // MUST be 0
+  // Probe-codec campaign (fingerprint/probe.h "APv1" scripts).
+  std::uint64_t probe_scripts_decoded = 0;    // inputs the decoder accepted
   /// Seed of the first iteration that recorded a mismatch (repro handle).
   std::uint64_t first_failure_seed = 0;
 
@@ -75,6 +77,11 @@ void run_stateful_iteration(std::uint64_t seed, FuzzStats& stats);
 /// keyword overlaps, STUN payloads, empty contents). Every RuleHit and
 /// RuleStep/ContentTrace sequence must be byte-identical.
 void run_match_program_iteration(std::uint64_t seed, FuzzStats& stats);
+/// One deterministic probe-codec iteration: a random in-caps ProbeScript is
+/// round-tripped through encode/decode, then its encoding is mutated (bit
+/// flips, truncations, splices, trailing junk) — the decoder must reject or
+/// stay canonical (decode∘encode∘decode is the identity), never crash.
+void run_probe_codec_iteration(std::uint64_t seed, FuzzStats& stats);
 
 /// Campaign drivers: `iterations` iterations from `base_seed`.
 FuzzStats run_codec_campaign(std::uint64_t base_seed,
@@ -83,6 +90,8 @@ FuzzStats run_stateful_campaign(std::uint64_t base_seed,
                                 std::uint64_t iterations);
 FuzzStats run_match_program_campaign(std::uint64_t base_seed,
                                      std::uint64_t iterations);
+FuzzStats run_probe_codec_campaign(std::uint64_t base_seed,
+                                   std::uint64_t iterations);
 
 /// A checked-in interesting input (tests/fuzz/corpus): `name` is the file
 /// name, `data` the decoded bytes.
@@ -103,5 +112,10 @@ void run_corpus_entry(BytesView input, FuzzStats& stats);
 /// against a fixed tricky rule set under a matrix of contexts, comparing
 /// compiled vs reference on each.
 void run_match_corpus_entry(BytesView content, FuzzStats& stats);
+
+/// Replay one probe-codec corpus input (tests/fuzz/corpus/fingerprint)
+/// through the ambiguity probe script decoder, checking canonical-form
+/// stability on accepted inputs.
+void run_probe_corpus_entry(BytesView input, FuzzStats& stats);
 
 }  // namespace liberate::fuzz

@@ -1,0 +1,161 @@
+// probe_fuzz.cc — fuzz campaign for the ambiguity probe script codec
+// (fingerprint/probe.h, magic "APv1").
+//
+// Probe scripts are persisted and replayed across trust boundaries (cache
+// files, probe-set exchange), so the decoder must reject every malformed
+// input instead of crashing or mis-parsing. Each iteration:
+//
+//   1. builds a random-but-in-caps ProbeScript and checks the strict
+//      encode → decode identity;
+//   2. mutates the encoding (bit flips, truncations, splices, appended
+//      junk) and feeds the result to the decoder, which must either reject
+//      it or yield a script whose re-encoding decodes back identically
+//      (canonical-form stability).
+#include <algorithm>
+
+#include "fingerprint/probe.h"
+#include "fuzz/fuzz.h"
+#include "util/rng.h"
+
+namespace liberate::fuzz {
+
+namespace {
+
+using fingerprint::ProbePacket;
+using fingerprint::ProbeScript;
+
+const char* const kDimensionNames[] = {
+    "tcp-overlap",   "frag-overlap",     "ttl-insert", "checksum-shadow",
+    "ip-option",     "urgent-pointer",   "out-of-window", "wrap-span",
+    "inspection-limit", "no-syn",
+};
+
+ProbeScript random_script(Rng& rng) {
+  ProbeScript s;
+  if (rng.chance(0.8)) {
+    s.dimension = kDimensionNames[rng.below(10)];
+  } else {
+    // Degenerate names: empty through moderately long, still within the
+    // codec's 256-byte cap so the round trip must hold.
+    s.dimension.assign(rng.below(48), 'd');
+  }
+  s.variant = static_cast<std::uint32_t>(rng.next());
+  s.isn = static_cast<std::uint32_t>(rng.next());
+  s.send_syn = rng.chance(0.9);
+  const std::size_t n = rng.below(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    ProbePacket p;
+    if (rng.chance(0.7)) {
+      p.kind = ProbePacket::Kind::kSegment;
+      p.rel_seq = static_cast<std::uint32_t>(rng.next());
+      p.tcp_flags = static_cast<std::uint8_t>(rng.next());
+      p.ttl = static_cast<std::uint8_t>(rng.below(65));
+      p.corrupt_tcp_checksum = rng.chance(0.2);
+      p.urgent_ptr = static_cast<std::uint16_t>(rng.next());
+      p.ip_option_kind = rng.chance(0.2)
+                             ? fingerprint::kInvalidIpOptionKind
+                             : static_cast<std::uint8_t>(rng.next());
+    } else {
+      p.kind = ProbePacket::Kind::kFragment;
+      p.frag_offset_words = static_cast<std::uint16_t>(rng.next());
+      p.more_fragments = rng.chance(0.5);
+    }
+    p.payload.resize(rng.below(96));
+    for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng.next());
+    s.packets.push_back(std::move(p));
+  }
+  return s;
+}
+
+/// Decode an arbitrary buffer; when it is accepted, the decoded script's
+/// canonical re-encoding must decode back to the same script.
+void check_decode(BytesView input, std::uint64_t seed, FuzzStats& stats) {
+  ++stats.inputs;
+  std::optional<ProbeScript> decoded = fingerprint::decode_probe_script(input);
+  if (!decoded) return;
+  ++stats.probe_scripts_decoded;
+  Bytes canonical = fingerprint::encode_probe_script(*decoded);
+  std::optional<ProbeScript> again =
+      fingerprint::decode_probe_script(canonical);
+  ++stats.roundtrips_checked;
+  if (!again || !(*again == *decoded)) {
+    if (stats.roundtrip_mismatches == 0) stats.first_failure_seed = seed;
+    ++stats.roundtrip_mismatches;
+  }
+}
+
+}  // namespace
+
+void run_probe_codec_iteration(std::uint64_t seed, FuzzStats& stats) {
+  ++stats.iterations;
+  Rng rng(seed);
+
+  // Identity: a script within the codec caps must survive the round trip.
+  ProbeScript script = random_script(rng);
+  Bytes encoded = fingerprint::encode_probe_script(script);
+  ++stats.inputs;
+  std::optional<ProbeScript> decoded =
+      fingerprint::decode_probe_script(encoded);
+  ++stats.roundtrips_checked;
+  if (!decoded || !(*decoded == script)) {
+    if (stats.roundtrip_mismatches == 0) stats.first_failure_seed = seed;
+    ++stats.roundtrip_mismatches;
+    return;
+  }
+  ++stats.probe_scripts_decoded;
+
+  // Mutation neighborhood: the decoder sees flipped bits, truncations,
+  // splices of two encodings, and trailing junk. Reject or stay canonical.
+  Bytes other = fingerprint::encode_probe_script(random_script(rng));
+  for (int m = 0; m < 8; ++m) {
+    Bytes mutated = encoded;
+    switch (rng.below(4)) {
+      case 0: {  // bit flip
+        if (!mutated.empty()) {
+          const std::size_t i = rng.below(mutated.size());
+          mutated[i] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      }
+      case 1: {  // truncate
+        mutated.resize(rng.below(mutated.size() + 1));
+        break;
+      }
+      case 2: {  // splice head of ours onto tail of another encoding
+        const std::size_t cut = rng.below(mutated.size() + 1);
+        mutated.resize(cut);
+        const std::size_t from = rng.below(other.size() + 1);
+        mutated.insert(mutated.end(), other.begin() + from, other.end());
+        break;
+      }
+      default: {  // append junk (strict codec must reject trailing bytes)
+        const std::size_t extra = 1 + rng.below(8);
+        for (std::size_t i = 0; i < extra; ++i) {
+          mutated.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+      }
+    }
+    check_decode(mutated, seed, stats);
+  }
+
+  // Pure junk of a plausible length.
+  Bytes junk(rng.below(64), 0);
+  for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+  check_decode(junk, seed, stats);
+}
+
+FuzzStats run_probe_codec_campaign(std::uint64_t base_seed,
+                                   std::uint64_t iterations) {
+  FuzzStats stats;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    run_probe_codec_iteration(iteration_seed(base_seed, i), stats);
+  }
+  return stats;
+}
+
+void run_probe_corpus_entry(BytesView input, FuzzStats& stats) {
+  check_decode(input, /*seed=*/0, stats);
+}
+
+}  // namespace liberate::fuzz

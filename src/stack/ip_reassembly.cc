@@ -9,6 +9,20 @@ namespace liberate::stack {
 using netsim::Ipv4Header;
 using netsim::Ipv4View;
 
+const char* reassembly_policy_name(ReassemblyPolicy policy) {
+  switch (policy) {
+    case ReassemblyPolicy::kLastWins:
+      return "last-wins";
+    case ReassemblyPolicy::kFirstWins:
+      return "first-wins";
+    case ReassemblyPolicy::kBsdLeft:
+      return "bsd-left";
+    case ReassemblyPolicy::kLinux:
+      return "linux";
+  }
+  return "unknown";
+}
+
 void IpReassembler::evict_oldest() {
   auto oldest = buffers_.begin();
   for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
@@ -54,7 +68,8 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
     payload = payload.subspan(0, limits_.max_datagram_bytes - offset);
     LIBERATE_COUNTER_ADD("stack.reassembly_oversize_fragment", 1);
   }
-  buf.pieces.push_back(Piece{offset, Bytes(payload.begin(), payload.end())});
+  buf.pieces.push_back(
+      Piece{offset, Bytes(payload.begin(), payload.end()), buf.pieces.size()});
 #if LIBERATE_OBS_LEVEL >= LIBERATE_OBS_LEVEL_FULL
   buf.piece_ids.push_back(
       obs::prov::ProvenanceRecorder::instance().packet(datagram, "wire"));
@@ -102,11 +117,44 @@ std::optional<Bytes> IpReassembler::push(BytesView datagram,
   }
   if (covered < total) return std::nullopt;
 
-  // Reassemble; on overlap, later offsets then later arrivals win (writing
-  // in stable-sorted order matches the "last fragment wins" semantics of
-  // common stacks closely enough for our experiments).
+  // Reassemble. Conflicting overlap bytes resolve purely by write order —
+  // whichever piece is written last owns the byte — so every policy is the
+  // same clamped copy loop over a differently ordered piece list.
+  std::vector<Piece> write_order;
+  switch (policy_) {
+    case ReassemblyPolicy::kLastWins:
+      // Historical behaviour: ascending offset, equal offsets in arrival
+      // order (the stable sort above), so later offsets then later arrivals
+      // win — close enough to "last fragment wins" for our experiments.
+      write_order = sorted;
+      break;
+    case ReassemblyPolicy::kFirstWins:
+      // Earliest arrival written last: the first copy of every byte stands.
+      write_order.assign(buf.pieces.rbegin(), buf.pieces.rend());
+      break;
+    case ReassemblyPolicy::kBsdLeft:
+      // Lower offset wins the overlap, equal offsets favouring the earlier
+      // arrival — write descending offset, ties descending arrival.
+      write_order = buf.pieces;
+      std::sort(write_order.begin(), write_order.end(),
+                [](const Piece& a, const Piece& b) {
+                  if (a.offset != b.offset) return a.offset > b.offset;
+                  return a.arrival > b.arrival;
+                });
+      break;
+    case ReassemblyPolicy::kLinux:
+      // Lower offset wins, but equal-offset conflicts favour the later
+      // arrival — write descending offset, ties ascending arrival.
+      write_order = buf.pieces;
+      std::sort(write_order.begin(), write_order.end(),
+                [](const Piece& a, const Piece& b) {
+                  if (a.offset != b.offset) return a.offset > b.offset;
+                  return a.arrival < b.arrival;
+                });
+      break;
+  }
   Bytes payload_out(total, 0);
-  for (const Piece& p : sorted) {
+  for (const Piece& p : write_order) {
     if (p.offset >= total) {
       LIBERATE_COUNTER_ADD("stack.reassembly_stray_piece", 1);
       continue;

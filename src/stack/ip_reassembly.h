@@ -25,6 +25,23 @@
 
 namespace liberate::stack {
 
+/// How conflicting data in overlapping fragments is resolved — the
+/// target-based reassembly policies of Shankar & Paxson / Novak that real
+/// stacks and IDSes disagree on, and exactly the discrepancy the ambiguity
+/// probe engine (src/fingerprint) fingerprints:
+///
+///   * kLastWins  — subsequent fragments overwrite earlier data (the
+///     overwrite policy; this library's historical behaviour, kept as the
+///     default so existing digests and tests are unchanged);
+///   * kFirstWins — the first-arriving copy of every byte stands;
+///   * kBsdLeft   — the fragment with the lower offset wins the overlap,
+///     ties favouring the earlier arrival (classic 4.4BSD left-trim);
+///   * kLinux     — the fragment with the strictly lower offset wins,
+///     equal-offset ties favouring the later arrival.
+enum class ReassemblyPolicy { kLastWins, kFirstWins, kBsdLeft, kLinux };
+
+const char* reassembly_policy_name(ReassemblyPolicy policy);
+
 /// Hard caps on reassembly state. Exceeding a cap never aborts — the
 /// offending fragment (or the oldest buffer) is dropped and an obs counter
 /// ticks, which is what a production stack under attack must do.
@@ -43,8 +60,11 @@ struct ReassemblyLimits {
 class IpReassembler {
  public:
   explicit IpReassembler(netsim::Duration timeout = netsim::seconds(30),
-                         ReassemblyLimits limits = {})
-      : timeout_(timeout), limits_(limits) {}
+                         ReassemblyLimits limits = {},
+                         ReassemblyPolicy policy = ReassemblyPolicy::kLastWins)
+      : timeout_(timeout), limits_(limits), policy_(policy) {}
+  explicit IpReassembler(ReassemblyPolicy policy)
+      : IpReassembler(netsim::seconds(30), {}, policy) {}
 
   /// Feed one datagram. Non-fragments pass through unchanged. Fragments are
   /// buffered; when the set completes, the reassembled full datagram (with a
@@ -56,6 +76,7 @@ class IpReassembler {
 
   std::size_t pending() const { return buffers_.size(); }
   const ReassemblyLimits& limits() const { return limits_; }
+  ReassemblyPolicy policy() const { return policy_; }
 
  private:
   struct Key {
@@ -67,6 +88,7 @@ class IpReassembler {
   struct Piece {
     std::size_t offset;
     Bytes data;
+    std::size_t arrival;  // arrival rank within the buffer (overlap tiebreak)
   };
   struct Buffer {
     std::vector<Piece> pieces;  // in arrival order (overlap tiebreak)
@@ -84,6 +106,7 @@ class IpReassembler {
 
   netsim::Duration timeout_;
   ReassemblyLimits limits_;
+  ReassemblyPolicy policy_;
   std::map<Key, Buffer> buffers_;
 };
 

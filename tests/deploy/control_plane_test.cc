@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "deploy/drift.h"
 #include "deploy/fingerprint.h"
@@ -230,6 +231,92 @@ TEST(FingerprintCache, SaveAndLoadFile) {
   EXPECT_EQ(loaded->to_json(), cache.to_json());
   EXPECT_FALSE(
       ClassifierFingerprintCache::load(path + ".missing").has_value());
+}
+
+fingerprint::AmbiguityDigest sample_digest(std::uint32_t tcp_bits) {
+  fingerprint::AmbiguityDigest d;
+  d.add({"frag-overlap", 0xaa, 4});
+  d.add({"tcp-overlap", tcp_bits, 3});
+  return d;
+}
+
+TEST(FingerprintCache, AmbiguityDigestRoundTrips) {
+  CachedCharacterization e = sample_entry();
+  e.ambiguity = sample_digest(0x39);
+  ClassifierFingerprintCache cache;
+  cache.store(e);
+
+  auto parsed = ClassifierFingerprintCache::from_json(cache.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const CachedCharacterization* got =
+      parsed->lookup("testbed", "AmazonPrimeVideo");
+  ASSERT_NE(got, nullptr);
+  ASSERT_TRUE(got->ambiguity.has_value());
+  EXPECT_EQ(*got->ambiguity, *e.ambiguity);
+  EXPECT_EQ(got->ambiguity->fingerprint_hex(),
+            e.ambiguity->fingerprint_hex());
+  EXPECT_EQ(parsed->to_json(), cache.to_json());
+}
+
+TEST(FingerprintCache, PreAmbiguityCachesInvalidateCleanly) {
+  // Positive control: the minimal v2 shape parses.
+  EXPECT_TRUE(ClassifierFingerprintCache::from_json(
+                  "{\"version\":2,\"digest_format\":\"ambiguity/v1\","
+                  "\"entries\":[]}")
+                  .has_value());
+  // A v1 file (pre-ambiguity schema) degrades to a cold start.
+  EXPECT_FALSE(ClassifierFingerprintCache::from_json(
+                   "{\"version\":1,\"digest_format\":\"ambiguity/v1\","
+                   "\"entries\":[]}")
+                   .has_value());
+  // Missing or mismatched digest format: entries were probed with a
+  // different digest revision and must not feed nearest-fingerprint matching.
+  EXPECT_FALSE(
+      ClassifierFingerprintCache::from_json("{\"version\":2,\"entries\":[]}")
+          .has_value());
+  ClassifierFingerprintCache cache;
+  CachedCharacterization e = sample_entry();
+  e.ambiguity = sample_digest(0x39);
+  cache.store(e);
+  std::string stale = cache.to_json();
+  const std::size_t at = stale.find("ambiguity/v1");
+  ASSERT_NE(at, std::string::npos);
+  stale.replace(at, 12, "ambiguity/v0");
+  EXPECT_FALSE(ClassifierFingerprintCache::from_json(stale).has_value());
+}
+
+TEST(FingerprintCache, NearestByAmbiguitySelectsClosestWithinBound) {
+  ClassifierFingerprintCache cache;
+  CachedCharacterization a = sample_entry();
+  a.environment = "alpha";
+  a.ambiguity = sample_digest(0x39);
+  CachedCharacterization b = sample_entry();
+  b.environment = "beta";
+  b.ambiguity = sample_digest(0x3f);
+  CachedCharacterization c = sample_entry();
+  c.environment = "gamma";  // no digest: never a nearest-match candidate
+  cache.store(a);
+  cache.store(b);
+  cache.store(c);
+
+  // 0x38 is 1 bit from alpha's tcp-overlap bits, 3 from beta's.
+  auto [hit, dist] =
+      cache.nearest_by_ambiguity(sample_digest(0x38), "AmazonPrimeVideo", 8);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->environment, "alpha");
+  EXPECT_EQ(dist, 1u);
+
+  // The bound is strict: distance 1 does not match max_distance 0.
+  auto [miss, miss_dist] =
+      cache.nearest_by_ambiguity(sample_digest(0x38), "AmazonPrimeVideo", 0);
+  EXPECT_EQ(miss, nullptr);
+  EXPECT_EQ(miss_dist, std::numeric_limits<std::size_t>::max());
+
+  // Matching is per-app: another app's traffic never adopts this ranking.
+  auto [other, other_dist] =
+      cache.nearest_by_ambiguity(sample_digest(0x39), "OtherApp", 8);
+  EXPECT_EQ(other, nullptr);
+  (void)other_dist;
 }
 
 TEST(FingerprintDigest, SensitiveToFieldsAndQuirks) {

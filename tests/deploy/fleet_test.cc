@@ -7,8 +7,10 @@
 #include <set>
 
 #include "deploy/fleet.h"
+#include "dpi/classifier.h"
 #include "dpi/match_program.h"
 #include "dpi/normalizer.h"
+#include "dpi/profiles.h"
 #include "obs/snapshot.h"
 #include "obs/timeseries.h"
 #include "trace/generators.h"
@@ -153,6 +155,84 @@ TEST(FleetSoak, WarmCacheSkipsInitialAnalysis) {
   EXPECT_EQ(second.technique_initial, first.technique_initial);
   // The cached knowledge deploys just as well: clean waves throughout.
   EXPECT_EQ(second.totals.differentiated, 0u);
+}
+
+/// The fleet_deploy act-3 scenario: deployed on the testbed, the live
+/// classifier is swapped mid-run to the nDPI-style engine behind a
+/// reassembling normalizer — the rule set survives, but fragment handling
+/// and the ambiguity resolutions change together.
+FleetOptions fingerprint_swap_options(ClassifierFingerprintCache* cache,
+                                      bool ambiguity_probes) {
+  FleetOptions opts;
+  opts.shards = 4;
+  opts.flows_per_wave = 8;
+  opts.waves = 6;
+  opts.faults = netsim::FaultPolicy::reorder_heavy();
+  opts.cache = cache;
+  opts.ambiguity_probes = ambiguity_probes;
+  opts.ambiguity_max_distance = 8;
+  opts.change_at_wave = 2;
+  opts.classifier_change = [](dpi::Environment& env) {
+    dpi::NormalizerConfig cfg;
+    cfg.reassemble_fragments = true;
+    env.net.emplace_at<dpi::NormalizerElement>(0, cfg);
+    env.dpi->engine().set_config(dpi::ambiguity_profile_config("ndpi"));
+  };
+  return opts;
+}
+
+int rounds_on_path(const FleetReport& report, ReadaptPath path) {
+  for (const FleetWaveReport& w : report.waves) {
+    if (w.readapt_path && *w.readapt_path == path) return w.readapt_rounds;
+  }
+  return -1;
+}
+
+// Acceptance criterion (docs/fingerprinting.md): a swap to a previously
+// fingerprinted classifier re-deploys via the nearest-fingerprint warm match
+// in FEWER replay rounds than the verified-cached ladder walk spends on the
+// identical swap without probes.
+TEST(FleetFingerprint, NearestMatchRedeploysInFewerRoundsThanVerifiedCached) {
+  const auto trace = trace::amazon_video_trace(8 * 1024);
+
+  // Baseline, probes off: drift falls through to field verification and the
+  // stale ranking walk.
+  ClassifierFingerprintCache cache_off;
+  FleetReport off =
+      FleetEngine(fingerprint_swap_options(&cache_off, false)).run(trace);
+  const int verified = rounds_on_path(off, ReadaptPath::kVerifiedCached);
+  ASSERT_GT(verified, 0);
+  EXPECT_TRUE(off.fingerprint_source.empty());
+  EXPECT_EQ(off.summary().find("FLEET fingerprint"), std::string::npos);
+
+  // Learn the nDPI implementation's fingerprint once (cold deploy against
+  // that profile with probes on stores digest + ranking in the cache).
+  ClassifierFingerprintCache cache;
+  FleetOptions learn = fingerprint_swap_options(&cache, true);
+  learn.environment = "ndpi";
+  learn.waves = 1;
+  learn.change_at_wave = static_cast<std::size_t>(-1);
+  learn.classifier_change = nullptr;
+  FleetReport learned = FleetEngine(learn).run(trace);
+  EXPECT_EQ(learned.fingerprint_source, "probed");
+  EXPECT_FALSE(learned.fingerprint_digest.empty());
+  EXPECT_EQ(learned.fingerprint_dims, 10u);
+  ASSERT_NE(cache.lookup("ndpi", learned.app), nullptr);
+  EXPECT_TRUE(cache.lookup("ndpi", learned.app)->ambiguity.has_value());
+
+  // The same swap with probes on: the post-change digest nearest-matches
+  // the learned nDPI entry at the fingerprint-verify ladder stage.
+  FleetReport on =
+      FleetEngine(fingerprint_swap_options(&cache, true)).run(trace);
+  const int matched = rounds_on_path(on, ReadaptPath::kFingerprintMatched);
+  ASSERT_GT(matched, 0);
+  EXPECT_EQ(on.fingerprint_source, "nearest");
+  EXPECT_EQ(on.fingerprint_profile, "ndpi");
+  EXPECT_GT(on.fingerprint_probe_flows, 0u);
+  EXPECT_NE(on.technique_final, on.technique_initial);
+  EXPECT_NE(on.summary().find("FLEET fingerprint"), std::string::npos);
+
+  EXPECT_LT(matched, verified);
 }
 
 TEST(FleetSoak, FlowTableCapEvictsAcrossWaves) {

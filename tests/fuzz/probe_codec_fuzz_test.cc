@@ -1,0 +1,95 @@
+// Probe-codec fuzz smoke: seed-driven round-trip + mutation campaigns over
+// the ambiguity probe script codec (fingerprint/probe.h, magic "APv1").
+// Locally a few hundred iterations; CI raises LIBERATE_FUZZ_ITERATIONS to
+// 10000 under ASan/UBSan. Any failure names the exact iteration seed —
+// `run_probe_codec_iteration(seed, stats)` is the whole repro.
+#include "fuzz/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fingerprint/probe.h"
+
+namespace liberate::fuzz {
+namespace {
+
+std::uint64_t campaign_iterations(std::uint64_t fallback) {
+  const char* env = std::getenv("LIBERATE_FUZZ_ITERATIONS");
+  if (!env) return fallback;
+  long long v = std::atoll(env);
+  return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+constexpr std::uint64_t kProbeBaseSeed = 0xA3B1;
+
+TEST(FuzzSmokeProbeCodec, CampaignRunsCleanAndCoversEveryPath) {
+  const std::uint64_t iterations = campaign_iterations(400);
+  FuzzStats stats;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = iteration_seed(kProbeBaseSeed, i);
+    run_probe_codec_iteration(seed, stats);
+    ASSERT_EQ(stats.roundtrip_mismatches, 0u)
+        << "repro: liberate::fuzz::run_probe_codec_iteration(0x" << std::hex
+        << seed << "ULL, stats)";
+  }
+  EXPECT_EQ(stats.iterations, iterations);
+  // Coverage telemetry: every iteration pushes the pristine encoding plus a
+  // mutation neighborhood through the decoder, and the strict identity check
+  // must accept every pristine encoding.
+  EXPECT_GT(stats.inputs, 9 * iterations);
+  EXPECT_GE(stats.probe_scripts_decoded, iterations);
+  EXPECT_GT(stats.roundtrips_checked, iterations);
+}
+
+TEST(FuzzSmokeProbeCodec, CampaignIsDeterministic) {
+  FuzzStats a = run_probe_codec_campaign(7, 50);
+  FuzzStats b = run_probe_codec_campaign(7, 50);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.probe_scripts_decoded, b.probe_scripts_decoded);
+  EXPECT_EQ(a.roundtrips_checked, b.roundtrips_checked);
+  EXPECT_EQ(a.roundtrip_mismatches, 0u);
+  EXPECT_EQ(b.roundtrip_mismatches, 0u);
+}
+
+TEST(FuzzSmokeProbeCodec, EveryCatalogScriptRoundTrips) {
+  // The shipped catalog must survive its own codec — these are exactly the
+  // scripts a persisted probe set contains.
+  const auto catalog = fingerprint::ambiguity_probe_catalog(1);
+  ASSERT_FALSE(catalog.empty());
+  for (const fingerprint::ProbeScript& script : catalog) {
+    SCOPED_TRACE(script.dimension + "/" + std::to_string(script.variant));
+    const Bytes encoded = fingerprint::encode_probe_script(script);
+    const auto decoded = fingerprint::decode_probe_script(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, script);
+  }
+}
+
+TEST(FuzzProbeCorpus, EveryCheckedInEntryReplaysClean) {
+  auto entries = load_corpus(LIBERATE_FUZZ_CORPUS_DIR "/fingerprint");
+  ASSERT_FALSE(entries.empty())
+      << "no corpus at " << LIBERATE_FUZZ_CORPUS_DIR "/fingerprint";
+  FuzzStats stats;
+  for (const CorpusEntry& e : entries) {
+    SCOPED_TRACE(e.name);
+    ASSERT_FALSE(e.data.empty()) << "empty/undecodable corpus file";
+    run_probe_corpus_entry(e.data, stats);
+    // Mutated corpus neighborhood: every prefix and a few bit flips.
+    for (std::size_t n = 0; n <= e.data.size(); n += 1 + e.data.size() / 64) {
+      run_probe_corpus_entry(BytesView(e.data.data(), n), stats);
+    }
+    for (std::size_t bit = 0; bit < 32 && bit < e.data.size() * 8; bit += 7) {
+      Bytes flipped = e.data;
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      run_probe_corpus_entry(flipped, stats);
+    }
+  }
+  EXPECT_EQ(stats.roundtrip_mismatches, 0u);
+  // The corpus must contain accepted encodings, not just rejects.
+  EXPECT_GT(stats.probe_scripts_decoded, 0u);
+  EXPECT_GT(stats.inputs, entries.size());
+}
+
+}  // namespace
+}  // namespace liberate::fuzz
